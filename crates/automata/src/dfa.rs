@@ -1,0 +1,222 @@
+//! Complete deterministic finite automata over an explicit label alphabet.
+
+use xuc_xtree::Label;
+
+/// A complete DFA: every state has exactly one successor per alphabet
+/// symbol.
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    alphabet: Vec<Label>,
+    start: usize,
+    accept: Vec<bool>,
+    /// `next[state][symbol_index]`
+    next: Vec<Vec<usize>>,
+}
+
+impl Dfa {
+    pub(crate) fn from_parts(
+        alphabet: Vec<Label>,
+        start: usize,
+        accept: Vec<bool>,
+        next: Vec<Vec<usize>>,
+    ) -> Dfa {
+        debug_assert_eq!(accept.len(), next.len());
+        debug_assert!(next.iter().all(|row| row.len() == alphabet.len()));
+        Dfa { alphabet, start, accept, next }
+    }
+
+    pub fn alphabet(&self) -> &[Label] {
+        &self.alphabet
+    }
+
+    pub fn state_count(&self) -> usize {
+        self.accept.len()
+    }
+
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    pub fn is_accepting(&self, state: usize) -> bool {
+        self.accept[state]
+    }
+
+    /// Index of a label in the alphabet.
+    ///
+    /// # Panics
+    /// Panics when the label is not in the alphabet; callers map foreign
+    /// labels to the designated `z` symbol first.
+    pub fn symbol_index(&self, l: Label) -> usize {
+        self.alphabet
+            .iter()
+            .position(|&a| a == l)
+            .unwrap_or_else(|| panic!("label {l} not in automaton alphabet"))
+    }
+
+    /// Transition on a symbol index.
+    pub fn step(&self, state: usize, symbol: usize) -> usize {
+        self.next[state][symbol]
+    }
+
+    /// Runs the DFA on a word of labels.
+    pub fn run(&self, word: &[Label]) -> usize {
+        word.iter().fold(self.start, |s, &l| self.step(s, self.symbol_index(l)))
+    }
+
+    /// Does the DFA accept `word`?
+    pub fn accepts(&self, word: &[Label]) -> bool {
+        self.accept[self.run(word)]
+    }
+
+    /// The complement automaton (same alphabet, flipped acceptance; valid
+    /// because the DFA is complete).
+    pub fn complement(&self) -> Dfa {
+        Dfa {
+            alphabet: self.alphabet.clone(),
+            start: self.start,
+            accept: self.accept.iter().map(|&a| !a).collect(),
+            next: self.next.clone(),
+        }
+    }
+
+    /// Product intersection with another DFA over the same alphabet.
+    ///
+    /// # Panics
+    /// Panics when the alphabets differ.
+    pub fn intersect(&self, other: &Dfa) -> Dfa {
+        assert_eq!(self.alphabet, other.alphabet, "product requires equal alphabets");
+        let k = self.alphabet.len();
+        let mut index = std::collections::HashMap::new();
+        let mut pairs = vec![(self.start, other.start)];
+        index.insert((self.start, other.start), 0usize);
+        let mut next: Vec<Vec<usize>> = vec![vec![usize::MAX; k]];
+        let mut work = vec![0usize];
+        while let Some(s) = work.pop() {
+            let (a, b) = pairs[s];
+            for sym in 0..k {
+                let target = (self.step(a, sym), other.step(b, sym));
+                let t = match index.get(&target) {
+                    Some(&t) => t,
+                    None => {
+                        let t = pairs.len();
+                        index.insert(target, t);
+                        pairs.push(target);
+                        next.push(vec![usize::MAX; k]);
+                        work.push(t);
+                        t
+                    }
+                };
+                next[s][sym] = t;
+            }
+        }
+        let accept = pairs
+            .iter()
+            .map(|&(a, b)| self.accept[a] && other.accept[b])
+            .collect();
+        Dfa { alphabet: self.alphabet.clone(), start: 0, accept, next }
+    }
+
+    /// Is the language empty?
+    pub fn is_empty(&self) -> bool {
+        self.find_accepted_word().is_none()
+    }
+
+    /// A shortest accepted word, if any (BFS).
+    pub fn find_accepted_word(&self) -> Option<Vec<Label>> {
+        let n = self.state_count();
+        let mut prev: Vec<Option<(usize, usize)>> = vec![None; n];
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[self.start] = true;
+        queue.push_back(self.start);
+        let mut hit = if self.accept[self.start] { Some(self.start) } else { None };
+        while hit.is_none() {
+            let Some(s) = queue.pop_front() else { break };
+            for sym in 0..self.alphabet.len() {
+                let t = self.step(s, sym);
+                if !seen[t] {
+                    seen[t] = true;
+                    prev[t] = Some((s, sym));
+                    if self.accept[t] {
+                        hit = Some(t);
+                        break;
+                    }
+                    queue.push_back(t);
+                }
+            }
+        }
+        let mut cur = hit?;
+        let mut word = Vec::new();
+        while let Some((p, sym)) = prev[cur] {
+            word.push(self.alphabet[sym]);
+            cur = p;
+        }
+        word.reverse();
+        Some(word)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::Nfa;
+    use xuc_xpath::parse;
+
+    fn labels(names: &[&str]) -> Vec<Label> {
+        names.iter().map(|n| Label::new(n)).collect()
+    }
+
+    fn dfa_of(src: &str, alphabet: &[&str]) -> Dfa {
+        Nfa::from_linear_pattern(&parse(src).unwrap()).determinize(&labels(alphabet))
+    }
+
+    #[test]
+    fn complement_flips_membership() {
+        let d = dfa_of("/a/b", &["a", "b", "z"]);
+        let c = d.complement();
+        for w in [vec!["a", "b"], vec!["a"], vec!["z", "b"]] {
+            let word = labels(&w);
+            assert_ne!(d.accepts(&word), c.accepts(&word), "word {w:?}");
+        }
+    }
+
+    #[test]
+    fn intersection_is_conjunction() {
+        let d1 = dfa_of("//a//c", &["a", "b", "c", "z"]);
+        let d2 = dfa_of("//b//c", &["a", "b", "c", "z"]);
+        let both = d1.intersect(&d2);
+        assert!(both.accepts(&labels(&["a", "b", "c"])));
+        assert!(both.accepts(&labels(&["b", "a", "c"])));
+        assert!(!both.accepts(&labels(&["a", "c"])));
+        assert!(!both.accepts(&labels(&["b", "c"])));
+    }
+
+    #[test]
+    fn emptiness_and_witness() {
+        let d1 = dfa_of("/a/b", &["a", "b", "z"]);
+        let d2 = dfa_of("/b/a", &["a", "b", "z"]);
+        assert!(d1.intersect(&d2).is_empty());
+        let d3 = dfa_of("//b", &["a", "b", "z"]);
+        let w = d1.intersect(&d3).find_accepted_word().unwrap();
+        assert_eq!(w, labels(&["a", "b"]));
+    }
+
+    #[test]
+    fn complement_of_intersection_nonempty() {
+        let d = dfa_of("//a", &["a", "z"]);
+        let c = d.complement();
+        let w = c.find_accepted_word().unwrap();
+        assert!(!d.accepts(&w));
+        // Empty word is not in //a, so the witness is the empty word.
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn run_is_deterministic_total() {
+        let d = dfa_of("//a/*//b", &["a", "b", "z"]);
+        for w in [vec![], vec!["z"], vec!["a", "z", "b"], vec!["a", "a", "b", "b"]] {
+            let word = labels(&w);
+            let _ = d.run(&word); // must not panic
+        }
+    }
+}

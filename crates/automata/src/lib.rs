@@ -1,0 +1,43 @@
+//! Finite-automata substrate for linear-path reasoning.
+//!
+//! The paper's decision procedures for the linear fragment `XP{/,//,*}`
+//! (Theorems 4.3, 4.8 and 5.4) treat a linear query as a regular language
+//! over label strings: a node lies in the range of a linear query iff its
+//! root-to-node label path belongs to the query's language. This crate
+//! provides the machinery those theorems invoke ([19,20] in the paper):
+//!
+//! * [`Nfa`] — nondeterministic automata with `label` / `any` guards and a
+//!   translation from linear patterns ([`Nfa::from_linear_pattern`]),
+//! * [`Dfa`] — complete deterministic automata over an explicit finite
+//!   alphabet (the constraint labels plus the fresh label `z`), with
+//!   complement, intersection, emptiness and witness extraction,
+//! * [`ProductDfa`] — the synchronous product of many DFAs, exposing per
+//!   state which component languages accept; this is the state space over
+//!   which `xuc-core` runs its greatest-fixpoint implication procedure.
+
+pub mod dfa;
+pub mod nfa;
+pub mod product;
+
+pub use dfa::Dfa;
+pub use nfa::Nfa;
+pub use product::ProductDfa;
+
+use xuc_xpath::Pattern;
+use xuc_xtree::Label;
+
+/// The effective alphabet for a family of linear queries: every concrete
+/// label they mention plus the fresh label `z` standing for "any other
+/// label" (replacing labels outside the constraint vocabulary is harmless,
+/// as argued in the proof of Theorem 4.2).
+pub fn effective_alphabet<'a>(queries: impl IntoIterator<Item = &'a Pattern>) -> Vec<Label> {
+    let mut set: std::collections::BTreeSet<Label> = std::collections::BTreeSet::new();
+    let mut patterns: Vec<&Pattern> = Vec::new();
+    for q in queries {
+        set.extend(q.labels());
+        patterns.push(q);
+    }
+    let z = xuc_xpath::canonical::fresh_label_for(patterns);
+    set.insert(z);
+    set.into_iter().collect()
+}

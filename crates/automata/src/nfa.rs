@@ -1,0 +1,226 @@
+//! Nondeterministic finite automata over label alphabets.
+
+use xuc_xpath::{Axis, NodeTest, Pattern};
+use xuc_xtree::Label;
+
+/// A transition guard: a specific label or any label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Guard {
+    Label(Label),
+    Any,
+}
+
+impl Guard {
+    fn accepts(self, l: Label) -> bool {
+        match self {
+            Guard::Label(g) => g == l,
+            Guard::Any => true,
+        }
+    }
+}
+
+/// A nondeterministic finite automaton (no epsilon transitions; linear
+/// patterns do not need them).
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    state_count: usize,
+    start: usize,
+    accept: Vec<usize>,
+    /// (from, guard, to)
+    transitions: Vec<(usize, Guard, usize)>,
+}
+
+impl Nfa {
+    /// An NFA with a single start state and no transitions.
+    pub fn new() -> Self {
+        Nfa { state_count: 1, start: 0, accept: Vec::new(), transitions: Vec::new() }
+    }
+
+    /// Adds a fresh state and returns its index.
+    pub fn add_state(&mut self) -> usize {
+        self.state_count += 1;
+        self.state_count - 1
+    }
+
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    pub fn state_count(&self) -> usize {
+        self.state_count
+    }
+
+    pub fn mark_accept(&mut self, s: usize) {
+        if !self.accept.contains(&s) {
+            self.accept.push(s);
+        }
+    }
+
+    pub fn add_transition(&mut self, from: usize, guard: Guard, to: usize) {
+        self.transitions.push((from, guard, to));
+    }
+
+    /// Builds the NFA recognizing the root-to-node label strings selected by
+    /// a **linear** pattern: `/l` appends `l`; `//l` allows any padding
+    /// before `l`; wildcards consume any single symbol.
+    ///
+    /// # Panics
+    /// Panics when the pattern has predicates.
+    pub fn from_linear_pattern(q: &Pattern) -> Nfa {
+        let steps = q
+            .linear_steps()
+            .expect("from_linear_pattern requires a linear (predicate-free) pattern");
+        let mut nfa = Nfa::new();
+        let mut cur = nfa.start();
+        for (axis, test) in steps {
+            if axis == Axis::Descendant {
+                // Any padding before the tested symbol.
+                nfa.add_transition(cur, Guard::Any, cur);
+            }
+            let next = nfa.add_state();
+            let guard = match test {
+                NodeTest::Label(l) => Guard::Label(l),
+                NodeTest::Wildcard => Guard::Any,
+            };
+            nfa.add_transition(cur, guard, next);
+            cur = next;
+        }
+        nfa.mark_accept(cur);
+        nfa
+    }
+
+    /// Does the NFA accept `word`?
+    pub fn accepts(&self, word: &[Label]) -> bool {
+        let mut current: Vec<bool> = vec![false; self.state_count];
+        current[self.start] = true;
+        for &l in word {
+            let mut next = vec![false; self.state_count];
+            for &(from, guard, to) in &self.transitions {
+                if current[from] && guard.accepts(l) {
+                    next[to] = true;
+                }
+            }
+            current = next;
+        }
+        self.accept.iter().any(|&s| current[s])
+    }
+
+    /// Subset construction over an explicit alphabet, producing a complete
+    /// DFA. Symbols outside the alphabet are not representable in the DFA;
+    /// callers use [`crate::effective_alphabet`] so a designated `z` label
+    /// stands for everything else.
+    pub fn determinize(&self, alphabet: &[Label]) -> crate::dfa::Dfa {
+        use std::collections::HashMap;
+        let mut index: HashMap<Vec<usize>, usize> = HashMap::new();
+        let mut subsets: Vec<Vec<usize>> = Vec::new();
+        let mut next: Vec<Vec<usize>> = Vec::new();
+
+        let start_subset = vec![self.start];
+        index.insert(start_subset.clone(), 0);
+        subsets.push(start_subset);
+        next.push(vec![usize::MAX; alphabet.len()]);
+
+        let mut work = vec![0usize];
+        while let Some(s) = work.pop() {
+            for (ai, &l) in alphabet.iter().enumerate() {
+                let mut target: Vec<usize> = Vec::new();
+                for &(from, guard, to) in &self.transitions {
+                    if subsets[s].contains(&from) && guard.accepts(l) && !target.contains(&to) {
+                        target.push(to);
+                    }
+                }
+                target.sort_unstable();
+                let t = match index.get(&target) {
+                    Some(&t) => t,
+                    None => {
+                        let t = subsets.len();
+                        index.insert(target.clone(), t);
+                        subsets.push(target);
+                        next.push(vec![usize::MAX; alphabet.len()]);
+                        work.push(t);
+                        t
+                    }
+                };
+                next[s][ai] = t;
+            }
+        }
+
+        let accept = subsets
+            .iter()
+            .map(|subset| subset.iter().any(|s| self.accept.contains(s)))
+            .collect();
+        crate::dfa::Dfa::from_parts(alphabet.to_vec(), 0, accept, next)
+    }
+}
+
+impl Default for Nfa {
+    fn default() -> Self {
+        Nfa::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xuc_xpath::parse;
+
+    fn labels(names: &[&str]) -> Vec<Label> {
+        names.iter().map(|n| Label::new(n)).collect()
+    }
+
+    #[test]
+    fn child_chain_language() {
+        let nfa = Nfa::from_linear_pattern(&parse("/a/b").unwrap());
+        assert!(nfa.accepts(&labels(&["a", "b"])));
+        assert!(!nfa.accepts(&labels(&["a"])));
+        assert!(!nfa.accepts(&labels(&["a", "b", "c"])));
+        assert!(!nfa.accepts(&labels(&["b", "a"])));
+    }
+
+    #[test]
+    fn descendant_padding() {
+        let nfa = Nfa::from_linear_pattern(&parse("//a//b").unwrap());
+        assert!(nfa.accepts(&labels(&["a", "b"])));
+        assert!(nfa.accepts(&labels(&["x", "a", "y", "y", "b"])));
+        assert!(!nfa.accepts(&labels(&["b", "a"])));
+        assert!(!nfa.accepts(&labels(&["a"])));
+    }
+
+    #[test]
+    fn wildcard_consumes_one() {
+        let nfa = Nfa::from_linear_pattern(&parse("/a/*/b").unwrap());
+        assert!(nfa.accepts(&labels(&["a", "q", "b"])));
+        assert!(!nfa.accepts(&labels(&["a", "b"])));
+        assert!(!nfa.accepts(&labels(&["a", "q", "q", "b"])));
+    }
+
+    #[test]
+    #[should_panic(expected = "linear")]
+    fn predicates_rejected() {
+        let _ = Nfa::from_linear_pattern(&parse("/a[/b]").unwrap());
+    }
+
+    #[test]
+    fn determinize_preserves_language() {
+        let q = parse("//a/*//b").unwrap();
+        let nfa = Nfa::from_linear_pattern(&q);
+        let alphabet = labels(&["a", "b", "z"]);
+        let dfa = nfa.determinize(&alphabet);
+        // Exhaustively compare on all words up to length 5.
+        let mut words: Vec<Vec<Label>> = vec![vec![]];
+        for _ in 0..5 {
+            let mut next: Vec<Vec<Label>> = Vec::new();
+            for w in &words {
+                for &l in &alphabet {
+                    let mut w2 = w.clone();
+                    w2.push(l);
+                    next.push(w2);
+                }
+            }
+            for w in &next {
+                assert_eq!(nfa.accepts(w), dfa.accepts(w), "word {w:?}");
+            }
+            words = next;
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! The synchronous product of many DFAs.
+//!
+//! The implication procedures for linear constraints (Theorems 4.3/4.8 and
+//! 5.4) reason about which *combinations* of ranges a node's root-to-node
+//! path can belong to. A product state records one state per component DFA;
+//! its **acceptance mask** says exactly which component languages contain
+//! every word reaching the state. Reachable product states therefore
+//! enumerate the realizable membership vectors — exponential in the number
+//! of constraints in the worst case, matching the paper's "polynomial when
+//! the number of constraints is bounded" refinement.
+
+use crate::dfa::Dfa;
+use xuc_xtree::Label;
+
+/// Synchronous product of up to 64 component DFAs over a shared alphabet.
+#[derive(Debug, Clone)]
+pub struct ProductDfa {
+    alphabet: Vec<Label>,
+    components: usize,
+    /// Component state vectors, indexed by product state.
+    state_vecs: Vec<Vec<usize>>,
+    /// Bit `i` set iff component `i` accepts in this product state.
+    accept_masks: Vec<u64>,
+    /// `next[state][symbol]`.
+    next: Vec<Vec<usize>>,
+    /// BFS parent pointers (state, symbol) for shortest-witness extraction.
+    prev: Vec<Option<(usize, usize)>>,
+    start: usize,
+}
+
+impl ProductDfa {
+    /// Builds the reachable product of `dfas`.
+    ///
+    /// # Panics
+    /// Panics if `dfas` is empty, has more than 64 components, or the
+    /// alphabets differ.
+    pub fn build(dfas: &[Dfa]) -> ProductDfa {
+        assert!(!dfas.is_empty(), "product of zero automata");
+        assert!(dfas.len() <= 64, "at most 64 component automata supported");
+        let alphabet = dfas[0].alphabet().to_vec();
+        for d in dfas {
+            assert_eq!(d.alphabet(), &alphabet[..], "product requires equal alphabets");
+        }
+        let k = alphabet.len();
+        let start_vec: Vec<usize> = dfas.iter().map(|d| d.start()).collect();
+
+        let mut index = std::collections::HashMap::new();
+        let mut state_vecs = vec![start_vec.clone()];
+        index.insert(start_vec, 0usize);
+        let mut next: Vec<Vec<usize>> = vec![vec![usize::MAX; k]];
+        let mut prev: Vec<Option<(usize, usize)>> = vec![None];
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        while let Some(s) = queue.pop_front() {
+            for sym in 0..k {
+                let target: Vec<usize> = state_vecs[s]
+                    .iter()
+                    .zip(dfas)
+                    .map(|(&cs, d)| d.step(cs, sym))
+                    .collect();
+                let t = match index.get(&target) {
+                    Some(&t) => t,
+                    None => {
+                        let t = state_vecs.len();
+                        index.insert(target.clone(), t);
+                        state_vecs.push(target);
+                        next.push(vec![usize::MAX; k]);
+                        prev.push(Some((s, sym)));
+                        queue.push_back(t);
+                        t
+                    }
+                };
+                next[s][sym] = t;
+            }
+        }
+
+        let accept_masks = state_vecs
+            .iter()
+            .map(|vec| {
+                vec.iter()
+                    .zip(dfas)
+                    .enumerate()
+                    .fold(0u64, |m, (i, (&cs, d))| {
+                        if d.is_accepting(cs) {
+                            m | (1 << i)
+                        } else {
+                            m
+                        }
+                    })
+            })
+            .collect();
+
+        ProductDfa {
+            alphabet,
+            components: dfas.len(),
+            state_vecs,
+            accept_masks,
+            next,
+            prev,
+            start: 0,
+        }
+    }
+
+    pub fn alphabet(&self) -> &[Label] {
+        &self.alphabet
+    }
+
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    pub fn state_count(&self) -> usize {
+        self.state_vecs.len()
+    }
+
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Bit `i` set iff component `i` accepts every word reaching `state`.
+    pub fn accept_mask(&self, state: usize) -> u64 {
+        self.accept_masks[state]
+    }
+
+    /// Does component `i` accept in `state`?
+    pub fn component_accepts(&self, state: usize, i: usize) -> bool {
+        self.accept_masks[state] & (1 << i) != 0
+    }
+
+    pub fn step(&self, state: usize, symbol: usize) -> usize {
+        self.next[state][symbol]
+    }
+
+    pub fn symbol_index(&self, l: Label) -> usize {
+        self.alphabet
+            .iter()
+            .position(|&a| a == l)
+            .unwrap_or_else(|| panic!("label {l} not in product alphabet"))
+    }
+
+    /// Runs the product on a word.
+    pub fn run(&self, word: &[Label]) -> usize {
+        word.iter().fold(self.start, |s, &l| self.step(s, self.symbol_index(l)))
+    }
+
+    /// The states visited by `word`, including the start state
+    /// (length = `word.len() + 1`). These are the states of the prefixes —
+    /// i.e. the ancestors of a node with this root-to-node path.
+    pub fn trace(&self, word: &[Label]) -> Vec<usize> {
+        let mut out = Vec::with_capacity(word.len() + 1);
+        let mut s = self.start;
+        out.push(s);
+        for &l in word {
+            s = self.step(s, self.symbol_index(l));
+            out.push(s);
+        }
+        out
+    }
+
+    /// A shortest word reaching `state` from the start (BFS tree witness).
+    pub fn witness(&self, state: usize) -> Vec<Label> {
+        let mut cur = state;
+        let mut word = Vec::new();
+        while let Some((p, sym)) = self.prev[cur] {
+            word.push(self.alphabet[sym]);
+            cur = p;
+        }
+        word.reverse();
+        word
+    }
+
+    /// Predecessor relation: for each state, the states with an edge into it.
+    pub fn predecessors(&self) -> Vec<Vec<usize>> {
+        let mut preds = vec![Vec::new(); self.state_count()];
+        for (s, row) in self.next.iter().enumerate() {
+            for &t in row {
+                if !preds[t].contains(&s) {
+                    preds[t].push(s);
+                }
+            }
+        }
+        preds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::Nfa;
+    use xuc_xpath::parse;
+
+    fn labels(names: &[&str]) -> Vec<Label> {
+        names.iter().map(|n| Label::new(n)).collect()
+    }
+
+    fn build(sources: &[&str], alphabet: &[&str]) -> ProductDfa {
+        let alpha = labels(alphabet);
+        let dfas: Vec<Dfa> = sources
+            .iter()
+            .map(|s| Nfa::from_linear_pattern(&parse(s).unwrap()).determinize(&alpha))
+            .collect();
+        ProductDfa::build(&dfas)
+    }
+
+    #[test]
+    fn masks_track_membership() {
+        let p = build(&["//a//c", "//b//c"], &["a", "b", "c", "z"]);
+        let s = p.run(&labels(&["a", "b", "c"]));
+        assert_eq!(p.accept_mask(s), 0b11);
+        let s2 = p.run(&labels(&["a", "c"]));
+        assert_eq!(p.accept_mask(s2), 0b01);
+        let s3 = p.run(&labels(&["z"]));
+        assert_eq!(p.accept_mask(s3), 0);
+    }
+
+    #[test]
+    fn witness_reaches_state() {
+        let p = build(&["//a//c", "//b"], &["a", "b", "c", "z"]);
+        for state in 0..p.state_count() {
+            let w = p.witness(state);
+            assert_eq!(p.run(&w), state, "witness must reach its state");
+        }
+    }
+
+    #[test]
+    fn trace_length_and_prefixes() {
+        let p = build(&["//a"], &["a", "z"]);
+        let word = labels(&["z", "a", "z"]);
+        let trace = p.trace(&word);
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace[0], p.start());
+        assert_eq!(*trace.last().unwrap(), p.run(&word));
+    }
+
+    #[test]
+    fn predecessors_cover_all_edges() {
+        let p = build(&["/a/b"], &["a", "b", "z"]);
+        let preds = p.predecessors();
+        for s in 0..p.state_count() {
+            for sym in 0..p.alphabet().len() {
+                let t = p.step(s, sym);
+                assert!(preds[t].contains(&s));
+            }
+        }
+    }
+
+    #[test]
+    fn component_accepts_matches_mask() {
+        let p = build(&["//a", "//b"], &["a", "b", "z"]);
+        let s = p.run(&labels(&["a"]));
+        assert!(p.component_accepts(s, 0));
+        assert!(!p.component_accepts(s, 1));
+    }
+}

@@ -1,0 +1,83 @@
+//! Figures and examples: Fig. 2 validity, Example 4.1's interacting types,
+//! Example 3.3's diverging chase, and the Fig. 1 exchange round-trip.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xuc_workloads::trees;
+
+/// F2: validity checking of the Fig. 2 pair under Example 2.1.
+fn f2_validity(c: &mut Criterion) {
+    let (i, j) = trees::fig2_pair();
+    let cs = trees::example_2_1_constraints();
+    c.bench_function("f2_validity", |b| {
+        b.iter(|| xuc_core::constraint::violations(black_box(&cs), black_box(&i), black_box(&j)))
+    });
+}
+
+/// E41: the exact linear decision of Example 4.1 (mixed types, // only).
+fn e41_interacting_types(c: &mut Criterion) {
+    let (set, goal) = trees::example_4_1();
+    c.bench_function("e41_full_set", |b| {
+        b.iter(|| xuc_core::implication::linear::implies_linear(black_box(&set), black_box(&goal)))
+    });
+    let up_only: Vec<_> = set
+        .iter()
+        .filter(|x| x.kind == xuc_core::ConstraintKind::NoRemove)
+        .cloned()
+        .collect();
+    c.bench_function("e41_up_only", |b| {
+        b.iter(|| {
+            xuc_core::implication::linear::implies_linear(black_box(&up_only), black_box(&goal))
+        })
+    });
+}
+
+/// E33: chase fact growth per round cap (the non-termination signature).
+fn e33_chase_divergence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e33_chase_rounds");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(600));
+    for cap in [2usize, 4, 6] {
+        g.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
+            b.iter(|| {
+                let deps = xuc_xic::example_3_3();
+                let mut db = xuc_xic::FactDb::new();
+                xuc_xic::seed_two_branch(&mut db);
+                xuc_xic::seed_path(&mut db, xuc_xic::I_BRANCH, &["a", "b", "c", "d"]);
+                xuc_xic::chase(&mut db, &deps, cap)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// F1: the Source→Broker→User exchange: certify + verify at scale.
+fn f1_exchange(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f1_exchange");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(600));
+    for p in [50usize, 100, 200] {
+        let doc = trees::hospital(&mut xuc_bench::rng(), p, 3);
+        let constraints = trees::example_2_1_constraints();
+        let signer = xuc_sigstore::Signer::new(0xfeed);
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            b.iter(|| {
+                let cert = signer.certify(black_box(&doc), black_box(&constraints));
+                cert.verify(0xfeed, black_box(&doc)).is_ok()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600));
+    targets = f2_validity, e41_interacting_types, e33_chase_divergence, f1_exchange
+}
+criterion_main!(figures);

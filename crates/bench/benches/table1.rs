@@ -1,0 +1,129 @@
+//! Table 1 — general implication: one Criterion group per cell.
+//!
+//! The paper gives complexity bounds, not wall-clock numbers; what these
+//! benches reproduce is the *shape*: the PTIME cells scale polynomially in
+//! the marked parameter, the automata cells are exponential only in the
+//! number of constraints, and the hardness cells inherit 2^v from the
+//! 3CNF reduction. See EXPERIMENTS.md for the measured series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xuc_bench as wl;
+use xuc_core::implication;
+
+/// T1-a: XP{/,[],*}, one/mixed types — PTIME in the number of constraints.
+fn t1a_pred_star_ptime(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1a_pred_star_ptime");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(600));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(600));
+    for n in [2usize, 4, 8, 16, 32] {
+        let (set, goal) = wl::t1a_workload(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| implication::ptime::implies_pred_star(black_box(&set), black_box(&goal)))
+        });
+    }
+    g.finish();
+}
+
+/// T1-b: XP{/,[],//}, one type — coNP; conjunctive containment blows up in
+/// the spine length.
+fn t1b_pred_desc_conp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1b_pred_desc_conp");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(600));
+    for k in [1usize, 2, 3] {
+        let (set, goal) = wl::t1b_workload(k);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let ranges: Vec<&xuc_xpath::Pattern> = set.iter().map(|c| &c.range).collect();
+                implication::conjunctive::conjunctive_contained_in_budgeted(
+                    black_box(&ranges),
+                    black_box(&goal.range),
+                    5_000_000,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+/// T1-c: XP{/,//,*}, one type, bounded constraints — PTIME in query size.
+fn t1c_linear_query_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1c_linear_query_size");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(600));
+    for k in [2usize, 4, 6, 8] {
+        let (set, goal) = wl::t1_linear_workload(2, k);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| implication::linear::implies_linear(black_box(&set), black_box(&goal)))
+        });
+    }
+    g.finish();
+}
+
+/// T1-f: XP{/,//,*}, arbitrary types — exponential in the number of
+/// constraints (the product-automaton dimension).
+fn t1f_linear_constraint_count(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1f_linear_constraint_count");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(600));
+    for n in [1usize, 2, 3, 4, 5] {
+        let (set, goal) = wl::t1_linear_workload(n, 3);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| implication::linear::implies_linear(black_box(&set), black_box(&goal)))
+        });
+    }
+    g.finish();
+}
+
+/// T1-d/T1-g: full fragment — bounded counterexample search.
+fn t1d_full_fragment_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1d_full_fragment_search");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(600));
+    for n in [1usize, 2, 3] {
+        let (set, goal) = wl::t1d_workload(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| implication::search::find_counterexample(black_box(&set), black_box(&goal), 500))
+        });
+    }
+    g.finish();
+}
+
+/// T1-h: the Theorem 4.6 gadget — implication ⇔ UNSAT, cost 2^v.
+fn t1h_gadget_46(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1h_gadget_46");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(600));
+    for v in [2usize, 4, 6, 8] {
+        let gadget = wl::t1h_gadget(v);
+        g.bench_with_input(BenchmarkId::from_parameter(v), &v, |b, _| {
+            b.iter(|| black_box(&gadget).implied_by_assignment_sweep())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = table1;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600));
+    targets =
+    t1a_pred_star_ptime,
+    t1b_pred_desc_conp,
+    t1c_linear_query_size,
+    t1f_linear_constraint_count,
+    t1d_full_fragment_search,
+    t1h_gadget_46
+}
+criterion_main!(table1);

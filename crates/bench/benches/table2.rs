@@ -1,0 +1,145 @@
+//! Table 2 — instance-based implication: one Criterion group per cell.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xuc_bench as wl;
+use xuc_core::instance;
+
+/// T2-a: XP{/}, arbitrary types — PTIME in |J|.
+fn t2a_plain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t2a_plain");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(600));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(600));
+    for p in [25usize, 50, 100, 200] {
+        let (set, j, goal) = wl::t2a_workload(p);
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            b.iter(|| instance::plain::implies_plain(black_box(&set), black_box(&j), black_box(&goal)))
+        });
+    }
+    g.finish();
+}
+
+/// T2-b: ↓-only XP{/,[],*} — the certain-facts tree, PTIME in |J|.
+fn t2b_certain_facts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t2b_certain_facts");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(600));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(600));
+    for p in [25usize, 50, 100, 200] {
+        let (set, j, goal) = wl::t2b_workload(p);
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            b.iter(|| {
+                instance::certain::implies_no_insert_pred_star(
+                    black_box(&set),
+                    black_box(&j),
+                    black_box(&goal),
+                )
+                .is_ok()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// T2-c: ↓-only linear — automata over J, PTIME in |J|.
+fn t2c_linear_instance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t2c_linear_instance");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(600));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(600));
+    for p in [25usize, 50, 100, 200] {
+        let (set, j, goal) = wl::t2c_workload(p);
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            b.iter(|| {
+                instance::linear::implies_no_insert_linear(
+                    black_box(&set),
+                    black_box(&j),
+                    black_box(&goal),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+/// T2-e (polynomial dimension): ↑-only possible embeddings, |J| sweep.
+fn t2e_embeddings_in_j(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t2e_embeddings_in_j");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(600));
+    for p in [10usize, 20, 40, 80] {
+        let (set, j, goal) = wl::t2e_workload(p, 1);
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            b.iter(|| {
+                instance::embeddings::implies_no_remove(
+                    black_box(&set),
+                    black_box(&j),
+                    black_box(&goal),
+                    10_000_000,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+/// T2-e (exponential dimension): goal size sweep at fixed |J|.
+fn t2e_embeddings_in_q(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t2e_embeddings_in_q");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(600));
+    for qsize in [1usize, 2, 3] {
+        let (set, j, goal) = wl::t2e_workload(8, qsize);
+        g.bench_with_input(BenchmarkId::from_parameter(qsize), &qsize, |b, _| {
+            b.iter(|| {
+                instance::embeddings::implies_no_remove(
+                    black_box(&set),
+                    black_box(&j),
+                    black_box(&goal),
+                    50_000_000,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+/// T2-f: the Theorem 5.2 / Fig. 6 gadget — 2^v assignment sweep.
+fn t2f_gadget_52(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t2f_gadget_52");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(600));
+    for v in [2usize, 4, 6, 8] {
+        let gadget = wl::t2f_gadget(v);
+        g.bench_with_input(BenchmarkId::from_parameter(v), &v, |b, _| {
+            b.iter(|| black_box(&gadget).implied_by_assignment_sweep())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = table2;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600));
+    targets =
+    t2a_plain,
+    t2b_certain_facts,
+    t2c_linear_instance,
+    t2e_embeddings_in_j,
+    t2e_embeddings_in_q,
+    t2f_gadget_52
+}
+criterion_main!(table2);

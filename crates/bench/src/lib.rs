@@ -1,0 +1,165 @@
+//! Shared workload builders and measurement helpers for the benchmark
+//! harness (Criterion benches + the `run_experiments` binary).
+//!
+//! Every experiment id (T1-a … T2-g, F2, E33, E41) maps to one function
+//! here; DESIGN.md §3 is the index.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use xuc_core::{Constraint, ConstraintKind};
+use xuc_workloads::{gadgets, queries, trees, Formula};
+
+/// A deterministic RNG so benches and experiments are reproducible.
+pub fn rng() -> StdRng {
+    StdRng::seed_from_u64(0x5eed_0001)
+}
+
+/// Median wall-time of `runs` executions of `f` (micro-measurement for the
+/// printable experiment tables; Criterion does the rigorous version).
+pub fn median_micros<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// T1-a: an implied `XP{/,[],*}` family with `n` constraints.
+pub fn t1a_workload(n: usize) -> (Vec<Constraint>, Constraint) {
+    let labels = ["doc", "a", "b", "c", "d"];
+    queries::implied_pred_star_family(&mut rng(), &labels, n, 2, ConstraintKind::NoRemove)
+}
+
+/// T1-b: conjunctive-containment inputs of growing spine length for the
+/// one-type `XP{/,[],//}` cell.
+pub fn t1b_workload(k: usize) -> (Vec<Constraint>, Constraint) {
+    // Interleaving family: //a1//…//ak//c ∩-queries; the goal asks for one
+    // fixed interleaving, which is not implied for k ≥ 2.
+    let left: String = (0..k).map(|i| format!("//a{i}")).collect();
+    let right: String = (0..k).map(|i| format!("//b{i}")).collect();
+    let set = vec![
+        Constraint::no_remove(xuc_xpath::parse(&format!("{left}//c")).expect("generated")),
+        Constraint::no_remove(xuc_xpath::parse(&format!("{right}//c")).expect("generated")),
+    ];
+    let goal =
+        Constraint::no_remove(xuc_xpath::parse(&format!("{left}{right}//c")).expect("generated"));
+    (set, goal)
+}
+
+/// T1-c/T1-f: linear families; `n` constraints over chains of length `k`.
+pub fn t1_linear_workload(n: usize, k: usize) -> (Vec<Constraint>, Constraint) {
+    let labels = ["a", "b", "c"];
+    let mut set = Vec::new();
+    for i in 0..n {
+        let chain: String =
+            (0..k).map(|j| format!("//{}", labels[(i + j) % labels.len()])).collect();
+        let kind = if i % 2 == 0 { ConstraintKind::NoRemove } else { ConstraintKind::NoInsert };
+        set.push(Constraint::new(xuc_xpath::parse(&chain).expect("generated"), kind));
+    }
+    let goal_chain: String = (0..k).map(|j| format!("//{}", labels[j % labels.len()])).collect();
+    let goal = Constraint::no_remove(xuc_xpath::parse(&goal_chain).expect("generated"));
+    (set, goal)
+}
+
+/// T1-d: full-fragment one-type workload for the bounded search.
+pub fn t1d_workload(n: usize) -> (Vec<Constraint>, Constraint) {
+    let labels = ["a", "b", "c"];
+    let gen = queries::QueryGen::full(&labels);
+    let mut r = rng();
+    let set = gen.set(&mut r, n, 1.0);
+    let goal = Constraint::no_remove(gen.query(&mut r));
+    (set, goal)
+}
+
+/// T1-h / T2-f: hardness gadget instances from a satisfiable random
+/// formula with `v` variables (sweep exposes the 2^v assignment space).
+pub fn formula(v: usize) -> Formula {
+    Formula::random(&mut rng(), v, v + 1)
+}
+
+pub fn t1h_gadget(v: usize) -> gadgets::Thm46Gadget {
+    gadgets::Thm46Gadget::new(formula(v))
+}
+
+pub fn t2f_gadget(v: usize) -> gadgets::Thm52Gadget {
+    gadgets::Thm52Gadget::new(formula(v))
+}
+
+/// T2-a: plain instance workload over a hospital document of `p` patients.
+pub fn t2a_workload(p: usize) -> (Vec<Constraint>, xuc_xtree::DataTree, Constraint) {
+    let j = trees::hospital(&mut rng(), p, 3);
+    let set = vec![
+        xuc_core::parse_constraint("(/patient, ↓)").expect("static"),
+        xuc_core::parse_constraint("(/patient/visit, ↑)").expect("static"),
+    ];
+    let goal = xuc_core::parse_constraint("(/patient, ↓)").expect("static");
+    (set, j, goal)
+}
+
+/// T2-b: certain-facts workload (↓-only, XP{/,[],*}) over `p` patients.
+pub fn t2b_workload(p: usize) -> (Vec<Constraint>, xuc_xtree::DataTree, Constraint) {
+    let j = trees::hospital(&mut rng(), p, 3);
+    let set = vec![
+        xuc_core::parse_constraint("(/patient[/visit], ↓)").expect("static"),
+        xuc_core::parse_constraint("(/patient[/clinicalTrial], ↓)").expect("static"),
+    ];
+    let goal =
+        xuc_core::parse_constraint("(/patient[/visit][/clinicalTrial], ↓)").expect("static");
+    (set, j, goal)
+}
+
+/// T2-c: linear ↓-only instance workload over `p` patients.
+pub fn t2c_workload(p: usize) -> (Vec<Constraint>, xuc_xtree::DataTree, Constraint) {
+    let j = trees::hospital(&mut rng(), p, 3);
+    let set = vec![
+        xuc_core::parse_constraint("(//visit, ↓)").expect("static"),
+        xuc_core::parse_constraint("(/patient/visit//report, ↓)").expect("static"),
+    ];
+    let goal = xuc_core::parse_constraint("(//visit//report, ↓)").expect("static");
+    (set, j, goal)
+}
+
+/// T2-e: possible-embeddings workload; `p` controls |J| (polynomial
+/// dimension), `qsize` the goal query size (exponential dimension).
+pub fn t2e_workload(
+    p: usize,
+    qsize: usize,
+) -> (Vec<Constraint>, xuc_xtree::DataTree, Constraint) {
+    let j = trees::hospital(&mut rng(), p, 2);
+    let set = vec![xuc_core::parse_constraint("(/patient/visit, ↑)").expect("static")];
+    let preds = ["visit", "clinicalTrial", "phone"];
+    let mut goal_src = String::from("/patient");
+    for i in 0..qsize {
+        goal_src.push_str(&format!("[/{}]", preds[i % preds.len()]));
+    }
+    goal_src.push_str("/visit");
+    let goal = Constraint::no_remove(xuc_xpath::parse(&goal_src).expect("generated"));
+    (set, j, goal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xuc_core::implication;
+
+    #[test]
+    fn workloads_have_expected_status() {
+        let (set, goal) = t1a_workload(4);
+        assert!(implication::ptime::implies_pred_star(&set, &goal));
+        let (set, goal) = t1_linear_workload(3, 3);
+        assert!(implication::linear::implies_linear(&set, &goal).decided().is_some());
+        let (set, j, goal) = t2b_workload(20);
+        assert!(xuc_core::implies_on(&set, &j, &goal).is_implied());
+    }
+
+    #[test]
+    fn median_measures_positive() {
+        let t = median_micros(5, || (0..1000).sum::<u64>());
+        assert!(t >= 0.0);
+    }
+}

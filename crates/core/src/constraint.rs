@@ -1,0 +1,295 @@
+//! Update constraints: syntax, semantics, validity (Definitions 2.2/2.3).
+
+use std::collections::BTreeSet;
+use std::fmt;
+use xuc_xpath::{eval, Pattern};
+use xuc_xtree::{DataTree, NodeRef};
+
+/// The constraint type `σ`: `no-insert` (↓) or `no-remove` (↑).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ConstraintKind {
+    /// `↓` — the selected node set may only shrink: `q(J) ⊆ q(I)`.
+    NoInsert,
+    /// `↑` — the selected node set may only grow: `q(I) ⊆ q(J)`.
+    NoRemove,
+}
+
+impl ConstraintKind {
+    /// The opposite type (used by the symmetry arguments throughout §4/§5).
+    pub fn flip(self) -> ConstraintKind {
+        match self {
+            ConstraintKind::NoInsert => ConstraintKind::NoRemove,
+            ConstraintKind::NoRemove => ConstraintKind::NoInsert,
+        }
+    }
+
+    /// The paper's arrow notation.
+    pub fn arrow(self) -> &'static str {
+        match self {
+            ConstraintKind::NoInsert => "↓",
+            ConstraintKind::NoRemove => "↑",
+        }
+    }
+}
+
+impl fmt::Display for ConstraintKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.arrow())
+    }
+}
+
+/// An XML update constraint `(q, σ)` (Definition 2.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constraint {
+    pub range: Pattern,
+    pub kind: ConstraintKind,
+}
+
+impl Constraint {
+    pub fn new(range: Pattern, kind: ConstraintKind) -> Self {
+        Constraint { range, kind }
+    }
+
+    /// `(q, ↓)`.
+    pub fn no_insert(range: Pattern) -> Self {
+        Constraint::new(range, ConstraintKind::NoInsert)
+    }
+
+    /// `(q, ↑)`.
+    pub fn no_remove(range: Pattern) -> Self {
+        Constraint::new(range, ConstraintKind::NoRemove)
+    }
+
+    /// The paper's shorthand `(q, ↕)`: the pair of a no-remove and a
+    /// no-insert constraint over the same range (immutability).
+    pub fn immutable(range: Pattern) -> Vec<Constraint> {
+        vec![Constraint::no_remove(range.clone()), Constraint::no_insert(range)]
+    }
+
+    /// Is the pair `(before, after)` valid for this constraint
+    /// (Definition 2.3)? Results are compared as sets of `(id, label)`
+    /// pairs, exactly as in the paper (for concrete ranges this coincides
+    /// with comparing id sets).
+    pub fn satisfied_by(&self, before: &DataTree, after: &DataTree) -> bool {
+        self.violation(before, after).is_none()
+    }
+
+    /// Returns the violating node ids, if any: nodes inserted into the range
+    /// of a `↓` constraint, or removed from the range of an `↑` constraint.
+    pub fn violation(&self, before: &DataTree, after: &DataTree) -> Option<Violation> {
+        let in_before = eval::eval(&self.range, before);
+        let in_after = eval::eval(&self.range, after);
+        let offenders: BTreeSet<NodeRef> = match self.kind {
+            ConstraintKind::NoInsert => in_after.difference(&in_before).copied().collect(),
+            ConstraintKind::NoRemove => in_before.difference(&in_after).copied().collect(),
+        };
+        if offenders.is_empty() {
+            None
+        } else {
+            Some(Violation { constraint: self.clone(), offenders })
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.range, self.kind)
+    }
+}
+
+/// A witnessed constraint violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub constraint: Constraint,
+    /// Nodes inserted into (↓) or removed from (↑) the range.
+    pub offenders: BTreeSet<NodeRef>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ids: Vec<String> = self.offenders.iter().map(|n| n.id.to_string()).collect();
+        let action = match self.constraint.kind {
+            ConstraintKind::NoInsert => "inserted into",
+            ConstraintKind::NoRemove => "removed from",
+        };
+        write!(f, "{} {} range of {}", ids.join(", "), action, self.constraint)
+    }
+}
+
+/// Is the pair valid for every constraint in `set`?
+pub fn all_satisfied(set: &[Constraint], before: &DataTree, after: &DataTree) -> bool {
+    set.iter().all(|c| c.satisfied_by(before, after))
+}
+
+/// All violations of the pair against `set`.
+pub fn violations(set: &[Constraint], before: &DataTree, after: &DataTree) -> Vec<Violation> {
+    set.iter().filter_map(|c| c.violation(before, after)).collect()
+}
+
+/// Pairwise validity of a sequence of instances (Section 2.2): every pair
+/// `(Iᵢ, Iⱼ)` with `i < j` must be valid. For the absolute constraints of
+/// this module this is equivalent to checking consecutive pairs *and* the
+/// end-to-end pair; we check all pairs, matching the definition.
+pub fn sequence_pairwise_valid(set: &[Constraint], seq: &[DataTree]) -> bool {
+    for i in 0..seq.len() {
+        for j in i + 1..seq.len() {
+            if !all_satisfied(set, &seq[i], &seq[j]) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Data-oriented sequence validity "for `I_k`" (Section 2.2): only the pair
+/// `(I₀, I_k)` matters.
+pub fn sequence_valid_for_last(set: &[Constraint], seq: &[DataTree]) -> bool {
+    match (seq.first(), seq.last()) {
+        (Some(first), Some(last)) => all_satisfied(set, first, last),
+        _ => true,
+    }
+}
+
+/// Parses the paper's constraint notation: `(/a//b[/c], up)` or
+/// `(/a//b[/c], ↑)`; accepted type tokens are `↓`, `↑`, `down`, `up`,
+/// `no-insert`, `no-remove`. The parenthesis pair is optional.
+pub fn parse_constraint(src: &str) -> Result<Constraint, String> {
+    let s = src.trim();
+    let s = s.strip_prefix('(').and_then(|t| t.strip_suffix(')')).unwrap_or(s);
+    let (qpart, kpart) = s.rsplit_once(',').ok_or_else(|| {
+        format!("expected `query, kind` in constraint {src:?}")
+    })?;
+    let range = xuc_xpath::parse(qpart.trim()).map_err(|e| e.to_string())?;
+    let kind = match kpart.trim() {
+        "↓" | "down" | "no-insert" | "noinsert" => ConstraintKind::NoInsert,
+        "↑" | "up" | "no-remove" | "noremove" => ConstraintKind::NoRemove,
+        other => return Err(format!("unknown constraint kind {other:?}")),
+    };
+    Ok(Constraint::new(range, kind))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xuc_xtree::{parse_term, NodeId};
+
+    fn q(s: &str) -> Pattern {
+        xuc_xpath::parse(s).unwrap()
+    }
+
+    /// The paper's Figure 2 instances (Example 2.1), with shared node ids.
+    fn fig2() -> (DataTree, DataTree) {
+        // I: patient1(visit n6, visit n7), patient2(clinicalTrial n8)
+        let i = parse_term(
+            "hospital#1(patient#2(visit#6,visit#7),patient#3(clinicalTrial#8))",
+        )
+        .unwrap();
+        // J: visit n7 deleted; a new patient without visits added.
+        let j = parse_term(
+            "hospital#1(patient#2(visit#6),patient#3(clinicalTrial#8),patient#4)",
+        )
+        .unwrap();
+        (i, j)
+    }
+
+    #[test]
+    fn example_2_1_validity() {
+        let (i, j) = fig2();
+        let c1 = Constraint::no_insert(q("/patient[/visit]"));
+        let c2 = Constraint::immutable(q("/patient[/clinicalTrial]"));
+        let c3 = Constraint::no_remove(q("/patient/visit"));
+        assert!(c1.satisfied_by(&i, &j), "c1 holds on Fig. 2");
+        assert!(all_satisfied(&c2, &i, &j), "c2 holds on Fig. 2");
+        // c3 fails: visit n7 was deleted.
+        let v = c3.violation(&i, &j).expect("c3 violated");
+        assert_eq!(
+            v.offenders.iter().map(|n| n.id.raw()).collect::<Vec<_>>(),
+            vec![7]
+        );
+    }
+
+    #[test]
+    fn identity_pair_always_valid() {
+        let (i, _) = fig2();
+        for c in [
+            Constraint::no_insert(q("/patient")),
+            Constraint::no_remove(q("//visit")),
+            Constraint::no_insert(q("//*")),
+        ] {
+            assert!(c.satisfied_by(&i, &i), "(I, I) ⊨ {c}");
+        }
+    }
+
+    #[test]
+    fn no_insert_catches_insertions() {
+        let i = parse_term("r(a#1)").unwrap();
+        let j = parse_term("r(a#1,a#2)").unwrap();
+        let c = Constraint::no_insert(q("/a"));
+        let v = c.violation(&i, &j).unwrap();
+        assert_eq!(v.offenders.iter().next().unwrap().id.raw(), 2);
+        assert!(Constraint::no_remove(q("/a")).satisfied_by(&i, &j));
+    }
+
+    #[test]
+    fn move_violates_both_sides() {
+        // Moving a node out of a range removes it (↑ violation) and moving
+        // it in inserts it (↓ violation on the other range).
+        let i = parse_term("r(a#1(x#3),b#2)").unwrap();
+        let j = parse_term("r(a#1,b#2(x#3))").unwrap();
+        assert!(Constraint::no_remove(q("/a/x")).violation(&i, &j).is_some());
+        assert!(Constraint::no_insert(q("/b/x")).violation(&i, &j).is_some());
+        assert!(Constraint::no_remove(q("//x")).satisfied_by(&i, &j));
+    }
+
+    #[test]
+    fn relabel_changes_ranges() {
+        let i = parse_term("r(a#1)").unwrap();
+        let mut j = i.clone();
+        j.relabel(NodeId::from_raw(1), "b").unwrap();
+        assert!(Constraint::no_remove(q("/a")).violation(&i, &j).is_some());
+        assert!(Constraint::no_insert(q("/b")).violation(&i, &j).is_some());
+    }
+
+    #[test]
+    fn sequences_pairwise_vs_last() {
+        let t0 = parse_term("r(a#1,a#2)").unwrap();
+        let t1 = parse_term("r(a#1)").unwrap();
+        let t2 = parse_term("r(a#1,a#3)").unwrap();
+        let c = vec![Constraint::no_insert(q("/a"))];
+        // (t0,t1) ok; (t1,t2) inserts a3 → pairwise invalid.
+        assert!(!sequence_pairwise_valid(&c, &[t0.clone(), t1.clone(), t2.clone()]));
+        // End-to-end also invalid here (a3 not in t0).
+        assert!(!sequence_valid_for_last(&c, &[t0.clone(), t1.clone(), t2.clone()]));
+        // A genuinely shrinking sequence is pairwise fine.
+        let s0 = parse_term("r(a#1,a#2)").unwrap();
+        let s1 = parse_term("r(a#1)").unwrap();
+        let s2 = parse_term("r(x#9)").unwrap();
+        assert!(sequence_pairwise_valid(&c, &[s0, s1, s2]));
+        let _ = (t0, t2, t1);
+    }
+
+    #[test]
+    fn parse_constraint_notation() {
+        let c = parse_constraint("(/patient[/visit], ↓)").unwrap();
+        assert_eq!(c.kind, ConstraintKind::NoInsert);
+        assert_eq!(c.range.to_string(), "/patient[/visit]");
+        let c2 = parse_constraint("//a//b , up").unwrap();
+        assert_eq!(c2.kind, ConstraintKind::NoRemove);
+        assert!(parse_constraint("/a").is_err());
+        assert!(parse_constraint("(/a, sideways)").is_err());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let c = Constraint::no_remove(q("/a[/b]"));
+        assert_eq!(c.to_string(), "(/a[/b], ↑)");
+        let parsed = parse_constraint(&c.to_string()).unwrap();
+        assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn kind_flip() {
+        assert_eq!(ConstraintKind::NoInsert.flip(), ConstraintKind::NoRemove);
+        assert_eq!(ConstraintKind::NoRemove.flip(), ConstraintKind::NoInsert);
+    }
+}

@@ -1,0 +1,221 @@
+//! The counterexample constructions used in the paper's proofs
+//! (Figures 3, 4 and 5), exposed as reusable building blocks.
+//!
+//! These are the "proofs as code" of Theorems 3.1 and 4.1: each function
+//! mechanically performs one of the figure transformations. They are used
+//! by the counterexample search as candidate generators and are themselves
+//! integration-tested against the validity checker.
+
+use crate::outcome::CounterExample;
+use xuc_xtree::{DataTree, NodeId};
+
+/// `I[n → n']`: the instance obtained by replacing node `n` by a *new* node
+/// with the same label (fresh id), keeping structure and children
+/// (Theorem 3.1). Returns the new tree and the fresh id.
+pub fn replace_with_fresh(tree: &DataTree, n: NodeId) -> (DataTree, NodeId) {
+    let mut out = tree.clone();
+    let fresh = NodeId::fresh();
+    out.replace_id(n, fresh).expect("node present");
+    (out, fresh)
+}
+
+/// The Figure 3 transformation: merge `t` and `t_prime` under one root and
+/// swap the identities of `n` (in `t`) and `n_prime` (in `t_prime`).
+///
+/// `t` and `t_prime` must have disjoint node ids; the merged `I` has the
+/// root of `t` with `t_prime`'s children grafted in, and `J` is `I` with
+/// the two node ids interchanged. The two nodes must carry the same label
+/// for the swap to be meaningful (the proof's requirement).
+pub fn merge_and_swap(
+    t: &DataTree,
+    n: NodeId,
+    t_prime: &DataTree,
+    n_prime: NodeId,
+) -> CounterExample {
+    assert_eq!(
+        t.label(n).expect("n in t"),
+        t_prime.label(n_prime).expect("n' in t'"),
+        "Figure 3 swap requires equal labels"
+    );
+    let mut before = t.clone();
+    for child in t_prime.children(t_prime.root_id()).expect("root") {
+        before.graft_subtree(before.root_id(), t_prime, child).expect("disjoint ids");
+    }
+    // Swap ids via a temporary placeholder.
+    let mut after = before.clone();
+    let tmp = NodeId::fresh();
+    after.replace_id(n, tmp).expect("n present");
+    after.replace_id(n_prime, n).expect("n' present");
+    after.replace_id(tmp, n_prime).expect("tmp present");
+    CounterExample { before, after }
+}
+
+/// The Figure 4 transformation (Theorem 4.1, easy case): duplicate the
+/// subtree rooted at `n` as a sibling copy `n'`, then delete `n` and move
+/// its children under `n'`.
+///
+/// The net effect from `before` to `after`: node `n` disappears, everything
+/// else (including a structural stand-in for `n`) remains.
+pub fn duplicate_and_drop(tree: &DataTree, n: NodeId) -> CounterExample {
+    let parent = tree
+        .parent(n)
+        .expect("node present")
+        .expect("Figure 4 does not apply to the root");
+    let mut before = tree.clone();
+    let n_copy = before.graft_copy(parent, tree, n).expect("graft copy");
+    let mut after = before.clone();
+    // Move n's children under the copy, then remove n.
+    for child in after.children(n).expect("n present") {
+        after.move_node(child, n_copy).expect("move child");
+    }
+    after.delete_subtree(n).expect("n removable");
+    CounterExample { before, after }
+}
+
+/// The Figure 5 transformation (Theorem 4.1, main case): from a witnessing
+/// pair `(i, j)` and the removed node `n` (present in both trees), build
+/// `(I', J')` where
+///
+/// * the modified `i` gains a sibling copy `n'` of the subtree rooted at
+///   `n` (including `n` itself, as a fresh node),
+/// * the modified `j` duplicates the subtree rooted at `n` *without* `n`
+///   (its children are copied under `n`'s parent in `j`),
+/// * `I'` puts fresh copies of both modified trees under one root (the copy
+///   of `n` coming from the `j` side is `n''`),
+/// * `J'` is `I'` with the *single node* `n'` moved from the `i` branch to
+///   the `j` branch (its children are promoted to its old parent), taking
+///   the structural place that `n` occupies in `j` — so `n'` acquires
+///   exactly `n`'s range memberships w.r.t. `J`.
+pub fn two_branch_move(i: &DataTree, j: &DataTree, n: NodeId) -> CounterExample {
+    let i_parent = i.parent(n).expect("n in i").expect("n not root of i");
+    let j_parent = j.parent(n).expect("n in j").expect("n not root of j");
+
+    // Modified I: add a sibling copy (n' included) of n's subtree.
+    let mut i_mod = i.clone();
+    let n_prime = i_mod.graft_copy(i_parent, i, n).expect("copy n in i");
+
+    // Modified J: duplicate n's subtree without n (children under parent).
+    let mut j_mod = j.clone();
+    for child in j.children(n).expect("n in j") {
+        j_mod.graft_copy(j_parent, j, child).expect("copy child in j");
+    }
+
+    // I' = root(I-branch, J-branch-copy). The I branch keeps its ids so n
+    // and n' stay tracked; the J branch is copied fresh except that we must
+    // remember where n's structural place is (its parent in the copy).
+    let mut before = DataTree::new("root");
+    let root = before.root_id();
+    // Graft I branch (ids preserved). Collide only if i and j share ids:
+    // the J branch is grafted with *fresh* ids below, so first move J's
+    // content in fresh form, tracking the copy of n's parent.
+    for child in i_mod.children(i_mod.root_id()).expect("root") {
+        before.graft_subtree(root, &i_mod, child).expect("disjoint graft");
+    }
+    // Fresh-id copy of j_mod, tracking the image of j_parent.
+    let j_parent_copy = graft_fresh_tracking(&mut before, root, &j_mod, j_parent);
+
+    // J' = I' with the single node n' moved under the tracked copy of n's
+    // J-parent; n''s children stay behind (promoted to its old parent).
+    let mut after = before.clone();
+    let n_prime_parent = after.parent(n_prime).expect("live").expect("not root");
+    for child in after.children(n_prime).expect("live") {
+        after.move_node(child, n_prime_parent).expect("promote child");
+    }
+    after.move_node(n_prime, j_parent_copy).expect("move n'");
+    CounterExample { before, after }
+}
+
+/// Grafts `src`'s children under `dst_parent` with fresh ids and returns
+/// the fresh id corresponding to `track` (a node of `src`).
+fn graft_fresh_tracking(
+    dst: &mut DataTree,
+    dst_parent: NodeId,
+    src: &DataTree,
+    track: NodeId,
+) -> NodeId {
+    fn rec(
+        dst: &mut DataTree,
+        parent: NodeId,
+        src: &DataTree,
+        node: NodeId,
+        track: NodeId,
+        found: &mut Option<NodeId>,
+    ) {
+        let fresh = dst.add(parent, src.label(node).expect("live")).expect("fresh");
+        if node == track {
+            *found = Some(fresh);
+        }
+        for child in src.children(node).expect("live") {
+            rec(dst, fresh, src, child, track, found);
+        }
+    }
+    let mut found = None;
+    // The root of src maps to a fresh node under dst_parent as well, so the
+    // branch keeps its shape (root label becomes an inner node label).
+    rec(dst, dst_parent, src, src.root_id(), track, &mut found);
+    found.expect("tracked node inside src")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Constraint;
+    use xuc_xtree::parse_term;
+
+    fn q(s: &str) -> xuc_xpath::Pattern {
+        xuc_xpath::parse(s).unwrap()
+    }
+
+    #[test]
+    fn replace_with_fresh_removes_only_identity() {
+        let t = parse_term("r(a#1(b#2))").unwrap();
+        let (t2, fresh) = replace_with_fresh(&t, NodeId::from_raw(1));
+        assert!(!t2.contains(NodeId::from_raw(1)));
+        assert!(t2.contains(fresh));
+        assert!(t.structurally_eq(&t2));
+        // This is exactly how Theorem 3.1 violates a no-remove constraint.
+        let c = Constraint::no_remove(q("/a"));
+        assert!(!c.satisfied_by(&t, &t2));
+        assert!(Constraint::no_remove(q("/a/b")).satisfied_by(&t, &t2));
+    }
+
+    #[test]
+    fn merge_and_swap_removes_n_from_tight_range() {
+        // q2 = /a[/b] ⊊ q1 = /a. T has n ∈ q2; T' has n' ∈ q1 \ q2.
+        let t = parse_term("r#100(a#1(b#2))").unwrap();
+        let t_prime = parse_term("r#200(a#3)").unwrap();
+        let ce = merge_and_swap(&t, NodeId::from_raw(1), &t_prime, NodeId::from_raw(3));
+        let c1 = Constraint::no_remove(q("/a"));
+        let c2 = Constraint::no_remove(q("/a[/b]"));
+        assert!(ce.verify(&[c1], &c2), "swap refutes (q1,↑) ⊨ (q2,↑)");
+    }
+
+    #[test]
+    fn duplicate_and_drop_removes_one_node() {
+        let t = parse_term("r(a#1(b#2),c#3)").unwrap();
+        let ce = duplicate_and_drop(&t, NodeId::from_raw(1));
+        // n=1 disappears between before and after.
+        assert!(ce.before.contains(NodeId::from_raw(1)));
+        assert!(!ce.after.contains(NodeId::from_raw(1)));
+        // The b child survives (moved under the copy).
+        assert!(ce.after.contains(NodeId::from_raw(2)));
+        // Structure is preserved: after ~ before minus one a-subtree copy.
+        let c = Constraint::no_remove(q("/a/b"));
+        assert!(c.satisfied_by(&ce.before, &ce.after));
+    }
+
+    #[test]
+    fn two_branch_move_preserves_up_ranges() {
+        // A removal of n from q=/a[/v] where n remains in the ↑ range /a.
+        // i: a#1(v#2); j: a#1 (v removed — violates nothing in C = {(/a,↑)}).
+        let i = parse_term("r#50(a#1(v#2))").unwrap();
+        let j = parse_term("r#50(a#1)").unwrap();
+        let ce = two_branch_move(&i, &j, NodeId::from_raw(1));
+        let c_up = Constraint::no_remove(q("//a"));
+        let goal = Constraint::no_remove(q("//a[/v]"));
+        assert!(
+            ce.verify(&[c_up], &goal),
+            "Figure 5 construction must refute ⊨ while preserving (//a,↑)"
+        );
+    }
+}

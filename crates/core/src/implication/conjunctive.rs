@@ -1,0 +1,352 @@
+//! Containment of an intersection of patterns in a pattern:
+//! `q1 ∩ … ∩ qk ⊆ q`.
+//!
+//! This is the hard direction of Theorem 4.4's equivalence test for
+//! `XP{/,[],//}` — coNP-hard by [13] (Theorem 4.9) — decided here by
+//! enumerating the *merged canonical models* of the conjunction:
+//!
+//! In any tree where all `qi` select a common output node `n`, every
+//! spine embeds into the root-to-`n` chain. A canonical counterexample
+//! therefore consists of (a) a chain of positions, (b) a monotone embedding
+//! of each spine into the chain (child edges to adjacent positions, the
+//! common output at the end), (c) `z` labels on unused positions, and
+//! (d) each predicate subtree instantiated as a fresh branch at its spine
+//! node's position. The intersection is contained in `q` iff `q` selects
+//! the output in *every* such model.
+//!
+//! Without wildcards (the `XP{/,[],//}` fragment), `z` never matches `q`,
+//! so one `z` of padding per `//`-expansion is enough and the procedure is
+//! complete. With wildcards present, gap lengths are enumerated up to the
+//! star-length bound. Enumeration is budgeted; exceeding the budget yields
+//! `None` (unknown).
+
+use xuc_xpath::{canonical, eval, Axis, NodeTest, PIdx, Pattern};
+use xuc_xtree::{DataTree, Label, NodeId};
+
+/// Does `⋂ qs ⊆ q` hold? `Some(answer)` when decided within `budget`
+/// candidate models (see module docs), `None` otherwise.
+pub fn conjunctive_contained_in_budgeted(
+    qs: &[&Pattern],
+    q: &Pattern,
+    budget: usize,
+) -> Option<bool> {
+    assert!(!qs.is_empty(), "conjunction of zero queries");
+    let wildcards = q.wildcard_count() > 0 || qs.iter().any(|p| p.wildcard_count() > 0);
+    let z = canonical::fresh_label_for(qs.iter().copied().chain([q]));
+    let max_gap = if wildcards { q.star_length() + 2 } else { 1 };
+
+    let spines: Vec<Vec<PIdx>> = qs.iter().map(|p| p.spine()).collect();
+    let sum_len: usize = spines.iter().map(|s| s.len()).sum();
+    let min_len = spines.iter().map(|s| s.len()).max().unwrap_or(1);
+    let max_len = (sum_len * (max_gap + 1)).max(min_len).min(sum_len + 24);
+
+    let mut examined = 0usize;
+    for chain_len in min_len..=max_len {
+        // Enumerate embeddings of every spine into positions 0..chain_len,
+        // output pinned at chain_len - 1.
+        let mut embeddings: Vec<Vec<Vec<usize>>> = Vec::new();
+        for (qi, spine) in qs.iter().zip(&spines) {
+            let embs = spine_embeddings(qi, spine, chain_len);
+            if embs.is_empty() {
+                embeddings.clear();
+                break;
+            }
+            embeddings.push(embs);
+        }
+        if embeddings.is_empty() {
+            continue;
+        }
+        // Mixed-radix walk over one embedding choice per query.
+        let mut counter = vec![0usize; embeddings.len()];
+        'outer: loop {
+            examined += 1;
+            if examined > budget {
+                return None;
+            }
+            let choice: Vec<&Vec<usize>> =
+                counter.iter().zip(&embeddings).map(|(&c, e)| &e[c]).collect();
+            if let Some(found) =
+                check_candidate(qs, &spines, &choice, chain_len, q, z, max_gap, budget, &mut examined)
+            {
+                if found {
+                    return Some(false); // counterexample: intersection ⊄ q
+                }
+            } else {
+                return None; // inner budget exhausted
+            }
+            // Increment.
+            for i in 0..counter.len() {
+                counter[i] += 1;
+                if counter[i] < embeddings[i].len() {
+                    continue 'outer;
+                }
+                counter[i] = 0;
+                if i == counter.len() - 1 {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    Some(true)
+}
+
+/// Default-budget wrapper used by the implication dispatcher.
+pub fn conjunctive_contained_in(qs: &[&Pattern], q: &Pattern) -> Option<bool> {
+    conjunctive_contained_in_budgeted(qs, q, 200_000)
+}
+
+/// All monotone embeddings of `spine` into chain positions `0..chain_len`
+/// with the output at `chain_len - 1`: child edges advance exactly one
+/// position (the first child-axis step starts at position 0), descendant
+/// edges advance by at least one.
+fn spine_embeddings(q: &Pattern, spine: &[PIdx], chain_len: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut positions = Vec::with_capacity(spine.len());
+    fn rec(
+        q: &Pattern,
+        spine: &[PIdx],
+        chain_len: usize,
+        idx: usize,
+        positions: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        if idx == spine.len() {
+            if positions.last() == Some(&(chain_len - 1)) {
+                out.push(positions.clone());
+            }
+            return;
+        }
+        let node = spine[idx];
+        let candidates: Vec<usize> = match (idx, q.axis(node)) {
+            (0, Axis::Child) => vec![0],
+            (0, Axis::Descendant) => (0..chain_len).collect(),
+            (_, Axis::Child) => {
+                let prev = *positions.last().expect("previous position");
+                if prev + 1 < chain_len {
+                    vec![prev + 1]
+                } else {
+                    vec![]
+                }
+            }
+            (_, Axis::Descendant) => {
+                let prev = *positions.last().expect("previous position");
+                (prev + 1..chain_len).collect()
+            }
+        };
+        for p in candidates {
+            positions.push(p);
+            rec(q, spine, chain_len, idx + 1, positions, out);
+            positions.pop();
+        }
+    }
+    rec(q, spine, chain_len, 0, &mut positions, &mut out);
+    out
+}
+
+/// Builds the candidate model(s) for one embedding choice and reports
+/// whether any of them avoids `q` at the output. `Some(true)` = found a
+/// counterexample; `Some(false)` = all candidates select the output under
+/// `q`; `None` = budget exhausted.
+#[allow(clippy::too_many_arguments)]
+fn check_candidate(
+    qs: &[&Pattern],
+    spines: &[Vec<PIdx>],
+    choice: &[&Vec<usize>],
+    chain_len: usize,
+    q: &Pattern,
+    z: Label,
+    max_gap: usize,
+    budget: usize,
+    examined: &mut usize,
+) -> Option<bool> {
+    // Resolve position labels; incompatible concrete labels kill the
+    // candidate (that merge denotes the empty set — vacuously contained).
+    let mut labels: Vec<Option<Label>> = vec![None; chain_len];
+    for ((qi, spine), emb) in qs.iter().zip(spines).zip(choice) {
+        for (&node, &pos) in spine.iter().zip(emb.iter()) {
+            if let NodeTest::Label(l) = qi.test(node) {
+                match labels[pos] {
+                    Some(existing) if existing != l => return Some(false),
+                    _ => labels[pos] = Some(l),
+                }
+            }
+        }
+    }
+
+    // Collect the predicate subtrees attached at each position, and the
+    // number of descendant edges across all of them (for gap enumeration
+    // when wildcards are present).
+    let mut preds_at: Vec<Vec<(usize, PIdx)>> = vec![Vec::new(); chain_len]; // (query idx, pred root)
+    for (i, (qi, spine)) in qs.iter().zip(spines).enumerate() {
+        for (&node, &pos) in spine.iter().zip(choice[i].iter()) {
+            for p in qi.predicate_children(node) {
+                preds_at[pos].push((i, p));
+            }
+        }
+    }
+    let desc_edges: usize = preds_at
+        .iter()
+        .flatten()
+        .map(|&(i, p)| count_desc_edges(qs[i], p))
+        .sum();
+
+    // Enumerate predicate //-expansion lengths (all 1 when no wildcards).
+    let gap_choices: Vec<usize> = if max_gap == 1 { vec![1] } else { (0..=max_gap).collect() };
+    let mut gaps = vec![0usize; desc_edges]; // indexes into gap_choices
+    loop {
+        *examined += 1;
+        if *examined > budget {
+            return None;
+        }
+        let expansions: Vec<usize> = gaps.iter().map(|&g| gap_choices[g]).collect();
+        let (tree, output) = build_model(chain_len, &labels, &preds_at, qs, z, &expansions);
+        // Sanity: the output must be selected by every conjunct.
+        debug_assert!(
+            qs.iter().all(|qi| eval::eval(qi, &tree).iter().any(|n| n.id == output)),
+            "constructed model must satisfy the conjunction"
+        );
+        if !eval::eval(q, &tree).iter().any(|n| n.id == output) {
+            return Some(true);
+        }
+        // Next gap assignment.
+        let mut i = 0;
+        loop {
+            if i == gaps.len() {
+                return Some(false);
+            }
+            gaps[i] += 1;
+            if gaps[i] < gap_choices.len() {
+                break;
+            }
+            gaps[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+fn count_desc_edges(q: &Pattern, root: PIdx) -> usize {
+    let mut count = 0;
+    let mut stack = vec![root];
+    while let Some(i) = stack.pop() {
+        if q.axis(i) == Axis::Descendant {
+            count += 1;
+        }
+        stack.extend(q.children(i).iter().copied());
+    }
+    count
+}
+
+/// Materializes the merged model: the chain, `z` padding, and predicate
+/// branches with the given `//`-expansion lengths (consumed in DFS order).
+fn build_model(
+    chain_len: usize,
+    labels: &[Option<Label>],
+    preds_at: &[Vec<(usize, PIdx)>],
+    qs: &[&Pattern],
+    z: Label,
+    expansions: &[usize],
+) -> (DataTree, NodeId) {
+    let mut tree = DataTree::new("root");
+    let mut cursor = tree.root_id();
+    let mut chain_nodes = Vec::with_capacity(chain_len);
+    for pos in 0..chain_len {
+        let label = labels[pos].unwrap_or(z);
+        cursor = tree.add(cursor, label).expect("fresh id");
+        chain_nodes.push(cursor);
+    }
+    let mut exp_iter = expansions.iter().copied();
+    for (pos, preds) in preds_at.iter().enumerate() {
+        for &(i, p) in preds {
+            attach_pred(&mut tree, chain_nodes[pos], qs[i], p, z, &mut exp_iter);
+        }
+    }
+    (tree, chain_nodes[chain_len - 1])
+}
+
+fn attach_pred(
+    tree: &mut DataTree,
+    parent: NodeId,
+    q: &Pattern,
+    node: PIdx,
+    z: Label,
+    expansions: &mut impl Iterator<Item = usize>,
+) {
+    let mut attach = parent;
+    if q.axis(node) == Axis::Descendant {
+        let len = expansions.next().unwrap_or(1);
+        for _ in 0..len {
+            attach = tree.add(attach, z).expect("fresh id");
+        }
+    }
+    let label = match q.test(node) {
+        NodeTest::Label(l) => l,
+        NodeTest::Wildcard => z,
+    };
+    let me = tree.add(attach, label).expect("fresh id");
+    for &c in q.children(node) {
+        attach_pred(tree, me, q, c, z, expansions);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(s: &str) -> Pattern {
+        xuc_xpath::parse(s).unwrap()
+    }
+
+    fn contained(qs: &[&str], target: &str) -> bool {
+        let patterns: Vec<Pattern> = qs.iter().map(|s| q(s)).collect();
+        let refs: Vec<&Pattern> = patterns.iter().collect();
+        conjunctive_contained_in(&refs, &q(target)).expect("within budget")
+    }
+
+    #[test]
+    fn single_query_reduces_to_containment() {
+        assert!(contained(&["/a/b"], "//b"));
+        assert!(!contained(&["//b"], "/a/b"));
+        assert!(contained(&["/a[/c]/b"], "/a/b"));
+    }
+
+    #[test]
+    fn predicates_combine_across_conjuncts() {
+        assert!(contained(&["/a[/x]", "/a[/y]"], "/a[/x][/y]"));
+        assert!(!contained(&["/a[/x]", "/a[/y]"], "/a[/w]"));
+    }
+
+    #[test]
+    fn descendant_interleavings() {
+        // //a//c ∩ //b//c is NOT contained in //a//b//c: the a and b
+        // ancestors may appear in either order.
+        assert!(!contained(&["//a//c", "//b//c"], "//a//b//c"));
+        // But it IS contained in //c and in each conjunct.
+        assert!(contained(&["//a//c", "//b//c"], "//c"));
+        assert!(contained(&["//a//c", "//b//c"], "//a//c"));
+    }
+
+    #[test]
+    fn order_forced_by_child_edges() {
+        // /a/b ∩ //b trivially ⊆ /a/b.
+        assert!(contained(&["/a/b", "//b"], "/a/b"));
+        // /a//c ∩ /a/b//c ⊆ /a/b//c.
+        assert!(contained(&["/a//c", "/a/b//c"], "/a/b//c"));
+    }
+
+    #[test]
+    fn deep_predicates() {
+        // The two conjuncts may be witnessed by *different* a-ancestors, so
+        // the conjunction is NOT contained in the single-a query.
+        assert!(!contained(&["//a[/p[/u]]//c", "//a[/q]//c"], "//a[/p/u][/q]//c"));
+        assert!(contained(&["//a[/p[/u]]//c", "//a[/q]//c"], "//a[/p/u]//c"));
+        assert!(!contained(&["//a[/p]//c"], "//a[/p/u]//c"));
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_none() {
+        let p1 = q("//a//b//c//d");
+        let p2 = q("//d//c//b//a//a//b//c//d");
+        let refs = vec![&p1, &p2];
+        assert_eq!(conjunctive_contained_in_budgeted(&refs, &p1, 3), None);
+    }
+}

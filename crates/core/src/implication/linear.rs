@@ -1,0 +1,526 @@
+//! Exact implication for the linear fragment `XP{/,//,*}` — arbitrary
+//! update types (Theorems 4.3 and 4.8).
+//!
+//! For linear queries, whether a node lies in a range depends only on its
+//! root-to-node label string, so a counterexample pair `(I, J)` is fully
+//! described by assigning each node an I-string and, optionally, a J-string
+//! subject to (a) *prefix closure* inside each tree — every prefix of a
+//! node's path is the path of one of its ancestors, itself a node with
+//! obligations — and (b) per-node *membership implications* from `C`:
+//!
+//! * an I-node whose path lies in the range of some `(qᵢ, ↑)` must also
+//!   exist in `J` with a path in `L(qᵢ)`;
+//! * a J-node whose path lies in the range of some `(qᵢ, ↓)` must exist in
+//!   `I` with a path in `L(qᵢ)`.
+//!
+//! Over the synchronous product DFA of all ranges these become conditions
+//! on *states*, and counterexample existence reduces to a greatest fixpoint
+//! of two mutually supporting state sets `Good_I`, `Good_J` (see
+//! DESIGN.md §2). The procedure is exact and constructs a concrete,
+//! machine-verified witness pair on the "not implied" side. Its cost is
+//! exponential only in the number of constraints and the star-gaps of the
+//! queries — precisely the parameters the paper fixes to obtain PTIME/NP
+//! upper bounds.
+
+use crate::constraint::{Constraint, ConstraintKind};
+use crate::outcome::{CounterExample, Outcome};
+use std::collections::HashMap;
+use xuc_automata::{effective_alphabet, Dfa, Nfa, ProductDfa};
+use xuc_xtree::{DataTree, Label, NodeId};
+
+/// Decides `C ⊨ c` exactly for linear queries of arbitrary update types.
+///
+/// Requires *concrete* ranges (the paper's standing assumption): a
+/// wildcard-labeled output changes the `(id, label)` pair semantics in
+/// ways the state abstraction does not track, so such inputs return
+/// `Unknown`.
+///
+/// # Panics
+/// Panics if any range (or the goal range) has predicates.
+pub fn implies_linear(set: &[Constraint], goal: &Constraint) -> Outcome<CounterExample> {
+    for c in set.iter().chain([goal]) {
+        assert!(
+            c.range.is_linear(),
+            "implies_linear requires linear (predicate-free) ranges; got {}",
+            c.range
+        );
+    }
+    if set.iter().chain([goal]).any(|c| !c.range.is_concrete()) {
+        return Outcome::Unknown {
+            effort: "exact linear decision requires concrete (non-wildcard) outputs".into(),
+        };
+    }
+    match goal.kind {
+        ConstraintKind::NoRemove => decide_no_remove(set, goal),
+        ConstraintKind::NoInsert => {
+            // (q,↓) on (I,J) is (q,↑) on (J,I); flip every constraint and
+            // swap the counterexample back.
+            let flipped: Vec<Constraint> = set
+                .iter()
+                .map(|c| Constraint::new(c.range.clone(), c.kind.flip()))
+                .collect();
+            let flipped_goal = Constraint::no_remove(goal.range.clone());
+            match decide_no_remove(&flipped, &flipped_goal) {
+                Outcome::Implied => Outcome::Implied,
+                Outcome::NotImplied(ce) => {
+                    Outcome::NotImplied(CounterExample { before: ce.after, after: ce.before })
+                }
+                Outcome::NotImpliedNoWitness => Outcome::NotImpliedNoWitness,
+                Outcome::Unknown { effort } => Outcome::Unknown { effort },
+            }
+        }
+    }
+}
+
+struct Analysis {
+    product: ProductDfa,
+    /// Bit i set in `up_mask` iff component i is a ↑ constraint of C.
+    up_mask: u64,
+    down_mask: u64,
+    /// Component index of the goal range.
+    goal_bit: u64,
+    good_i: Vec<bool>,
+    good_j: Vec<bool>,
+}
+
+impl Analysis {
+    fn acc(&self, s: usize) -> u64 {
+        self.product.accept_mask(s)
+    }
+
+    /// Can an I-node at state `s` be absent from J? (No ↑ range accepts.)
+    fn vanish_ok_i(&self, s: usize) -> bool {
+        self.acc(s) & self.up_mask == 0
+    }
+
+    /// Can a J-node at state `t` be absent from I? (No ↓ range accepts.)
+    fn vanish_ok_j(&self, t: usize) -> bool {
+        self.acc(t) & self.down_mask == 0
+    }
+
+    /// May one node have I-path state `s` and J-path state `t`?
+    fn legal_pair(&self, s: usize, t: usize) -> bool {
+        let a = self.acc(s);
+        let b = self.acc(t);
+        (a & self.up_mask) & !b == 0 && (b & self.down_mask) & !a == 0
+    }
+}
+
+fn decide_no_remove(set: &[Constraint], goal: &Constraint) -> Outcome<CounterExample> {
+    let ranges: Vec<&xuc_xpath::Pattern> =
+        set.iter().map(|c| &c.range).chain([&goal.range]).collect();
+    let alphabet = effective_alphabet(ranges.iter().copied());
+    let dfas: Vec<Dfa> = ranges
+        .iter()
+        .map(|q| Nfa::from_linear_pattern(q).determinize(&alphabet))
+        .collect();
+    let product = ProductDfa::build(&dfas);
+
+    let mut up_mask = 0u64;
+    let mut down_mask = 0u64;
+    for (i, c) in set.iter().enumerate() {
+        match c.kind {
+            ConstraintKind::NoRemove => up_mask |= 1 << i,
+            ConstraintKind::NoInsert => down_mask |= 1 << i,
+        }
+    }
+    let goal_bit = 1u64 << set.len();
+
+    let n = product.state_count();
+    let mut analysis = Analysis {
+        product,
+        up_mask,
+        down_mask,
+        goal_bit,
+        good_i: vec![true; n],
+        good_j: vec![true; n],
+    };
+    compute_fixpoint(&mut analysis);
+
+    // Witness: a good I-state accepted by the goal whose node can either
+    // vanish from J or demote to a good J-state outside the goal range.
+    for s in 0..n {
+        if !analysis.good_i[s] || analysis.acc(s) & analysis.goal_bit == 0 {
+            continue;
+        }
+        if analysis.vanish_ok_i(s) {
+            let ce = build_counterexample(&analysis, s, None);
+            debug_assert!(ce.verify(set, goal), "constructed witness must verify");
+            return Outcome::NotImplied(ce);
+        }
+        for t in 0..n {
+            if analysis.good_j[t]
+                && analysis.legal_pair(s, t)
+                && analysis.acc(t) & analysis.goal_bit == 0
+            {
+                let ce = build_counterexample(&analysis, s, Some(t));
+                debug_assert!(ce.verify(set, goal), "constructed witness must verify");
+                return Outcome::NotImplied(ce);
+            }
+        }
+    }
+    Outcome::Implied
+}
+
+/// Greatest fixpoint of the mutual-support conditions.
+fn compute_fixpoint(a: &mut Analysis) {
+    let n = a.product.state_count();
+    loop {
+        let reach_i = good_reachable(&a.product, &a.good_i);
+        let reach_j = good_reachable(&a.product, &a.good_j);
+        let mut changed = false;
+        let mut next_i = vec![false; n];
+        let mut next_j = vec![false; n];
+        for s in 0..n {
+            if reach_i[s] {
+                let supported = a.vanish_ok_i(s)
+                    || (0..n).any(|t| a.good_j[t] && reach_j[t] && a.legal_pair(s, t));
+                next_i[s] = supported;
+            }
+        }
+        for t in 0..n {
+            if reach_j[t] {
+                let supported = a.vanish_ok_j(t)
+                    || (0..n).any(|s| next_i[s] && a.legal_pair(s, t));
+                next_j[t] = supported;
+            }
+        }
+        if next_i != a.good_i || next_j != a.good_j {
+            changed = true;
+        }
+        a.good_i = next_i;
+        a.good_j = next_j;
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// States reachable from the start through `good` states only (the start
+/// itself accepts nothing, hence is always good).
+fn good_reachable(product: &ProductDfa, good: &[bool]) -> Vec<bool> {
+    let n = product.state_count();
+    let mut reach = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    if good[product.start()] {
+        reach[product.start()] = true;
+        queue.push_back(product.start());
+    }
+    while let Some(s) = queue.pop_front() {
+        for sym in 0..product.alphabet().len() {
+            let t = product.step(s, sym);
+            if good[t] && !reach[t] {
+                reach[t] = true;
+                queue.push_back(t);
+            }
+        }
+    }
+    reach
+}
+
+/// Shortest symbol-index words (within the good subgraph) from the start to
+/// every good-reachable state.
+fn good_words(product: &ProductDfa, good: &[bool]) -> Vec<Option<Vec<usize>>> {
+    let n = product.state_count();
+    let mut parent: Vec<Option<(usize, usize)>> = vec![None; n];
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    if good[product.start()] {
+        seen[product.start()] = true;
+        queue.push_back(product.start());
+    }
+    while let Some(s) = queue.pop_front() {
+        for sym in 0..product.alphabet().len() {
+            let t = product.step(s, sym);
+            if good[t] && !seen[t] {
+                seen[t] = true;
+                parent[t] = Some((s, sym));
+                queue.push_back(t);
+            }
+        }
+    }
+    (0..n)
+        .map(|s| {
+            if !seen[s] {
+                return None;
+            }
+            let mut word = Vec::new();
+            let mut cur = s;
+            while let Some((p, sym)) = parent[cur] {
+                word.push(sym);
+                cur = p;
+            }
+            word.reverse();
+            Some(word)
+        })
+        .collect()
+}
+
+/// One side of the pair under construction: a tree plus the trie of
+/// realized symbol words.
+struct Side {
+    tree: DataTree,
+    trie: HashMap<Vec<usize>, NodeId>,
+}
+
+impl Side {
+    fn new() -> Side {
+        let tree = DataTree::new("root");
+        let mut trie = HashMap::new();
+        trie.insert(Vec::new(), tree.root_id());
+        Side { tree, trie }
+    }
+
+    /// Ensures the trie contains `word`, creating intermediate nodes with
+    /// fresh ids; every *newly created* node is reported through
+    /// `created(word_prefix, id)`.
+    fn ensure_word(
+        &mut self,
+        word: &[usize],
+        alphabet: &[Label],
+        created: &mut impl FnMut(&[usize], NodeId),
+    ) -> NodeId {
+        for k in 1..=word.len() {
+            if self.trie.contains_key(&word[..k]) {
+                continue;
+            }
+            let parent = self.trie[&word[..k - 1]];
+            let id = self.tree.add(parent, alphabet[word[k - 1]]).expect("fresh id");
+            self.trie.insert(word[..k].to_vec(), id);
+            created(&word[..k], id);
+        }
+        self.trie[word]
+    }
+
+    /// Adds `id` as an extra leaf realizing `word` (which must be
+    /// non-empty); the prefix is created through `ensure_word` first.
+    fn place(
+        &mut self,
+        id: NodeId,
+        word: &[usize],
+        alphabet: &[Label],
+        created: &mut impl FnMut(&[usize], NodeId),
+    ) {
+        assert!(!word.is_empty(), "cannot place a node at the root");
+        let parent_word = &word[..word.len() - 1];
+        self.ensure_word(parent_word, alphabet, created);
+        let parent = self.trie[parent_word];
+        self.tree
+            .add_with_id(parent, id, alphabet[word[word.len() - 1]])
+            .expect("fresh placement id");
+    }
+}
+
+/// Builds the explicit counterexample pair for witness I-state `s_star`
+/// (and optional J-state `t_star` when the witness node survives in J
+/// outside the goal range).
+fn build_counterexample(
+    a: &Analysis,
+    s_star: usize,
+    t_star: Option<usize>,
+) -> CounterExample {
+    let alphabet: Vec<Label> = a.product.alphabet().to_vec();
+    let words_i = good_words(&a.product, &a.good_i);
+    let words_j = good_words(&a.product, &a.good_j);
+
+    // Canonical partner choice per state.
+    let n = a.product.state_count();
+    let partner_i: Vec<Option<usize>> = (0..n)
+        .map(|s| {
+            if a.vanish_ok_i(s) {
+                None
+            } else {
+                Some(
+                    (0..n)
+                        .find(|&t| a.good_j[t] && words_j[t].is_some() && a.legal_pair(s, t))
+                        .expect("good I-state must have a good J partner"),
+                )
+            }
+        })
+        .collect();
+    let partner_j: Vec<Option<usize>> = (0..n)
+        .map(|t| {
+            if a.vanish_ok_j(t) {
+                None
+            } else {
+                Some(
+                    (0..n)
+                        .find(|&s| a.good_i[s] && words_i[s].is_some() && a.legal_pair(s, t))
+                        .expect("good J-state must have a good I partner"),
+                )
+            }
+        })
+        .collect();
+
+    let mut side_i = Side::new();
+    let mut side_j = Side::new();
+
+    // Pending placements: (into_j, id, state).
+    let mut pending: Vec<(bool, NodeId, usize)> = Vec::new();
+
+    // Create the witness leaf in I.
+    let witness_word = words_i[s_star].clone().expect("witness state reachable in Good_I");
+    let witness_id = NodeId::fresh();
+    {
+        let mut created: Vec<(Vec<usize>, NodeId)> = Vec::new();
+        side_i.place(witness_id, &witness_word, &alphabet, &mut |w, id| {
+            created.push((w.to_vec(), id));
+        });
+        for (w, id) in created {
+            let state = run_word(&a.product, &w);
+            if let Some(t) = partner_i[state] {
+                pending.push((true, id, t));
+            }
+        }
+    }
+    if let Some(t) = t_star {
+        pending.push((true, witness_id, t));
+    }
+
+    // Drain placements; each placement may create trie nodes which spawn
+    // further placements on the opposite side. Termination: tries only grow
+    // along the finitely many canonical words.
+    while let Some((into_j, id, state)) = pending.pop() {
+        let (side, words, partners) = if into_j {
+            (&mut side_j, &words_j, &partner_j)
+        } else {
+            (&mut side_i, &words_i, &partner_i)
+        };
+        let word = words[state].clone().expect("partner state reachable");
+        let mut created: Vec<(Vec<usize>, NodeId)> = Vec::new();
+        side.place(id, &word, &alphabet, &mut |w, nid| {
+            created.push((w.to_vec(), nid));
+        });
+        // Newly created trie nodes on this side may need partners placed on
+        // the opposite side.
+        for (w, nid) in created {
+            let st = run_word(&a.product, &w);
+            if let Some(p) = partners[st] {
+                pending.push((!into_j, nid, p));
+            }
+        }
+    }
+
+    CounterExample { before: side_i.tree, after: side_j.tree }
+}
+
+fn run_word(product: &ProductDfa, word: &[usize]) -> usize {
+    word.iter().fold(product.start(), |s, &sym| product.step(s, sym))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::parse_constraint;
+
+    fn c(s: &str) -> Constraint {
+        parse_constraint(s).unwrap()
+    }
+
+    fn decide(set: &[Constraint], goal: &Constraint) -> bool {
+        match implies_linear(set, goal) {
+            Outcome::Implied => true,
+            Outcome::NotImplied(ce) => {
+                assert!(ce.verify(set, goal), "counterexample must verify");
+                false
+            }
+            Outcome::NotImpliedNoWitness | Outcome::Unknown { .. } => {
+                panic!("linear decision always materializes witnesses")
+            }
+        }
+    }
+
+    #[test]
+    fn self_implication() {
+        let set = vec![c("(//a//b, ↑)")];
+        assert!(decide(&set, &c("(//a//b, ↑)")));
+        assert!(!decide(&set, &c("(//a, ↑)")));
+    }
+
+    #[test]
+    fn example_4_1_interacting_types() {
+        // The paper's Example 4.1: c is implied by the full mixed-type set…
+        let set = vec![
+            c("(//a//c, ↑)"),
+            c("(//b//c, ↑)"),
+            c("(//a//b//c, ↓)"),
+            c("(//a//b//a//c, ↑)"),
+            c("(//b//a//b//c, ↑)"),
+        ];
+        let goal = c("(//b//a//c, ↑)");
+        assert!(decide(&set, &goal), "Example 4.1: full set implies c");
+        // …but NOT by the no-remove constraints alone.
+        let up_only: Vec<Constraint> = set
+            .iter()
+            .filter(|x| x.kind == ConstraintKind::NoRemove)
+            .cloned()
+            .collect();
+        assert!(
+            !decide(&up_only, &goal),
+            "Example 4.1: ↑ constraints alone do not imply c"
+        );
+    }
+
+    #[test]
+    fn no_insert_goals_by_symmetry() {
+        let set = vec![c("(//a//c, ↓)")];
+        assert!(decide(&set, &c("(//a//c, ↓)")));
+        assert!(!decide(&set, &c("(//c, ↓)")));
+    }
+
+    #[test]
+    fn equivalent_ranges_imply() {
+        // /a/b ⊆ //b and //a//b; equivalence-based implication: /a/b only
+        // implied by an equivalent range.
+        let set = vec![c("(//b, ↑)")];
+        assert!(!decide(&set, &c("(/a/b, ↑)")));
+        let set2 = vec![c("(/a/b, ↑)")];
+        assert!(decide(&set2, &c("(/a/b, ↑)")));
+    }
+
+    #[test]
+    fn wildcards_in_linear_ranges() {
+        let set = vec![c("(/a/*/c, ↑)")];
+        assert!(decide(&set, &c("(/a/*/c, ↑)")));
+        assert!(!decide(&set, &c("(/a/b/c, ↑)")));
+        assert!(!decide(&set, &c("(//c, ↑)")));
+    }
+
+    #[test]
+    fn non_concrete_outputs_route_to_unknown() {
+        let set = vec![c("(/a/*, ↑)")];
+        assert!(implies_linear(&set, &c("(/a/b, ↑)")).is_unknown());
+    }
+
+    #[test]
+    fn opposite_type_alone_never_implies() {
+        // A ↓ constraint cannot imply a ↑ goal on its own (removals are
+        // unrestricted), and vice versa.
+        let set = vec![c("(//a, ↓)")];
+        assert!(!decide(&set, &c("(//a, ↑)")));
+        let set2 = vec![c("(//a, ↑)")];
+        assert!(!decide(&set2, &c("(//a, ↓)")));
+    }
+
+    #[test]
+    fn counterexamples_always_verify() {
+        // A small sweep of random-ish combinations; decide() already
+        // asserts verification of every counterexample.
+        let ranges = ["//a", "/a", "//a//b", "/a//b", "//b", "/a/*/b", "//*//b"];
+        let kinds = ["↑", "↓"];
+        let mut checked = 0;
+        for r1 in ranges {
+            for k1 in kinds {
+                for r2 in ranges {
+                    for k2 in kinds {
+                        let set = vec![c(&format!("({r1}, {k1})"))];
+                        let goal = c(&format!("({r2}, {k2})"));
+                        let _ = decide(&set, &goal);
+                        checked += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(checked, ranges.len() * ranges.len() * 4);
+    }
+}

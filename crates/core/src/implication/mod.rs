@@ -1,0 +1,129 @@
+//! General implication `C ⊨ c` (Definition 2.4) — Section 4 of the paper.
+//!
+//! [`implies`] dispatches on the fragment and type mix of the input,
+//! choosing the strongest exact procedure available and falling back to
+//! sound bounded search (Table 1's intractable cells):
+//!
+//! | input | procedure | exact? |
+//! |---|---|---|
+//! | all ranges in `XP{/,[],*}` | [`ptime::implies_pred_star`] (Thms 4.1/4.4/4.5) | yes |
+//! | all ranges linear (`XP{/,//,*}`) | [`linear::implies_linear`] (Thms 4.3/4.8) | yes |
+//! | `XP{/,[],//}`, one update type | Thm 4.4 + conjunctive containment | yes |
+//! | full fragment / mixed types | sufficient test + counterexample search (Thms 4.2/4.7) | sound, may return Unknown |
+
+pub mod conjunctive;
+pub mod linear;
+pub mod ptime;
+pub mod search;
+
+use crate::constraint::{Constraint, ConstraintKind};
+use crate::outcome::{CounterExample, Outcome};
+use xuc_xpath::Features;
+
+/// Budget knobs for the procedures that search for counterexamples.
+#[derive(Debug, Clone)]
+pub struct ImplicationConfig {
+    /// Budget (number of candidate pairs examined) for the bounded
+    /// counterexample search.
+    pub search_budget: usize,
+    /// Budget (number of merged canonical models examined) for conjunctive
+    /// containment in `XP{/,[],//}`.
+    pub conjunctive_budget: usize,
+}
+
+impl Default for ImplicationConfig {
+    fn default() -> Self {
+        ImplicationConfig { search_budget: 20_000, conjunctive_budget: 200_000 }
+    }
+}
+
+/// Decides `C ⊨ c` with default budgets. See [`implies_with`].
+pub fn implies(set: &[Constraint], goal: &Constraint) -> Outcome<CounterExample> {
+    implies_with(set, goal, &ImplicationConfig::default())
+}
+
+/// Decides `C ⊨ c`, dispatching to the strongest procedure for the input
+/// fragment. `Implied`/`NotImplied` answers are exact (counterexamples are
+/// machine-verified); `Unknown` is only returned on inputs in the paper's
+/// intractable cells once the configured budgets are exhausted.
+pub fn implies_with(
+    set: &[Constraint],
+    goal: &Constraint,
+    config: &ImplicationConfig,
+) -> Outcome<CounterExample> {
+    let features = Features::of_all(set.iter().map(|c| &c.range))
+        .union(Features::of(&goal.range));
+
+    let all_concrete = set
+        .iter()
+        .chain([goal])
+        .all(|c| c.range.is_concrete());
+
+    // XP{/,[],*}: PTIME, arbitrary types (Theorems 4.1 + 4.4 + 4.5). The
+    // characterization assumes concrete paths (the paper's standing
+    // assumption); wildcard outputs fall through to the sound procedures.
+    if features.in_pred_star() && all_concrete {
+        return if ptime::implies_pred_star(set, goal) {
+            Outcome::Implied
+        } else {
+            // The PTIME test is exact; try to surface a concrete witness
+            // for callers to inspect, but the boolean answer stands either
+            // way.
+            match search::find_counterexample(set, goal, config.search_budget) {
+                Some(ce) => Outcome::NotImplied(ce),
+                None => Outcome::NotImpliedNoWitness,
+            }
+        };
+    }
+
+    // Linear fragment XP{/,//,*}: exact for arbitrary types (concrete
+    // outputs; otherwise the procedure reports Unknown and we fall through).
+    if features.in_linear() {
+        match linear::implies_linear(set, goal) {
+            Outcome::Unknown { .. } => {}
+            decided => return decided,
+        }
+    }
+
+    let one_type = set.iter().all(|c| c.kind == goal.kind);
+    let _ = all_concrete;
+
+    // XP{/,[],//}, one update type: Theorem 4.4 characterization with the
+    // conjunctive-containment check (coNP; budgeted but complete within
+    // budget).
+    if one_type {
+        match ptime::sufficient_by_intersection(set, goal) {
+            Some(true) => return Outcome::Implied,
+            Some(false) if features.in_pred_desc() => {
+                // Exact for XP{/,[],//} by Theorem 4.4: not equivalent to
+                // the intersection of containing ranges ⇒ not implied.
+                return match search::find_counterexample(set, goal, config.search_budget) {
+                    Some(ce) => Outcome::NotImplied(ce),
+                    None => Outcome::NotImpliedNoWitness,
+                };
+            }
+            Some(false) => {
+                // Full fragment: intersection equivalence is sufficient but
+                // not known to be necessary; fall through to search.
+            }
+            None => {
+                // Budget exhausted in conjunctive containment.
+            }
+        }
+    }
+
+    // Remaining territory (full fragment, or mixed types with predicates):
+    // sound search for a counterexample; Unknown when the budget runs out.
+    match search::find_counterexample(set, goal, config.search_budget) {
+        Some(ce) => Outcome::NotImplied(ce),
+        None => Outcome::Unknown {
+            effort: format!("searched {} candidate pairs", config.search_budget),
+        },
+    }
+}
+
+/// Restriction helper used by Theorem 4.1: the subset of `set` whose kind
+/// matches `kind`.
+pub fn same_type(set: &[Constraint], kind: ConstraintKind) -> Vec<Constraint> {
+    set.iter().filter(|c| c.kind == kind).cloned().collect()
+}

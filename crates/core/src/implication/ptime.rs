@@ -1,0 +1,138 @@
+//! The PTIME implication algorithm for `XP{/,[],*}` (Theorems 4.1, 4.4, 4.5)
+//! and the intersection-equivalence test it rests on.
+//!
+//! For constraints all of one type σ expressed in `XP{/,[],*}` (or
+//! `XP{/,[],//}`), Theorem 4.4 shows `C ⊨ c` **iff** there are ranges
+//! `q1..qk` in `C` with `q ≡ q1 ∩ … ∩ qk`. The efficient check takes
+//! `S = { qi : q ⊆ qi }` (adding more containing ranges only shrinks the
+//! intersection towards `q`) and tests `q ≡ ⋂S`.
+//!
+//! For `XP{/,[],*}` with *mixed* types, Theorem 4.1's same-type property
+//! lets us drop all constraints of the opposite type first.
+
+use crate::constraint::{Constraint, ConstraintKind};
+use xuc_xpath::{containment, intersect, Pattern};
+
+/// The ranges of `set` (restricted to `kind`) that contain `q`.
+pub fn containing_ranges<'a>(
+    set: &'a [Constraint],
+    kind: ConstraintKind,
+    q: &Pattern,
+) -> Vec<&'a Pattern> {
+    set.iter()
+        .filter(|c| c.kind == kind)
+        .map(|c| &c.range)
+        .filter(|qi| containment::contains(q, qi))
+        .collect()
+}
+
+/// Exact decision for `XP{/,[],*}` — arbitrary update types in `C`
+/// (Theorem 4.1 reduces to one type; Theorem 4.4 decides it).
+/// Returns `true` iff `C ⊨ c`.
+///
+/// # Panics
+/// Panics if any involved query uses the descendant axis.
+pub fn implies_pred_star(set: &[Constraint], goal: &Constraint) -> bool {
+    let relevant = containing_ranges(set, goal.kind, &goal.range);
+    if relevant.is_empty() {
+        return false;
+    }
+    match intersect::intersect_all(relevant.iter().copied()) {
+        // ⋂S ⊆ q always contains q's results? We have q ⊆ ⋂S by
+        // construction; implication holds iff additionally ⋂S ⊆ q.
+        Some(meet) => containment::contains(&meet, &goal.range),
+        // Containing ranges with an empty intersection cannot happen when
+        // q ⊆ each of them (q is satisfiable), but be defensive.
+        None => false,
+    }
+}
+
+/// The sufficient test of Proposition 3.1, valid in *every* fragment for a
+/// goal of type σ against the σ-constraints of `C`: if `q` is equivalent to
+/// the intersection of all containing ranges, the implication holds.
+///
+/// For fragments where intersection is not syntactically computable
+/// (descendant axis present), we check `⋂S ⊆ q` semantically through
+/// [`conjunctive_contained_in`](super::conjunctive::conjunctive_contained_in).
+pub fn sufficient_by_intersection(set: &[Constraint], goal: &Constraint) -> Option<bool> {
+    let relevant = containing_ranges(set, goal.kind, &goal.range);
+    if relevant.is_empty() {
+        return Some(false);
+    }
+    let all_child_only = relevant.iter().all(|q| q.descendant_edge_count() == 0)
+        && goal.range.descendant_edge_count() == 0;
+    if all_child_only {
+        return Some(match intersect::intersect_all(relevant.iter().copied()) {
+            Some(meet) => containment::contains(&meet, &goal.range),
+            None => false,
+        });
+    }
+    super::conjunctive::conjunctive_contained_in(&relevant, &goal.range)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::parse_constraint;
+
+    fn c(s: &str) -> Constraint {
+        parse_constraint(s).unwrap()
+    }
+
+    #[test]
+    fn paper_section_2_1_example() {
+        // {(/patient[/visit],↓), (/patient[/clinicalTrial],↕)} implies
+        // (/patient[/visit][/clinicalTrial],↓).
+        let set = vec![
+            c("(/patient[/visit], ↓)"),
+            c("(/patient[/clinicalTrial], ↓)"),
+            c("(/patient[/clinicalTrial], ↑)"),
+        ];
+        let goal = c("(/patient[/visit][/clinicalTrial], ↓)");
+        assert!(implies_pred_star(&set, &goal));
+    }
+
+    #[test]
+    fn single_constraint_self_implication() {
+        let set = vec![c("(/a[/b], ↑)")];
+        assert!(implies_pred_star(&set, &c("(/a[/b], ↑)")));
+        assert!(!implies_pred_star(&set, &c("(/a, ↑)")));
+        assert!(!implies_pred_star(&set, &c("(/a[/b][/d], ↑)")));
+    }
+
+    #[test]
+    fn intersection_of_two_needed() {
+        let set = vec![c("(/a[/x], ↓)"), c("(/a[/y], ↓)")];
+        assert!(implies_pred_star(&set, &c("(/a[/x][/y], ↓)")));
+        assert!(!implies_pred_star(&set, &c("(/a[/x][/z], ↓)")));
+    }
+
+    #[test]
+    fn opposite_type_ignored() {
+        // Theorem 4.1: only same-type constraints matter in XP{/,[],*}.
+        let set = vec![c("(/a[/x], ↓)"), c("(/a[/y], ↑)")];
+        assert!(!implies_pred_star(&set, &c("(/a[/x][/y], ↓)")));
+        let set2 = vec![c("(/a[/x], ↓)"), c("(/a[/y], ↓)"), c("(/a[/x][/y], ↑)")];
+        assert!(implies_pred_star(&set2, &c("(/a[/x][/y], ↓)")));
+    }
+
+    #[test]
+    fn wildcard_ranges_combine() {
+        let set = vec![c("(/*[/x], ↑)"), c("(/a, ↑)")];
+        assert!(implies_pred_star(&set, &c("(/a[/x], ↑)")));
+        assert!(!implies_pred_star(&set, &c("(/b[/x][/y], ↑)")));
+    }
+
+    #[test]
+    fn longer_spines() {
+        let set = vec![c("(/a/b[/u], ↑)"), c("(/a[/w]/b, ↑)")];
+        assert!(implies_pred_star(&set, &c("(/a[/w]/b[/u], ↑)")));
+        assert!(!implies_pred_star(&set, &c("(/a/b, ↑)")));
+    }
+
+    #[test]
+    fn no_containing_range_means_not_implied() {
+        let set = vec![c("(/a[/b], ↑)")];
+        assert!(!implies_pred_star(&set, &c("(/c, ↑)")));
+    }
+}

@@ -1,0 +1,332 @@
+//! Bounded, verified counterexample search for general implication.
+//!
+//! This is the sound-but-budgeted workhorse behind the coNP/NEXPTIME cells
+//! of Table 1 (and the test oracle for the exact procedures): it enumerates
+//! candidate pairs `(I, J)` built from
+//!
+//! 1. **canonical models** of the goal range, edited by the update
+//!    operations a violator would use (delete / splice / re-identify /
+//!    move / relabel), including the proof constructions of Figures 3–5,
+//! 2. enriched variants that graft canonical models of the constraint
+//!    ranges alongside (so interactions between ranges are exercised), and
+//! 3. **deterministic pseudo-random** tree pairs over the constraint
+//!    alphabet (seeded xorshift, so runs are reproducible),
+//!
+//! and returns the first candidate that *verifies*: satisfies every
+//! constraint of `C` and violates `c`. Small-model properties
+//! (Theorems 4.7/5.1) justify searching small instances first.
+
+use crate::constraint::Constraint;
+use crate::construct;
+use crate::outcome::CounterExample;
+use xuc_xpath::{canonical, Pattern};
+use xuc_xtree::{DataTree, Label, NodeId};
+
+/// A tiny deterministic xorshift generator (no external dependency, fully
+/// reproducible searches).
+pub(crate) struct XorShift(u64);
+
+impl XorShift {
+    pub(crate) fn new(seed: u64) -> Self {
+        XorShift(seed.max(1))
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    pub(crate) fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+}
+
+/// Searches for a verified counterexample to `C ⊨ c`, examining at most
+/// `budget` candidate pairs. Sound: every returned pair is checked by
+/// [`CounterExample::verify`].
+pub fn find_counterexample(
+    set: &[Constraint],
+    goal: &Constraint,
+    budget: usize,
+) -> Option<CounterExample> {
+    let mut examined = 0usize;
+    let check = |before: &DataTree, after: &DataTree| -> Option<CounterExample> {
+        let ce = CounterExample { before: before.clone(), after: after.clone() };
+        if ce.verify(set, goal) {
+            Some(ce)
+        } else {
+            None
+        }
+    };
+
+    // Phase 1: canonical-model edits.
+    let all_patterns: Vec<&Pattern> =
+        set.iter().map(|c| &c.range).chain([&goal.range]).collect();
+    let z = canonical::fresh_label_for(all_patterns.iter().copied());
+    let bound = all_patterns.iter().map(|p| canonical::chain_bound_for(p)).max().unwrap_or(2);
+    let labels = label_pool(&all_patterns, z);
+
+    let seeds = seed_trees(&goal.range, set, bound.min(3), z);
+    for (tree, n) in &seeds {
+        for (before, after) in edit_candidates(tree, *n, &labels) {
+            examined += 1;
+            if examined > budget {
+                return None;
+            }
+            if let Some(ce) = check(&before, &after) {
+                return Some(ce);
+            }
+            // Also try the pair in the opposite direction (covers ↓ goals).
+            examined += 1;
+            if examined > budget {
+                return None;
+            }
+            if let Some(ce) = check(&after, &before) {
+                return Some(ce);
+            }
+        }
+    }
+
+    // Phase 2: proof constructions on seed trees.
+    for (tree, n) in &seeds {
+        if tree.parent(*n).ok().flatten().is_some() {
+            examined += 2;
+            if examined > budget {
+                return None;
+            }
+            let fig4 = construct::duplicate_and_drop(tree, *n);
+            if let Some(ce) = check(&fig4.before, &fig4.after) {
+                return Some(ce);
+            }
+            if let Some(ce) = check(&fig4.after, &fig4.before) {
+                return Some(ce);
+            }
+        }
+    }
+
+    // Phase 3: deterministic random pairs.
+    let mut rng = XorShift::new(0x5eed_cafe_d00d_f00d);
+    while examined < budget {
+        examined += 1;
+        let size = 2 + rng.below(7);
+        let before = random_tree(&mut rng, &labels, size);
+        let edits = 1 + rng.below(3);
+        let after = random_edit(&mut rng, &before, &labels, edits);
+        if let Some(ce) = check(&before, &after) {
+            return Some(ce);
+        }
+    }
+    None
+}
+
+/// The label pool for candidate trees: constraint labels plus `z`.
+fn label_pool(patterns: &[&Pattern], z: Label) -> Vec<Label> {
+    let mut pool: std::collections::BTreeSet<Label> =
+        patterns.iter().flat_map(|p| p.labels()).collect();
+    pool.insert(z);
+    pool.into_iter().collect()
+}
+
+/// Seed trees: canonical models of the goal range (the node to attack is
+/// the model's output), plus variants enriched with canonical models of
+/// each constraint range grafted at the root.
+fn seed_trees(
+    goal_range: &Pattern,
+    set: &[Constraint],
+    max_chain: usize,
+    z: Label,
+) -> Vec<(DataTree, NodeId)> {
+    let mut out = Vec::new();
+    for model in canonical::canonical_models(goal_range, max_chain, z).take(64) {
+        out.push((model.tree.clone(), model.output));
+        // Enriched: add one canonical model of each constraint range.
+        let mut enriched = model.tree.clone();
+        for c in set.iter().take(4) {
+            let side = canonical::instantiate(
+                &c.range,
+                &vec![1; c.range.descendant_edge_count()],
+                z,
+                Label::new("side"),
+            );
+            for child in side.tree.children(side.tree.root_id()).expect("root") {
+                let _ = enriched.graft_copy(enriched.root_id(), &side.tree, child);
+            }
+        }
+        out.push((enriched, model.output));
+    }
+    out
+}
+
+/// Candidate `J`s for a given `I` and target node: the edits a violator
+/// could try.
+fn edit_candidates(
+    tree: &DataTree,
+    n: NodeId,
+    labels: &[Label],
+) -> Vec<(DataTree, DataTree)> {
+    let mut out = Vec::new();
+    let before = tree.clone();
+
+    if tree.parent(n).ok().flatten().is_some() {
+        // Delete the whole subtree.
+        let mut t = tree.clone();
+        t.delete_subtree(n).expect("live");
+        out.push((before.clone(), t));
+        // Splice the node out.
+        let mut t = tree.clone();
+        t.delete_node(n).expect("live");
+        out.push((before.clone(), t));
+        // Replace identity (Theorem 3.1).
+        let (t, _) = construct::replace_with_fresh(tree, n);
+        out.push((before.clone(), t));
+        // Move under the root.
+        let mut t = tree.clone();
+        if t.move_node(n, t.root_id()).is_ok() {
+            out.push((before.clone(), t));
+        }
+        // Move under every other node.
+        for target in tree.node_ids() {
+            if target == n {
+                continue;
+            }
+            let mut t = tree.clone();
+            if t.move_node(n, target).is_ok() {
+                out.push((before.clone(), t));
+            }
+        }
+    }
+    // Relabel.
+    for &l in labels {
+        if Ok(l) != tree.label(n) {
+            let mut t = tree.clone();
+            t.relabel(n, l).expect("live");
+            out.push((before.clone(), t));
+        }
+    }
+    // Also attack each ancestor of n the same basic ways.
+    let mut cur = tree.parent(n).ok().flatten();
+    while let Some(a) = cur {
+        if tree.parent(a).ok().flatten().is_some() {
+            let mut t = tree.clone();
+            t.delete_node(a).expect("live");
+            out.push((before.clone(), t));
+            let (t, _) = construct::replace_with_fresh(tree, a);
+            out.push((before.clone(), t));
+        }
+        cur = tree.parent(a).ok().flatten();
+    }
+    out
+}
+
+/// A uniformly random tree with `n` non-root nodes over the label pool.
+pub(crate) fn random_tree(rng: &mut XorShift, labels: &[Label], n: usize) -> DataTree {
+    let mut tree = DataTree::new("root");
+    let mut ids = vec![tree.root_id()];
+    for _ in 0..n {
+        let parent = ids[rng.below(ids.len())];
+        let label = labels[rng.below(labels.len())];
+        let id = tree.add(parent, label).expect("fresh");
+        ids.push(id);
+    }
+    tree
+}
+
+/// Applies `k` random updates to a copy of `tree`.
+pub(crate) fn random_edit(
+    rng: &mut XorShift,
+    tree: &DataTree,
+    labels: &[Label],
+    k: usize,
+) -> DataTree {
+    let mut t = tree.clone();
+    for _ in 0..k {
+        let ids = t.node_ids();
+        match rng.below(5) {
+            0 => {
+                let parent = ids[rng.below(ids.len())];
+                let label = labels[rng.below(labels.len())];
+                let _ = t.add(parent, label);
+            }
+            1 => {
+                let victim = ids[rng.below(ids.len())];
+                let _ = t.delete_subtree(victim);
+            }
+            2 => {
+                let victim = ids[rng.below(ids.len())];
+                let _ = t.delete_node(victim);
+            }
+            3 => {
+                let node = ids[rng.below(ids.len())];
+                let target = ids[rng.below(ids.len())];
+                let _ = t.move_node(node, target);
+            }
+            _ => {
+                let node = ids[rng.below(ids.len())];
+                let label = labels[rng.below(labels.len())];
+                let _ = t.relabel(node, label);
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::parse_constraint;
+
+    fn c(s: &str) -> Constraint {
+        parse_constraint(s).unwrap()
+    }
+
+    #[test]
+    fn finds_simple_deletion_witness() {
+        let set = vec![c("(/a[/b], ↑)")];
+        let goal = c("(/a, ↑)");
+        let ce = find_counterexample(&set, &goal, 5_000).expect("counterexample exists");
+        assert!(ce.verify(&set, &goal));
+    }
+
+    #[test]
+    fn finds_insertion_witness() {
+        let set = vec![c("(/a[/b], ↓)")];
+        let goal = c("(/a, ↓)");
+        let ce = find_counterexample(&set, &goal, 5_000).expect("counterexample exists");
+        assert!(ce.verify(&set, &goal));
+    }
+
+    #[test]
+    fn respects_budget() {
+        // Implied case: no counterexample exists; search must terminate.
+        let set = vec![c("(/a, ↑)")];
+        let goal = c("(/a, ↑)");
+        assert!(find_counterexample(&set, &goal, 500).is_none());
+    }
+
+    #[test]
+    fn full_fragment_witness() {
+        // //a[/b]/* vs //a/*: removal allowed when predicate not protected.
+        let set = vec![c("(//a[/b]/c, ↑)")];
+        let goal = c("(//a/c, ↑)");
+        let ce = find_counterexample(&set, &goal, 20_000).expect("counterexample exists");
+        assert!(ce.verify(&set, &goal));
+    }
+
+    #[test]
+    fn random_trees_are_well_formed() {
+        let mut rng = XorShift::new(7);
+        let labels = vec![Label::new("a"), Label::new("b")];
+        for _ in 0..50 {
+            let t = random_tree(&mut rng, &labels, 6);
+            assert_eq!(t.len(), 7);
+            let edited = random_edit(&mut rng, &t, &labels, 3);
+            // Edits keep a live tree rooted at the same root.
+            assert!(edited.len() >= 1);
+            assert_eq!(edited.root_id(), t.root_id());
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Instance-based implication for **no-insert** constraint sets over the
+//! linear fragment `XP{/,//,*}` (Theorem 5.4).
+//!
+//! With only ↓ constraints, nothing restricts what `I` may *add*, so the
+//! only obligations are `qᵢ(J) ⊆ qᵢ(I)`. A goal `(q, ↓)` fails iff some
+//! witness `n ∈ q(J)` can sit in `I` on a root-to-node path belonging to
+//! every range that selects `n` in `J` but not to `L(q)` — a pure automata
+//! emptiness question:
+//!
+//! `C ⊭_J (q,↓)`  iff  `∃ n ∈ q(J): ⋂{L(qᵢ) : n ∈ qᵢ(J)} ∖ L(q) ≠ ∅`.
+//!
+//! The witness `I` is `J` with `n` swapped for a fresh stand-in and
+//! re-grown on a fresh chain spelling the found word. As in Theorem 4.8,
+//! the cost is exponential only in the number of constraints.
+
+use crate::constraint::{Constraint, ConstraintKind};
+use crate::outcome::{InstanceCounterExample, Outcome};
+use xuc_automata::{effective_alphabet, Dfa, Nfa};
+use xuc_xpath::eval;
+use xuc_xtree::{DataTree, Label};
+
+/// Exact decision of `C ⊨_J (q, ↓)` for ↓-only linear constraint sets.
+///
+/// # Panics
+/// Panics if any constraint is not ↓, the goal is not ↓, or any range has
+/// predicates.
+pub fn implies_no_insert_linear(
+    set: &[Constraint],
+    j: &DataTree,
+    goal: &Constraint,
+) -> Outcome<InstanceCounterExample> {
+    assert!(goal.kind == ConstraintKind::NoInsert);
+    assert!(set.iter().all(|c| c.kind == ConstraintKind::NoInsert));
+    if set.iter().chain([goal]).any(|c| !c.range.is_concrete()) {
+        return Outcome::Unknown {
+            effort: "exact linear instance decision requires concrete outputs".into(),
+        };
+    }
+    let ranges: Vec<&xuc_xpath::Pattern> =
+        set.iter().map(|c| &c.range).chain([&goal.range]).collect();
+    let alphabet = effective_alphabet(ranges.iter().copied());
+    let dfas: Vec<Dfa> = ranges
+        .iter()
+        .map(|q| Nfa::from_linear_pattern(q).determinize(&alphabet))
+        .collect();
+    let (constraint_dfas, goal_dfa) = dfas.split_at(set.len());
+    let goal_dfa = &goal_dfa[0];
+
+    // Membership of each witness candidate in every constraint range on J.
+    let range_results: Vec<std::collections::BTreeSet<xuc_xtree::NodeId>> = set
+        .iter()
+        .map(|c| eval::eval(&c.range, j).into_iter().map(|n| n.id).collect())
+        .collect();
+
+    for n in eval::eval(&goal.range, j) {
+        // Ranges that select n in J; with none, n has no obligations and
+        // can simply be absent from I.
+        let selecting: Vec<usize> = range_results
+            .iter()
+            .enumerate()
+            .filter(|(_, ids)| ids.contains(&n.id))
+            .map(|(i, _)| i)
+            .collect();
+        if selecting.is_empty() {
+            let mut before = j.clone();
+            before.replace_id(n.id, xuc_xtree::NodeId::fresh()).expect("live");
+            let ce = InstanceCounterExample { before };
+            debug_assert!(ce.verify(set, j, goal), "linear ↓ deletion witness must verify");
+            return Outcome::NotImplied(ce);
+        }
+        // Product of the selecting ranges, intersected with ¬L(q). All
+        // ranges are concrete, so any accepted word ends with n's label.
+        let mut acc = goal_dfa.complement();
+        for i in selecting {
+            acc = acc.intersect(&constraint_dfas[i]);
+        }
+        if let Some(word) = acc.find_accepted_word() {
+            debug_assert!(!word.is_empty(), "concrete ranges accept no empty word");
+            let ce = build_witness(j, n.id, n.label, &word);
+            debug_assert!(ce.verify(set, j, goal), "linear ↓ witness must verify");
+            return Outcome::NotImplied(ce);
+        }
+    }
+    Outcome::Implied
+}
+
+/// `I` = `J` with the witness replaced by a fresh same-label stand-in (so
+/// every other node keeps its path) and re-attached at the end of a fresh
+/// chain spelling `word`.
+fn build_witness(
+    j: &DataTree,
+    n: xuc_xtree::NodeId,
+    n_label: Label,
+    word: &[Label],
+) -> InstanceCounterExample {
+    let mut before = j.clone();
+    // Stand-in preserves the paths of n's descendants.
+    let fresh = xuc_xtree::NodeId::fresh();
+    before.replace_id(n, fresh).expect("live");
+    // Fresh chain realizing `word`; its intermediate nodes are new in I and
+    // vanish in J — harmless because C is ↓-only.
+    let mut cursor = before.root_id();
+    for &l in &word[..word.len().saturating_sub(1)] {
+        cursor = before.add(cursor, l).expect("fresh");
+    }
+    let last_label = word.last().copied().unwrap_or(n_label);
+    before.add_with_id(cursor, n, last_label).expect("witness placement");
+    InstanceCounterExample { before }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::parse_constraint;
+    use xuc_xtree::parse_term;
+
+    fn c(s: &str) -> Constraint {
+        parse_constraint(s).unwrap()
+    }
+
+    fn decide(set: &[Constraint], j: &DataTree, goal: &Constraint) -> bool {
+        match implies_no_insert_linear(set, j, goal) {
+            Outcome::Implied => true,
+            Outcome::NotImplied(ce) => {
+                assert!(ce.verify(set, j, goal));
+                false
+            }
+            other => panic!("linear instance decision is exact, got {other}"),
+        }
+    }
+
+    #[test]
+    fn exact_string_protection() {
+        let j = parse_term("r(a#1(b#2))").unwrap();
+        let set = vec![c("(/a/b, ↓)")];
+        assert!(decide(&set, &j, &c("(/a/b, ↓)")));
+        // /a/b pins the path "ab", which is in L(//b): the weaker goal is
+        // implied on this instance…
+        assert!(decide(&set, &j, &c("(//b, ↓)")));
+        // …while the reverse protection leaves room (path "b").
+        let set2 = vec![c("(//b, ↓)")];
+        assert!(!decide(&set2, &j, &c("(/a/b, ↓)")));
+    }
+
+    #[test]
+    fn descendant_range_covers() {
+        // n's only ↓ range in J is //b; goal //a//b is weaker on this
+        // instance? The b node is in //b(J) so it must be in //b(I) — but a
+        // //b path need not pass through an a: not implied.
+        let j = parse_term("r(a#1(b#2))").unwrap();
+        let set = vec![c("(//b, ↓)")];
+        assert!(!decide(&set, &j, &c("(//a//b, ↓)")));
+        // Conversely //a//b(J) ⊆ //a//b(I) forces b under an a: the goal
+        // //b then holds too.
+        let set2 = vec![c("(//a//b, ↓)")];
+        assert!(decide(&set2, &j, &c("(//b, ↓)")));
+    }
+
+    #[test]
+    fn intersection_of_ranges() {
+        // n in both //a//c and //b//c in J: any I path must satisfy both,
+        // but the interleaving is free: //a//b//c not implied.
+        let j = parse_term("r(a#1(b#2(c#3)))").unwrap();
+        let set = vec![c("(//a//c, ↓)"), c("(//b//c, ↓)")];
+        assert!(!decide(&set, &j, &c("(//a//b//c, ↓)")));
+        assert!(decide(&set, &j, &c("(//c, ↓)")));
+    }
+
+    #[test]
+    fn vacuous_goal() {
+        let j = parse_term("r(x#1)").unwrap();
+        assert!(decide(&[], &j, &c("(/a, ↓)")));
+    }
+
+    #[test]
+    fn wildcard_ranges() {
+        let j = parse_term("r(a#1(b#2))").unwrap();
+        let set = vec![c("(/*/b, ↓)")];
+        assert!(decide(&set, &j, &c("(/*/b, ↓)")));
+        assert!(!decide(&set, &j, &c("(/a/b, ↓)")));
+    }
+}

@@ -1,0 +1,215 @@
+//! Instance-based implication `C ⊨_J c` (Definition 2.5) — Section 5.
+//!
+//! [`implies_on`] dispatches on the fragment and the update-type mix,
+//! mirroring Table 2:
+//!
+//! | input | procedure | exact? |
+//! |---|---|---|
+//! | all ranges in `XP{/}` | [`plain::implies_plain`] | yes (any types) |
+//! | C and goal all ↓, `XP{/,[],*}` | certain-facts `F_J` (Thm 5.3) | yes |
+//! | C and goal all ↓, linear | automata (Thm 5.4) | yes |
+//! | C and goal all ↑ | possible embeddings (Thm 5.5) | yes, budgeted |
+//! | C all ↓, goal ↑ / C all ↑, goal ↓ | direct argument | yes |
+//! | mixed types (coNP-hard, Thm 5.2) | `F_J` refutation + search | sound, may return Unknown |
+
+pub mod certain;
+pub mod embeddings;
+pub mod linear;
+pub mod plain;
+pub mod search;
+
+use crate::constraint::{Constraint, ConstraintKind};
+use crate::implication::ImplicationConfig;
+use crate::outcome::{InstanceCounterExample, Outcome};
+use xuc_xpath::{canonical, eval, Features};
+use xuc_xtree::DataTree;
+
+/// Decides `C ⊨_J c` with default budgets. See [`implies_on_with`].
+pub fn implies_on(
+    set: &[Constraint],
+    j: &DataTree,
+    goal: &Constraint,
+) -> Outcome<InstanceCounterExample> {
+    implies_on_with(set, j, goal, &ImplicationConfig::default())
+}
+
+/// Decides `C ⊨_J c`: is every previous instance `I` with `(I,J) ⊨ C` also
+/// valid for `c`?
+pub fn implies_on_with(
+    set: &[Constraint],
+    j: &DataTree,
+    goal: &Constraint,
+    config: &ImplicationConfig,
+) -> Outcome<InstanceCounterExample> {
+    let features = Features::of_all(set.iter().map(|c| &c.range))
+        .union(Features::of(&goal.range));
+
+    // XP{/}: exact for arbitrary type mixes.
+    if features.is_plain() {
+        return plain::implies_plain(set, j, goal);
+    }
+
+    let all_down = set.iter().all(|c| c.kind == ConstraintKind::NoInsert);
+    let all_up = set.iter().all(|c| c.kind == ConstraintKind::NoRemove);
+
+    match goal.kind {
+        ConstraintKind::NoInsert if all_down => {
+            if features.in_pred_star() && all_concrete(set, goal) {
+                // Theorem 5.3, exact (concrete paths, the paper's standing
+                // assumption).
+                return match certain::implies_no_insert_pred_star(set, j, goal) {
+                    Ok(()) => Outcome::Implied,
+                    Err(f) => Outcome::NotImplied(InstanceCounterExample { before: f }),
+                };
+            }
+            if features.in_linear() {
+                // Theorem 5.4, exact for concrete ranges; non-concrete
+                // outputs fall through to the search.
+                match linear::implies_no_insert_linear(set, j, goal) {
+                    Outcome::Unknown { .. } => {}
+                    decided => return decided,
+                }
+            }
+            // Full fragment, ↓-only: coNP-complete (Theorem 5.1). F_J still
+            // refutes soundly; otherwise search.
+            if let Err(f) = certain::implies_no_insert_pred_star(set, j, goal) {
+                let ce = InstanceCounterExample { before: f };
+                if ce.verify(set, j, goal) {
+                    return Outcome::NotImplied(ce);
+                }
+            }
+        }
+        ConstraintKind::NoRemove if all_up => {
+            // Theorem 5.5, exact up to the enumeration budget.
+            return embeddings::implies_no_remove(set, j, goal, config.search_budget.max(100_000));
+        }
+        ConstraintKind::NoRemove if all_down => {
+            // ↓ constraints never restrict additions to I: grafting a fresh
+            // canonical model of the goal range into J always yields a
+            // valid counterexample. Never implied.
+            let ce = graft_goal_witness(j, goal);
+            debug_assert!(ce.verify(set, j, goal));
+            return Outcome::NotImplied(ce);
+        }
+        ConstraintKind::NoInsert if all_up => {
+            // ↑ constraints allow `I` to be (almost) empty: `(q,↓)` is
+            // implied iff `q(J)` is empty.
+            return if eval::eval(&goal.range, j).is_empty() {
+                Outcome::Implied
+            } else {
+                let before = DataTree::with_root_id(j.root_id(), j.root_label());
+                let ce = InstanceCounterExample { before };
+                debug_assert!(ce.verify(set, j, goal));
+                Outcome::NotImplied(ce)
+            };
+        }
+        _ => {}
+    }
+
+    // General implication is a sound sufficient condition: C ⊨ c entails
+    // C ⊨_J c for every J (Section 2.1).
+    if crate::implication::implies_with(set, goal, config).is_implied() {
+        return Outcome::Implied;
+    }
+
+    // Mixed types (coNP-hard by Theorem 5.2): sound bounded search.
+    match search::find_instance_counterexample(set, j, goal, config.search_budget) {
+        Some(ce) => Outcome::NotImplied(ce),
+        None => Outcome::Unknown {
+            effort: format!("searched {} candidate instances", config.search_budget),
+        },
+    }
+}
+
+fn all_concrete(set: &[Constraint], goal: &Constraint) -> bool {
+    set.iter().chain([goal]).all(|c| c.range.is_concrete())
+}
+
+/// `I` = `J` plus a fresh canonical model of the goal range at the root.
+fn graft_goal_witness(j: &DataTree, goal: &Constraint) -> InstanceCounterExample {
+    let z = canonical::fresh_label_for([&goal.range]);
+    let model = canonical::instantiate(
+        &goal.range,
+        &vec![1; goal.range.descendant_edge_count()],
+        z,
+        xuc_xtree::Label::new("side"),
+    );
+    let mut before = j.clone();
+    for child in model.tree.children(model.tree.root_id()).expect("root") {
+        before.graft_copy(before.root_id(), &model.tree, child).expect("fresh graft");
+    }
+    InstanceCounterExample { before }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::parse_constraint;
+    use xuc_xtree::parse_term;
+
+    fn c(s: &str) -> Constraint {
+        parse_constraint(s).unwrap()
+    }
+
+    #[test]
+    fn dispatch_plain() {
+        let j = parse_term("r(a#1)").unwrap();
+        assert!(implies_on(&[c("(/a, ↑)")], &j, &c("(/a, ↑)")).is_implied());
+    }
+
+    #[test]
+    fn dispatch_certain_facts() {
+        let j = parse_term("r(a#1(x#2,y#3))").unwrap();
+        let set = vec![c("(/a[/x], ↓)"), c("(/a[/y], ↓)")];
+        assert!(implies_on(&set, &j, &c("(/a[/x][/y], ↓)")).is_implied());
+    }
+
+    #[test]
+    fn dispatch_linear_instance() {
+        let j = parse_term("r(a#1(b#2(c#3)))").unwrap();
+        let set = vec![c("(//a//c, ↓)"), c("(//b//c, ↓)")];
+        assert!(implies_on(&set, &j, &c("(//a//b//c, ↓)")).is_not_implied());
+    }
+
+    #[test]
+    fn dispatch_embeddings() {
+        let j = parse_term("h(patient#2(visit#6,clinicalTrial#8))").unwrap();
+        let set = vec![c("(/patient/visit, ↑)")];
+        assert!(implies_on(&set, &j, &c("(/patient[/clinicalTrial]/visit, ↑)")).is_implied());
+    }
+
+    #[test]
+    fn down_set_up_goal_never_implied() {
+        let j = parse_term("r(a#1)").unwrap();
+        let set = vec![c("(/a, ↓)"), c("(//b, ↓)")];
+        let out = implies_on(&set, &j, &c("(//b, ↑)"));
+        assert!(out.is_not_implied());
+    }
+
+    #[test]
+    fn up_set_down_goal_vacuity() {
+        let j = parse_term("r(a#1)").unwrap();
+        let set = vec![c("(/a, ↑)")];
+        assert!(implies_on(&set, &j, &c("(/b, ↓)")).is_implied());
+        assert!(implies_on(&set, &j, &c("(/a, ↓)")).is_not_implied());
+    }
+
+    #[test]
+    fn general_implication_implies_instance_based() {
+        // Section 2.1: C ⊨ c entails C ⊨_J c for every J.
+        let set = vec![c("(/patient[/visit], ↓)"), c("(/patient[/clinicalTrial], ↓)"),
+                       c("(/patient[/clinicalTrial], ↑)")];
+        let goal = c("(/patient[/visit][/clinicalTrial], ↓)");
+        for term in [
+            "h(patient#1(visit#2))",
+            "h(patient#1(visit#2,clinicalTrial#3),patient#4)",
+            "h(x#1)",
+        ] {
+            let j = parse_term(term).unwrap();
+            assert!(
+                implies_on(&set, &j, &goal).is_implied(),
+                "instance-based must hold on {term}"
+            );
+        }
+    }
+}

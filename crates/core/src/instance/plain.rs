@@ -1,0 +1,346 @@
+//! Instance-based implication for the plain fragment `XP{/}` — arbitrary
+//! update types, PTIME (Table 2, first column).
+//!
+//! In `XP{/}` a query is a fixed label string and a node belongs to its
+//! range iff its root-to-node label path equals that string, so "the tree
+//! structure plays no role" (Section 5). The analysis:
+//!
+//! * **↓ obligations.** Every valid `I` must contain each `J`-node selected
+//!   by a `(p, ↓)` range, *at path `p`* — which is its own `J`-path. The
+//!   minimal such `I` (the node together with its original ancestor chain)
+//!   is always valid, because reused `J`-nodes sit at their `J`-paths and
+//!   hence satisfy every ↑ obligation trivially.
+//! * **Goal `(q, ↓)`:** a witness `n ∈ q(J)` can escape `q(I)` unless it is
+//!   directly obligated (`(q,↓) ∈ C` up to string equality) or it is pinned
+//!   as the unavoidable depth-`|q|` ancestor of an obligated descendant:
+//!   that happens exactly when such a descendant exists, `q` is an
+//!   ↑ string (fresh stand-ins forbidden), and no other `J`-node sits at
+//!   path `q` to reroute through.
+//! * **Goal `(q, ↑)`:** a fresh (or relocated) node at path `q` violates
+//!   the goal unless `q` itself is an ↑ string, or some proper prefix `p`
+//!   of `q` is an ↑ string with no `J`-node at path `p` (the chain to the
+//!   witness cannot be built).
+
+use crate::constraint::{Constraint, ConstraintKind};
+use crate::outcome::{InstanceCounterExample, Outcome};
+use std::collections::{BTreeMap, BTreeSet};
+use xuc_xpath::{Axis, NodeTest, Pattern};
+use xuc_xtree::{DataTree, Label, NodeId};
+
+/// The label string of an `XP{/}` query.
+fn string_of(q: &Pattern) -> Vec<Label> {
+    q.spine()
+        .iter()
+        .map(|&i| {
+            assert_eq!(q.axis(i), Axis::Child, "XP{{/}} queries are child-only");
+            match q.test(i) {
+                NodeTest::Label(l) => l,
+                NodeTest::Wildcard => panic!("XP{{/}} queries have no wildcards"),
+            }
+        })
+        .collect()
+}
+
+/// Exact instance-based decision for `XP{/}` with arbitrary update types.
+pub fn implies_plain(
+    set: &[Constraint],
+    j: &DataTree,
+    goal: &Constraint,
+) -> Outcome<InstanceCounterExample> {
+    let q = string_of(&goal.range);
+    let up: BTreeSet<Vec<Label>> = set
+        .iter()
+        .filter(|c| c.kind == ConstraintKind::NoRemove)
+        .map(|c| string_of(&c.range))
+        .collect();
+    let down: BTreeSet<Vec<Label>> = set
+        .iter()
+        .filter(|c| c.kind == ConstraintKind::NoInsert)
+        .map(|c| string_of(&c.range))
+        .collect();
+
+    // Paths of every J node.
+    let mut path_of: BTreeMap<NodeId, Vec<Label>> = BTreeMap::new();
+    let mut nodes_at: BTreeMap<Vec<Label>, Vec<NodeId>> = BTreeMap::new();
+    for n in j.nodes() {
+        let p = j.label_path(n.id).expect("live");
+        nodes_at.entry(p.clone()).or_default().push(n.id);
+        path_of.insert(n.id, p);
+    }
+
+    match goal.kind {
+        ConstraintKind::NoInsert => {
+            if down.contains(&q) {
+                return Outcome::Implied;
+            }
+            let witnesses = nodes_at.get(&q).cloned().unwrap_or_default();
+            if witnesses.is_empty() {
+                return Outcome::Implied; // vacuous: q(J) is empty
+            }
+            let others_at_q = witnesses.len() >= 2;
+            for &n in &witnesses {
+                let has_obligated_desc = j
+                    .nodes()
+                    .iter()
+                    .filter(|m| m.id != n)
+                    .any(|m| {
+                        j.is_proper_ancestor(n, m.id).unwrap_or(false)
+                            && down.contains(&path_of[&m.id])
+                    });
+                let stuck = has_obligated_desc && up.contains(&q) && !others_at_q;
+                if !stuck {
+                    let ce = build_no_insert_witness(j, n, &q, &down, &up, &nodes_at);
+                    debug_assert!(ce.verify(set, j, goal), "plain ↓ witness must verify");
+                    return Outcome::NotImplied(ce);
+                }
+            }
+            Outcome::Implied
+        }
+        ConstraintKind::NoRemove => {
+            if up.contains(&q) {
+                return Outcome::Implied;
+            }
+            // A proper prefix that is ↑-protected and unpopulated in J
+            // blocks the witness chain.
+            for k in 1..q.len() {
+                let prefix = q[..k].to_vec();
+                if up.contains(&prefix) && !nodes_at.contains_key(&prefix) {
+                    return Outcome::Implied;
+                }
+            }
+            let ce = build_no_remove_witness(j, &q, &nodes_at, &down);
+            debug_assert!(ce.verify(set, j, goal), "plain ↑ witness must verify");
+            Outcome::NotImplied(ce)
+        }
+    }
+}
+
+/// Places a root-anchored chain of `(id, label)` nodes into `tree`,
+/// reusing already-placed nodes and creating the rest in order.
+fn place_chain(tree: &mut DataTree, chain: &[(NodeId, Label)]) {
+    let mut cursor = tree.root_id();
+    for &(id, label) in chain {
+        cursor = if tree.contains(id) {
+            id
+        } else {
+            tree.add_with_id(cursor, id, label).expect("fresh id")
+        };
+    }
+}
+
+fn chain_of(j: &DataTree, node: NodeId) -> Vec<(NodeId, Label)> {
+    j.id_path(node)
+        .expect("live")
+        .into_iter()
+        .skip(1) // drop the root
+        .map(|id| (id, j.label(id).expect("live")))
+        .collect()
+}
+
+/// The certain tree: every ↓-obligated J node with its original ancestor
+/// chain (reused ids ⇒ all ↑ obligations hold trivially).
+fn certain_tree(j: &DataTree, down: &BTreeSet<Vec<Label>>) -> DataTree {
+    let mut out = DataTree::with_root_id(j.root_id(), j.root_label());
+    for m in j.nodes() {
+        let p = j.label_path(m.id).expect("live");
+        if down.contains(&p) {
+            place_chain(&mut out, &chain_of(j, m.id));
+        }
+    }
+    out
+}
+
+/// Builds `I` for a ↓ goal witness `n ∈ q(J)`: the certain tree with `n`
+/// evicted. Obligated descendants of `n` are rerouted through a fresh
+/// stand-in (when `q` is not ↑-protected) or through another `J` node `x`
+/// sitting at path `q`.
+fn build_no_insert_witness(
+    j: &DataTree,
+    n: NodeId,
+    q: &[Label],
+    down: &BTreeSet<Vec<Label>>,
+    up: &BTreeSet<Vec<Label>>,
+    nodes_at: &BTreeMap<Vec<Label>, Vec<NodeId>>,
+) -> InstanceCounterExample {
+    let mut out = DataTree::with_root_id(j.root_id(), j.root_label());
+
+    // Obligations not involving n: original chains.
+    let mut under_n: Vec<NodeId> = Vec::new();
+    for m in j.nodes() {
+        let p = j.label_path(m.id).expect("live");
+        if !down.contains(&p) || m.id == n {
+            continue;
+        }
+        if j.is_proper_ancestor(n, m.id).unwrap_or(false) {
+            under_n.push(m.id);
+        } else {
+            place_chain(&mut out, &chain_of(j, m.id));
+        }
+    }
+
+    if !under_n.is_empty() {
+        // Stand-in for n at path q: fresh if q is unprotected, otherwise a
+        // different J node x with J-path q (the decision guarantees one).
+        let q_label = *q.last().expect("non-empty goal path");
+        let stand_in = if up.contains(&q.to_vec()) {
+            let x = nodes_at[&q.to_vec()]
+                .iter()
+                .copied()
+                .find(|&x| x != n)
+                .expect("decision guarantees a reroute node");
+            place_chain(&mut out, &chain_of(j, x));
+            x
+        } else {
+            // Fresh node at path q under the (possibly reused) prefix.
+            let prefix = chain_of(j, n);
+            let parent_chain = &prefix[..prefix.len() - 1];
+            place_chain(&mut out, parent_chain);
+            let parent = parent_chain
+                .last()
+                .map(|&(id, _)| id)
+                .unwrap_or_else(|| out.root_id());
+            out.add(parent, q_label).expect("fresh stand-in")
+        };
+        // Route every obligated descendant of n below the stand-in.
+        for m in under_n {
+            let full = chain_of(j, m);
+            let below_n: Vec<(NodeId, Label)> =
+                full.into_iter().skip(q.len()).collect();
+            let mut cursor = stand_in;
+            for (id, label) in below_n {
+                cursor = if out.contains(id) {
+                    id
+                } else {
+                    out.add_with_id(cursor, id, label).expect("fresh id")
+                };
+            }
+        }
+    }
+    InstanceCounterExample { before: out }
+}
+
+/// Builds `I` for an ↑ goal: the certain tree plus a chain to a fresh
+/// witness at path `q`. Protected prefixes reuse `J` nodes — preferring a
+/// deepest already-placed obligation chain so reused ids keep their
+/// `J` ancestry.
+fn build_no_remove_witness(
+    j: &DataTree,
+    q: &[Label],
+    nodes_at: &BTreeMap<Vec<Label>, Vec<NodeId>>,
+    down: &BTreeSet<Vec<Label>>,
+) -> InstanceCounterExample {
+    let mut out = certain_tree(j, down);
+
+    // Deepest proper prefix with a node already in the certain tree: its
+    // whole J chain is present and consistent.
+    let mut k0 = 0;
+    let mut anchor = out.root_id();
+    for k in (1..q.len()).rev() {
+        let prefix = q[..k].to_vec();
+        if let Some(ids) = nodes_at.get(&prefix) {
+            if let Some(&id) = ids.iter().find(|&&id| out.contains(id)) {
+                k0 = k;
+                anchor = id;
+                break;
+            }
+        }
+    }
+    // Below the anchor: graft unplaced J nodes when available, else fresh
+    // (legal because such prefixes are not ↑-protected).
+    let mut cursor = anchor;
+    for k in k0 + 1..q.len() {
+        let prefix = q[..k].to_vec();
+        let label = q[k - 1];
+        let graft = nodes_at
+            .get(&prefix)
+            .and_then(|ids| ids.iter().copied().find(|&id| !out.contains(id)));
+        cursor = match graft {
+            Some(id) => out.add_with_id(cursor, id, label).expect("fresh"),
+            None => out.add(cursor, label).expect("fresh"),
+        };
+    }
+    // The witness itself is always fresh (the decision guarantees q ∉ up).
+    out.add(cursor, *q.last().expect("non-empty")).expect("fresh witness");
+    InstanceCounterExample { before: out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::parse_constraint;
+    use xuc_xtree::parse_term;
+
+    fn c(s: &str) -> Constraint {
+        parse_constraint(s).unwrap()
+    }
+
+    fn decide(set: &[Constraint], j: &DataTree, goal: &Constraint) -> bool {
+        match implies_plain(set, j, goal) {
+            Outcome::Implied => true,
+            Outcome::NotImplied(ce) => {
+                assert!(ce.verify(set, j, goal), "plain witness must verify");
+                false
+            }
+            other => panic!("plain decision is exact, got {other}"),
+        }
+    }
+
+    #[test]
+    fn direct_membership() {
+        let j = parse_term("r(a#1(b#2))").unwrap();
+        assert!(decide(&[c("(/a/b, ↓)")], &j, &c("(/a/b, ↓)")));
+        assert!(decide(&[c("(/a/b, ↑)")], &j, &c("(/a/b, ↑)")));
+        assert!(!decide(&[c("(/a/b, ↓)")], &j, &c("(/a, ↓)")));
+        assert!(!decide(&[c("(/a/b, ↑)")], &j, &c("(/a, ↑)")));
+    }
+
+    #[test]
+    fn vacuous_down_goal() {
+        let j = parse_term("r(x#1)").unwrap();
+        assert!(decide(&[], &j, &c("(/a, ↓)")));
+    }
+
+    #[test]
+    fn up_goal_blocked_by_unpopulated_prefix() {
+        // (/a,↑) ∈ C and J has no a node: nothing can ever appear at /a/b
+        // in a valid I, so (/a/b, ↑) is implied by the instance.
+        let j = parse_term("r(x#1)").unwrap();
+        let set = vec![c("(/a, ↑)")];
+        assert!(decide(&set, &j, &c("(/a/b, ↑)")));
+        // With an a present in J the chain can be built: not implied.
+        let j2 = parse_term("r(a#1)").unwrap();
+        assert!(!decide(&set, &j2, &c("(/a/b, ↑)")));
+    }
+
+    #[test]
+    fn down_goal_pinned_ancestor() {
+        // n at /a is the only node at /a; its descendant at /a/b is
+        // ↓-obligated and /a is ↑-protected: n cannot escape.
+        let j = parse_term("r(a#1(b#2))").unwrap();
+        let set = vec![c("(/a/b, ↓)"), c("(/a, ↑)")];
+        assert!(decide(&set, &j, &c("(/a, ↓)")));
+        // A second a-node at the same path unlocks the reroute.
+        let j2 = parse_term("r(a#1(b#2),a#3)").unwrap();
+        assert!(!decide(&set, &j2, &c("(/a, ↓)")));
+        // Without the ↑ protection a fresh stand-in suffices.
+        let set2 = vec![c("(/a/b, ↓)")];
+        assert!(!decide(&set2, &j, &c("(/a, ↓)")));
+    }
+
+    #[test]
+    fn mixed_types_interact() {
+        let j = parse_term("r(a#1(b#2(d#3)))").unwrap();
+        // d is ↓-obligated; b (its parent) pinned when /a/b is ↑-protected
+        // and unique.
+        let set = vec![c("(/a/b/d, ↓)"), c("(/a/b, ↑)")];
+        assert!(decide(&set, &j, &c("(/a/b, ↓)")));
+    }
+
+    #[test]
+    fn up_goal_protected_by_itself() {
+        let j = parse_term("r(a#1)").unwrap();
+        let set = vec![c("(/a, ↑)")];
+        assert!(decide(&set, &j, &c("(/a, ↑)")));
+        assert!(!decide(&[], &j, &c("(/a, ↑)")));
+    }
+}

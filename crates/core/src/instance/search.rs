@@ -1,0 +1,179 @@
+//! Bounded, verified counterexample search for instance-based implication
+//! (the coNP cells of Table 2, justified by the small-model property of
+//! Theorem 5.1).
+//!
+//! Candidates for the previous instance `I` are generated from
+//!
+//! 1. the **certain-facts tree** `F_J` and the current instance `J` itself,
+//! 2. targeted edits of `J` — for every node in the goal range, the inverse
+//!    updates a violator would have performed (re-identification, moves,
+//!    deletions, relabelings, fresh insertions of range skeletons),
+//! 3. deterministic pseudo-random backward edits of `J`,
+//!
+//! each verified against `C` and the goal before being returned.
+
+use crate::constraint::{Constraint, ConstraintKind};
+use crate::implication::search::{random_edit, XorShift};
+use crate::instance::certain::certain_facts_tree;
+use crate::outcome::InstanceCounterExample;
+use xuc_xpath::{canonical, eval, Pattern};
+use xuc_xtree::{DataTree, Label};
+
+/// Searches for a verified `I` refuting `C ⊨_J c`, examining at most
+/// `budget` candidates.
+pub fn find_instance_counterexample(
+    set: &[Constraint],
+    j: &DataTree,
+    goal: &Constraint,
+    budget: usize,
+) -> Option<InstanceCounterExample> {
+    let mut examined = 0usize;
+    let check = |before: DataTree| -> Option<InstanceCounterExample> {
+        let ce = InstanceCounterExample { before };
+        if ce.verify(set, j, goal) {
+            Some(ce)
+        } else {
+            None
+        }
+    };
+
+    // Phase 0: the two canonical candidates.
+    for candidate in [certain_facts_tree(set, j), empty_like(j)] {
+        examined += 1;
+        if examined > budget {
+            return None;
+        }
+        if let Some(ce) = check(candidate) {
+            return Some(ce);
+        }
+    }
+
+    // Phase 1: targeted single-node edits of J (seen backwards: I = edited J).
+    let targets: Vec<_> = match goal.kind {
+        // For a ↓ goal the witness is a node of q(J) that was *absent or
+        // elsewhere* in I; for a ↑ goal the witness is extra structure in I.
+        ConstraintKind::NoInsert => eval::eval(&goal.range, j).into_iter().collect(),
+        ConstraintKind::NoRemove => j.nodes().into_iter().skip(1).collect(),
+    };
+    let patterns: Vec<&Pattern> =
+        set.iter().map(|c| &c.range).chain([&goal.range]).collect();
+    let z = canonical::fresh_label_for(patterns.iter().copied());
+    let labels: Vec<Label> = {
+        let mut pool: std::collections::BTreeSet<Label> =
+            patterns.iter().flat_map(|p| p.labels()).collect();
+        pool.extend(j.labels());
+        pool.insert(z);
+        pool.into_iter().collect()
+    };
+
+    for t in &targets {
+        let mut candidates: Vec<DataTree> = Vec::new();
+        if j.parent(t.id).ok().flatten().is_some() {
+            let mut d = j.clone();
+            d.delete_subtree(t.id).expect("live");
+            candidates.push(d);
+            let mut d = j.clone();
+            d.delete_node(t.id).expect("live");
+            candidates.push(d);
+            let (d, _) = crate::construct::replace_with_fresh(j, t.id);
+            candidates.push(d);
+            for target in j.node_ids() {
+                if target != t.id {
+                    let mut d = j.clone();
+                    if d.move_node(t.id, target).is_ok() {
+                        candidates.push(d);
+                    }
+                }
+            }
+        }
+        for &l in &labels {
+            if Ok(l) != j.label(t.id) {
+                let mut d = j.clone();
+                d.relabel(t.id, l).expect("live");
+                candidates.push(d);
+            }
+        }
+        // Fresh range-skeleton insertions under this node (↑ witnesses).
+        let side = canonical::instantiate(
+            &goal.range,
+            &vec![1; goal.range.descendant_edge_count()],
+            z,
+            Label::new("side"),
+        );
+        let mut d = j.clone();
+        let mut ok = true;
+        for child in side.tree.children(side.tree.root_id()).expect("root") {
+            if d.graft_copy(t.id, &side.tree, child).is_err() {
+                ok = false;
+            }
+        }
+        if ok {
+            candidates.push(d);
+        }
+
+        for candidate in candidates {
+            examined += 1;
+            if examined > budget {
+                return None;
+            }
+            if let Some(ce) = check(candidate) {
+                return Some(ce);
+            }
+        }
+    }
+
+    // Phase 2: pseudo-random backward edits.
+    let mut rng = XorShift::new(0xbead_5eed_0123_4567);
+    while examined < budget {
+        examined += 1;
+        let edits = 1 + rng.below(4);
+        let candidate = random_edit(&mut rng, j, &labels, edits);
+        if let Some(ce) = check(candidate) {
+            return Some(ce);
+        }
+    }
+    None
+}
+
+/// A root-only instance matching `j`'s root (the minimal candidate: valid
+/// whenever `C` is ↑-only).
+fn empty_like(j: &DataTree) -> DataTree {
+    DataTree::with_root_id(j.root_id(), j.root_label())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::parse_constraint;
+    use xuc_xtree::parse_term;
+
+    fn c(s: &str) -> Constraint {
+        parse_constraint(s).unwrap()
+    }
+
+    #[test]
+    fn finds_down_witness() {
+        let j = parse_term("r(a#1(b#2),a#3)").unwrap();
+        let set = vec![c("(/a[/b], ↓)")];
+        let goal = c("(/a, ↓)");
+        let ce = find_instance_counterexample(&set, &j, &goal, 2_000).expect("exists");
+        assert!(ce.verify(&set, &j, &goal));
+    }
+
+    #[test]
+    fn finds_up_witness() {
+        let j = parse_term("r(a#1)").unwrap();
+        let set = vec![c("(/a[/b], ↑)")];
+        let goal = c("(/a, ↑)");
+        let ce = find_instance_counterexample(&set, &j, &goal, 2_000).expect("exists");
+        assert!(ce.verify(&set, &j, &goal));
+    }
+
+    #[test]
+    fn no_witness_when_protected() {
+        let j = parse_term("r(a#1)").unwrap();
+        let set = vec![c("(/a, ↑)"), c("(/a, ↓)")];
+        let goal = c("(/a, ↑)");
+        assert!(find_instance_counterexample(&set, &j, &goal, 2_000).is_none());
+    }
+}

@@ -1,0 +1,40 @@
+//! XML update constraints and their implication problems.
+//!
+//! This crate is the primary contribution of *Cautis, Abiteboul, Milo —
+//! "Reasoning about XML update constraints"* (PODS 2007 / JCSS 2009):
+//!
+//! * [`Constraint`] — an update constraint `(q, σ)` with `σ ∈ {↓, ↑}`
+//!   (Definitions 2.2/2.3), validity of instance pairs and of sequences,
+//!   and *relative* constraints with a scope query (Section 6);
+//! * [`implication`] — the general implication problem `C ⊨ c`
+//!   (Definition 2.4), with every decision procedure of Section 4:
+//!   the PTIME intersection algorithm for `XP{/,[],*}` (Theorems 4.1,
+//!   4.4, 4.5), the conjunctive-containment procedure for one-type
+//!   `XP{/,[],//}` (Theorem 4.4 + [13]), the exact product-DFA
+//!   greatest-fixpoint decision for the linear fragment with *arbitrary*
+//!   update types (Theorems 4.3/4.8), and a verified counterexample search
+//!   for the remaining coNP/NEXPTIME territory (Theorems 4.2/4.7);
+//! * [`instance`] — the instance-based implication problem `C ⊨_J c`
+//!   (Definition 2.5) with the procedures of Section 5: the certain-facts
+//!   tree `F_J` (Theorem 5.3), possible embeddings (Theorem 5.5), the
+//!   direct `XP{/}` algorithm, the linear-fragment automata algorithm
+//!   (Theorem 5.4) and the small-model search (Theorem 5.1);
+//! * [`construct`] — the counterexample constructions used in the proofs
+//!   (Figures 3–5), exposed as reusable building blocks.
+//!
+//! Every procedure that is not provably exact for its input returns
+//! [`Outcome::Unknown`] rather than guessing; every `NotImplied` outcome
+//! carries a machine-checked counterexample.
+
+pub mod constraint;
+pub mod construct;
+pub mod implication;
+pub mod instance;
+pub mod outcome;
+pub mod relative;
+
+pub use constraint::{parse_constraint, Constraint, ConstraintKind, Violation};
+pub use implication::{implies, implies_with, ImplicationConfig};
+pub use instance::{implies_on, implies_on_with};
+pub use outcome::{CounterExample, InstanceCounterExample, Outcome};
+pub use relative::RelativeConstraint;

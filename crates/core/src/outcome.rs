@@ -1,0 +1,126 @@
+//! Three-valued outcomes for implication queries, with machine-checkable
+//! counterexamples.
+
+use crate::constraint::{all_satisfied, Constraint};
+use std::fmt;
+use xuc_xtree::DataTree;
+
+/// A counterexample to general implication `C ⊨ c`: a pair of instances
+/// valid for `C` but violating `c`.
+#[derive(Debug, Clone)]
+pub struct CounterExample {
+    pub before: DataTree,
+    pub after: DataTree,
+}
+
+impl CounterExample {
+    /// Checks that this pair actually refutes the implication: it satisfies
+    /// all of `set` and violates `goal`.
+    pub fn verify(&self, set: &[Constraint], goal: &Constraint) -> bool {
+        all_satisfied(set, &self.before, &self.after)
+            && !goal.satisfied_by(&self.before, &self.after)
+    }
+}
+
+/// A counterexample to instance-based implication `C ⊨_J c`: a *before*
+/// instance forming, with the given `J`, a pair valid for `C` but violating
+/// `c`.
+#[derive(Debug, Clone)]
+pub struct InstanceCounterExample {
+    pub before: DataTree,
+}
+
+impl InstanceCounterExample {
+    /// Checks the refutation against the given current instance `after`.
+    pub fn verify(&self, set: &[Constraint], after: &DataTree, goal: &Constraint) -> bool {
+        all_satisfied(set, &self.before, after) && !goal.satisfied_by(&self.before, after)
+    }
+}
+
+/// The result of an implication query.
+#[derive(Debug, Clone)]
+pub enum Outcome<W> {
+    /// The implication holds; produced only by procedures that are exact
+    /// for their input fragment.
+    Implied,
+    /// The implication fails, witnessed by a verified counterexample.
+    NotImplied(W),
+    /// The implication fails — decided by an exact procedure — but no
+    /// explicit counterexample pair was materialized within budget.
+    NotImpliedNoWitness,
+    /// The (sound but incomplete) procedure exhausted its budget without
+    /// an answer. `effort` describes the search bound reached.
+    Unknown { effort: String },
+}
+
+impl<W> Outcome<W> {
+    pub fn is_implied(&self) -> bool {
+        matches!(self, Outcome::Implied)
+    }
+
+    pub fn is_not_implied(&self) -> bool {
+        matches!(self, Outcome::NotImplied(_) | Outcome::NotImpliedNoWitness)
+    }
+
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, Outcome::Unknown { .. })
+    }
+
+    /// The counterexample, if the outcome is `NotImplied`.
+    pub fn counterexample(&self) -> Option<&W> {
+        match self {
+            Outcome::NotImplied(w) => Some(w),
+            _ => None,
+        }
+    }
+
+    /// Converts to `Some(bool)` when decided, `None` when unknown.
+    pub fn decided(&self) -> Option<bool> {
+        match self {
+            Outcome::Implied => Some(true),
+            Outcome::NotImplied(_) | Outcome::NotImpliedNoWitness => Some(false),
+            Outcome::Unknown { .. } => None,
+        }
+    }
+}
+
+impl<W> fmt::Display for Outcome<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Implied => write!(f, "implied"),
+            Outcome::NotImplied(_) => write!(f, "not implied (counterexample found)"),
+            Outcome::NotImpliedNoWitness => write!(f, "not implied"),
+            Outcome::Unknown { effort } => write!(f, "unknown (searched: {effort})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Constraint;
+    use xuc_xtree::parse_term;
+
+    #[test]
+    fn verify_accepts_real_counterexample() {
+        let before = parse_term("r(a#1,a#2)").unwrap();
+        let after = parse_term("r(a#1)").unwrap();
+        let ce = CounterExample { before, after };
+        let set = vec![Constraint::no_insert(xuc_xpath::parse("/a").unwrap())];
+        let goal = Constraint::no_remove(xuc_xpath::parse("/a").unwrap());
+        assert!(ce.verify(&set, &goal));
+        // Not a counterexample to its own constraint set member.
+        assert!(!ce.verify(&set, &set[0].clone()));
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let o: Outcome<CounterExample> = Outcome::Implied;
+        assert!(o.is_implied());
+        assert_eq!(o.decided(), Some(true));
+        let u: Outcome<CounterExample> = Outcome::Unknown { effort: "depth 3".into() };
+        assert!(u.is_unknown());
+        assert_eq!(u.decided(), None);
+        assert!(u.counterexample().is_none());
+    }
+}

@@ -1,0 +1,199 @@
+//! Relative update constraints (Section 6).
+//!
+//! A relative constraint `(q_s, q_r, σ)` restricts, for every node `x`
+//! selected by the *scope* `q_s` in **both** instances, how the *range*
+//! `q_r` evaluated at `x` may change (Definitions 6.1/6.2).
+//!
+//! The paper leaves implication for relative constraints open; this module
+//! provides the model — syntax, semantics, validity checking — plus the two
+//! phenomena the paper demonstrates: the failure of the same-type property
+//! (Example 6.1) and the divergence of pairwise and end-to-end sequence
+//! validity (Example 6.2), both covered by tests.
+
+use crate::constraint::ConstraintKind;
+use std::fmt;
+use xuc_xpath::{eval, Pattern};
+use xuc_xtree::{DataTree, NodeRef};
+
+/// A relative XML update constraint `(q_s, q_r, σ)` (Definition 6.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelativeConstraint {
+    /// The scope query, evaluated from the document root.
+    pub scope: Pattern,
+    /// The range query, evaluated at each scope node.
+    pub range: Pattern,
+    pub kind: ConstraintKind,
+}
+
+impl RelativeConstraint {
+    pub fn new(scope: Pattern, range: Pattern, kind: ConstraintKind) -> Self {
+        RelativeConstraint { scope, range, kind }
+    }
+
+    /// Is `(before, after)` valid (Definition 6.2)? For every `x` in
+    /// `q_s(before) ∩ q_s(after)`, the range at `x` must only shrink (↓)
+    /// or only grow (↑).
+    pub fn satisfied_by(&self, before: &DataTree, after: &DataTree) -> bool {
+        self.violating_scopes(before, after).is_empty()
+    }
+
+    /// The scope nodes at which the pair violates the constraint.
+    pub fn violating_scopes(&self, before: &DataTree, after: &DataTree) -> Vec<NodeRef> {
+        let scope_before = eval::eval(&self.scope, before);
+        let scope_after = eval::eval(&self.scope, after);
+        let mut bad = Vec::new();
+        for x in scope_before.intersection(&scope_after) {
+            let rb = eval::eval_at(&self.range, before, x.id);
+            let ra = eval::eval_at(&self.range, after, x.id);
+            let ok = match self.kind {
+                ConstraintKind::NoInsert => ra.is_subset(&rb),
+                ConstraintKind::NoRemove => rb.is_subset(&ra),
+            };
+            if !ok {
+                bad.push(*x);
+            }
+        }
+        bad
+    }
+
+    /// An absolute constraint `(q, σ)` viewed as the relative constraint
+    /// with the document root as scope is expressed here by scope `q_s`
+    /// being irrelevant; this helper instead *composes* scope and range
+    /// into the absolute query `q_s/q_r`-style constraint the paper uses
+    /// when it writes `(/patient/visit, ↑)` next to
+    /// `(/patient, /visit, ↑)`. The two are **not** equivalent — the
+    /// relative form is strictly stronger — and tests rely on that gap.
+    pub fn flattened_range(&self) -> Option<Pattern> {
+        // Rebuild the scope pattern, then graft the range below the scope's
+        // output node, keeping the range's output as the composed output.
+        fn graft_tracking(
+            dst: &mut xuc_xpath::PatternBuilder,
+            src: &Pattern,
+            src_idx: usize,
+            parent: usize,
+            map: &mut std::collections::HashMap<usize, usize>,
+        ) {
+            let idx = dst.add(parent, src.axis(src_idx), src.test(src_idx));
+            map.insert(src_idx, idx);
+            for &c in src.children(src_idx) {
+                graft_tracking(dst, src, c, idx, map);
+            }
+        }
+        let scope = &self.scope;
+        let mut b =
+            xuc_xpath::PatternBuilder::new(scope.axis(scope.root()), scope.test(scope.root()));
+        let mut map = std::collections::HashMap::new();
+        map.insert(scope.root(), b.root());
+        for i in scope.dfs().into_iter().skip(1) {
+            let p = scope.parent(i).expect("non-root");
+            let ni = b.add(map[&p], scope.axis(i), scope.test(i));
+            map.insert(i, ni);
+        }
+        let scope_out = map[&scope.output()];
+        let mut range_map = std::collections::HashMap::new();
+        graft_tracking(&mut b, &self.range, self.range.root(), scope_out, &mut range_map);
+        Some(b.finish(range_map[&self.range.output()]))
+    }
+}
+
+impl fmt::Display for RelativeConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.scope, self.range, self.kind)
+    }
+}
+
+/// Pairwise sequence validity for relative constraints (Section 2.2 applied
+/// to Section 6). Unlike absolute constraints, this is *not* implied by
+/// consecutive validity (Example 6.2).
+pub fn sequence_pairwise_valid(set: &[RelativeConstraint], seq: &[DataTree]) -> bool {
+    for i in 0..seq.len() {
+        for j in i + 1..seq.len() {
+            if !set.iter().all(|c| c.satisfied_by(&seq[i], &seq[j])) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Validity of each consecutive pair only.
+pub fn sequence_stepwise_valid(set: &[RelativeConstraint], seq: &[DataTree]) -> bool {
+    seq.windows(2).all(|w| set.iter().all(|c| c.satisfied_by(&w[0], &w[1])))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xuc_xtree::parse_term;
+
+    fn q(s: &str) -> Pattern {
+        xuc_xpath::parse(s).unwrap()
+    }
+
+    #[test]
+    fn per_scope_vs_global() {
+        // Move a visit from one patient to another: the *global* constraint
+        // (/patient/visit, ↑) holds, the relative one does not.
+        let i = parse_term("h(patient#1(visit#3),patient#2)").unwrap();
+        let j = parse_term("h(patient#1,patient#2(visit#3))").unwrap();
+        let global = crate::constraint::Constraint::no_remove(q("/patient/visit"));
+        assert!(global.satisfied_by(&i, &j));
+        let relative =
+            RelativeConstraint::new(q("/patient"), q("/visit"), ConstraintKind::NoRemove);
+        let bad = relative.violating_scopes(&i, &j);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].id.raw(), 1);
+    }
+
+    #[test]
+    fn scope_only_counts_shared_nodes() {
+        // A patient present only in `before` imposes nothing.
+        let i = parse_term("h(patient#1(visit#3))").unwrap();
+        let j = parse_term("h(patient#2)").unwrap();
+        let relative =
+            RelativeConstraint::new(q("/patient"), q("/visit"), ConstraintKind::NoRemove);
+        assert!(relative.satisfied_by(&i, &j));
+    }
+
+    #[test]
+    fn example_6_2_sequence_divergence() {
+        // (/person[/friend], /appointment, ↑): deleting the friend marker,
+        // then the appointment, then restoring the marker is stepwise valid
+        // but not pairwise valid.
+        let c = RelativeConstraint::new(
+            q("/person[/friend]"),
+            q("/appointment"),
+            ConstraintKind::NoRemove,
+        );
+        let s0 = parse_term("r(person#1(friend#2,appointment#3))").unwrap();
+        let s1 = parse_term("r(person#1(appointment#3))").unwrap();
+        let s2 = parse_term("r(person#1)").unwrap();
+        let s3 = parse_term("r(person#1(friend#9))").unwrap();
+        let seq = [s0, s1, s2, s3];
+        let set = [c];
+        assert!(sequence_stepwise_valid(&set, &seq), "each step is allowed");
+        assert!(!sequence_pairwise_valid(&set, &seq), "end-to-end it is not");
+    }
+
+    #[test]
+    fn no_insert_relative() {
+        let i = parse_term("h(patient#1)").unwrap();
+        let j = parse_term("h(patient#1(visit#5))").unwrap();
+        let c = RelativeConstraint::new(q("/patient"), q("/visit"), ConstraintKind::NoInsert);
+        assert!(!c.satisfied_by(&i, &j));
+        assert!(c.satisfied_by(&j, &i));
+    }
+
+    #[test]
+    fn flattened_range_composes() {
+        let c = RelativeConstraint::new(q("/patient"), q("/visit"), ConstraintKind::NoRemove);
+        let flat = c.flattened_range().unwrap();
+        assert_eq!(flat.to_string(), "/patient/visit");
+    }
+
+    #[test]
+    fn display_form() {
+        let c = RelativeConstraint::new(q("/a"), q("/b"), ConstraintKind::NoInsert);
+        assert_eq!(c.to_string(), "(/a, /b, ↓)");
+    }
+}

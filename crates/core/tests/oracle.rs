@@ -1,0 +1,187 @@
+//! Cross-validation of the exact decision procedures against the
+//! counterexample search and against each other on randomized workloads.
+//!
+//! The search is sound (every hit is a verified counterexample), so:
+//! * if an exact procedure says `Implied`, the search must find nothing;
+//! * if it says `NotImplied`, its witness must verify.
+
+use proptest::prelude::*;
+use xuc_core::constraint::parse_constraint;
+use xuc_core::{implication, instance, Constraint, Outcome};
+use xuc_xtree::parse_term;
+
+fn c(s: &str) -> Constraint {
+    parse_constraint(s).unwrap()
+}
+
+/// Strategy: a random linear concrete query over {a, b} with ≤ 3 steps.
+fn linear_query() -> impl Strategy<Value = String> {
+    let step = (any::<bool>(), prop_oneof![Just("a"), Just("b")]);
+    proptest::collection::vec(step, 1..4).prop_map(|steps| {
+        steps
+            .into_iter()
+            .map(|(desc, l)| format!("{}{}", if desc { "//" } else { "/" }, l))
+            .collect::<String>()
+    })
+}
+
+fn linear_constraint() -> impl Strategy<Value = String> {
+    (linear_query(), any::<bool>())
+        .prop_map(|(q, up)| format!("({q}, {})", if up { "↑" } else { "↓" }))
+}
+
+/// Strategy: a random XP{/,[]} query as a term over {a,b,x,y}.
+fn pred_query() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("/a".to_string()),
+        Just("/a[/x]".to_string()),
+        Just("/a[/y]".to_string()),
+        Just("/a[/x][/y]".to_string()),
+        Just("/a[/x[/w]]".to_string()),
+        Just("/a/b".to_string()),
+        Just("/a[/x]/b".to_string()),
+        Just("/b".to_string()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn linear_exact_vs_search(
+        set_src in proptest::collection::vec(linear_constraint(), 1..4),
+        goal_src in linear_constraint(),
+    ) {
+        let set: Vec<Constraint> = set_src.iter().map(|s| c(s)).collect();
+        let goal = c(&goal_src);
+        match implication::linear::implies_linear(&set, &goal) {
+            Outcome::Implied => {
+                prop_assert!(
+                    implication::search::find_counterexample(&set, &goal, 3_000).is_none(),
+                    "search refuted an Implied answer for C={set_src:?} c={goal_src}"
+                );
+            }
+            Outcome::NotImplied(ce) => {
+                prop_assert!(ce.verify(&set, &goal));
+            }
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn pred_star_exact_vs_search(
+        set_src in proptest::collection::vec((pred_query(), any::<bool>()), 1..4),
+        goal_q in pred_query(),
+        goal_up in any::<bool>(),
+    ) {
+        let set: Vec<Constraint> = set_src
+            .iter()
+            .map(|(q, up)| c(&format!("({q}, {})", if *up { "↑" } else { "↓" })))
+            .collect();
+        let goal = c(&format!("({goal_q}, {})", if goal_up { "↑" } else { "↓" }));
+        if implication::ptime::implies_pred_star(&set, &goal) {
+            prop_assert!(
+                implication::search::find_counterexample(&set, &goal, 2_000).is_none(),
+                "search refuted Thm 4.4 answer for C={set_src:?} c={goal_q}"
+            );
+        }
+    }
+
+    #[test]
+    fn instance_plain_vs_search(
+        down in proptest::collection::vec(prop_oneof![Just("/a"), Just("/a/b"), Just("/b")], 0..3),
+        up in proptest::collection::vec(prop_oneof![Just("/a"), Just("/a/b"), Just("/b")], 0..3),
+        goal_q in prop_oneof![Just("/a"), Just("/a/b"), Just("/b")],
+        goal_up in any::<bool>(),
+        j_src in prop_oneof![
+            Just("r(a#1(b#2))"),
+            Just("r(a#1(b#2),a#3)"),
+            Just("r(a#1,b#4)"),
+            Just("r(a#1(b#2(a#5)),a#3(b#6))"),
+        ],
+    ) {
+        let mut set: Vec<Constraint> = down.iter().map(|q| c(&format!("({q}, ↓)"))).collect();
+        set.extend(up.iter().map(|q| c(&format!("({q}, ↑)"))));
+        let goal = c(&format!("({goal_q}, {})", if goal_up { "↑" } else { "↓" }));
+        let j = parse_term(j_src).unwrap();
+        match instance::plain::implies_plain(&set, &j, &goal) {
+            Outcome::Implied => {
+                prop_assert!(
+                    instance::search::find_instance_counterexample(&set, &j, &goal, 3_000)
+                        .is_none(),
+                    "search refuted plain Implied: C={set:?} c={goal} J={j_src}"
+                );
+            }
+            Outcome::NotImplied(ce) => prop_assert!(ce.verify(&set, &j, &goal)),
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn instance_linear_down_vs_search(
+        down in proptest::collection::vec(linear_query(), 1..4),
+        goal_q in linear_query(),
+        j_src in prop_oneof![
+            Just("r(a#1(b#2))"),
+            Just("r(a#1(b#2(a#3)),b#4)"),
+            Just("r(b#1(a#2(b#3)))"),
+        ],
+    ) {
+        let set: Vec<Constraint> = down.iter().map(|q| c(&format!("({q}, ↓)"))).collect();
+        let goal = c(&format!("({goal_q}, ↓)"));
+        let j = parse_term(j_src).unwrap();
+        match instance::linear::implies_no_insert_linear(&set, &j, &goal) {
+            Outcome::Implied => {
+                prop_assert!(
+                    instance::search::find_instance_counterexample(&set, &j, &goal, 2_000)
+                        .is_none(),
+                    "search refuted linear-instance Implied: C={down:?} c={goal_q} J={j_src}"
+                );
+            }
+            Outcome::NotImplied(ce) => prop_assert!(ce.verify(&set, &j, &goal)),
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn instance_embeddings_vs_search(
+        up in proptest::collection::vec(pred_query(), 1..3),
+        goal_q in pred_query(),
+        j_src in prop_oneof![
+            Just("r(a#1(x#2,y#3))"),
+            Just("r(a#1(x#2),a#4(y#5),b#6)"),
+            Just("r(a#1(x#2(w#7),y#3),b#8)"),
+        ],
+    ) {
+        let set: Vec<Constraint> = up.iter().map(|q| c(&format!("({q}, ↑)"))).collect();
+        let goal = c(&format!("({goal_q}, ↑)"));
+        let j = parse_term(j_src).unwrap();
+        match instance::embeddings::implies_no_remove(&set, &j, &goal, 300_000) {
+            Outcome::Implied => {
+                prop_assert!(
+                    instance::search::find_instance_counterexample(&set, &j, &goal, 2_000)
+                        .is_none(),
+                    "search refuted embeddings Implied: C={up:?} c={goal_q} J={j_src}"
+                );
+            }
+            Outcome::NotImplied(ce) => prop_assert!(ce.verify(&set, &j, &goal)),
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn dispatchers_only_return_verified_or_exact(
+        set_src in proptest::collection::vec(linear_constraint(), 1..3),
+        goal_src in linear_constraint(),
+    ) {
+        let set: Vec<Constraint> = set_src.iter().map(|s| c(s)).collect();
+        let goal = c(&goal_src);
+        if let Outcome::NotImplied(ce) = xuc_core::implies(&set, &goal) {
+            prop_assert!(ce.verify(&set, &goal));
+        }
+        let j = parse_term("r(a#1(b#2),b#3)").unwrap();
+        if let Outcome::NotImplied(ce) = xuc_core::implies_on(&set, &j, &goal) {
+            prop_assert!(ce.verify(&set, &j, &goal));
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Simulated cryptographic enforcement of update constraints (Section 1,
+//! Figure 1).
+//!
+//! The paper motivates update constraints by exchange scenarios where a
+//! *Source* publishes a document, a *Broker* edits it within agreed limits,
+//! and a *User* must check validity **without seeing the original**. The
+//! paper points to signature schemes for modifiable collections
+//! ([1, 8, 21, 22]) as the enforcement mechanism; this crate simulates
+//! that layer with the same *functional* contract:
+//!
+//! * [`Signer::certify`] — the Source evaluates every constraint range on
+//!   its instance `I` and signs the selected `(id, label)` sets,
+//! * [`Certificate::verify`] — the User re-evaluates the ranges on the
+//!   received instance `J` and checks the signed inclusions
+//!   (`⊇` for ↑ ranges, `⊆` for ↓), after authenticating each signed set.
+//!
+//! `verify(J, cert) == Ok` holds exactly when `(I, J)` is valid for the
+//! certified constraints — the certificate is a faithful stand-in for `I`.
+//!
+//! **This is a simulation**: the MAC is a keyed FNV-style hash, not a
+//! cryptographic primitive. The reasoning machinery of `xuc-core` never
+//! depends on the hash strength; it only consumes the validity verdicts.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use xuc_core::{Constraint, ConstraintKind};
+use xuc_xpath::eval;
+use xuc_xtree::{DataTree, NodeRef};
+
+/// A 64-bit FNV-1a style keyed digest (simulation of a MAC).
+fn mac(key: u64, data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ key;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    // One extra mixing round keyed again, so extension attacks on the toy
+    // hash are at least inconvenient.
+    h ^= key.rotate_left(17);
+    h = h.wrapping_mul(0x100_0000_01b3);
+    h
+}
+
+fn serialize_set(set: &BTreeSet<NodeRef>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(set.len() * 12);
+    for n in set {
+        out.extend_from_slice(&n.id.raw().to_le_bytes());
+        out.extend_from_slice(n.label.as_str().as_bytes());
+        out.push(0);
+    }
+    out
+}
+
+/// One certified range: the constraint, the signed node set and its MAC.
+#[derive(Debug, Clone)]
+pub struct CertEntry {
+    pub constraint: Constraint,
+    pub snapshot: BTreeSet<NodeRef>,
+    pub tag: u64,
+}
+
+/// A certificate over a document: what the Source vouches for.
+#[derive(Debug, Clone, Default)]
+pub struct Certificate {
+    pub entries: Vec<CertEntry>,
+}
+
+/// Verification failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A signed set's MAC does not check out (tampered certificate).
+    BadSignature { index: usize },
+    /// The document violates a certified constraint.
+    Violated { constraint: String, offenders: usize },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::BadSignature { index } => {
+                write!(f, "certificate entry {index} failed authentication")
+            }
+            VerifyError::Violated { constraint, offenders } => {
+                write!(f, "document violates {constraint} ({offenders} offending nodes)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// The Source's signing identity (shared-key simulation).
+#[derive(Debug, Clone, Copy)]
+pub struct Signer {
+    key: u64,
+}
+
+impl Signer {
+    pub fn new(key: u64) -> Signer {
+        Signer { key }
+    }
+
+    /// Certifies `document` under `constraints`: evaluates each range and
+    /// signs the selected set.
+    pub fn certify(&self, document: &DataTree, constraints: &[Constraint]) -> Certificate {
+        let entries = constraints
+            .iter()
+            .map(|c| {
+                let snapshot = eval::eval(&c.range, document);
+                let tag = mac(self.key, &serialize_set(&snapshot));
+                CertEntry { constraint: c.clone(), snapshot, tag }
+            })
+            .collect();
+        Certificate { entries }
+    }
+}
+
+impl Certificate {
+    /// The User-side check: authenticate every entry, then compare the
+    /// signed snapshot against the received document's evaluation.
+    pub fn verify(&self, key: u64, received: &DataTree) -> Result<(), VerifyError> {
+        for (index, e) in self.entries.iter().enumerate() {
+            if mac(key, &serialize_set(&e.snapshot)) != e.tag {
+                return Err(VerifyError::BadSignature { index });
+            }
+            let now = eval::eval(&e.constraint.range, received);
+            let offenders = match e.constraint.kind {
+                // no-remove: everything signed must still be selected.
+                ConstraintKind::NoRemove => e.snapshot.difference(&now).count(),
+                // no-insert: nothing beyond the signed set may be selected.
+                ConstraintKind::NoInsert => now.difference(&e.snapshot).count(),
+            };
+            if offenders > 0 {
+                return Err(VerifyError::Violated {
+                    constraint: e.constraint.to_string(),
+                    offenders,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xuc_core::parse_constraint;
+    use xuc_xtree::parse_term;
+
+    fn c(s: &str) -> Constraint {
+        parse_constraint(s).unwrap()
+    }
+
+    #[test]
+    fn verify_equals_pair_validity() {
+        let i = parse_term("h(patient#2(visit#6,visit#7),patient#3(clinicalTrial#8))").unwrap();
+        let constraints = vec![
+            c("(/patient[/visit], ↓)"),
+            c("(/patient[/clinicalTrial], ↓)"),
+            c("(/patient[/clinicalTrial], ↑)"),
+            c("(/patient/visit, ↑)"),
+        ];
+        let signer = Signer::new(0xfeed);
+        let cert = signer.certify(&i, &constraints);
+
+        // The Fig. 2 J violates c3 (visit n7 removed).
+        let j = parse_term("h(patient#2(visit#6),patient#3(clinicalTrial#8),patient#4)").unwrap();
+        let err = cert.verify(0xfeed, &j).unwrap_err();
+        assert!(matches!(err, VerifyError::Violated { .. }));
+        assert_eq!(
+            xuc_core::constraint::all_satisfied(&constraints, &i, &j),
+            cert.verify(0xfeed, &j).is_ok()
+        );
+
+        // A compliant edit (add a visit) verifies.
+        let mut j_ok = i.clone();
+        j_ok.add(xuc_xtree::NodeId::from_raw(2), "visit").unwrap();
+        assert!(cert.verify(0xfeed, &j_ok).is_ok());
+        assert!(xuc_core::constraint::all_satisfied(&constraints, &i, &j_ok));
+    }
+
+    #[test]
+    fn identity_always_verifies() {
+        let i = parse_term("r(a#1(b#2),c#3)").unwrap();
+        let constraints = vec![c("(//a, ↑)"), c("(//b, ↓)"), c("(/c, ↑)"), c("(/c, ↓)")];
+        let cert = Signer::new(7).certify(&i, &constraints);
+        assert!(cert.verify(7, &i).is_ok());
+    }
+
+    #[test]
+    fn tampered_certificate_rejected() {
+        let i = parse_term("r(a#1)").unwrap();
+        let constraints = vec![c("(//a, ↓)")];
+        let mut cert = Signer::new(42).certify(&i, &constraints);
+        // Broker sneaks an extra node into the signed ↓ snapshot so its own
+        // insertion would pass: authentication must catch it.
+        let forged = xuc_xtree::NodeRef {
+            id: xuc_xtree::NodeId::from_raw(99),
+            label: xuc_xtree::Label::new("a"),
+        };
+        cert.entries[0].snapshot.insert(forged);
+        let mut j = i.clone();
+        j.add_with_id(j.root_id(), xuc_xtree::NodeId::from_raw(99), "a").unwrap();
+        assert_eq!(cert.verify(42, &j), Err(VerifyError::BadSignature { index: 0 }));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let i = parse_term("r(a#1)").unwrap();
+        let cert = Signer::new(1).certify(&i, &[c("(//a, ↑)")]);
+        assert!(matches!(cert.verify(2, &i), Err(VerifyError::BadSignature { .. })));
+    }
+
+    #[test]
+    fn agreement_with_validity_on_random_edits() {
+        // The certificate verdict must coincide with pair validity for
+        // arbitrary update sequences.
+        let i = parse_term("r(a#1(b#2,b#3),c#4(b#5))").unwrap();
+        let constraints =
+            vec![c("(/a/b, ↑)"), c("(/a/b, ↓)"), c("(//b, ↑)"), c("(/c[/b], ↓)")];
+        let cert = Signer::new(0xabc).certify(&i, &constraints);
+        let edits: Vec<DataTree> = vec![
+            parse_term("r(a#1(b#2,b#3),c#4(b#5))").unwrap(),
+            parse_term("r(a#1(b#2),c#4(b#5,b#3))").unwrap(),
+            parse_term("r(a#1(b#2,b#3,b#9),c#4(b#5))").unwrap(),
+            parse_term("r(a#1(b#2,b#3),c#4)").unwrap(),
+            parse_term("r(c#4(b#5),a#1(b#2,b#3(x#7)))").unwrap(),
+        ];
+        for j in edits {
+            assert_eq!(
+                cert.verify(0xabc, &j).is_ok(),
+                xuc_core::constraint::all_satisfied(&constraints, &i, &j),
+                "certificate and validity disagree on {j:?}"
+            );
+        }
+    }
+}

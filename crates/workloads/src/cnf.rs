@@ -1,0 +1,180 @@
+//! 3CNF formulas with a brute-force SAT oracle.
+//!
+//! Used to validate the hardness reductions of Theorems 4.6 and 5.2: the
+//! reductions claim "implication ⇔ unsatisfiable", and the oracle supplies
+//! ground truth for small formulas.
+
+use rand::Rng;
+use std::fmt;
+
+/// A literal: variable index (0-based) and polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Literal {
+    pub var: usize,
+    pub positive: bool,
+}
+
+impl Literal {
+    pub fn pos(var: usize) -> Self {
+        Literal { var, positive: true }
+    }
+
+    pub fn neg(var: usize) -> Self {
+        Literal { var, positive: false }
+    }
+
+    pub fn satisfied_by(self, assignment: &[bool]) -> bool {
+        assignment[self.var] == self.positive
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", if self.positive { "" } else { "¬" }, self.var + 1)
+    }
+}
+
+/// A clause of exactly three literals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Clause(pub [Literal; 3]);
+
+impl Clause {
+    pub fn satisfied_by(self, assignment: &[bool]) -> bool {
+        self.0.iter().any(|l| l.satisfied_by(assignment))
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} ∨ {} ∨ {})", self.0[0], self.0[1], self.0[2])
+    }
+}
+
+/// A 3CNF formula over `vars` variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Formula {
+    pub vars: usize,
+    pub clauses: Vec<Clause>,
+}
+
+impl Formula {
+    pub fn new(vars: usize, clauses: Vec<Clause>) -> Self {
+        for c in &clauses {
+            for l in c.0 {
+                assert!(l.var < vars, "literal variable out of range");
+            }
+        }
+        Formula { vars, clauses }
+    }
+
+    pub fn satisfied_by(&self, assignment: &[bool]) -> bool {
+        assert_eq!(assignment.len(), self.vars);
+        self.clauses.iter().all(|c| c.satisfied_by(assignment))
+    }
+
+    /// Brute-force satisfiability; exact for small `vars`.
+    pub fn satisfiable(&self) -> bool {
+        self.first_model().is_some()
+    }
+
+    /// The lexicographically first satisfying assignment, if any.
+    pub fn first_model(&self) -> Option<Vec<bool>> {
+        assert!(self.vars <= 24, "brute-force oracle limited to 24 variables");
+        (0..1u32 << self.vars)
+            .map(|bits| (0..self.vars).map(|i| bits & (1 << i) != 0).collect::<Vec<bool>>())
+            .find(|a| self.satisfied_by(a))
+    }
+
+    /// All satisfying assignments (small formulas only).
+    pub fn all_models(&self) -> Vec<Vec<bool>> {
+        assert!(self.vars <= 20, "model enumeration limited to 20 variables");
+        (0..1u32 << self.vars)
+            .map(|bits| (0..self.vars).map(|i| bits & (1 << i) != 0).collect::<Vec<bool>>())
+            .filter(|a| self.satisfied_by(a))
+            .collect()
+    }
+
+    /// A uniformly random formula.
+    pub fn random(rng: &mut impl Rng, vars: usize, clauses: usize) -> Formula {
+        assert!(vars >= 1);
+        let clauses = (0..clauses)
+            .map(|_| {
+                Clause([0; 3].map(|_| Literal {
+                    var: rng.random_range(0..vars),
+                    positive: rng.random_bool(0.5),
+                }))
+            })
+            .collect();
+        Formula::new(vars, clauses)
+    }
+
+    /// A canonical unsatisfiable formula over `vars ≥ 2` variables: all
+    /// eight sign patterns of (x1, x2) padded with x1 in the third slot.
+    pub fn unsatisfiable(vars: usize) -> Formula {
+        assert!(vars >= 2);
+        let mut clauses = Vec::new();
+        for p1 in [true, false] {
+            for p2 in [true, false] {
+                for p3 in [true, false] {
+                    clauses.push(Clause([
+                        Literal { var: 0, positive: p1 },
+                        Literal { var: 1, positive: p2 },
+                        Literal { var: 0, positive: p3 },
+                    ]));
+                }
+            }
+        }
+        Formula::new(vars, clauses)
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.clauses.iter().map(|c| c.to_string()).collect();
+        write!(f, "{}", parts.join(" ∧ "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn satisfiability_basics() {
+        let f = Formula::new(
+            2,
+            vec![Clause([Literal::pos(0), Literal::neg(1), Literal::pos(0)])],
+        );
+        assert!(f.satisfiable());
+        assert!(f.satisfied_by(&[true, true]));
+        assert!(!f.satisfied_by(&[false, true]));
+    }
+
+    #[test]
+    fn canonical_unsat() {
+        for vars in 2..5 {
+            let f = Formula::unsatisfiable(vars);
+            assert!(!f.satisfiable(), "{f} must be unsatisfiable");
+        }
+    }
+
+    #[test]
+    fn random_formulas_well_formed() {
+        let mut rng = rand::rng();
+        for _ in 0..20 {
+            let f = Formula::random(&mut rng, 4, 6);
+            assert_eq!(f.clauses.len(), 6);
+            // Oracle runs without panicking.
+            let _ = f.satisfiable();
+        }
+    }
+
+    #[test]
+    fn all_models_consistent_with_satisfiable() {
+        let mut rng = rand::rng();
+        for _ in 0..10 {
+            let f = Formula::random(&mut rng, 3, 4);
+            assert_eq!(f.satisfiable(), !f.all_models().is_empty());
+        }
+    }
+}

@@ -1,0 +1,485 @@
+//! The coNP-hardness reduction gadgets of Theorems 4.6 and 5.2 (Fig. 6),
+//! implemented faithfully and *validated* against the brute-force SAT
+//! oracle: each gadget comes with an **assignment-guided instance builder**
+//! realizing the intended violating instance for a truth assignment `α`,
+//! and the key lemma — *the built instance is valid for `C` iff `α ⊨ f`* —
+//! is checked by tests and exercised by the hardness benchmarks.
+
+use crate::cnf::Formula;
+use xuc_core::Constraint;
+use xuc_xpath::Pattern;
+use xuc_xtree::{DataTree, NodeId};
+
+fn q(src: &str) -> Pattern {
+    xuc_xpath::parse(src).unwrap_or_else(|e| panic!("gadget query {src:?}: {e}"))
+}
+
+fn xvar(i: usize) -> String {
+    format!("x{}", i + 1)
+}
+
+// ---------------------------------------------------------------------
+// Theorem 4.6 — general implication, XP{/,[],//} is coNP-hard.
+// ---------------------------------------------------------------------
+
+/// The Theorem 4.6 gadget: a constraint set `C` and goal `c` over
+/// `XP{/,[],//}` such that `C ⊨ c` iff the formula is unsatisfiable.
+pub struct Thm46Gadget {
+    pub formula: Formula,
+    pub set: Vec<Constraint>,
+    pub goal: Constraint,
+    /// The canonical before-instance `I`: the full path with every
+    /// assignment pair in the second half.
+    pub canonical_i: DataTree,
+    /// Ids of the `+`/`-` nodes per variable (second-half positions in `I`).
+    plus_ids: Vec<NodeId>,
+    minus_ids: Vec<NodeId>,
+    /// All other chain node ids in order, for rebuilding `J(α)`.
+    s_id: NodeId,
+    first_half: Vec<NodeId>,
+    m_id: NodeId,
+    second_half: Vec<NodeId>,
+    e_id: NodeId,
+}
+
+impl Thm46Gadget {
+    pub fn new(formula: Formula) -> Thm46Gadget {
+        let n = formula.vars;
+        assert!(n >= 1);
+
+        // --- the goal: c = (/s/x1//x2//…//xn//m//x1//+//-//…//xn//+//-//e, ↑)
+        let mut goal_src = String::from("/s/x1");
+        for i in 1..n {
+            goal_src.push_str(&format!("//{}", xvar(i)));
+        }
+        goal_src.push_str("//m");
+        for i in 0..n {
+            goal_src.push_str(&format!("//{}//+//-", xvar(i)));
+        }
+        goal_src.push_str("//e");
+        let goal = Constraint::no_remove(q(&goal_src));
+
+        // The tail `p` after s, used inside the predicate-guarded ranges.
+        let mut tail = String::from("/x1");
+        for i in 1..n {
+            tail.push_str(&format!("//{}", xvar(i)));
+        }
+        tail.push_str("//m");
+        for i in 0..n {
+            tail.push_str(&format!("//{}//+//-", xvar(i)));
+        }
+        tail.push_str("//e");
+
+        let mut set = Vec::new();
+        let mut guard = |pred: &str| {
+            set.push(Constraint::no_remove(q(&format!("/s[{pred}]{tail}"))));
+        };
+
+        // Group 1: the root-to-e path of I must be clean (↑ with predicates).
+        guard("//m//m");
+        for i in 0..n {
+            guard(&format!("//{x}//{x}//m", x = xvar(i)));
+            guard(&format!("//m//{x}//{x}", x = xvar(i)));
+        }
+        for i in 0..n {
+            for k in 0..i {
+                // Out-of-order variables in either half.
+                guard(&format!("//{}//{}//m", xvar(i), xvar(k)));
+                guard(&format!("//m//{}//{}", xvar(i), xvar(k)));
+            }
+        }
+        guard("//+//m");
+        guard("//-//m");
+        for i in 0..n.saturating_sub(1) {
+            guard(&format!("//m//{}//+//+//{}", xvar(i), xvar(i + 1)));
+            guard(&format!("//m//{}//-//-//{}", xvar(i), xvar(i + 1)));
+        }
+
+        // e stays on the general path.
+        let mut general = String::from("/s//x1");
+        for i in 1..n {
+            general.push_str(&format!("//{}", xvar(i)));
+        }
+        general.push_str("//m");
+        for i in 0..n {
+            general.push_str(&format!("//{}", xvar(i)));
+        }
+        general.push_str("//e");
+        set.push(Constraint::no_remove(q(&general)));
+
+        // No new m's or duplicated variables may appear (↓).
+        set.push(Constraint::no_insert(q("/s//m//m//e")));
+        for i in 0..n {
+            set.push(Constraint::no_insert(q(&format!("/s//{x}//{x}//m//e", x = xvar(i)))));
+            set.push(Constraint::no_insert(q(&format!("/s//m//{x}//{x}//e", x = xvar(i)))));
+        }
+
+        // All n +'s and n -'s remain on the path to e (↑).
+        let plus_run: String = "//+".repeat(n);
+        let minus_run: String = "//-".repeat(n);
+        set.push(Constraint::no_remove(q(&format!("/s{plus_run}//e"))));
+        set.push(Constraint::no_remove(q(&format!("/s{minus_run}//e"))));
+
+        // First-half intervals hold at most one sign (↓).
+        for i in 0..n.saturating_sub(1) {
+            for signs in ["+//+", "-//-", "+//-", "-//+"] {
+                set.push(Constraint::no_insert(q(&format!(
+                    "/s//{}//{}//{}//m//e",
+                    xvar(i),
+                    signs,
+                    xvar(i + 1)
+                ))));
+            }
+        }
+        // Second-half intervals: no doubled signs, no - before + (↓).
+        for i in 0..n.saturating_sub(1) {
+            for signs in ["+//+", "-//-", "-//+"] {
+                set.push(Constraint::no_insert(q(&format!(
+                    "/s//m//{}//{}//{}//e",
+                    xvar(i),
+                    signs,
+                    xvar(i + 1)
+                ))));
+            }
+        }
+        // Any first-half sign forces a perfect split (↓).
+        for lead in ["+", "-"] {
+            for j in 0..n.saturating_sub(1) {
+                set.push(Constraint::no_insert(q(&format!(
+                    "/s//{lead}//m//{}//+//-//{}//e",
+                    xvar(j),
+                    xvar(j + 1)
+                ))));
+            }
+        }
+        // One constraint pair per clause: at least one literal's sign must
+        // land in the first half (↓; the pattern detects "all three
+        // falsified in the second half").
+        for clause in &formula.clauses {
+            let mut lits: Vec<_> = clause.0.to_vec();
+            lits.sort_by_key(|l| (l.var, l.positive));
+            lits.dedup();
+            // A clause holding a variable in both polarities is a tautology
+            // and imposes no restriction.
+            let tautology = lits.windows(2).any(|w| w[0].var == w[1].var);
+            if tautology {
+                continue;
+            }
+            for lead in ["+", "-"] {
+                let mut src = format!("/s//{lead}//m");
+                for (k, l) in lits.iter().enumerate() {
+                    let sign = if l.positive { "+" } else { "-" };
+                    src.push_str(&format!("//{}//{}", xvar(l.var), sign));
+                    // Close the interval so the sign is pinned right after
+                    // x_{var}; the boundary coincides with the next literal's
+                    // variable when they are consecutive.
+                    let boundary = l.var + 1;
+                    if boundary < n && lits.get(k + 1).map(|nl| nl.var) != Some(boundary) {
+                        src.push_str(&format!("//{}", xvar(boundary)));
+                    }
+                }
+                src.push_str("//e");
+                set.push(Constraint::no_insert(q(&src)));
+            }
+        }
+
+        // --- the canonical I: the full chain.
+        let mut canonical_i = DataTree::new("doc");
+        let mut cursor = canonical_i.root_id();
+        let grow = |tree: &mut DataTree, cursor: &mut NodeId, label: &str| -> NodeId {
+            let id = tree.add(*cursor, label).expect("fresh");
+            *cursor = id;
+            id
+        };
+        let s_id = grow(&mut canonical_i, &mut cursor, "s");
+        let mut first_half = Vec::new();
+        for i in 0..n {
+            first_half.push(grow(&mut canonical_i, &mut cursor, &xvar(i)));
+        }
+        let m_id = grow(&mut canonical_i, &mut cursor, "m");
+        let mut second_half = Vec::new();
+        let mut plus_ids = Vec::new();
+        let mut minus_ids = Vec::new();
+        for i in 0..n {
+            second_half.push(grow(&mut canonical_i, &mut cursor, &xvar(i)));
+            plus_ids.push(grow(&mut canonical_i, &mut cursor, "+"));
+            minus_ids.push(grow(&mut canonical_i, &mut cursor, "-"));
+        }
+        let e_id = grow(&mut canonical_i, &mut cursor, "e");
+
+        Thm46Gadget {
+            formula,
+            set,
+            goal,
+            canonical_i,
+            plus_ids,
+            minus_ids,
+            s_id,
+            first_half,
+            m_id,
+            second_half,
+            e_id,
+        }
+    }
+
+    /// The after-instance `J(α)` for a truth assignment: each variable's
+    /// chosen sign moves into its first-half interval; the opposite sign
+    /// stays in the second half. Node ids are preserved.
+    pub fn assignment_instance(&self, alpha: &[bool]) -> DataTree {
+        assert_eq!(alpha.len(), self.formula.vars);
+        let mut j = DataTree::new("doc");
+        let mut cursor = j.root_id();
+        let src = &self.canonical_i;
+        let push = |tree: &mut DataTree, cursor: &mut NodeId, id: NodeId| {
+            let label = src.label(id).expect("live");
+            *cursor = tree.add_with_id(*cursor, id, label).expect("fresh");
+        };
+        push(&mut j, &mut cursor, self.s_id);
+        for (i, &fh) in self.first_half.iter().enumerate() {
+            push(&mut j, &mut cursor, fh);
+            let chosen = if alpha[i] { self.plus_ids[i] } else { self.minus_ids[i] };
+            push(&mut j, &mut cursor, chosen);
+        }
+        push(&mut j, &mut cursor, self.m_id);
+        for (i, &sh) in self.second_half.iter().enumerate() {
+            push(&mut j, &mut cursor, sh);
+            let kept = if alpha[i] { self.minus_ids[i] } else { self.plus_ids[i] };
+            push(&mut j, &mut cursor, kept);
+        }
+        push(&mut j, &mut cursor, self.e_id);
+        j
+    }
+
+    /// The key lemma of the reduction, checked semantically: the pair
+    /// `(I, J(α))` is valid for `C` iff `α ⊨ f`, and every valid `J(α)`
+    /// violates `c`.
+    pub fn assignment_refutes(&self, alpha: &[bool]) -> bool {
+        let j = self.assignment_instance(alpha);
+        xuc_core::constraint::all_satisfied(&self.set, &self.canonical_i, &j)
+            && !self.goal.satisfied_by(&self.canonical_i, &j)
+    }
+
+    /// Brute-force gadget decision: `C ⊨ c` restricted to assignment-shaped
+    /// counterexamples — by the reduction argument this equals full
+    /// implication, i.e. it holds iff the formula is unsatisfiable.
+    pub fn implied_by_assignment_sweep(&self) -> bool {
+        let n = self.formula.vars;
+        (0..1u32 << n).all(|bits| {
+            let alpha: Vec<bool> = (0..n).map(|i| bits & (1 << i) != 0).collect();
+            !self.assignment_refutes(&alpha)
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Theorem 5.2 / Figure 6 — instance-based implication, XP{/,[]} is
+// coNP-hard with mixed update types.
+// ---------------------------------------------------------------------
+
+/// The Theorem 5.2 gadget: a current instance `J` (Fig. 6), constraints
+/// `C` and goal `c` in `XP{/,[]}` such that `C ⊨_J c` iff the formula is
+/// unsatisfiable.
+pub struct Thm52Gadget {
+    pub formula: Formula,
+    pub j: DataTree,
+    pub set: Vec<Constraint>,
+    pub goal: Constraint,
+    /// Per-variable `(+ id, - id)` under `a1`'s v-nodes in `J`.
+    sign_ids: Vec<(NodeId, NodeId)>,
+    /// `a2`'s v-node ids per variable (targets of the sign moves).
+    a2_v_ids: Vec<NodeId>,
+}
+
+impl Thm52Gadget {
+    pub fn new(formula: Formula) -> Thm52Gadget {
+        let n = formula.vars;
+        assert!(n >= 1);
+
+        // --- J: Fig. 6.
+        let mut j = DataTree::new("doc");
+        let root = j.root_id();
+        let a1 = j.add(root, "a").expect("fresh");
+        j.add(a1, "one").expect("fresh");
+        let a2 = j.add(root, "a").expect("fresh");
+        j.add(a2, "two").expect("fresh");
+        let mut sign_ids = Vec::new();
+        let mut a2_v_ids = Vec::new();
+        for i in 0..n {
+            let v1 = j.add(a1, "v").expect("fresh");
+            j.add(v1, xvar(i).as_str()).expect("fresh");
+            let plus = j.add(v1, "+").expect("fresh");
+            let minus = j.add(v1, "-").expect("fresh");
+            sign_ids.push((plus, minus));
+            let v2 = j.add(a2, "v").expect("fresh");
+            j.add(v2, xvar(i).as_str()).expect("fresh");
+            a2_v_ids.push(v2);
+        }
+
+        // --- C.
+        let mut set = Vec::new();
+        let mut immutable = |src: &str| {
+            set.extend(Constraint::immutable(q(src)));
+        };
+        immutable("/a");
+        immutable("/a[/one]");
+        immutable("/a[/two]");
+        immutable("/a/v");
+        for i in 0..n {
+            immutable(&format!("/a[/one]/v[/{}]", xvar(i)));
+            immutable(&format!("/a[/two]/v[/{}]", xvar(i)));
+        }
+        let all_vars: String = (0..n).map(|i| format!("[/v[/{}]]", xvar(i))).collect();
+        immutable(&format!("/a[/one]{all_vars}"));
+        immutable(&format!("/a[/two]{all_vars}"));
+        for i in 0..n {
+            immutable(&format!("/a/v[/{}]/+", xvar(i)));
+            immutable(&format!("/a/v[/{}]/-", xvar(i)));
+        }
+        for i in 0..n {
+            set.push(Constraint::no_remove(q(&format!(
+                "/a[/two][/v[/{}][/+][/-]]",
+                xvar(i)
+            ))));
+        }
+        for clause in &formula.clauses {
+            let mut preds = String::new();
+            let mut lits: Vec<_> = clause.0.to_vec();
+            lits.sort_by_key(|l| (l.var, l.positive));
+            lits.dedup();
+            for l in lits {
+                let sign = if l.positive { "+" } else { "-" };
+                preds.push_str(&format!("[/v[/{}][/{}]]", xvar(l.var), sign));
+            }
+            set.push(Constraint::no_remove(q(&format!("/a[/two]{preds}"))));
+        }
+
+        let goal = Constraint::no_insert(q("/a[/one][/v[/+][/-]]"));
+
+        Thm52Gadget { formula, j, set, goal, sign_ids, a2_v_ids }
+    }
+
+    /// The previous instance `I(α)`: `J` with, per variable, the sign
+    /// *opposite* to `α` moved under `a2`'s v-node — so `a1`'s v-nodes each
+    /// hold exactly the chosen assignment.
+    pub fn assignment_instance(&self, alpha: &[bool]) -> DataTree {
+        assert_eq!(alpha.len(), self.formula.vars);
+        let mut i_tree = self.j.clone();
+        for (idx, &(plus, minus)) in self.sign_ids.iter().enumerate() {
+            let mover = if alpha[idx] { minus } else { plus };
+            i_tree.move_node(mover, self.a2_v_ids[idx]).expect("move sign");
+        }
+        i_tree
+    }
+
+    /// The key lemma: `(I(α), J)` is valid for `C` iff `α ⊨ f`, and every
+    /// valid `I(α)` violates `c`.
+    pub fn assignment_refutes(&self, alpha: &[bool]) -> bool {
+        let i = self.assignment_instance(alpha);
+        xuc_core::constraint::all_satisfied(&self.set, &i, &self.j)
+            && !self.goal.satisfied_by(&i, &self.j)
+    }
+
+    /// Brute-force gadget decision over assignment-shaped instances:
+    /// equals `C ⊨_J c` by the reduction, i.e. holds iff unsatisfiable.
+    pub fn implied_by_assignment_sweep(&self) -> bool {
+        let n = self.formula.vars;
+        (0..1u32 << n).all(|bits| {
+            let alpha: Vec<bool> = (0..n).map(|i| bits & (1 << i) != 0).collect();
+            !self.assignment_refutes(&alpha)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::{Clause, Literal};
+
+    fn small_formulas() -> Vec<Formula> {
+        let mut out = vec![
+            Formula::new(2, vec![Clause([Literal::pos(0), Literal::pos(1), Literal::pos(0)])]),
+            Formula::new(
+                2,
+                vec![
+                    Clause([Literal::pos(0), Literal::pos(0), Literal::pos(0)]),
+                    Clause([Literal::neg(0), Literal::neg(0), Literal::neg(0)]),
+                ],
+            ),
+            Formula::unsatisfiable(2),
+            Formula::new(
+                3,
+                vec![
+                    Clause([Literal::pos(0), Literal::neg(1), Literal::pos(2)]),
+                    Clause([Literal::neg(0), Literal::pos(1), Literal::neg(2)]),
+                ],
+            ),
+        ];
+        let mut rng = rand::rng();
+        for _ in 0..4 {
+            out.push(Formula::random(&mut rng, 3, 3));
+        }
+        out
+    }
+
+    #[test]
+    fn thm52_assignment_lemma() {
+        for f in small_formulas() {
+            let g = Thm52Gadget::new(f.clone());
+            for alpha in 0..1u32 << f.vars {
+                let a: Vec<bool> = (0..f.vars).map(|i| alpha & (1 << i) != 0).collect();
+                assert_eq!(
+                    g.assignment_refutes(&a),
+                    f.satisfied_by(&a),
+                    "Thm 5.2 lemma failed for {f} under {a:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn thm52_reduction_matches_sat_oracle() {
+        for f in small_formulas() {
+            let sat = f.satisfiable();
+            let g = Thm52Gadget::new(f.clone());
+            assert_eq!(
+                g.implied_by_assignment_sweep(),
+                !sat,
+                "Thm 5.2 reduction disagreed with SAT oracle on {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn thm46_assignment_lemma() {
+        for f in small_formulas() {
+            let g = Thm46Gadget::new(f.clone());
+            for alpha in 0..1u32 << f.vars {
+                let a: Vec<bool> = (0..f.vars).map(|i| alpha & (1 << i) != 0).collect();
+                assert_eq!(
+                    g.assignment_refutes(&a),
+                    f.satisfied_by(&a),
+                    "Thm 4.6 lemma failed for {f} under {a:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn thm46_reduction_matches_sat_oracle() {
+        for f in small_formulas() {
+            let sat = f.satisfiable();
+            let g = Thm46Gadget::new(f.clone());
+            assert_eq!(g.implied_by_assignment_sweep(), !sat);
+        }
+    }
+
+    #[test]
+    fn gadget_sizes_polynomial() {
+        let f = Formula::random(&mut rand::rng(), 4, 5);
+        let g46 = Thm46Gadget::new(f.clone());
+        assert!(g46.set.len() <= 20 + 12 * f.vars + 2 * f.vars * f.vars + 2 * f.clauses.len());
+        let g52 = Thm52Gadget::new(f.clone());
+        assert!(g52.j.len() <= 6 + 6 * f.vars);
+        assert!(g52.set.len() <= 16 + 10 * f.vars + f.clauses.len());
+    }
+}

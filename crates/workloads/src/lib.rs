@@ -1,0 +1,19 @@
+//! Workload generators for the benchmark harness and tests.
+//!
+//! * [`trees`] — random data trees and the paper's running documents
+//!   (Fig. 2 hospital instances, scaled hospital generators),
+//! * [`queries`] — random queries and constraint sets per XPath fragment,
+//!   including families with *known* implication status,
+//! * [`cnf`] — 3CNF formulas, random generation and a brute-force SAT
+//!   oracle,
+//! * [`gadgets`] — the coNP-hardness reductions of Theorem 4.6 (general
+//!   implication, `XP{/,[],//}`) and Theorem 5.2 / Fig. 6 (instance-based,
+//!   `XP{/,[]}`), each with an *assignment-guided instance builder* so the
+//!   reduction can be validated end-to-end against the SAT oracle.
+
+pub mod cnf;
+pub mod gadgets;
+pub mod queries;
+pub mod trees;
+
+pub use cnf::{Clause, Formula, Literal};

@@ -1,0 +1,227 @@
+//! Random queries and constraint sets per XPath fragment, plus families
+//! with known implication status for calibrating the deciders.
+
+use rand::Rng;
+use xuc_core::{Constraint, ConstraintKind};
+use xuc_xpath::{Axis, Pattern, PatternBuilder};
+
+/// Knobs for random query generation.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryGen<'a> {
+    pub labels: &'a [&'a str],
+    /// Spine length range (inclusive).
+    pub spine: (usize, usize),
+    /// Probability of a descendant edge (0 ⇒ fragment without //).
+    pub descendant_p: f64,
+    /// Probability of a wildcard test on non-output nodes
+    /// (0 ⇒ fragment without *). Outputs stay concrete.
+    pub wildcard_p: f64,
+    /// Number of predicates to sprinkle (0 ⇒ linear fragment).
+    pub predicates: usize,
+}
+
+impl<'a> QueryGen<'a> {
+    pub fn pred_star(labels: &'a [&'a str]) -> Self {
+        QueryGen { labels, spine: (1, 3), descendant_p: 0.0, wildcard_p: 0.25, predicates: 2 }
+    }
+
+    pub fn pred_desc(labels: &'a [&'a str]) -> Self {
+        QueryGen { labels, spine: (1, 3), descendant_p: 0.4, wildcard_p: 0.0, predicates: 2 }
+    }
+
+    pub fn linear(labels: &'a [&'a str]) -> Self {
+        QueryGen { labels, spine: (1, 4), descendant_p: 0.5, wildcard_p: 0.25, predicates: 0 }
+    }
+
+    pub fn plain(labels: &'a [&'a str]) -> Self {
+        QueryGen { labels, spine: (1, 4), descendant_p: 0.0, wildcard_p: 0.0, predicates: 0 }
+    }
+
+    pub fn full(labels: &'a [&'a str]) -> Self {
+        QueryGen { labels, spine: (1, 3), descendant_p: 0.3, wildcard_p: 0.2, predicates: 2 }
+    }
+
+    fn label(&self, rng: &mut impl Rng) -> String {
+        self.labels[rng.random_range(0..self.labels.len())].to_string()
+    }
+
+    fn test(&self, rng: &mut impl Rng, output: bool) -> String {
+        if !output && rng.random_bool(self.wildcard_p) {
+            "*".to_string()
+        } else {
+            self.label(rng)
+        }
+    }
+
+    fn axis(&self, rng: &mut impl Rng) -> Axis {
+        if rng.random_bool(self.descendant_p) {
+            Axis::Descendant
+        } else {
+            Axis::Child
+        }
+    }
+
+    /// Generates one random query (concrete output).
+    pub fn query(&self, rng: &mut impl Rng) -> Pattern {
+        let spine_len = rng.random_range(self.spine.0..=self.spine.1);
+        let mut b = PatternBuilder::new(self.axis(rng), self.test(rng, spine_len == 1).as_str());
+        let mut spine = vec![b.root()];
+        for k in 1..spine_len {
+            let prev = *spine.last().expect("non-empty");
+            spine.push(b.add(prev, self.axis(rng), self.test(rng, k + 1 == spine_len).as_str()));
+        }
+        let mut attachable = spine.clone();
+        for _ in 0..self.predicates {
+            if rng.random_bool(0.5) {
+                continue;
+            }
+            let host = attachable[rng.random_range(0..attachable.len())];
+            let p = b.add(host, self.axis(rng), self.test(rng, false).as_str());
+            attachable.push(p);
+        }
+        b.finish(*spine.last().expect("non-empty"))
+    }
+
+    /// A random constraint with the given kind distribution
+    /// (`up_p` = probability of ↑).
+    pub fn constraint(&self, rng: &mut impl Rng, up_p: f64) -> Constraint {
+        let kind = if rng.random_bool(up_p) {
+            ConstraintKind::NoRemove
+        } else {
+            ConstraintKind::NoInsert
+        };
+        Constraint::new(self.query(rng), kind)
+    }
+
+    /// A random constraint set of size `n`.
+    pub fn set(&self, rng: &mut impl Rng, n: usize, up_p: f64) -> Vec<Constraint> {
+        (0..n).map(|_| self.constraint(rng, up_p)).collect()
+    }
+}
+
+/// A family with known status: the goal range is built as the syntactic
+/// combination of `k` ranges from the set, so the implication *holds* by
+/// Proposition 3.1 (for `XP{/,[],*}` one-type inputs it is also detected
+/// by the exact Theorem 4.4 procedure in PTIME).
+pub fn implied_pred_star_family(
+    rng: &mut impl Rng,
+    labels: &[&str],
+    n_constraints: usize,
+    preds_per_range: usize,
+    kind: ConstraintKind,
+) -> (Vec<Constraint>, Constraint) {
+    // All ranges share the spine /root_label and carry disjoint predicate
+    // bundles; the goal takes the union of all predicates.
+    let spine_label = labels[0];
+    let mut set = Vec::new();
+    let mut all_preds: Vec<String> = Vec::new();
+    for i in 0..n_constraints {
+        let mut preds = Vec::new();
+        for p in 0..preds_per_range {
+            let l = labels[1 + (i * preds_per_range + p) % (labels.len() - 1)];
+            preds.push(format!("[/{l}x{i}p{p}]"));
+        }
+        let _ = rng;
+        all_preds.extend(preds.iter().cloned());
+        let q = xuc_xpath::parse(&format!("/{spine_label}{}", preds.join(""))).expect("generated");
+        set.push(Constraint::new(q, kind));
+    }
+    let goal_q =
+        xuc_xpath::parse(&format!("/{spine_label}{}", all_preds.join(""))).expect("generated");
+    (set, Constraint::new(goal_q, kind))
+}
+
+/// A family with known *negative* status: the goal asks for a predicate
+/// no range protects.
+pub fn not_implied_pred_star_family(
+    rng: &mut impl Rng,
+    labels: &[&str],
+    n_constraints: usize,
+    kind: ConstraintKind,
+) -> (Vec<Constraint>, Constraint) {
+    let (set, goal) = implied_pred_star_family(rng, labels, n_constraints, 1, kind);
+    let weakened = xuc_xpath::parse(&format!("{}[/unprotected]", goal.range)).expect("generated");
+    (set, Constraint::new(weakened, kind))
+}
+
+/// A linear family with known status built from chains: constraints
+/// protect `//l1//l2…//lk` for every prefix; the goal is the full chain
+/// (implied) or the reversed chain (not implied for k ≥ 2).
+pub fn linear_chain_family(
+    labels: &[&str],
+    k: usize,
+    kind: ConstraintKind,
+    implied: bool,
+) -> (Vec<Constraint>, Constraint) {
+    let chain: Vec<&str> = (0..k).map(|i| labels[i % labels.len()]).collect();
+    let full: String = chain.iter().map(|l| format!("//{l}")).collect();
+    let set = vec![Constraint::new(xuc_xpath::parse(&full).expect("generated"), kind)];
+    let goal_src = if implied {
+        full
+    } else {
+        let mut rev = chain.clone();
+        rev.reverse();
+        rev.iter().map(|l| format!("//{l}")).collect()
+    };
+    (set, Constraint::new(xuc_xpath::parse(&goal_src).expect("generated"), kind))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xuc_xpath::Features;
+
+    #[test]
+    fn generators_respect_fragments() {
+        let mut rng = rand::rng();
+        let labels = ["a", "b", "c"];
+        for _ in 0..50 {
+            let q = QueryGen::pred_star(&labels).query(&mut rng);
+            assert!(Features::of(&q).in_pred_star(), "{q} must avoid //");
+            assert!(q.is_concrete());
+            let q = QueryGen::linear(&labels).query(&mut rng);
+            assert!(q.is_linear(), "{q} must be linear");
+            let q = QueryGen::plain(&labels).query(&mut rng);
+            assert!(Features::of(&q).is_plain(), "{q} must be plain");
+            let q = QueryGen::pred_desc(&labels).query(&mut rng);
+            assert!(Features::of(&q).in_pred_desc(), "{q} must avoid *");
+        }
+    }
+
+    #[test]
+    fn implied_family_is_implied() {
+        let mut rng = rand::rng();
+        let labels = ["doc", "a", "b", "c"];
+        for n in 1..5 {
+            let (set, goal) = implied_pred_star_family(
+                &mut rng,
+                &labels,
+                n,
+                2,
+                ConstraintKind::NoRemove,
+            );
+            assert!(
+                xuc_core::implication::ptime::implies_pred_star(&set, &goal),
+                "family of size {n} must be implied"
+            );
+        }
+    }
+
+    #[test]
+    fn not_implied_family_is_not() {
+        let mut rng = rand::rng();
+        let labels = ["doc", "a", "b"];
+        let (set, goal) =
+            not_implied_pred_star_family(&mut rng, &labels, 3, ConstraintKind::NoInsert);
+        assert!(!xuc_core::implication::ptime::implies_pred_star(&set, &goal));
+    }
+
+    #[test]
+    fn linear_chain_families() {
+        let labels = ["a", "b", "c"];
+        let (set, goal) = linear_chain_family(&labels, 3, ConstraintKind::NoRemove, true);
+        assert!(xuc_core::implication::linear::implies_linear(&set, &goal).is_implied());
+        let (set, goal) = linear_chain_family(&labels, 3, ConstraintKind::NoRemove, false);
+        assert!(xuc_core::implication::linear::implies_linear(&set, &goal).is_not_implied());
+    }
+}

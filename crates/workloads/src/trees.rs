@@ -1,0 +1,146 @@
+//! Data-tree workloads: the paper's running documents and random trees.
+
+use rand::Rng;
+use xuc_core::Constraint;
+use xuc_xtree::{DataTree, Label, NodeId};
+
+/// The Figure 2 pair of instances `(I, J)` of Example 2.1 — `J` deletes
+/// visit `n7` and adds a fresh patient.
+pub fn fig2_pair() -> (DataTree, DataTree) {
+    let i = xuc_xtree::parse_term(
+        "hospital#1(patient#2(visit#6,visit#7),patient#3(clinicalTrial#8))",
+    )
+    .expect("static term");
+    let j = xuc_xtree::parse_term(
+        "hospital#1(patient#2(visit#6),patient#3(clinicalTrial#8),patient#4)",
+    )
+    .expect("static term");
+    (i, j)
+}
+
+/// Example 2.1's constraints `{c1, c2, c3}`.
+pub fn example_2_1_constraints() -> Vec<Constraint> {
+    let mut out = vec![xuc_core::parse_constraint("(/patient[/visit], ↓)").expect("static")];
+    out.extend(Constraint::immutable(
+        xuc_xpath::parse("/patient[/clinicalTrial]").expect("static"),
+    ));
+    out.push(xuc_core::parse_constraint("(/patient/visit, ↑)").expect("static"));
+    out
+}
+
+/// Example 4.1's mixed-type linear constraint set and implied goal.
+pub fn example_4_1() -> (Vec<Constraint>, Constraint) {
+    let set = [
+        "(//a//c, ↑)",
+        "(//b//c, ↑)",
+        "(//a//b//c, ↓)",
+        "(//a//b//a//c, ↑)",
+        "(//b//a//b//c, ↑)",
+    ]
+    .iter()
+    .map(|s| xuc_core::parse_constraint(s).expect("static"))
+    .collect();
+    let goal = xuc_core::parse_constraint("(//b//a//c, ↑)").expect("static");
+    (set, goal)
+}
+
+/// A synthetic hospital document: `patients` patients, each with up to
+/// `max_visits` visits and a clinical-trial marker with probability 0.5.
+pub fn hospital(rng: &mut impl Rng, patients: usize, max_visits: usize) -> DataTree {
+    let mut t = DataTree::new("hospital");
+    let root = t.root_id();
+    for _ in 0..patients {
+        let p = t.add(root, "patient").expect("fresh");
+        for _ in 0..rng.random_range(0..=max_visits) {
+            let v = t.add(p, "visit").expect("fresh");
+            if rng.random_bool(0.3) {
+                t.add(v, "report").expect("fresh");
+            }
+        }
+        if rng.random_bool(0.5) {
+            t.add(p, "clinicalTrial").expect("fresh");
+        }
+        if rng.random_bool(0.2) {
+            t.add(p, "phone").expect("fresh");
+        }
+    }
+    t
+}
+
+/// A uniformly random tree with `n` non-root nodes over the label pool.
+pub fn random_tree(rng: &mut impl Rng, labels: &[&str], n: usize) -> DataTree {
+    let mut tree = DataTree::new("root");
+    let mut ids: Vec<NodeId> = vec![tree.root_id()];
+    for _ in 0..n {
+        let parent = ids[rng.random_range(0..ids.len())];
+        let label = Label::new(labels[rng.random_range(0..labels.len())]);
+        ids.push(tree.add(parent, label).expect("fresh"));
+    }
+    tree
+}
+
+/// A random "bushy" tree of bounded depth (more realistic XML shape).
+pub fn random_document(
+    rng: &mut impl Rng,
+    labels: &[&str],
+    n: usize,
+    max_depth: usize,
+) -> DataTree {
+    let mut tree = DataTree::new("root");
+    let mut frontier: Vec<(NodeId, usize)> = vec![(tree.root_id(), 0)];
+    for _ in 0..n {
+        let idx = rng.random_range(0..frontier.len());
+        let (parent, depth) = frontier[idx];
+        let label = Label::new(labels[rng.random_range(0..labels.len())]);
+        let id = tree.add(parent, label).expect("fresh");
+        if depth + 1 < max_depth {
+            frontier.push((id, depth + 1));
+        }
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xuc_core::constraint;
+
+    #[test]
+    fn fig2_matches_example_2_1() {
+        let (i, j) = fig2_pair();
+        let cs = example_2_1_constraints();
+        // c1 and c2 hold; c3 (the last) is violated.
+        assert!(cs[0].satisfied_by(&i, &j));
+        assert!(cs[1].satisfied_by(&i, &j));
+        assert!(cs[2].satisfied_by(&i, &j));
+        assert!(!cs[3].satisfied_by(&i, &j));
+        assert_eq!(constraint::violations(&cs, &i, &j).len(), 1);
+    }
+
+    #[test]
+    fn example_4_1_wellformed() {
+        let (set, goal) = example_4_1();
+        assert_eq!(set.len(), 5);
+        assert!(set.iter().all(|c| c.range.is_linear()));
+        assert!(goal.range.is_linear());
+    }
+
+    #[test]
+    fn hospital_sizes() {
+        let mut rng = rand::rng();
+        let t = hospital(&mut rng, 50, 4);
+        assert!(t.len() > 50);
+        let q = xuc_xpath::parse("/patient").unwrap();
+        assert_eq!(xuc_xpath::eval::eval(&q, &t).len(), 50);
+    }
+
+    #[test]
+    fn random_trees_sized() {
+        let mut rng = rand::rng();
+        let t = random_tree(&mut rng, &["a", "b"], 30);
+        assert_eq!(t.len(), 31);
+        let d = random_document(&mut rng, &["a", "b", "c"], 40, 4);
+        assert_eq!(d.len(), 41);
+        assert!(d.height() <= 4);
+    }
+}

@@ -1,0 +1,477 @@
+//! XML Integrity Constraints (XICs) and a chase engine (Section 3.3).
+//!
+//! The paper relates update constraints to the XICs of Deutsch–Tannen
+//! [15]: every update constraint is expressible as an XIC over a virtual
+//! two-branch document (`I` and `J` under one root, node identity through
+//! an `@id` attribute), but the resulting XICs are *unbounded* — the chase,
+//! the classical inference tool for XICs, need not terminate. Example 3.3
+//! exhibits a two-constraint set on which the chase loops forever; this
+//! crate reproduces that phenomenon:
+//!
+//! * [`Xic`] — tuple-generating dependencies over the relations
+//!   `child(x, y)`, `label_ℓ(x)` and `id(x, v)`,
+//! * [`FactDb`] — a fact database with homomorphism search,
+//! * [`chase`] — the standard chase loop with a round cap,
+//! * [`translate`] — update constraints (child-axis linear ranges) into
+//!   two-branch XICs exactly as in Example 3.2.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use xuc_core::{Constraint, ConstraintKind};
+use xuc_xpath::{Axis, NodeTest};
+use xuc_xtree::Label;
+
+/// A term: a bound variable (by name) or a constant value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    Var(String),
+    Const(u64),
+}
+
+impl Term {
+    pub fn var(name: impl Into<String>) -> Term {
+        Term::Var(name.into())
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "#{c}"),
+        }
+    }
+}
+
+/// Relation symbols of the tree encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rel {
+    /// `child(x, y)` — y is a child element of x.
+    Child,
+    /// `label_ℓ(x)` — x is labeled ℓ.
+    Label(Label),
+    /// `id(x, v)` — x carries the id attribute value v.
+    IdAttr,
+}
+
+/// An atom `rel(args…)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    pub rel: Rel,
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    pub fn child(x: Term, y: Term) -> Atom {
+        Atom { rel: Rel::Child, args: vec![x, y] }
+    }
+
+    pub fn label(x: Term, l: Label) -> Atom {
+        Atom { rel: Rel::Label(l), args: vec![x] }
+    }
+
+    pub fn id(x: Term, v: Term) -> Atom {
+        Atom { rel: Rel::IdAttr, args: vec![x, v] }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let args: Vec<String> = self.args.iter().map(|t| t.to_string()).collect();
+        match self.rel {
+            Rel::Child => write!(f, "child({})", args.join(", ")),
+            Rel::Label(l) => write!(f, "label_{l}({})", args.join(", ")),
+            Rel::IdAttr => write!(f, "id({})", args.join(", ")),
+        }
+    }
+}
+
+/// A tuple-generating XIC: `∀x̄ body → ∃ȳ head`.
+#[derive(Debug, Clone)]
+pub struct Xic {
+    pub name: String,
+    pub body: Vec<Atom>,
+    pub head: Vec<Atom>,
+}
+
+impl Xic {
+    fn body_vars(&self) -> BTreeSet<&str> {
+        vars_of(&self.body)
+    }
+
+    /// Head variables not bound by the body — existentially quantified,
+    /// instantiated by fresh nulls when the chase fires.
+    pub fn existentials(&self) -> BTreeSet<&str> {
+        vars_of(&self.head).difference(&self.body_vars()).copied().collect()
+    }
+}
+
+fn vars_of(atoms: &[Atom]) -> BTreeSet<&str> {
+    atoms
+        .iter()
+        .flat_map(|a| a.args.iter())
+        .filter_map(|t| match t {
+            Term::Var(v) => Some(v.as_str()),
+            Term::Const(_) => None,
+        })
+        .collect()
+}
+
+impl fmt::Display for Xic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let body: Vec<String> = self.body.iter().map(|a| a.to_string()).collect();
+        let head: Vec<String> = self.head.iter().map(|a| a.to_string()).collect();
+        write!(f, "{}: {} → {}", self.name, body.join(" ∧ "), head.join(" ∧ "))
+    }
+}
+
+/// A ground fact database.
+#[derive(Debug, Clone, Default)]
+pub struct FactDb {
+    facts: BTreeSet<(Rel, Vec<u64>)>,
+    next_null: u64,
+}
+
+impl FactDb {
+    pub fn new() -> FactDb {
+        FactDb { facts: BTreeSet::new(), next_null: 1_000_000 }
+    }
+
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Mints a labeled null (a fresh value).
+    pub fn fresh(&mut self) -> u64 {
+        self.next_null += 1;
+        self.next_null
+    }
+
+    pub fn insert(&mut self, rel: Rel, args: Vec<u64>) -> bool {
+        self.facts.insert((rel, args))
+    }
+
+    pub fn contains(&self, rel: Rel, args: &[u64]) -> bool {
+        self.facts.contains(&(rel, args.to_vec()))
+    }
+
+    pub fn facts(&self) -> impl Iterator<Item = &(Rel, Vec<u64>)> {
+        self.facts.iter()
+    }
+
+    /// All homomorphisms of `atoms` into the database extending `base`.
+    fn homomorphisms(
+        &self,
+        atoms: &[Atom],
+        base: &std::collections::HashMap<String, u64>,
+    ) -> Vec<std::collections::HashMap<String, u64>> {
+        let mut results = Vec::new();
+        let mut current = base.clone();
+        self.extend_hom(atoms, 0, &mut current, &mut results);
+        results
+    }
+
+    fn extend_hom(
+        &self,
+        atoms: &[Atom],
+        idx: usize,
+        current: &mut std::collections::HashMap<String, u64>,
+        results: &mut Vec<std::collections::HashMap<String, u64>>,
+    ) {
+        if idx == atoms.len() {
+            results.push(current.clone());
+            return;
+        }
+        let atom = &atoms[idx];
+        'fact: for (rel, args) in &self.facts {
+            if *rel != atom.rel || args.len() != atom.args.len() {
+                continue;
+            }
+            let mut newly_bound = Vec::new();
+            for (t, &v) in atom.args.iter().zip(args) {
+                match t {
+                    Term::Const(c) => {
+                        if *c != v {
+                            for k in newly_bound {
+                                current.remove(&k);
+                            }
+                            continue 'fact;
+                        }
+                    }
+                    Term::Var(name) => match current.get(name) {
+                        Some(&bound) if bound != v => {
+                            for k in newly_bound {
+                                current.remove(&k);
+                            }
+                            continue 'fact;
+                        }
+                        Some(_) => {}
+                        None => {
+                            current.insert(name.clone(), v);
+                            newly_bound.push(name.clone());
+                        }
+                    },
+                }
+            }
+            self.extend_hom(atoms, idx + 1, current, results);
+            for k in newly_bound {
+                current.remove(&k);
+            }
+        }
+    }
+}
+
+/// Result of a chase run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaseResult {
+    /// No dependency was applicable after `rounds` rounds: terminated.
+    Terminated { rounds: usize },
+    /// The round cap was reached with dependencies still firing — the
+    /// observable signature of non-termination (Example 3.3).
+    CapReached { rounds: usize, facts: usize },
+}
+
+/// Runs the standard chase: repeatedly finds a homomorphism of some
+/// dependency's body that has no extension to its head, and adds the head
+/// with fresh nulls for the existential variables.
+pub fn chase(db: &mut FactDb, deps: &[Xic], max_rounds: usize) -> ChaseResult {
+    for round in 0..max_rounds {
+        let mut fired = false;
+        for dep in deps {
+            let existentials = dep.existentials();
+            let homs = db.homomorphisms(&dep.body, &Default::default());
+            for hom in homs {
+                // Is the head already satisfied under some extension?
+                if !db.homomorphisms(&dep.head, &hom).is_empty() {
+                    continue;
+                }
+                // Fire: fresh nulls for existentials.
+                let mut env = hom.clone();
+                for e in &existentials {
+                    let null = db.fresh();
+                    env.insert((*e).to_string(), null);
+                }
+                for atom in &dep.head {
+                    let args: Vec<u64> = atom
+                        .args
+                        .iter()
+                        .map(|t| match t {
+                            Term::Const(c) => *c,
+                            Term::Var(v) => env[v],
+                        })
+                        .collect();
+                    db.insert(atom.rel, args);
+                }
+                fired = true;
+            }
+        }
+        if !fired {
+            return ChaseResult::Terminated { rounds: round };
+        }
+    }
+    ChaseResult::CapReached { rounds: max_rounds, facts: db.len() }
+}
+
+/// Well-known constants of the two-branch encoding.
+pub const ROOT: u64 = 0;
+pub const I_BRANCH: u64 = 1;
+pub const J_BRANCH: u64 = 2;
+
+/// Seeds the two-branch document skeleton: `root` with `I` and `J`
+/// children.
+pub fn seed_two_branch(db: &mut FactDb) {
+    db.insert(Rel::Child, vec![ROOT, I_BRANCH]);
+    db.insert(Rel::Label(Label::new("I")), vec![I_BRANCH]);
+    db.insert(Rel::Child, vec![ROOT, J_BRANCH]);
+    db.insert(Rel::Label(Label::new("J")), vec![J_BRANCH]);
+}
+
+/// Translates an update constraint with a child-axis linear range into the
+/// two-branch XIC of Example 3.2: a match with id `v` under the source
+/// branch must also exist under the target branch with the same id
+/// (`↑`: I → J; `↓`: J → I).
+///
+/// # Panics
+/// Panics on non-linear or non-child-axis ranges (the general translation
+/// follows [15] and is out of scope; the paper itself demonstrates the
+/// phenomenon on child-only ranges).
+pub fn translate(constraint: &Constraint, name: impl Into<String>) -> Xic {
+    let steps = constraint
+        .range
+        .linear_steps()
+        .expect("translate requires a linear range");
+    let (src, dst) = match constraint.kind {
+        ConstraintKind::NoRemove => (I_BRANCH, J_BRANCH),
+        ConstraintKind::NoInsert => (J_BRANCH, I_BRANCH),
+    };
+
+    let mut body = Vec::new();
+    let mut head = Vec::new();
+    let mut b_prev = Term::Const(src);
+    let mut h_prev = Term::Const(dst);
+    for (k, (axis, test)) in steps.iter().enumerate() {
+        assert_eq!(*axis, Axis::Child, "translate requires child-axis steps");
+        let b_cur = Term::var(format!("x{k}"));
+        let h_cur = Term::var(format!("y{k}"));
+        body.push(Atom::child(b_prev.clone(), b_cur.clone()));
+        head.push(Atom::child(h_prev.clone(), h_cur.clone()));
+        if let NodeTest::Label(l) = test {
+            body.push(Atom::label(b_cur.clone(), *l));
+            head.push(Atom::label(h_cur.clone(), *l));
+        }
+        b_prev = b_cur;
+        h_prev = h_cur;
+    }
+    // The output node's id is shared between the two branches.
+    body.push(Atom::id(b_prev, Term::var("v")));
+    head.push(Atom::id(h_prev, Term::var("v")));
+    Xic { name: name.into(), body, head }
+}
+
+/// Seeds a concrete subtree (with ids on every node) under a branch; used
+/// to set up the chase start for implication tests.
+pub fn seed_path(db: &mut FactDb, branch: u64, labels: &[&str]) -> Vec<u64> {
+    let mut ids = Vec::new();
+    let mut parent = branch;
+    for l in labels {
+        let node = db.fresh();
+        let idv = db.fresh();
+        db.insert(Rel::Child, vec![parent, node]);
+        db.insert(Rel::Label(Label::new(l)), vec![node]);
+        db.insert(Rel::IdAttr, vec![node, idv]);
+        parent = node;
+    }
+    ids.push(parent);
+    ids
+}
+
+/// The id-existence XICs of Example 3.2: every labeled element node has
+/// an id attribute (`∀p,x child(p,x) ∧ label_ℓ(x) → ∃v id(x,v)`). These
+/// are the *unbounded* dependencies whose existentially quantified ids
+/// drive the non-terminating chase of Example 3.3.
+pub fn id_existence_rules(labels: &[&str]) -> Vec<Xic> {
+    labels
+        .iter()
+        .map(|l| Xic {
+            name: format!("id-exists-{l}"),
+            body: vec![
+                Atom::child(Term::var("p"), Term::var("x")),
+                Atom::label(Term::var("x"), Label::new(l)),
+            ],
+            head: vec![Atom::id(Term::var("x"), Term::var("v"))],
+        })
+        .collect()
+}
+
+/// The Example 3.3 set: `(c1) = (/a/b/c, ↑)` (id on the `c` node) and
+/// `(c2) = (/a/b[c], ↓)` (id on the `b` node, whose `c` child is only a
+/// predicate), plus the id-existence rules for `{a, b, c}`.
+pub fn example_3_3() -> Vec<Xic> {
+    let c1 = translate(&xuc_core::parse_constraint("(/a/b/c, ↑)").expect("static"), "c1");
+    // c2 = (/a/b[c], ↓): hand-built because the id sits on the *b* node.
+    let chain = |branch: u64, pfx: &str| {
+        vec![
+            Atom::child(Term::Const(branch), Term::var(format!("{pfx}0"))),
+            Atom::label(Term::var(format!("{pfx}0")), Label::new("a")),
+            Atom::child(Term::var(format!("{pfx}0")), Term::var(format!("{pfx}1"))),
+            Atom::label(Term::var(format!("{pfx}1")), Label::new("b")),
+            Atom::child(Term::var(format!("{pfx}1")), Term::var(format!("{pfx}2"))),
+            Atom::label(Term::var(format!("{pfx}2")), Label::new("c")),
+            Atom::id(Term::var(format!("{pfx}1")), Term::var("v")),
+        ]
+    };
+    let c2 = Xic { name: "c2".into(), body: chain(J_BRANCH, "x"), head: chain(I_BRANCH, "y") };
+    let mut deps = vec![c1, c2];
+    deps.extend(id_existence_rules(&["a", "b", "c"]));
+    deps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translate_shape() {
+        let c = xuc_core::parse_constraint("(/a/b, ↑)").unwrap();
+        let xic = translate(&c, "t");
+        assert_eq!(xic.body.len(), 5); // 2 child + 2 label + id
+        assert_eq!(xic.head.len(), 5);
+        // Existentials: all head node variables; v is shared.
+        let ex = xic.existentials();
+        assert!(ex.contains("y0") && ex.contains("y1"));
+        assert!(!ex.contains("v"));
+    }
+
+    #[test]
+    fn chase_terminates_on_satisfied_instance() {
+        // I-branch a/b mirrored in J with same id: nothing to do.
+        let c = xuc_core::parse_constraint("(/a/b, ↑)").unwrap();
+        let deps = vec![translate(&c, "t")];
+        let mut db = FactDb::new();
+        seed_two_branch(&mut db);
+        // a/b under I with id 77 and the mirror under J.
+        for branch in [I_BRANCH, J_BRANCH] {
+            let a = db.fresh();
+            let b = db.fresh();
+            db.insert(Rel::Child, vec![branch, a]);
+            db.insert(Rel::Label(Label::new("a")), vec![a]);
+            db.insert(Rel::Child, vec![a, b]);
+            db.insert(Rel::Label(Label::new("b")), vec![b]);
+            db.insert(Rel::IdAttr, vec![b, 77]);
+        }
+        let result = chase(&mut db, &deps, 10);
+        assert!(matches!(result, ChaseResult::Terminated { rounds: 0 }));
+    }
+
+    #[test]
+    fn chase_fires_once_and_terminates() {
+        let c = xuc_core::parse_constraint("(/a, ↑)").unwrap();
+        let deps = vec![translate(&c, "t")];
+        let mut db = FactDb::new();
+        seed_two_branch(&mut db);
+        seed_path(&mut db, I_BRANCH, &["a"]);
+        let before = db.len();
+        let result = chase(&mut db, &deps, 10);
+        assert!(matches!(result, ChaseResult::Terminated { rounds: 1 }));
+        assert!(db.len() > before, "the head must have been added");
+    }
+
+    #[test]
+    fn example_3_3_chase_diverges() {
+        // Testing implication of (/a/b/c/d, ↑): seed the I branch with the
+        // canonical a/b/c/d and chase with {c1, c2} — the chase enters the
+        // c1, c2, c1, … loop and never terminates (Example 3.3).
+        let deps = example_3_3();
+        let mut db = FactDb::new();
+        seed_two_branch(&mut db);
+        seed_path(&mut db, I_BRANCH, &["a", "b", "c", "d"]);
+        let mut sizes = Vec::new();
+        for cap in [2, 4, 6, 8] {
+            let mut fresh_db = FactDb::new();
+            seed_two_branch(&mut fresh_db);
+            seed_path(&mut fresh_db, I_BRANCH, &["a", "b", "c", "d"]);
+            match chase(&mut fresh_db, &deps, cap) {
+                ChaseResult::Terminated { .. } => {
+                    panic!("Example 3.3 chase must not terminate")
+                }
+                ChaseResult::CapReached { facts, .. } => sizes.push(facts),
+            }
+        }
+        // Fact counts strictly grow with the cap: the loop keeps producing.
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]), "sizes {sizes:?} must grow");
+    }
+
+    #[test]
+    fn display_forms() {
+        let c = xuc_core::parse_constraint("(/a, ↓)").unwrap();
+        let xic = translate(&c, "d");
+        let printed = xic.to_string();
+        assert!(printed.contains("child"));
+        assert!(printed.contains("label_a"));
+        assert!(printed.contains("→"));
+    }
+}

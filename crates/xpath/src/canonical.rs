@@ -1,0 +1,199 @@
+//! Canonical models of tree patterns (Miklau–Suciu).
+//!
+//! A *canonical model* of a pattern `q` is a concrete data tree obtained by
+//! instantiating every wildcard with a fresh label `z` and expanding every
+//! `//` edge into a chain of `z`-labeled nodes. Containment `q1 ⊆ q2` holds
+//! iff `q2` selects the output node in every canonical model of `q1` with
+//! chain lengths up to `star_length(q2) + 1`; this is the complete (coNP)
+//! containment test used for the full fragment, and the same construction
+//! underlies the paper's proofs (the tree `T_q` of Theorem 4.4, the possible
+//! embeddings of Theorem 5.5 and the pruning bounds of Theorems 4.7/5.1).
+
+use crate::pattern::{Axis, PIdx, Pattern};
+use xuc_xtree::{DataTree, Label, NodeId};
+
+/// A canonical model: the instantiated tree plus the tree node the pattern's
+/// output was instantiated to.
+#[derive(Debug, Clone)]
+pub struct CanonicalModel {
+    pub tree: DataTree,
+    pub output: NodeId,
+}
+
+/// Picks a label that does not occur in any of the given patterns
+/// (`z`, then `z1`, `z2`, …).
+pub fn fresh_label_for<'a>(patterns: impl IntoIterator<Item = &'a Pattern>) -> Label {
+    let used: std::collections::BTreeSet<Label> =
+        patterns.into_iter().flat_map(|q| q.labels()).collect();
+    if !used.contains(&Label::z()) {
+        return Label::z();
+    }
+    for i in 1.. {
+        let cand = Label::new(&format!("z{i}"));
+        if !used.contains(&cand) {
+            return cand;
+        }
+    }
+    unreachable!("unbounded candidate labels")
+}
+
+/// Builds one instantiation of `q` where the `i`-th descendant edge (in DFS
+/// order) is expanded into `chain_lens[i]` intermediate `z` nodes (0 means a
+/// direct child edge) and every wildcard becomes `z`. The tree gets a fresh
+/// root labeled `root_label`.
+pub fn instantiate(
+    q: &Pattern,
+    chain_lens: &[usize],
+    z: Label,
+    root_label: Label,
+) -> CanonicalModel {
+    let mut desc_edges = Vec::new();
+    for i in q.dfs() {
+        if q.axis(i) == Axis::Descendant {
+            desc_edges.push(i);
+        }
+    }
+    assert_eq!(
+        desc_edges.len(),
+        chain_lens.len(),
+        "one chain length per descendant edge required"
+    );
+    let chain_of: std::collections::HashMap<PIdx, usize> =
+        desc_edges.iter().copied().zip(chain_lens.iter().copied()).collect();
+
+    let mut tree = DataTree::new(root_label);
+    let mut output = None;
+    fn rec(
+        q: &Pattern,
+        i: PIdx,
+        tree: &mut DataTree,
+        attach: NodeId,
+        z: Label,
+        chain_of: &std::collections::HashMap<PIdx, usize>,
+        output: &mut Option<NodeId>,
+    ) {
+        let mut parent = attach;
+        if let Some(&len) = chain_of.get(&i) {
+            for _ in 0..len {
+                parent = tree.add(parent, z).expect("fresh id");
+            }
+        }
+        let label = match q.test(i) {
+            crate::pattern::NodeTest::Label(l) => l,
+            crate::pattern::NodeTest::Wildcard => z,
+        };
+        let me = tree.add(parent, label).expect("fresh id");
+        if i == q.output() {
+            *output = Some(me);
+        }
+        for &c in q.children(i) {
+            rec(q, c, tree, me, z, chain_of, output);
+        }
+    }
+    let tree_root = tree.root_id();
+    rec(q, q.root(), &mut tree, tree_root, z, &chain_of, &mut output);
+    CanonicalModel { tree, output: output.expect("output instantiated") }
+}
+
+/// Iterates over all canonical models of `q` with every descendant edge
+/// expanded to `0..=max_chain` intermediate `z` nodes. The number of models
+/// is `(max_chain + 1)^d` for `d` descendant edges; iteration is lazy so
+/// callers can short-circuit.
+pub fn canonical_models(
+    q: &Pattern,
+    max_chain: usize,
+    z: Label,
+) -> impl Iterator<Item = CanonicalModel> + '_ {
+    let d = q.descendant_edge_count();
+    let mut counter = vec![0usize; d];
+    let mut done = false;
+    let root_label = Label::new("root");
+    std::iter::from_fn(move || {
+        if done {
+            return None;
+        }
+        let model = instantiate(q, &counter, z, root_label);
+        // Increment the mixed-radix counter.
+        let mut i = 0;
+        loop {
+            if i == counter.len() {
+                done = true;
+                break;
+            }
+            counter[i] += 1;
+            if counter[i] <= max_chain {
+                break;
+            }
+            counter[i] = 0;
+            i += 1;
+        }
+        Some(model)
+    })
+}
+
+/// The chain-length bound that makes the canonical-model containment test
+/// `q1 ⊆ q2` complete. The tight bound is related to the star length of
+/// `q2`; we use `star_length(q2) + 2`, which is safely at least the tight
+/// bound (checking *more* canonical models never breaks either direction).
+pub fn chain_bound_for(q2: &Pattern) -> usize {
+    q2.star_length() + 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval;
+    use crate::parser::parse;
+
+    #[test]
+    fn instantiate_child_only() {
+        let q = parse("/a[/b]/c").unwrap();
+        let m = instantiate(&q, &[], Label::z(), Label::new("root"));
+        assert_eq!(m.tree.len(), 4);
+        assert_eq!(m.tree.label(m.output).unwrap(), Label::new("c"));
+        // The pattern must select its own output in the model.
+        assert!(eval(&q, &m.tree).iter().any(|n| n.id == m.output));
+    }
+
+    #[test]
+    fn instantiate_expands_descendant_edges() {
+        let q = parse("/a//b").unwrap();
+        let m0 = instantiate(&q, &[0], Label::z(), Label::new("root"));
+        assert_eq!(m0.tree.len(), 3); // root, a, b
+        let m2 = instantiate(&q, &[2], Label::z(), Label::new("root"));
+        assert_eq!(m2.tree.len(), 5); // root, a, z, z, b
+        assert!(eval(&q, &m2.tree).iter().any(|n| n.id == m2.output));
+    }
+
+    #[test]
+    fn wildcards_become_z() {
+        let q = parse("/*/b").unwrap();
+        let m = instantiate(&q, &[], Label::z(), Label::new("root"));
+        let labels: Vec<&str> = m.tree.labels().iter().map(|l| l.as_str()).collect();
+        assert!(labels.contains(&"z"));
+    }
+
+    #[test]
+    fn model_count_matches_radix() {
+        let q = parse("//a//b").unwrap();
+        let models: Vec<_> = canonical_models(&q, 2, Label::z()).collect();
+        assert_eq!(models.len(), 9); // 3^2
+        for m in &models {
+            assert!(eval(&q, &m.tree).iter().any(|n| n.id == m.output), "self-match");
+        }
+    }
+
+    #[test]
+    fn zero_descendant_edges_single_model() {
+        let q = parse("/a/b").unwrap();
+        let models: Vec<_> = canonical_models(&q, 5, Label::z()).collect();
+        assert_eq!(models.len(), 1);
+    }
+
+    #[test]
+    fn fresh_label_avoids_pattern_labels() {
+        let q = parse("/z/z1").unwrap();
+        let fresh = fresh_label_for([&q]);
+        assert!(fresh != Label::new("z") && fresh != Label::new("z1"));
+    }
+}

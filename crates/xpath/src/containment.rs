@@ -1,0 +1,311 @@
+//! Containment and equivalence of tree patterns.
+//!
+//! Two complementary procedures, following Miklau–Suciu [23]:
+//!
+//! * [`homomorphism_exists`] — a PTIME *containment mapping* test. Sound in
+//!   every fragment; complete whenever the pair of queries does not combine
+//!   `//` with `*` (so complete for `XP{/,[],//}` and `XP{/,[],*}`).
+//! * canonical-model checking — complete for the full fragment
+//!   `XP{/,[],//,*}` (coNP): `q1 ⊆ q2` iff `q2` selects the output in every
+//!   canonical model of `q1` with bounded `//`-expansions.
+//!
+//! [`contains`] dispatches: it tries the homomorphism first and falls back
+//! to canonical models only when the homomorphism is absent *and* the
+//! fragment makes its absence inconclusive.
+
+use crate::canonical::{canonical_models, chain_bound_for, fresh_label_for};
+use crate::eval::eval;
+use crate::fragment::Features;
+use crate::pattern::{Axis, PIdx, Pattern};
+
+/// Is there a containment mapping from `from` into `to`?
+///
+/// A containment mapping sends the (virtual) document root to the document
+/// root and every node of `from` to a node of `to` such that:
+/// * a concrete label maps to the same concrete label (a wildcard in `from`
+///   maps to anything),
+/// * a `/`-edge maps to a `/`-edge,
+/// * a `//`-edge maps to a downward path of length ≥ 1,
+/// * the output node of `from` maps to the output node of `to`.
+///
+/// Existence of such a mapping proves `to ⊆ from`.
+pub fn homomorphism_exists(from: &Pattern, to: &Pattern) -> bool {
+    let nf = from.len();
+    let nt = to.len();
+
+    // strictly_below[v] = nodes of `to` strictly below v (≥ 1 edge).
+    let mut strictly_below: Vec<Vec<PIdx>> = vec![Vec::new(); nt];
+    for v in to.dfs() {
+        fn collect(t: &Pattern, v: PIdx, out: &mut Vec<PIdx>) {
+            for &c in t.children(v) {
+                out.push(c);
+                collect(t, c, out);
+            }
+        }
+        collect(to, v, &mut strictly_below[v]);
+    }
+
+    // can[u][v]: subpattern of `from` rooted at u maps with u ↦ v.
+    let mut can = vec![vec![false; nt]; nf];
+    for u in from.post_order() {
+        for v in 0..nt {
+            can[u][v] = maps_at(from, to, u, v, &can, &strictly_below);
+        }
+    }
+
+    // Now align the spine so that from.output ↦ to.output, rebuilding the
+    // satisfaction along from's spine with the alignment requirement.
+    let spine = from.spine();
+    // aligned[k][v]: the spine suffix starting at spine[k] maps with
+    // spine[k] ↦ v and from.output ↦ to.output.
+    let mut aligned = vec![vec![false; nt]; spine.len()];
+    for k in (0..spine.len()).rev() {
+        let u = spine[k];
+        for v in 0..nt {
+            if !node_compatible(from, to, u, v) {
+                continue;
+            }
+            // Non-spine children must map as in `can`.
+            let spine_next = spine.get(k + 1).copied();
+            let mut ok = true;
+            for &c in from.children(u) {
+                if Some(c) == spine_next {
+                    continue;
+                }
+                if !child_mapped(from, to, c, v, &can, &strictly_below) {
+                    ok = false;
+                    break;
+                }
+            }
+            if !ok {
+                continue;
+            }
+            match spine_next {
+                None => {
+                    // u is from's output: must map onto to's output.
+                    aligned[k][v] = v == to.output();
+                }
+                Some(c) => {
+                    let targets: Box<dyn Iterator<Item = PIdx>> = match from.axis(c) {
+                        Axis::Child => Box::new(
+                            to.children(v).iter().copied().filter(|&w| to.axis(w) == Axis::Child),
+                        ),
+                        Axis::Descendant => Box::new(strictly_below[v].iter().copied()),
+                    };
+                    let kk = k + 1;
+                    aligned[k][v] = targets.into_iter().any(|w| aligned[kk][w]);
+                }
+            }
+        }
+    }
+
+    // The first spine step must attach to the document root correctly.
+    (0..nt).any(|v| aligned[0][v] && root_attachable(from, to, spine[0], v))
+}
+
+fn node_compatible(from: &Pattern, to: &Pattern, u: PIdx, v: PIdx) -> bool {
+    match from.test(u) {
+        crate::pattern::NodeTest::Wildcard => true,
+        crate::pattern::NodeTest::Label(l) => to.test(v) == crate::pattern::NodeTest::Label(l),
+    }
+}
+
+fn root_attachable(from: &Pattern, to: &Pattern, u: PIdx, v: PIdx) -> bool {
+    match from.axis(u) {
+        // A child-of-root step must map to the child-of-root step of `to`.
+        Axis::Child => v == to.root() && to.axis(to.root()) == Axis::Child,
+        // A descendant-of-root step maps to any node of `to`.
+        Axis::Descendant => true,
+    }
+}
+
+fn child_mapped(
+    from: &Pattern,
+    to: &Pattern,
+    c: PIdx,
+    v: PIdx,
+    can: &[Vec<bool>],
+    strictly_below: &[Vec<PIdx>],
+) -> bool {
+    match from.axis(c) {
+        Axis::Child => to
+            .children(v)
+            .iter()
+            .any(|&w| to.axis(w) == Axis::Child && can[c][w]),
+        Axis::Descendant => strictly_below[v].iter().any(|&w| can[c][w]),
+    }
+}
+
+fn maps_at(
+    from: &Pattern,
+    to: &Pattern,
+    u: PIdx,
+    v: PIdx,
+    can: &[Vec<bool>],
+    strictly_below: &[Vec<PIdx>],
+) -> bool {
+    node_compatible(from, to, u, v)
+        && from
+            .children(u)
+            .iter()
+            .all(|&c| child_mapped(from, to, c, v, can, strictly_below))
+}
+
+/// Complete containment test: does `q1 ⊆ q2` hold (every node selected by
+/// `q1` in any tree is selected by `q2`)?
+pub fn contains(q1: &Pattern, q2: &Pattern) -> bool {
+    // Sound fast path: a containment mapping q2 → q1 proves q1 ⊆ q2.
+    if homomorphism_exists(q2, q1) {
+        return true;
+    }
+    let f = Features::of(q1).union(Features::of(q2));
+    if !(f.descendant && f.wildcard) {
+        // Homomorphism is complete when // and * do not co-occur.
+        return false;
+    }
+    contains_canonical(q1, q2)
+}
+
+/// The canonical-model containment test (always complete, exponential in the
+/// number of `//` edges of `q1`).
+pub fn contains_canonical(q1: &Pattern, q2: &Pattern) -> bool {
+    let z = fresh_label_for([q1, q2]);
+    let bound = chain_bound_for(q2);
+    for model in canonical_models(q1, bound, z) {
+        let selected = eval(q2, &model.tree);
+        if !selected.iter().any(|n| n.id == model.output) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Query equivalence: mutual containment.
+pub fn equivalent(q1: &Pattern, q2: &Pattern) -> bool {
+    contains(q1, q2) && contains(q2, q1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn q(s: &str) -> Pattern {
+        parse(s).unwrap()
+    }
+
+    #[test]
+    fn reflexive() {
+        for s in ["/a", "//a/b[/c]", "/a//*[/b]/c", "/*"] {
+            let p = q(s);
+            assert!(contains(&p, &p), "{s} ⊆ {s}");
+            assert!(equivalent(&p, &p));
+        }
+    }
+
+    #[test]
+    fn child_into_descendant() {
+        assert!(contains(&q("/a/b"), &q("//b")));
+        assert!(contains(&q("/a/b"), &q("/a//b")));
+        assert!(!contains(&q("/a//b"), &q("/a/b")));
+    }
+
+    #[test]
+    fn label_into_wildcard() {
+        assert!(contains(&q("/a"), &q("/*")));
+        assert!(!contains(&q("/*"), &q("/a")));
+    }
+
+    #[test]
+    fn predicates_weaken() {
+        assert!(contains(&q("/a[/b]"), &q("/a")));
+        assert!(!contains(&q("/a"), &q("/a[/b]")));
+        assert!(contains(&q("/a[/b][/c]"), &q("/a[/c]")));
+    }
+
+    #[test]
+    fn predicate_descendant_weakening() {
+        assert!(contains(&q("/a[/b]"), &q("/a[//b]")));
+        assert!(!contains(&q("/a[//b]"), &q("/a[/b]")));
+    }
+
+    #[test]
+    fn output_must_align() {
+        // Same shapes, different outputs: /a/b output b vs output a.
+        let qb = q("/a/b");
+        // Build /a/b with output a.
+        let mut builder = crate::pattern::PatternBuilder::new(Axis::Child, "a");
+        builder.add(builder.root(), Axis::Child, "b");
+        let qa = builder.finish(0);
+        assert!(!contains(&qb, &qa));
+        assert!(!contains(&qa, &qb));
+        // But /a[/b] with output a is equivalent to qa.
+        assert!(equivalent(&qa, &q("/a[/b]")));
+    }
+
+    #[test]
+    fn star_descendant_equivalences() {
+        // /a/*//b and /a//*/b both mean "b at depth ≥ 2 below a": equivalent
+        // although no homomorphism exists in either direction.
+        let p1 = q("/a/*//b");
+        let p2 = q("/a//*/b");
+        assert!(!homomorphism_exists(&p1, &p2));
+        assert!(!homomorphism_exists(&p2, &p1));
+        assert!(equivalent(&p1, &p2));
+    }
+
+    #[test]
+    fn star_descendant_strictness() {
+        assert!(contains(&q("/a/*/b"), &q("/a//b")));
+        assert!(!contains(&q("/a//b"), &q("/a/*/b")));
+        assert!(contains(&q("/a//*/b"), &q("/a//b")));
+    }
+
+    #[test]
+    fn root_attachment_matters() {
+        assert!(contains(&q("/a"), &q("//a")));
+        assert!(!contains(&q("//a"), &q("/a")));
+    }
+
+    #[test]
+    fn descendant_composition() {
+        assert!(contains(&q("//a//b//c"), &q("//b//c")));
+        assert!(contains(&q("//a//b//c"), &q("//a//c")));
+        assert!(!contains(&q("//a//c"), &q("//a//b//c")));
+    }
+
+    #[test]
+    fn deep_predicate_counterexample() {
+        // /a[/b/c] vs /a[/b]: the former is contained in the latter.
+        assert!(contains(&q("/a[/b[/c]]"), &q("/a[/b]")));
+        assert!(!contains(&q("/a[/b]"), &q("/a[/b[/c]]")));
+    }
+
+    #[test]
+    fn canonical_agrees_with_homomorphism_on_easy_fragment() {
+        let cases = [
+            ("/a/b", "/a/b"),
+            ("/a/b", "//b"),
+            ("/a[/c]/b", "/a/b"),
+            ("/a/b", "/a[/c]/b"),
+            ("//a/b", "//b"),
+            ("//b", "//a/b"),
+            ("/a[/b][/c]", "/a[/b]"),
+        ];
+        for (s1, s2) in cases {
+            let (p1, p2) = (q(s1), q(s2));
+            assert_eq!(
+                contains(&p1, &p2),
+                contains_canonical(&p1, &p2),
+                "mismatch on {s1} ⊆ {s2}"
+            );
+        }
+    }
+
+    #[test]
+    fn wildcard_output_queries() {
+        assert!(contains(&q("/a/*"), &q("/a/*")));
+        assert!(contains(&q("/a/b"), &q("/a/*")));
+        assert!(!contains(&q("/a/*"), &q("/a/b")));
+    }
+}

@@ -1,0 +1,276 @@
+//! PTIME evaluation of tree patterns on data trees.
+//!
+//! The evaluation of `XP{/,[],//,*}` queries is polynomial (Gottlob, Koch,
+//! Pichler, Segoufin [18]); we use the standard two-phase algorithm:
+//!
+//! 1. **Bottom-up**: for every pattern node `p` and tree node `v`, decide
+//!    whether the subpattern rooted at `p` matches with `p ↦ v`
+//!    (label test + recursively matched children through the right axis).
+//! 2. **Top-down**: walk the spine from the evaluation start node, keeping
+//!    the frontier of tree nodes that match the spine prefix; the frontier
+//!    at the output node is the query result.
+//!
+//! Results are sets of `(id, label)` pairs ([`NodeRef`]), matching the
+//! paper's convention that a query returns *nodes*, not labels.
+
+use crate::pattern::{Axis, Pattern};
+use std::collections::BTreeSet;
+use xuc_xtree::{DataTree, NodeId, NodeRef};
+
+/// A dense snapshot of a tree used for evaluation.
+struct Dense {
+    ids: Vec<NodeId>,
+    labels: Vec<xuc_xtree::Label>,
+    parent: Vec<Option<usize>>,
+    children: Vec<Vec<usize>>,
+    /// Pre-order (parents before children).
+    order: Vec<usize>,
+    index_of: std::collections::HashMap<NodeId, usize>,
+}
+
+impl Dense {
+    fn build(tree: &DataTree) -> Dense {
+        let nodes = tree.nodes();
+        let mut index_of = std::collections::HashMap::with_capacity(nodes.len());
+        for (i, n) in nodes.iter().enumerate() {
+            index_of.insert(n.id, i);
+        }
+        let mut parent = vec![None; nodes.len()];
+        let mut children = vec![Vec::new(); nodes.len()];
+        for (i, n) in nodes.iter().enumerate() {
+            if let Some(p) = tree.parent(n.id).expect("live node") {
+                let pi = index_of[&p];
+                parent[i] = Some(pi);
+                children[pi].push(i);
+            }
+        }
+        // `DataTree::nodes` returns depth-first order with parents first.
+        let order = (0..nodes.len()).collect();
+        Dense {
+            ids: nodes.iter().map(|n| n.id).collect(),
+            labels: nodes.iter().map(|n| n.label).collect(),
+            parent,
+            children,
+            order,
+            index_of,
+        }
+    }
+}
+
+/// Evaluates `q` from the document root: `q(I)` in the paper's notation.
+pub fn eval(q: &Pattern, tree: &DataTree) -> BTreeSet<NodeRef> {
+    eval_at(q, tree, tree.root_id())
+}
+
+/// Evaluates `q` on the subtree of `tree` rooted at `start`:
+/// `q(n, I)` in the paper's notation.
+///
+/// # Panics
+/// Panics if `start` is not a node of `tree`.
+pub fn eval_at(q: &Pattern, tree: &DataTree, start: NodeId) -> BTreeSet<NodeRef> {
+    let dense = Dense::build(tree);
+    let start_idx = *dense
+        .index_of
+        .get(&start)
+        .unwrap_or_else(|| panic!("start node {start} not in tree"));
+    let n = dense.ids.len();
+
+    // Phase 1: bottom-up subpattern satisfaction.
+    // sat[p][v] = subpattern rooted at pattern node p matches with p ↦ v.
+    let mut sat: Vec<Vec<bool>> = vec![vec![false; n]; q.len()];
+    for p in q.post_order() {
+        // For each child c, precompute desc_ok[v] = some proper descendant
+        // of v satisfies c (only needed for descendant-axis children).
+        let mut child_reqs: Vec<(Axis, &Vec<bool>, Vec<bool>)> = Vec::new();
+        for &c in q.children(p) {
+            let desc_ok = if q.axis(c) == Axis::Descendant {
+                let mut desc = vec![false; n];
+                for &v in dense.order.iter().rev() {
+                    let mut any = false;
+                    for &w in &dense.children[v] {
+                        if sat[c][w] || desc[w] {
+                            any = true;
+                            break;
+                        }
+                    }
+                    desc[v] = any;
+                }
+                desc
+            } else {
+                Vec::new()
+            };
+            child_reqs.push((q.axis(c), &sat[c], desc_ok));
+        }
+        let mut row = vec![false; n];
+        'node: for v in 0..n {
+            if !q.test(p).accepts(dense.labels[v]) {
+                continue;
+            }
+            for (axis, child_sat, desc_ok) in &child_reqs {
+                let ok = match axis {
+                    Axis::Child => dense.children[v].iter().any(|&w| child_sat[w]),
+                    Axis::Descendant => desc_ok[v],
+                };
+                if !ok {
+                    continue 'node;
+                }
+            }
+            row[v] = true;
+        }
+        sat[p] = row;
+    }
+
+    // Phase 2: top-down along the spine from `start`.
+    let mut frontier = vec![false; n];
+    frontier[start_idx] = true;
+    for p in q.spine() {
+        let mut next = vec![false; n];
+        match q.axis(p) {
+            Axis::Child => {
+                for v in 0..n {
+                    if sat[p][v] {
+                        if let Some(pv) = dense.parent[v] {
+                            if frontier[pv] {
+                                next[v] = true;
+                            }
+                        }
+                    }
+                }
+            }
+            Axis::Descendant => {
+                // has_frontier_proper_ancestor via pre-order propagation.
+                let mut hfa = vec![false; n];
+                for &v in &dense.order {
+                    if let Some(pv) = dense.parent[v] {
+                        hfa[v] = frontier[pv] || hfa[pv];
+                    }
+                }
+                for v in 0..n {
+                    if sat[p][v] && hfa[v] {
+                        next[v] = true;
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+
+    (0..n)
+        .filter(|&v| frontier[v])
+        .map(|v| NodeRef { id: dense.ids[v], label: dense.labels[v] })
+        .collect()
+}
+
+/// Does `q`, read as a boolean query, hold below `start`
+/// (i.e. is `q(start, tree)` non-empty)?
+pub fn holds_below(q: &Pattern, tree: &DataTree, start: NodeId) -> bool {
+    !eval_at(q, tree, start).is_empty()
+}
+
+/// The set of node ids in `q(tree)`; convenience wrapper used by the
+/// constraints layer, which compares ranges by id set.
+pub fn eval_ids(q: &Pattern, tree: &DataTree) -> BTreeSet<NodeId> {
+    eval(q, tree).into_iter().map(|n| n.id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use xuc_xtree::parse_term;
+
+    fn ids(set: &BTreeSet<NodeRef>) -> Vec<u64> {
+        set.iter().map(|n| n.id.raw()).collect()
+    }
+
+    #[test]
+    fn child_axis_basic() {
+        let t = parse_term("root(a#1(b#2),a#3,c#4(a#5))").unwrap();
+        let q = parse("/a").unwrap();
+        assert_eq!(ids(&eval(&q, &t)), vec![1, 3]);
+    }
+
+    #[test]
+    fn descendant_axis_basic() {
+        let t = parse_term("root(a#1(b#2),a#3,c#4(a#5))").unwrap();
+        let q = parse("//a").unwrap();
+        assert_eq!(ids(&eval(&q, &t)), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn predicate_filters() {
+        let t = parse_term("root(a#1(b#2),a#3)").unwrap();
+        let q = parse("/a[/b]").unwrap();
+        assert_eq!(ids(&eval(&q, &t)), vec![1]);
+    }
+
+    #[test]
+    fn paper_example_query() {
+        // /a//b[/c]: b nodes with a c child and an a ancestor that is a
+        // child of the document root.
+        let t = parse_term("root(a#1(x#2(b#3(c#4)),b#5),b#6(c#7))").unwrap();
+        let q = parse("/a//b[/c]").unwrap();
+        assert_eq!(ids(&eval(&q, &t)), vec![3]);
+    }
+
+    #[test]
+    fn wildcard_steps() {
+        let t = parse_term("root(a#1(b#2),c#3(d#4))").unwrap();
+        let q = parse("/*/*").unwrap();
+        assert_eq!(ids(&eval(&q, &t)), vec![2, 4]);
+    }
+
+    #[test]
+    fn descendant_is_proper() {
+        // //a from the root must not return the root even if labeled a.
+        let t = parse_term("a#1(a#2)").unwrap();
+        let q = parse("//a").unwrap();
+        assert_eq!(ids(&eval(&q, &t)), vec![2]);
+    }
+
+    #[test]
+    fn eval_at_subtree() {
+        let t = parse_term("root(a#1(b#2(c#3)),b#4(c#5))").unwrap();
+        let q = parse("/b/c").unwrap();
+        assert_eq!(ids(&eval_at(&q, &t, xuc_xtree::NodeId::from_raw(1))), vec![3]);
+        assert_eq!(ids(&eval(&q, &t)), vec![5]);
+    }
+
+    #[test]
+    fn nested_predicates() {
+        let t = parse_term("root(a#1(b#2(c#3(d#4))),a#5(b#6(c#7)))").unwrap();
+        let q = parse("/a[/b[/c[/d]]]").unwrap();
+        assert_eq!(ids(&eval(&q, &t)), vec![1]);
+    }
+
+    #[test]
+    fn spine_with_mid_predicates() {
+        let t = parse_term("root(a#1(b#2,v#3),a#4(b#5))").unwrap();
+        let q = parse("/a[/v]/b").unwrap();
+        assert_eq!(ids(&eval(&q, &t)), vec![2]);
+    }
+
+    #[test]
+    fn empty_result() {
+        let t = parse_term("root(a#1)").unwrap();
+        let q = parse("/b").unwrap();
+        assert!(eval(&q, &t).is_empty());
+        assert!(!holds_below(&q, &t, t.root_id()));
+    }
+
+    #[test]
+    fn deep_descendant_chain() {
+        let t = parse_term("r(a#1(a#2(a#3(a#4))))").unwrap();
+        let q = parse("//a//a").unwrap();
+        assert_eq!(ids(&eval(&q, &t)), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn result_includes_labels() {
+        let t = parse_term("root(a#1)").unwrap();
+        let q = parse("/a").unwrap();
+        let result = eval(&q, &t);
+        let n = result.iter().next().unwrap();
+        assert_eq!(n.label.as_str(), "a");
+    }
+}

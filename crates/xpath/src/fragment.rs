@@ -1,0 +1,124 @@
+//! Fragment classification for `XP{/,[],//,*}` sub-languages.
+//!
+//! The paper's complexity landscape (Tables 1 and 2) is organized by which
+//! navigational primitives appear: predicates `[]`, descendant `//` and
+//! wildcard `*`. [`Features`] records which appear in a pattern or a set of
+//! patterns; decision procedures dispatch on it.
+
+use crate::pattern::Pattern;
+use std::fmt;
+
+/// Which optional primitives occur (`/` is always present).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Features {
+    /// `[]` — predicates (branching).
+    pub predicates: bool,
+    /// `//` — descendant axis.
+    pub descendant: bool,
+    /// `*` — wildcard node tests.
+    pub wildcard: bool,
+}
+
+impl Features {
+    /// Features of a single pattern.
+    pub fn of(q: &Pattern) -> Features {
+        Features {
+            predicates: !q.is_linear(),
+            descendant: q.descendant_edge_count() > 0,
+            wildcard: q.wildcard_count() > 0,
+        }
+    }
+
+    /// Union of the features of many patterns.
+    pub fn of_all<'a>(qs: impl IntoIterator<Item = &'a Pattern>) -> Features {
+        qs.into_iter().fold(Features::default(), |acc, q| acc.union(Features::of(q)))
+    }
+
+    /// Pointwise union.
+    pub fn union(self, other: Features) -> Features {
+        Features {
+            predicates: self.predicates || other.predicates,
+            descendant: self.descendant || other.descendant,
+            wildcard: self.wildcard || other.wildcard,
+        }
+    }
+
+    /// `XP{/}`: no predicates, no descendant, no wildcard.
+    pub fn is_plain(self) -> bool {
+        !self.predicates && !self.descendant && !self.wildcard
+    }
+
+    /// `XP{/,[],*}`: no descendant axis.
+    pub fn in_pred_star(self) -> bool {
+        !self.descendant
+    }
+
+    /// `XP{/,[],//}`: no wildcard.
+    pub fn in_pred_desc(self) -> bool {
+        !self.wildcard
+    }
+
+    /// `XP{/,//,*}`: no predicates (linear paths).
+    pub fn in_linear(self) -> bool {
+        !self.predicates
+    }
+
+    /// Containment-by-homomorphism is complete when at most two of the
+    /// three primitives occur (Miklau–Suciu): i.e. everywhere except the
+    /// full fragment `XP{/,[],//,*}`.
+    pub fn homomorphism_complete(self) -> bool {
+        !(self.predicates && self.descendant && self.wildcard)
+    }
+}
+
+impl fmt::Display for Features {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = vec!["/"];
+        if self.predicates {
+            parts.push("[]");
+        }
+        if self.descendant {
+            parts.push("//");
+        }
+        if self.wildcard {
+            parts.push("*");
+        }
+        write!(f, "XP{{{}}}", parts.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn classify_queries() {
+        let plain = Features::of(&parse("/a/b").unwrap());
+        assert!(plain.is_plain());
+        assert!(plain.in_pred_star() && plain.in_pred_desc() && plain.in_linear());
+
+        let pred = Features::of(&parse("/a[/b]").unwrap());
+        assert!(pred.predicates && !pred.descendant && !pred.wildcard);
+        assert!(pred.in_pred_star());
+        assert!(!pred.in_linear());
+
+        let full = Features::of(&parse("//a[/b]/*").unwrap());
+        assert!(full.predicates && full.descendant && full.wildcard);
+        assert!(!full.homomorphism_complete());
+    }
+
+    #[test]
+    fn union_accumulates() {
+        let qs = [parse("/a[/b]").unwrap(), parse("//c").unwrap()];
+        let f = Features::of_all(&qs);
+        assert!(f.predicates && f.descendant && !f.wildcard);
+        assert!(f.homomorphism_complete());
+    }
+
+    #[test]
+    fn display_names_fragment() {
+        let f = Features::of(&parse("//a/*").unwrap());
+        assert_eq!(f.to_string(), "XP{/,//,*}");
+    }
+}

@@ -1,0 +1,158 @@
+//! Intersection of queries in `XP{/,[],*}`.
+//!
+//! The descendant-free fragment is closed under intersection, and the
+//! intersection is computable in linear time (used by Theorem 4.4's PTIME
+//! implication algorithm): the root-to-output spines must be *compatible* —
+//! same length, and at each position either equal concrete labels or at
+//! least one wildcard — and the merged query keeps, at each spine position,
+//! the concrete label when one exists, with the union of both queries'
+//! predicates.
+//!
+//! An incompatible spine means the intersection is the empty query, reported
+//! as `None` (patterns in this crate are always satisfiable, so emptiness
+//! needs an explicit representation).
+
+use crate::pattern::{Axis, NodeTest, PIdx, Pattern, PatternBuilder};
+
+/// Copies the predicate subtree rooted at `src_idx` of `src` under `parent`.
+fn copy_subtree(src: &Pattern, src_idx: PIdx, b: &mut PatternBuilder, parent: PIdx) {
+    let idx = b.add(parent, src.axis(src_idx), src.test(src_idx));
+    for &c in src.children(src_idx) {
+        copy_subtree(src, c, b, idx);
+    }
+}
+
+/// Intersects two `XP{/,[],*}` queries. Returns `None` when the
+/// intersection is empty (incompatible spines).
+///
+/// # Panics
+/// Panics if either query uses the descendant axis — the fragment
+/// `XP{/,[],//}` is *not* closed under intersection (Section 4.3).
+pub fn intersect(q1: &Pattern, q2: &Pattern) -> Option<Pattern> {
+    assert!(
+        q1.descendant_edge_count() == 0 && q2.descendant_edge_count() == 0,
+        "intersection is only defined for the descendant-free fragment XP{{/,[],*}}"
+    );
+    let s1 = q1.spine();
+    let s2 = q2.spine();
+    if s1.len() != s2.len() {
+        return None;
+    }
+    let mut merged_tests = Vec::with_capacity(s1.len());
+    for (&a, &b) in s1.iter().zip(&s2) {
+        let t = match (q1.test(a), q2.test(b)) {
+            (NodeTest::Label(l1), NodeTest::Label(l2)) if l1 == l2 => NodeTest::Label(l1),
+            (NodeTest::Label(_), NodeTest::Label(_)) => return None,
+            (NodeTest::Label(l), NodeTest::Wildcard) => NodeTest::Label(l),
+            (NodeTest::Wildcard, NodeTest::Label(l)) => NodeTest::Label(l),
+            (NodeTest::Wildcard, NodeTest::Wildcard) => NodeTest::Wildcard,
+        };
+        merged_tests.push(t);
+    }
+
+    let mut b = PatternBuilder::new(Axis::Child, merged_tests[0]);
+    let mut spine_nodes = vec![b.root()];
+    for &t in &merged_tests[1..] {
+        let prev = *spine_nodes.last().expect("non-empty spine");
+        spine_nodes.push(b.add(prev, Axis::Child, t));
+    }
+    for (pos, node) in spine_nodes.iter().enumerate() {
+        for &p in &q1.predicate_children(s1[pos]) {
+            copy_subtree(q1, p, &mut b, *node);
+        }
+        for &p in &q2.predicate_children(s2[pos]) {
+            copy_subtree(q2, p, &mut b, *node);
+        }
+    }
+    let output = *spine_nodes.last().expect("non-empty spine");
+    Some(b.finish(output))
+}
+
+/// Intersects a non-empty family of `XP{/,[],*}` queries left to right.
+pub fn intersect_all<'a>(qs: impl IntoIterator<Item = &'a Pattern>) -> Option<Pattern> {
+    let mut iter = qs.into_iter();
+    let first = iter.next().expect("at least one query required").normalized();
+    iter.try_fold(first, |acc, q| intersect(&acc, q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containment::equivalent;
+    use crate::eval::eval;
+    use crate::parser::parse;
+    use xuc_xtree::parse_term;
+
+    fn q(s: &str) -> Pattern {
+        parse(s).unwrap()
+    }
+
+    #[test]
+    fn merge_labels_and_wildcards() {
+        let r = intersect(&q("/a/*"), &q("/*/b")).unwrap();
+        assert_eq!(r.to_string(), "/a/b");
+    }
+
+    #[test]
+    fn incompatible_labels_empty() {
+        assert!(intersect(&q("/a"), &q("/b")).is_none());
+        assert!(intersect(&q("/a/b"), &q("/a")).is_none());
+    }
+
+    #[test]
+    fn predicates_union() {
+        let r = intersect(&q("/a[/x]"), &q("/a[/y]")).unwrap();
+        assert_eq!(r.to_string(), "/a[/x][/y]");
+    }
+
+    #[test]
+    fn deep_predicates_copied() {
+        let r = intersect(&q("/a[/x[/w]]/b"), &q("/a/b[/y]")).unwrap();
+        assert_eq!(r.to_string(), "/a[/x/w]/b[/y]");
+    }
+
+    #[test]
+    fn intersection_semantics_on_trees() {
+        // q1(t) ∩ q2(t) == (q1 ∩ q2)(t) on a concrete tree.
+        let t = parse_term("root(a#1(x#2,y#3),a#4(x#5),a#6(y#7))").unwrap();
+        let q1 = q("/a[/x]");
+        let q2 = q("/a[/y]");
+        let qi = intersect(&q1, &q2).unwrap();
+        let lhs: Vec<u64> = eval(&qi, &t).iter().map(|n| n.id.raw()).collect();
+        let r1 = eval(&q1, &t);
+        let r2 = eval(&q2, &t);
+        let rhs: Vec<u64> =
+            r1.intersection(&r2).map(|n| n.id.raw()).collect();
+        assert_eq!(lhs, rhs);
+        assert_eq!(lhs, vec![1]);
+    }
+
+    #[test]
+    fn intersect_all_family() {
+        let qs = [q("/a[/x]"), q("/a[/y]"), q("/*[/w]")];
+        let r = intersect_all(&qs).unwrap();
+        assert_eq!(r.to_string(), "/a[/w][/x][/y]");
+    }
+
+    #[test]
+    fn intersection_contained_in_both() {
+        let q1 = q("/a[/x]/b");
+        let q2 = q("/*[/y]/b[/c]");
+        let r = intersect(&q1, &q2).unwrap();
+        assert!(crate::containment::contains(&r, &q1));
+        assert!(crate::containment::contains(&r, &q2));
+    }
+
+    #[test]
+    fn idempotent() {
+        let p = q("/a[/b]/c");
+        let r = intersect(&p, &p).unwrap();
+        assert!(equivalent(&r, &p));
+    }
+
+    #[test]
+    #[should_panic(expected = "descendant-free")]
+    fn descendant_rejected() {
+        let _ = intersect(&q("/a//b"), &q("/a/b"));
+    }
+}

@@ -1,0 +1,40 @@
+//! Tree-pattern queries in the XPath fragment `XP{/,[],//,*}`.
+//!
+//! This crate implements the query language of Section 2 of *Cautis,
+//! Abiteboul, Milo — "Reasoning about XML update constraints"*:
+//!
+//! ```text
+//! path ::= /step | //step | path path
+//! step ::= label pred
+//! pred ::= ε | [path] pred
+//! label ::= L | *
+//! ```
+//!
+//! Queries are *unary tree patterns*: a spine from the document root to a
+//! distinguished output node, with predicate subtrees hanging off spine (and
+//! predicate) nodes. The crate provides:
+//!
+//! * [`Pattern`] — the arena AST with builder API ([`pattern`]),
+//! * [`parse`] — a parser for the grammar above ([`parser`]),
+//! * [`eval`] — PTIME evaluation on [`xuc_xtree::DataTree`]s ([`eval`]),
+//!   plus a naive exponential oracle in [`naive`],
+//! * containment / equivalence via homomorphisms (sound, PTIME) and
+//!   canonical models (complete, coNP) ([`containment`], [`canonical`]),
+//! * intersection for `XP{/,[],*}` ([`intersect`]) as used by Theorem 4.4,
+//! * fragment classification ([`fragment`]).
+
+pub mod canonical;
+pub mod containment;
+pub mod eval;
+pub mod fragment;
+pub mod intersect;
+pub mod naive;
+pub mod parser;
+pub mod pattern;
+
+pub use containment::{contains, equivalent, homomorphism_exists};
+pub use eval::{eval, eval_at};
+pub use fragment::Features;
+pub use intersect::intersect_all;
+pub use parser::{parse, ParseError};
+pub use pattern::{Axis, NodeTest, PIdx, Pattern, PatternBuilder};

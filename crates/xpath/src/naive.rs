@@ -1,0 +1,83 @@
+//! A naive, embedding-enumeration evaluator.
+//!
+//! Exponential in the worst case and kept deliberately simple: it serves as
+//! the *test oracle* against which the PTIME evaluator of [`crate::eval`]
+//! is property-checked.
+
+use crate::pattern::{Axis, PIdx, Pattern};
+use std::collections::BTreeSet;
+use xuc_xtree::{DataTree, NodeId, NodeRef};
+
+/// Does the subpattern rooted at `p` match with `p ↦ v`?
+fn matches_sub(q: &Pattern, p: PIdx, tree: &DataTree, v: NodeId) -> bool {
+    if !q.test(p).accepts(tree.label(v).expect("live node")) {
+        return false;
+    }
+    q.children(p).iter().all(|&c| {
+        candidate_targets(q.axis(c), tree, v).iter().any(|&w| matches_sub(q, c, tree, w))
+    })
+}
+
+/// Tree nodes reachable from `v` through `axis`.
+fn candidate_targets(axis: Axis, tree: &DataTree, v: NodeId) -> Vec<NodeId> {
+    match axis {
+        Axis::Child => tree.children(v).expect("live node"),
+        Axis::Descendant => {
+            let mut out = Vec::new();
+            let mut stack = tree.children(v).expect("live node");
+            while let Some(w) = stack.pop() {
+                out.push(w);
+                stack.extend(tree.children(w).expect("live node"));
+            }
+            out
+        }
+    }
+}
+
+/// Naive evaluation of `q` on the subtree rooted at `start`.
+pub fn eval_at(q: &Pattern, tree: &DataTree, start: NodeId) -> BTreeSet<NodeRef> {
+    let spine = q.spine();
+    let mut frontier: Vec<NodeId> = vec![start];
+    for &p in &spine {
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for w in candidate_targets(q.axis(p), tree, v) {
+                // The spine node must satisfy its own test and predicates
+                // *and* (for non-output spine nodes) the rest of the spine,
+                // which the next iterations check; here we check the full
+                // subpattern so interior failures prune early.
+                if matches_sub(q, p, tree, w) {
+                    next.push(w);
+                }
+            }
+        }
+        next.sort();
+        next.dedup();
+        frontier = next;
+    }
+    frontier
+        .into_iter()
+        .map(|id| NodeRef { id, label: tree.label(id).expect("live node") })
+        .collect()
+}
+
+/// Naive evaluation from the document root.
+pub fn eval(q: &Pattern, tree: &DataTree) -> BTreeSet<NodeRef> {
+    eval_at(q, tree, tree.root_id())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use xuc_xtree::parse_term;
+
+    #[test]
+    fn agrees_on_fixed_cases() {
+        let t = parse_term("root(a#1(x#2(b#3(c#4)),b#5),b#6(c#7))").unwrap();
+        for src in ["/a//b[/c]", "//b", "/a/*", "//*[/c]", "/a[//c]/b"] {
+            let q = parse(src).unwrap();
+            assert_eq!(eval(&q, &t), crate::eval::eval(&q, &t), "query {src}");
+        }
+    }
+}

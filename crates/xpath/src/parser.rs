@@ -1,0 +1,278 @@
+//! Parser for the XPath fragment `XP{/,[],//,*}`.
+//!
+//! Accepts the grammar of Section 2 of the paper. Inside predicates we also
+//! accept the paper's shorthand `[c]` for `[/c]` (used e.g. in Example 3.3's
+//! constraint `(/a/b[c],↓)`).
+
+use crate::pattern::{Axis, NodeTest, PIdx, Pattern, PatternBuilder};
+use std::fmt;
+use xuc_xtree::Label;
+
+/// Errors from [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Unexpected character (or end of input) at byte offset.
+    Unexpected { at: usize, found: Option<char>, expected: &'static str },
+    /// Input after the query.
+    Trailing { at: usize },
+    /// The input was empty.
+    Empty,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Unexpected { at, found: Some(c), expected } => {
+                write!(f, "unexpected {c:?} at offset {at}, expected {expected}")
+            }
+            ParseError::Unexpected { at, found: None, expected } => {
+                write!(f, "unexpected end of input at offset {at}, expected {expected}")
+            }
+            ParseError::Trailing { at } => write!(f, "trailing input at offset {at}"),
+            ParseError::Empty => write!(f, "empty query"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct P<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn peek(&self) -> Option<char> {
+        self.src.get(self.pos).map(|&b| b as char)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Parses `/` or `//`; returns `None` when the next token is not a slash.
+    fn axis(&mut self) -> Option<Axis> {
+        self.skip_ws();
+        if !self.eat('/') {
+            return None;
+        }
+        if self.eat('/') {
+            Some(Axis::Descendant)
+        } else {
+            Some(Axis::Child)
+        }
+    }
+
+    fn node_test(&mut self) -> Result<NodeTest, ParseError> {
+        self.skip_ws();
+        if self.eat('*') {
+            return Ok(NodeTest::Wildcard);
+        }
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-' || c == '+') {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(ParseError::Unexpected {
+                at: self.pos,
+                found: self.peek(),
+                expected: "a label or *",
+            });
+        }
+        let name = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+        Ok(NodeTest::Label(Label::new(name)))
+    }
+
+    /// Parses a chain of steps under `parent` (or the first step when
+    /// `parent` is `None`), returning the index of the *last* step.
+    fn path(
+        &mut self,
+        b: &mut Option<PatternBuilder>,
+        parent: Option<PIdx>,
+        allow_bare_first: bool,
+    ) -> Result<PIdx, ParseError> {
+        let mut current = parent;
+        let mut last = None;
+        let mut first = true;
+        loop {
+            self.skip_ws();
+            let axis = match self.axis() {
+                Some(a) => a,
+                None if first && allow_bare_first && matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '*' || c == '_') => {
+                    // Shorthand `[c]` == `[/c]`.
+                    Axis::Child
+                }
+                None if first => {
+                    return Err(ParseError::Unexpected {
+                        at: self.pos,
+                        found: self.peek(),
+                        expected: "'/' or '//'",
+                    });
+                }
+                None => break,
+            };
+            let test = self.node_test()?;
+            let idx = match (current, b.as_mut()) {
+                (None, _) => {
+                    let builder = PatternBuilder::new(axis, test);
+                    let idx = builder.root();
+                    *b = Some(builder);
+                    idx
+                }
+                (Some(p), Some(builder)) => builder.add(p, axis, test),
+                (Some(_), None) => unreachable!("builder created with first step"),
+            };
+            // Predicates.
+            self.skip_ws();
+            while self.eat('[') {
+                self.path(b, Some(idx), true)?;
+                self.skip_ws();
+                if !self.eat(']') {
+                    return Err(ParseError::Unexpected {
+                        at: self.pos,
+                        found: self.peek(),
+                        expected: "']'",
+                    });
+                }
+                self.skip_ws();
+            }
+            current = Some(idx);
+            last = Some(idx);
+            first = false;
+        }
+        last.ok_or(ParseError::Empty)
+    }
+}
+
+/// Parses an XPath expression such as `/a//b[/c][//d/e]/f`.
+///
+/// ```
+/// use xuc_xpath::parse;
+/// let q = parse("/patient[/clinicalTrial]/visit").unwrap();
+/// assert_eq!(q.to_string(), "/patient[/clinicalTrial]/visit");
+/// assert_eq!(q.len(), 3);
+/// ```
+pub fn parse(src: &str) -> Result<Pattern, ParseError> {
+    let mut p = P { src: src.as_bytes(), pos: 0 };
+    p.skip_ws();
+    if p.peek().is_none() {
+        return Err(ParseError::Empty);
+    }
+    let mut builder = None;
+    let output = p.path(&mut builder, None, false)?;
+    p.skip_ws();
+    if p.pos != src.len() {
+        return Err(ParseError::Trailing { at: p.pos });
+    }
+    Ok(builder.expect("first step parsed").finish(output))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Axis;
+
+    #[test]
+    fn linear_paths() {
+        let q = parse("/a/b/c").unwrap();
+        assert!(q.is_linear());
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.to_string(), "/a/b/c");
+    }
+
+    #[test]
+    fn descendant_and_wildcard() {
+        let q = parse("//a/*//b").unwrap();
+        assert_eq!(q.axis(q.root()), Axis::Descendant);
+        assert_eq!(q.to_string(), "//a/*//b");
+        assert_eq!(q.wildcard_count(), 1);
+        assert_eq!(q.descendant_edge_count(), 2);
+    }
+
+    #[test]
+    fn nested_predicates() {
+        let q = parse("/a//b[/c[//d]]/e").unwrap();
+        assert_eq!(q.to_string(), "/a//b[/c//d]/e");
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.spine().len(), 3);
+    }
+
+    #[test]
+    fn multiple_predicates_sorted_in_display() {
+        let q = parse("/a[/y][/x]").unwrap();
+        assert_eq!(q.to_string(), "/a[/x][/y]");
+    }
+
+    #[test]
+    fn bare_predicate_shorthand() {
+        let q = parse("/a/b[c]").unwrap();
+        assert_eq!(q.to_string(), "/a/b[/c]");
+    }
+
+    #[test]
+    fn paper_queries() {
+        for (src, expect) in [
+            ("/patient[/visit]", "/patient[/visit]"),
+            ("/patient/visit", "/patient/visit"),
+            ("//a//b//c", "//a//b//c"),
+            (
+                "/s[//m//m]//p[//q]",
+                "/s[//m//m]//p[//q]",
+            ),
+        ] {
+            assert_eq!(parse(src).unwrap().to_string(), expect);
+        }
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let q = parse("  /a [ /b ] / c ").unwrap();
+        assert_eq!(q.to_string(), "/a[/b]/c");
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(parse(""), Err(ParseError::Empty)));
+        assert!(matches!(parse("a/b"), Err(ParseError::Unexpected { .. })));
+        assert!(matches!(parse("/a["), Err(ParseError::Unexpected { .. })));
+        assert!(matches!(parse("/a[/b"), Err(ParseError::Unexpected { .. })));
+        assert!(matches!(parse("/a]b"), Err(ParseError::Trailing { .. })));
+        assert!(matches!(parse("/"), Err(ParseError::Unexpected { .. })));
+    }
+
+    #[test]
+    fn output_is_last_spine_step() {
+        let q = parse("/a/b[/c]/d").unwrap();
+        let spine = q.spine();
+        assert_eq!(q.output(), *spine.last().unwrap());
+        assert_eq!(spine.len(), 3);
+    }
+
+    #[test]
+    fn roundtrip_random_shapes() {
+        for src in [
+            "/a",
+            "//a",
+            "/*",
+            "//*//*",
+            "/a[/b][/c][//d]",
+            "/a[/b[/c[/d]]]",
+            "//x[/y]//z[/w[/v]]/u",
+        ] {
+            let q = parse(src).unwrap();
+            let reparsed = parse(&q.to_string()).unwrap();
+            assert_eq!(q.to_string(), reparsed.to_string(), "roundtrip failed for {src}");
+        }
+    }
+}

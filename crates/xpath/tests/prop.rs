@@ -1,0 +1,152 @@
+//! Property tests: the PTIME evaluator against the naive oracle, and
+//! containment against direct model checking.
+
+use proptest::prelude::*;
+use xuc_xpath::{canonical, containment, eval, naive, Axis, Pattern, PatternBuilder};
+use xuc_xtree::DataTree;
+
+const LABELS: &[&str] = &["a", "b", "c", "d"];
+
+/// Strategy: a random tree over a small alphabet, encoded as a parent-pointer
+/// vector (node i ≥ 1 hangs under a random earlier node).
+fn tree_strategy(max_nodes: usize) -> impl Strategy<Value = DataTree> {
+    (1..max_nodes).prop_flat_map(|n| {
+        let parents: Vec<BoxedStrategy<usize>> =
+            (1..n).map(|i| (0..i).boxed()).collect();
+        let labels = proptest::collection::vec(0..LABELS.len(), n);
+        (parents, labels).prop_map(|(parents, labels)| {
+            let mut tree = DataTree::new("root");
+            let mut ids = vec![tree.root_id()];
+            for (i, p) in parents.iter().enumerate() {
+                let id = tree.add(ids[*p], LABELS[labels[i + 1]]).unwrap();
+                ids.push(id);
+            }
+            tree
+        })
+    })
+}
+
+/// Strategy: a random pattern with up to `max_nodes` nodes. Each node gets a
+/// random parent among the earlier nodes (node 0 is the first step); the
+/// output is the deepest node of the chain containing node 0 — for
+/// simplicity we pick the last node on the path built from node 0 downward.
+fn pattern_strategy(max_nodes: usize) -> impl Strategy<Value = Pattern> {
+    pattern_strategy_with(max_nodes, true)
+}
+
+fn pattern_strategy_with(max_nodes: usize, allow_desc: bool) -> impl Strategy<Value = Pattern> {
+    (1..max_nodes).prop_flat_map(move |n| {
+        let parents: Vec<BoxedStrategy<usize>> =
+            (1..n).map(|i| (0..i).boxed()).collect();
+        let tests = proptest::collection::vec(0..=LABELS.len(), n); // == len => wildcard
+        let axes = if allow_desc {
+            proptest::collection::vec(any::<bool>().boxed(), n)
+        } else {
+            proptest::collection::vec(Just(false).boxed(), n)
+        };
+        (parents, tests, axes).prop_map(|(parents, tests, axes)| {
+            let axis_of = |b: bool| if b { Axis::Descendant } else { Axis::Child };
+            let test_of = |t: usize| {
+                if t == LABELS.len() {
+                    "*"
+                } else {
+                    LABELS[t]
+                }
+            };
+            let mut b = PatternBuilder::new(axis_of(axes[0]), test_of(tests[0]));
+            let mut idxs = vec![b.root()];
+            for (i, p) in parents.iter().enumerate() {
+                let idx = b.add(idxs[*p], axis_of(axes[i + 1]), test_of(tests[i + 1]));
+                idxs.push(idx);
+            }
+            // Output: walk from the root taking the first child each time.
+            let probe = b.finish(0);
+            let mut cur = probe.root();
+            while let Some(&c) = probe.children(cur).first() {
+                cur = c;
+            }
+            let mut b2 = PatternBuilder::new(axis_of(axes[0]), test_of(tests[0]));
+            let mut idxs2 = vec![b2.root()];
+            for (i, p) in parents.iter().enumerate() {
+                let idx = b2.add(idxs2[*p], axis_of(axes[i + 1]), test_of(tests[i + 1]));
+                idxs2.push(idx);
+            }
+            b2.finish(cur)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn eval_matches_naive(tree in tree_strategy(12), q in pattern_strategy(6)) {
+        prop_assert_eq!(eval::eval(&q, &tree), naive::eval(&q, &tree));
+    }
+
+    #[test]
+    fn eval_at_matches_naive(tree in tree_strategy(12), q in pattern_strategy(5)) {
+        for id in tree.node_ids() {
+            prop_assert_eq!(eval::eval_at(&q, &tree, id), naive::eval_at(&q, &tree, id));
+        }
+    }
+
+    #[test]
+    fn containment_respected_by_eval(
+        tree in tree_strategy(10),
+        q1 in pattern_strategy(4),
+        q2 in pattern_strategy(4),
+    ) {
+        // If q1 ⊆ q2 is claimed, every evaluation must respect it.
+        if containment::contains(&q1, &q2) {
+            let r1 = eval::eval(&q1, &tree);
+            let r2 = eval::eval(&q2, &tree);
+            prop_assert!(r1.is_subset(&r2), "q1={} q2={} tree={:?}", q1, q2, tree);
+        }
+    }
+
+    #[test]
+    fn non_containment_has_canonical_witness(
+        q1 in pattern_strategy(4),
+        q2 in pattern_strategy(4),
+    ) {
+        // contains() and the raw canonical-model procedure must agree.
+        prop_assert_eq!(
+            containment::contains(&q1, &q2),
+            containment::contains_canonical(&q1, &q2),
+            "q1={} q2={}", &q1, &q2
+        );
+    }
+
+    #[test]
+    fn canonical_models_self_select(q in pattern_strategy(5)) {
+        let z = canonical::fresh_label_for([&q]);
+        for m in canonical::canonical_models(&q, 2, z) {
+            let r = eval::eval(&q, &m.tree);
+            prop_assert!(r.iter().any(|n| n.id == m.output));
+        }
+    }
+
+    #[test]
+    fn display_parse_roundtrip(q in pattern_strategy(6)) {
+        let printed = q.to_string();
+        let reparsed = xuc_xpath::parse(&printed).unwrap();
+        prop_assert_eq!(printed, reparsed.to_string());
+    }
+
+    #[test]
+    fn intersection_is_semantic_intersection(
+        tree in tree_strategy(10),
+        q1 in pattern_strategy_with(4, false),
+        q2 in pattern_strategy_with(4, false),
+    ) {
+        let r1 = eval::eval(&q1, &tree);
+        let r2 = eval::eval(&q2, &tree);
+        let expected: std::collections::BTreeSet<_> =
+            r1.intersection(&r2).copied().collect();
+        match xuc_xpath::intersect::intersect(&q1, &q2) {
+            Some(qi) => prop_assert_eq!(eval::eval(&qi, &tree), expected),
+            None => prop_assert!(expected.is_empty()),
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Interned node labels.
+//!
+//! The paper draws labels from an infinite domain `L`; concretely we intern
+//! strings into `u32` handles through a global interner so that label
+//! comparison, hashing and automata alphabets work on plain integers.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// An interned label. Two labels are equal iff their underlying strings are.
+///
+/// ```
+/// use xuc_xtree::Label;
+/// let a = Label::new("patient");
+/// let b = Label::new("patient");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "patient");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(u32);
+
+struct Interner {
+    names: Vec<&'static str>,
+    index: HashMap<&'static str, u32>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            names: Vec::new(),
+            index: HashMap::new(),
+        })
+    })
+}
+
+impl Label {
+    /// Interns `name` and returns its label handle.
+    pub fn new(name: &str) -> Self {
+        {
+            let guard = interner().read();
+            if let Some(&id) = guard.index.get(name) {
+                return Label(id);
+            }
+        }
+        let mut guard = interner().write();
+        if let Some(&id) = guard.index.get(name) {
+            return Label(id);
+        }
+        // Labels live for the whole process; leaking keeps `as_str` free of
+        // locking and allocation on the hot path.
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let id = u32::try_from(guard.names.len()).expect("label interner overflow");
+        guard.names.push(leaked);
+        guard.index.insert(leaked, id);
+        Label(id)
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        interner().read().names[self.0 as usize]
+    }
+
+    /// A stable integer handle, usable as an automaton alphabet symbol.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The conventional "fresh" label `z` used throughout the paper's proofs
+    /// for nodes whose label must not interact with any constraint.
+    pub fn z() -> Self {
+        Label::new("z")
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl From<&str> for Label {
+    fn from(s: &str) -> Self {
+        Label::new(s)
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Serialize for Label {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self.as_str())
+    }
+}
+
+#[cfg(feature = "serde")]
+impl<'de> serde::Deserialize<'de> for Label {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        Ok(Label::new(&s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let a = Label::new("a");
+        let b = Label::new("b");
+        let a2 = Label::new("a");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a.raw(), a2.raw());
+        assert_eq!(a.as_str(), "a");
+        assert_eq!(b.as_str(), "b");
+    }
+
+    #[test]
+    fn display_prints_name() {
+        assert_eq!(format!("{}", Label::new("visit")), "visit");
+        assert_eq!(format!("{:?}", Label::new("visit")), "visit");
+    }
+
+    #[test]
+    fn z_label_is_z() {
+        assert_eq!(Label::z().as_str(), "z");
+    }
+
+    #[test]
+    fn many_labels_distinct() {
+        let labels: Vec<Label> = (0..500).map(|i| Label::new(&format!("l{i}"))).collect();
+        for (i, a) in labels.iter().enumerate() {
+            for (j, b) in labels.iter().enumerate() {
+                assert_eq!(i == j, a == b);
+            }
+        }
+    }
+}

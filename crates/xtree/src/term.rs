@@ -1,0 +1,231 @@
+//! A compact term syntax for trees: `root(a(b,c),d)`.
+//!
+//! Used pervasively by tests, examples and workload generators. Node ids are
+//! minted fresh on parse; an optional `label#id` form pins explicit ids so
+//! paired instances `(I, J)` can share node identities:
+//!
+//! ```
+//! use xuc_xtree::{parse_term, to_term};
+//! let t = parse_term("root(patient#1(visit#2),patient#3)").unwrap();
+//! assert_eq!(t.len(), 4);
+//! assert_eq!(to_term(&t), "root(patient,patient(visit))");
+//! ```
+
+use crate::node::NodeId;
+use crate::tree::{DataTree, TreeError};
+use std::fmt;
+
+/// Errors from [`parse_term`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TermError {
+    /// Unexpected character at byte offset.
+    Unexpected { at: usize, found: Option<char> },
+    /// An explicit id appeared twice.
+    Tree(TreeError),
+    /// Trailing input after the term.
+    Trailing { at: usize },
+    /// Empty input or empty label.
+    EmptyLabel { at: usize },
+}
+
+impl fmt::Display for TermError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TermError::Unexpected { at, found: Some(c) } => {
+                write!(f, "unexpected character {c:?} at offset {at}")
+            }
+            TermError::Unexpected { at, found: None } => {
+                write!(f, "unexpected end of input at offset {at}")
+            }
+            TermError::Tree(e) => write!(f, "{e}"),
+            TermError::Trailing { at } => write!(f, "trailing input at offset {at}"),
+            TermError::EmptyLabel { at } => write!(f, "empty label at offset {at}"),
+        }
+    }
+}
+
+impl std::error::Error for TermError {}
+
+impl From<TreeError> for TermError {
+    fn from(e: TreeError) -> Self {
+        TermError::Tree(e)
+    }
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<char> {
+        self.src.get(self.pos).map(|&b| b as char)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, TermError> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-' || c == '+') {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(TermError::EmptyLabel { at: start });
+        }
+        Ok(std::str::from_utf8(&self.src[start..self.pos]).expect("ascii").to_string())
+    }
+
+    fn node(&mut self, tree: &mut Option<DataTree>, parent: Option<NodeId>) -> Result<(), TermError> {
+        let label = self.ident()?;
+        let explicit_id = if self.peek() == Some('#') {
+            self.pos += 1;
+            let digits = self.ident()?;
+            let raw: u64 = digits
+                .parse()
+                .map_err(|_| TermError::Unexpected { at: self.pos, found: self.peek() })?;
+            Some(NodeId::from_raw(raw))
+        } else {
+            None
+        };
+        let id = match (parent, tree.as_mut()) {
+            (None, _) => {
+                let t = match explicit_id {
+                    Some(id) => DataTree::with_root_id(id, label.as_str()),
+                    None => DataTree::new(label.as_str()),
+                };
+                let id = t.root_id();
+                *tree = Some(t);
+                id
+            }
+            (Some(p), Some(t)) => match explicit_id {
+                Some(id) => t.add_with_id(p, id, label.as_str())?,
+                None => t.add(p, label.as_str())?,
+            },
+            (Some(_), None) => unreachable!("children parsed after root"),
+        };
+        self.skip_ws();
+        if self.peek() == Some('(') {
+            self.pos += 1;
+            loop {
+                self.node(tree, Some(id))?;
+                self.skip_ws();
+                match self.peek() {
+                    Some(',') => {
+                        self.pos += 1;
+                    }
+                    Some(')') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    found => return Err(TermError::Unexpected { at: self.pos, found }),
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses the compact term syntax into a [`DataTree`].
+pub fn parse_term(src: &str) -> Result<DataTree, TermError> {
+    let mut p = Parser { src: src.as_bytes(), pos: 0 };
+    let mut tree = None;
+    p.node(&mut tree, None)?;
+    p.skip_ws();
+    if p.pos != src.len() {
+        return Err(TermError::Trailing { at: p.pos });
+    }
+    Ok(tree.expect("root parsed"))
+}
+
+/// Renders a tree in the compact term syntax (children sorted canonically so
+/// the output is deterministic; ids are omitted).
+pub fn to_term(tree: &DataTree) -> String {
+    fn rec(tree: &DataTree, id: NodeId, out: &mut String) {
+        out.push_str(tree.label(id).expect("live").as_str());
+        let kids = tree.children(id).expect("live");
+        if !kids.is_empty() {
+            let mut rendered: Vec<String> = kids
+                .into_iter()
+                .map(|k| {
+                    let mut s = String::new();
+                    rec(tree, k, &mut s);
+                    s
+                })
+                .collect();
+            rendered.sort();
+            out.push('(');
+            for (i, r) in rendered.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(r);
+            }
+            out.push(')');
+        }
+    }
+    let mut s = String::new();
+    rec(tree, tree.root_id(), &mut s);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let t = parse_term("root(a(b,c),d)").unwrap();
+        assert_eq!(t.len(), 5);
+        assert_eq!(to_term(&t), "root(a(b,c),d)");
+    }
+
+    #[test]
+    fn canonical_ordering() {
+        let t = parse_term("r(b,a)").unwrap();
+        assert_eq!(to_term(&t), "r(a,b)");
+    }
+
+    #[test]
+    fn explicit_ids() {
+        let t = parse_term("r#10(a#11,a#12)").unwrap();
+        assert!(t.contains(NodeId::from_raw(11)));
+        assert!(t.contains(NodeId::from_raw(12)));
+        assert_eq!(t.root_id(), NodeId::from_raw(10));
+    }
+
+    #[test]
+    fn duplicate_explicit_id_rejected() {
+        let err = parse_term("r(a#5,b#5)").unwrap_err();
+        assert!(matches!(err, TermError::Tree(TreeError::DuplicateId(_))));
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let t = parse_term(" r ( a , b ( c ) ) ").unwrap();
+        assert_eq!(to_term(&t), "r(a,b(c))");
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(matches!(parse_term(""), Err(TermError::EmptyLabel { .. })));
+        assert!(matches!(parse_term("r(a"), Err(TermError::Unexpected { .. })));
+        assert!(matches!(parse_term("r)x"), Err(TermError::Trailing { .. })));
+    }
+
+    #[test]
+    fn deep_nesting() {
+        let mut s = String::from("r");
+        for _ in 0..50 {
+            s.push_str("(a");
+        }
+        s.push_str(&")".repeat(50));
+        let t = parse_term(&s).unwrap();
+        assert_eq!(t.len(), 51);
+        assert_eq!(t.height(), 50);
+    }
+}

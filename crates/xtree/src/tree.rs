@@ -1,0 +1,679 @@
+//! The unordered data tree (Def. 2.1).
+//!
+//! A [`DataTree`] is an arena of nodes, each carrying a [`NodeId`] and a
+//! [`Label`]. Children are stored in a `Vec` but the tree is semantically
+//! *unordered*: structural comparison and hashing ignore sibling order.
+//!
+//! The root is an ordinary node; the paper treats it specially only in the
+//! query language (no predicates on the root), not in the data model.
+
+use crate::label::Label;
+use crate::node::NodeId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors raised by tree manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// The referenced node id is not present in this tree.
+    NodeNotFound(NodeId),
+    /// The node id is already present in this tree (ids must be unique).
+    DuplicateId(NodeId),
+    /// The operation would detach or re-attach the root.
+    RootImmovable,
+    /// Moving `node` under `target` would create a cycle
+    /// (`target` is a descendant of `node`).
+    WouldCreateCycle { node: NodeId, target: NodeId },
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::NodeNotFound(id) => write!(f, "node {id} not found in tree"),
+            TreeError::DuplicateId(id) => write!(f, "node id {id} already present in tree"),
+            TreeError::RootImmovable => write!(f, "the root node cannot be moved or removed"),
+            TreeError::WouldCreateCycle { node, target } => {
+                write!(f, "moving {node} under its descendant {target} would create a cycle")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+#[derive(Debug, Clone)]
+struct NodeData {
+    id: NodeId,
+    label: Label,
+    parent: Option<usize>,
+    children: Vec<usize>,
+}
+
+/// A lightweight view of a node: its id and label, as in the paper where a
+/// node *is* the pair `(id, label)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeRef {
+    pub id: NodeId,
+    pub label: Label,
+}
+
+/// An unordered data tree with uniquely identified nodes.
+#[derive(Clone)]
+pub struct DataTree {
+    nodes: Vec<Option<NodeData>>,
+    root: usize,
+    by_id: HashMap<NodeId, usize>,
+    live: usize,
+}
+
+impl DataTree {
+    /// Creates a tree consisting of a single root node with a fresh id.
+    pub fn new(root_label: impl Into<Label>) -> Self {
+        Self::with_root_id(NodeId::fresh(), root_label)
+    }
+
+    /// Creates a tree consisting of a single root node with the given id.
+    pub fn with_root_id(id: NodeId, root_label: impl Into<Label>) -> Self {
+        let root = NodeData {
+            id,
+            label: root_label.into(),
+            parent: None,
+            children: Vec::new(),
+        };
+        let mut by_id = HashMap::new();
+        by_id.insert(id, 0);
+        DataTree {
+            nodes: vec![Some(root)],
+            root: 0,
+            by_id,
+            live: 1,
+        }
+    }
+
+    fn slot(&self, id: NodeId) -> Result<usize, TreeError> {
+        self.by_id.get(&id).copied().ok_or(TreeError::NodeNotFound(id))
+    }
+
+    fn data(&self, slot: usize) -> &NodeData {
+        self.nodes[slot].as_ref().expect("live slot")
+    }
+
+    fn data_mut(&mut self, slot: usize) -> &mut NodeData {
+        self.nodes[slot].as_mut().expect("live slot")
+    }
+
+    /// The root node's id.
+    pub fn root_id(&self) -> NodeId {
+        self.data(self.root).id
+    }
+
+    /// The root node's label.
+    pub fn root_label(&self) -> Label {
+        self.data(self.root).label
+    }
+
+    /// Number of live nodes (including the root).
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True iff the tree consists of the root only.
+    pub fn is_empty(&self) -> bool {
+        self.live == 1
+    }
+
+    /// Does this tree contain a node with this id?
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.by_id.contains_key(&id)
+    }
+
+    /// The label of `id`.
+    pub fn label(&self, id: NodeId) -> Result<Label, TreeError> {
+        Ok(self.data(self.slot(id)?).label)
+    }
+
+    /// The node view `(id, label)` of `id`.
+    pub fn node(&self, id: NodeId) -> Result<NodeRef, TreeError> {
+        let d = self.data(self.slot(id)?);
+        Ok(NodeRef { id: d.id, label: d.label })
+    }
+
+    /// The parent of `id`, or `None` for the root.
+    pub fn parent(&self, id: NodeId) -> Result<Option<NodeId>, TreeError> {
+        let d = self.data(self.slot(id)?);
+        Ok(d.parent.map(|p| self.data(p).id))
+    }
+
+    /// Child ids of `id` (order is incidental; the tree is unordered).
+    pub fn children(&self, id: NodeId) -> Result<Vec<NodeId>, TreeError> {
+        let d = self.data(self.slot(id)?);
+        Ok(d.children.iter().map(|&c| self.data(c).id).collect())
+    }
+
+    /// All node views, root first, in depth-first order.
+    pub fn nodes(&self) -> Vec<NodeRef> {
+        let mut out = Vec::with_capacity(self.live);
+        self.walk(self.root, &mut |d| {
+            out.push(NodeRef { id: d.id, label: d.label });
+        });
+        out
+    }
+
+    /// All node ids, root first, in depth-first order.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes().into_iter().map(|n| n.id).collect()
+    }
+
+    fn walk(&self, slot: usize, f: &mut impl FnMut(&NodeData)) {
+        let d = self.data(slot);
+        f(d);
+        for &c in &d.children {
+            self.walk(c, f);
+        }
+    }
+
+    /// Depth of `id`: the root has depth 0.
+    pub fn depth(&self, id: NodeId) -> Result<usize, TreeError> {
+        let mut slot = self.slot(id)?;
+        let mut depth = 0;
+        while let Some(p) = self.data(slot).parent {
+            slot = p;
+            depth += 1;
+        }
+        Ok(depth)
+    }
+
+    /// Maximum depth over all nodes.
+    pub fn height(&self) -> usize {
+        fn rec(t: &DataTree, slot: usize) -> usize {
+            let d = t.data(slot);
+            d.children.iter().map(|&c| 1 + rec(t, c)).max().unwrap_or(0)
+        }
+        rec(self, self.root)
+    }
+
+    /// Is `anc` a proper ancestor of `desc`?
+    pub fn is_proper_ancestor(&self, anc: NodeId, desc: NodeId) -> Result<bool, TreeError> {
+        let anc_slot = self.slot(anc)?;
+        let mut slot = self.slot(desc)?;
+        while let Some(p) = self.data(slot).parent {
+            if p == anc_slot {
+                return Ok(true);
+            }
+            slot = p;
+        }
+        Ok(false)
+    }
+
+    /// Labels on the path from the root's *child* down to `id`, i.e. the
+    /// root label is excluded. For the root itself this is empty. This is
+    /// the string relevant to linear-path query membership.
+    pub fn label_path(&self, id: NodeId) -> Result<Vec<Label>, TreeError> {
+        let mut slot = self.slot(id)?;
+        let mut path = Vec::new();
+        while let Some(p) = self.data(slot).parent {
+            path.push(self.data(slot).label);
+            slot = p;
+        }
+        path.reverse();
+        Ok(path)
+    }
+
+    /// Ids on the path root → `id`, inclusive of both ends.
+    pub fn id_path(&self, id: NodeId) -> Result<Vec<NodeId>, TreeError> {
+        let mut slot = self.slot(id)?;
+        let mut path = vec![self.data(slot).id];
+        while let Some(p) = self.data(slot).parent {
+            slot = p;
+            path.push(self.data(slot).id);
+        }
+        path.reverse();
+        Ok(path)
+    }
+
+    /// Inserts a new leaf with a fresh id under `parent`.
+    pub fn add(&mut self, parent: NodeId, label: impl Into<Label>) -> Result<NodeId, TreeError> {
+        self.add_with_id(parent, NodeId::fresh(), label)
+    }
+
+    /// Inserts a new leaf with an explicit id under `parent`.
+    pub fn add_with_id(
+        &mut self,
+        parent: NodeId,
+        id: NodeId,
+        label: impl Into<Label>,
+    ) -> Result<NodeId, TreeError> {
+        let parent_slot = self.slot(parent)?;
+        if self.by_id.contains_key(&id) {
+            return Err(TreeError::DuplicateId(id));
+        }
+        let slot = self.nodes.len();
+        self.nodes.push(Some(NodeData {
+            id,
+            label: label.into(),
+            parent: Some(parent_slot),
+            children: Vec::new(),
+        }));
+        self.data_mut(parent_slot).children.push(slot);
+        self.by_id.insert(id, slot);
+        self.live += 1;
+        Ok(id)
+    }
+
+    /// Changes the label of `id` (a "modification of label" update).
+    pub fn relabel(&mut self, id: NodeId, label: impl Into<Label>) -> Result<(), TreeError> {
+        let slot = self.slot(id)?;
+        self.data_mut(slot).label = label.into();
+        Ok(())
+    }
+
+    /// Replaces the node `id` by a new node with `new_id` (same label, same
+    /// position, same children). This is the `I[n → n']` operation used in
+    /// the proof of Theorem 3.1.
+    pub fn replace_id(&mut self, id: NodeId, new_id: NodeId) -> Result<(), TreeError> {
+        let slot = self.slot(id)?;
+        if self.by_id.contains_key(&new_id) {
+            return Err(TreeError::DuplicateId(new_id));
+        }
+        self.by_id.remove(&id);
+        self.by_id.insert(new_id, slot);
+        self.data_mut(slot).id = new_id;
+        Ok(())
+    }
+
+    /// Deletes the subtree rooted at `id` (the root cannot be deleted).
+    pub fn delete_subtree(&mut self, id: NodeId) -> Result<(), TreeError> {
+        let slot = self.slot(id)?;
+        let parent = self.data(slot).parent.ok_or(TreeError::RootImmovable)?;
+        self.data_mut(parent).children.retain(|&c| c != slot);
+        self.reap(slot);
+        Ok(())
+    }
+
+    fn reap(&mut self, slot: usize) {
+        let children = std::mem::take(&mut self.data_mut(slot).children);
+        for c in children {
+            self.reap(c);
+        }
+        let d = self.nodes[slot].take().expect("live slot");
+        self.by_id.remove(&d.id);
+        self.live -= 1;
+    }
+
+    /// Deletes the node `id` only, promoting its children to its parent
+    /// ("splice out").
+    pub fn delete_node(&mut self, id: NodeId) -> Result<(), TreeError> {
+        let slot = self.slot(id)?;
+        let parent = self.data(slot).parent.ok_or(TreeError::RootImmovable)?;
+        let children = std::mem::take(&mut self.data_mut(slot).children);
+        for &c in &children {
+            self.data_mut(c).parent = Some(parent);
+        }
+        self.data_mut(parent).children.retain(|&c| c != slot);
+        self.data_mut(parent).children.extend(children);
+        let d = self.nodes[slot].take().expect("live slot");
+        self.by_id.remove(&d.id);
+        self.live -= 1;
+        Ok(())
+    }
+
+    /// Moves the subtree rooted at `id` under `new_parent`.
+    pub fn move_node(&mut self, id: NodeId, new_parent: NodeId) -> Result<(), TreeError> {
+        let slot = self.slot(id)?;
+        let target = self.slot(new_parent)?;
+        let old_parent = self.data(slot).parent.ok_or(TreeError::RootImmovable)?;
+        // Walk up from the target; hitting `slot` means `new_parent` lies in
+        // the subtree being moved.
+        let mut cursor = Some(target);
+        while let Some(s) = cursor {
+            if s == slot {
+                return Err(TreeError::WouldCreateCycle { node: id, target: new_parent });
+            }
+            cursor = self.data(s).parent;
+        }
+        self.data_mut(old_parent).children.retain(|&c| c != slot);
+        self.data_mut(target).children.push(slot);
+        self.data_mut(slot).parent = Some(target);
+        Ok(())
+    }
+
+    /// Grafts a copy of the subtree of `other` rooted at `src` under
+    /// `parent`, **preserving node ids**. Fails if any id would collide.
+    pub fn graft_subtree(
+        &mut self,
+        parent: NodeId,
+        other: &DataTree,
+        src: NodeId,
+    ) -> Result<NodeId, TreeError> {
+        self.graft_inner(parent, other, src, false)
+    }
+
+    /// Grafts a copy of the subtree of `other` rooted at `src` under
+    /// `parent`, **minting fresh ids** for every copied node (the paper's
+    /// notion of a *copy*: same structure and labels, fresh ids).
+    pub fn graft_copy(
+        &mut self,
+        parent: NodeId,
+        other: &DataTree,
+        src: NodeId,
+    ) -> Result<NodeId, TreeError> {
+        self.graft_inner(parent, other, src, true)
+    }
+
+    fn graft_inner(
+        &mut self,
+        parent: NodeId,
+        other: &DataTree,
+        src: NodeId,
+        fresh: bool,
+    ) -> Result<NodeId, TreeError> {
+        let src_slot = other.slot(src)?;
+        // Pre-validate id uniqueness when preserving ids so that a failed
+        // graft leaves `self` untouched.
+        if !fresh {
+            let mut clash = None;
+            other.walk(src_slot, &mut |d| {
+                if clash.is_none() && self.by_id.contains_key(&d.id) {
+                    clash = Some(d.id);
+                }
+            });
+            if let Some(id) = clash {
+                return Err(TreeError::DuplicateId(id));
+            }
+        }
+        fn rec(
+            dst: &mut DataTree,
+            parent: NodeId,
+            other: &DataTree,
+            slot: usize,
+            fresh: bool,
+        ) -> Result<NodeId, TreeError> {
+            let d = other.data(slot);
+            let id = if fresh { NodeId::fresh() } else { d.id };
+            let new_id = dst.add_with_id(parent, id, d.label)?;
+            for &c in &d.children {
+                rec(dst, new_id, other, c, fresh)?;
+            }
+            Ok(new_id)
+        }
+        rec(self, parent, other, src_slot, fresh)
+    }
+
+    /// Extracts the subtree rooted at `id` as a standalone tree
+    /// (ids preserved).
+    pub fn subtree(&self, id: NodeId) -> Result<DataTree, TreeError> {
+        let slot = self.slot(id)?;
+        let d = self.data(slot);
+        let mut out = DataTree::with_root_id(d.id, d.label);
+        for &c in &d.children {
+            let child_id = self.data(c).id;
+            out.graft_subtree(d.id, self, child_id)?;
+        }
+        Ok(out)
+    }
+
+    /// A deep copy with fresh ids everywhere (including the root).
+    pub fn deep_copy_fresh(&self) -> DataTree {
+        let mut out = DataTree::new(self.root_label());
+        for c in self.children(self.root_id()).expect("root") {
+            out.graft_copy(out.root_id(), self, c).expect("graft");
+        }
+        out
+    }
+
+    /// Structural equality **ignoring node ids** and sibling order: same
+    /// shape and labels. This is isomorphism of the underlying labeled
+    /// unordered trees.
+    pub fn structurally_eq(&self, other: &DataTree) -> bool {
+        self.canonical_form() == other.canonical_form()
+    }
+
+    /// Equality of identified trees: same node ids, labels and parent
+    /// relation (sibling order still ignored — the model is unordered).
+    pub fn identified_eq(&self, other: &DataTree) -> bool {
+        if self.live != other.live {
+            return false;
+        }
+        for n in self.nodes() {
+            let Ok(on) = other.node(n.id) else { return false };
+            if on.label != n.label {
+                return false;
+            }
+            let p = self.parent(n.id).expect("live node");
+            let op = other.parent(n.id).expect("live node");
+            if p != op {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// A canonical string form invariant under sibling reordering and id
+    /// renaming. Used for structural hashing and equality.
+    pub fn canonical_form(&self) -> String {
+        fn rec(t: &DataTree, slot: usize, out: &mut String) {
+            let d = t.data(slot);
+            out.push_str(d.label.as_str());
+            if !d.children.is_empty() {
+                let mut kids: Vec<String> = d
+                    .children
+                    .iter()
+                    .map(|&c| {
+                        let mut s = String::new();
+                        rec(t, c, &mut s);
+                        s
+                    })
+                    .collect();
+                kids.sort();
+                out.push('(');
+                for (i, k) in kids.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(k);
+                }
+                out.push(')');
+            }
+        }
+        let mut s = String::new();
+        rec(self, self.root, &mut s);
+        s
+    }
+
+    /// Pretty indented rendering (ids and labels), for debugging and demos.
+    pub fn render(&self) -> String {
+        fn rec(t: &DataTree, slot: usize, depth: usize, out: &mut String) {
+            let d = t.data(slot);
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{} [{}]\n", d.label, d.id));
+            for &c in &d.children {
+                rec(t, c, depth + 1, out);
+            }
+        }
+        let mut s = String::new();
+        rec(self, self.root, 0, &mut s);
+        s
+    }
+
+    /// All distinct labels occurring in the tree.
+    pub fn labels(&self) -> Vec<Label> {
+        let mut set = std::collections::BTreeSet::new();
+        self.walk(self.root, &mut |d| {
+            set.insert(d.label);
+        });
+        set.into_iter().collect()
+    }
+}
+
+impl fmt::Debug for DataTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DataTree({})", crate::term::to_term(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DataTree {
+        let mut t = DataTree::new("root");
+        let a = t.add(t.root_id(), "a").unwrap();
+        let b = t.add(a, "b").unwrap();
+        t.add(b, "c").unwrap();
+        t.add(a, "d").unwrap();
+        t.add(t.root_id(), "e").unwrap();
+        t
+    }
+
+    #[test]
+    fn build_and_query_basics() {
+        let t = sample();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.root_label(), Label::new("root"));
+        assert_eq!(t.height(), 3);
+        let kids = t.children(t.root_id()).unwrap();
+        assert_eq!(kids.len(), 2);
+    }
+
+    #[test]
+    fn label_path_excludes_root() {
+        let mut t = DataTree::new("root");
+        let a = t.add(t.root_id(), "a").unwrap();
+        let b = t.add(a, "b").unwrap();
+        let path: Vec<String> = t
+            .label_path(b)
+            .unwrap()
+            .into_iter()
+            .map(|l| l.as_str().to_string())
+            .collect();
+        assert_eq!(path, vec!["a", "b"]);
+        assert!(t.label_path(t.root_id()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn delete_subtree_removes_descendants() {
+        let mut t = DataTree::new("root");
+        let a = t.add(t.root_id(), "a").unwrap();
+        let b = t.add(a, "b").unwrap();
+        let c = t.add(b, "c").unwrap();
+        t.delete_subtree(a).unwrap();
+        assert_eq!(t.len(), 1);
+        assert!(!t.contains(a));
+        assert!(!t.contains(b));
+        assert!(!t.contains(c));
+    }
+
+    #[test]
+    fn delete_node_promotes_children() {
+        let mut t = DataTree::new("root");
+        let a = t.add(t.root_id(), "a").unwrap();
+        let b = t.add(a, "b").unwrap();
+        t.delete_node(a).unwrap();
+        assert!(t.contains(b));
+        assert_eq!(t.parent(b).unwrap(), Some(t.root_id()));
+    }
+
+    #[test]
+    fn move_node_rejects_cycles() {
+        let mut t = DataTree::new("root");
+        let a = t.add(t.root_id(), "a").unwrap();
+        let b = t.add(a, "b").unwrap();
+        let err = t.move_node(a, b).unwrap_err();
+        assert!(matches!(err, TreeError::WouldCreateCycle { .. }));
+    }
+
+    #[test]
+    fn move_node_reparents() {
+        let mut t = DataTree::new("root");
+        let a = t.add(t.root_id(), "a").unwrap();
+        let b = t.add(t.root_id(), "b").unwrap();
+        let c = t.add(a, "c").unwrap();
+        t.move_node(c, b).unwrap();
+        assert_eq!(t.parent(c).unwrap(), Some(b));
+        assert!(t.children(a).unwrap().is_empty());
+    }
+
+    #[test]
+    fn structural_eq_ignores_order_and_ids() {
+        let mut t1 = DataTree::new("r");
+        t1.add(t1.root_id(), "a").unwrap();
+        t1.add(t1.root_id(), "b").unwrap();
+        let mut t2 = DataTree::new("r");
+        t2.add(t2.root_id(), "b").unwrap();
+        t2.add(t2.root_id(), "a").unwrap();
+        assert!(t1.structurally_eq(&t2));
+        assert!(!t1.identified_eq(&t2));
+    }
+
+    #[test]
+    fn identified_eq_tracks_ids() {
+        let t = sample();
+        let u = t.clone();
+        assert!(t.identified_eq(&u));
+        let mut v = t.clone();
+        let some_leaf = *v.node_ids().last().unwrap();
+        v.delete_subtree(some_leaf).unwrap();
+        assert!(!t.identified_eq(&v));
+    }
+
+    #[test]
+    fn graft_preserves_and_refreshes_ids() {
+        let t = sample();
+        let mut host = DataTree::new("root");
+        let a = t.children(t.root_id()).unwrap()[0];
+        let grafted = host.graft_subtree(host.root_id(), &t, a).unwrap();
+        assert_eq!(grafted, a);
+        // Preserved-id graft collides on second attempt.
+        assert!(matches!(
+            host.graft_subtree(host.root_id(), &t, a),
+            Err(TreeError::DuplicateId(_))
+        ));
+        // Fresh-id graft never collides.
+        let copy = host.graft_copy(host.root_id(), &t, a).unwrap();
+        assert_ne!(copy, a);
+        assert!(host.subtree(copy).unwrap().structurally_eq(&t.subtree(a).unwrap()));
+    }
+
+    #[test]
+    fn failed_graft_leaves_tree_untouched() {
+        let t = sample();
+        let a = t.children(t.root_id()).unwrap()[0];
+        let mut host = DataTree::new("root");
+        host.graft_subtree(host.root_id(), &t, a).unwrap();
+        let before = host.render();
+        let _ = host.graft_subtree(host.root_id(), &t, a);
+        assert_eq!(host.render(), before);
+    }
+
+    #[test]
+    fn subtree_extraction() {
+        let t = sample();
+        let a = t.children(t.root_id()).unwrap()[0];
+        let sub = t.subtree(a).unwrap();
+        assert_eq!(sub.root_id(), a);
+        assert_eq!(sub.len(), 4);
+    }
+
+    #[test]
+    fn replace_id_swaps_identity() {
+        let mut t = sample();
+        let a = t.children(t.root_id()).unwrap()[0];
+        let fresh = NodeId::fresh();
+        t.replace_id(a, fresh).unwrap();
+        assert!(!t.contains(a));
+        assert!(t.contains(fresh));
+        assert_eq!(t.label(fresh).unwrap(), Label::new("a"));
+    }
+
+    #[test]
+    fn deep_copy_fresh_is_isomorphic_but_disjoint() {
+        let t = sample();
+        let c = t.deep_copy_fresh();
+        assert!(t.structurally_eq(&c));
+        for id in c.node_ids() {
+            assert!(!t.contains(id));
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Update operations over data trees.
+//!
+//! Following the paper (and Tatarinov et al. [27]), an *update* is a sequence
+//! of node insertions, deletions, moves and label modifications; the paper
+//! then abstracts a whole update sequence as the pair of trees `(I, J)`.
+//! This module provides the concrete operations so examples and workload
+//! generators can *produce* such pairs by actually editing documents.
+
+use crate::label::Label;
+use crate::node::NodeId;
+use crate::tree::{DataTree, TreeError};
+use std::fmt;
+
+/// A single primitive update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Update {
+    /// Insert a fresh leaf `(id, label)` under `parent`.
+    InsertLeaf { parent: NodeId, id: NodeId, label: Label },
+    /// Delete the whole subtree rooted at `node`.
+    DeleteSubtree { node: NodeId },
+    /// Delete `node` only; its children are promoted to its parent.
+    DeleteNode { node: NodeId },
+    /// Move the subtree rooted at `node` under `new_parent`.
+    Move { node: NodeId, new_parent: NodeId },
+    /// Change the label of `node`.
+    Relabel { node: NodeId, label: Label },
+}
+
+impl fmt::Display for Update {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Update::InsertLeaf { parent, id, label } => {
+                write!(f, "insert {label}[{id}] under {parent}")
+            }
+            Update::DeleteSubtree { node } => write!(f, "delete subtree {node}"),
+            Update::DeleteNode { node } => write!(f, "delete node {node}"),
+            Update::Move { node, new_parent } => write!(f, "move {node} under {new_parent}"),
+            Update::Relabel { node, label } => write!(f, "relabel {node} to {label}"),
+        }
+    }
+}
+
+/// Errors from applying updates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateError {
+    /// The underlying tree operation failed.
+    Tree(TreeError),
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateError::Tree(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+impl From<TreeError> for UpdateError {
+    fn from(e: TreeError) -> Self {
+        UpdateError::Tree(e)
+    }
+}
+
+/// Applies one update in place.
+pub fn apply_update(tree: &mut DataTree, update: &Update) -> Result<(), UpdateError> {
+    match update {
+        Update::InsertLeaf { parent, id, label } => {
+            tree.add_with_id(*parent, *id, *label)?;
+        }
+        Update::DeleteSubtree { node } => tree.delete_subtree(*node)?,
+        Update::DeleteNode { node } => tree.delete_node(*node)?,
+        Update::Move { node, new_parent } => tree.move_node(*node, *new_parent)?,
+        Update::Relabel { node, label } => tree.relabel(*node, *label)?,
+    }
+    Ok(())
+}
+
+/// Applies a sequence of updates to a copy of `before`, returning the
+/// resulting `(I, J)` pair convention: `(before, after)`.
+pub fn apply_all(before: &DataTree, updates: &[Update]) -> Result<DataTree, UpdateError> {
+    let mut after = before.clone();
+    for u in updates {
+        apply_update(&mut after, u)?;
+    }
+    Ok(after)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_term;
+
+    #[test]
+    fn sequence_produces_pair() {
+        let before = parse_term("root(patient#1(visit#2),patient#3)").unwrap();
+        let fresh = NodeId::fresh();
+        let after = apply_all(
+            &before,
+            &[
+                Update::DeleteSubtree { node: NodeId::from_raw(2) },
+                Update::InsertLeaf {
+                    parent: NodeId::from_raw(3),
+                    id: fresh,
+                    label: Label::new("visit"),
+                },
+            ],
+        )
+        .unwrap();
+        assert!(before.contains(NodeId::from_raw(2)));
+        assert!(!after.contains(NodeId::from_raw(2)));
+        assert!(after.contains(fresh));
+        // The before tree is untouched.
+        assert_eq!(before.len(), 4);
+    }
+
+    #[test]
+    fn relabel_and_move() {
+        let before = parse_term("r(a#1(b#2),c#3)").unwrap();
+        let after = apply_all(
+            &before,
+            &[
+                Update::Relabel { node: NodeId::from_raw(2), label: Label::new("x") },
+                Update::Move { node: NodeId::from_raw(2), new_parent: NodeId::from_raw(3) },
+            ],
+        )
+        .unwrap();
+        assert_eq!(after.label(NodeId::from_raw(2)).unwrap(), Label::new("x"));
+        assert_eq!(after.parent(NodeId::from_raw(2)).unwrap(), Some(NodeId::from_raw(3)));
+    }
+
+    #[test]
+    fn failing_update_reports_error() {
+        let before = parse_term("r(a#1)").unwrap();
+        let err = apply_all(&before, &[Update::DeleteSubtree { node: NodeId::from_raw(99) }])
+            .unwrap_err();
+        assert!(matches!(err, UpdateError::Tree(TreeError::NodeNotFound(_))));
+    }
+
+    #[test]
+    fn display_updates() {
+        let u = Update::DeleteSubtree { node: NodeId::from_raw(7) };
+        assert_eq!(format!("{u}"), "delete subtree n7");
+    }
+}

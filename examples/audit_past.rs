@@ -1,0 +1,45 @@
+//! Auditing the past: instance-based implication as forensic reasoning.
+//!
+//! A curator receives a product catalog that was governed by update
+//! constraints but has no update log. Which integrity facts about the
+//! *original* catalog can be deduced from the current one?
+//!
+//! Run with `cargo run --example audit_past`.
+
+use xml_update_constraints::prelude::*;
+
+fn main() {
+    let current = parse_term(
+        "catalog(product#1(price#2,review#3),product#4(price#5),discontinued#6)",
+    )
+    .unwrap();
+
+    let policy = vec![
+        // Products may never be inserted after publication…
+        parse_constraint("(/product, ↓)").unwrap(),
+        // …and priced products are immutable as a set.
+        parse_constraint("(/product[/price], ↓)").unwrap(),
+        parse_constraint("(/product[/price], ↑)").unwrap(),
+        // Reviews may only accumulate.
+        parse_constraint("(/product/review, ↑)").unwrap(),
+    ];
+
+    let audits = [
+        ("(/product, ↓)", "could a product have been added?"),
+        ("(/product[/price], ↓)", "could a priced product have been added?"),
+        ("(/product[/review], ↓)", "could a reviewed product have been added?"),
+        ("(/product/review, ↓)", "could a review have been added?"),
+    ];
+
+    for (src, question) in audits {
+        let goal = parse_constraint(src).unwrap();
+        let verdict = implies_on(&policy, &current, &goal);
+        println!("{question:<55} {verdict}");
+        if let Outcome::NotImplied(ce) = &verdict {
+            println!("  e.g. the catalog could have looked like:");
+            for line in ce.before.render().lines() {
+                println!("    {line}");
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! The Figure 1 exchange scenario: Source → Broker → User.
+//!
+//! The Source certifies its document under Example 2.1's constraints; the
+//! Broker edits it; the User verifies the edit without ever seeing the
+//! original, then *reasons about the past* with instance-based
+//! implication.
+//!
+//! Run with `cargo run --example hospital_exchange`.
+
+use xml_update_constraints::prelude::*;
+use xuc_sigstore::Signer;
+
+fn main() {
+    // Source's document: every patient is enrolled in a clinical trial.
+    let original = parse_term(
+        "hospital#1(patient#2(visit#6,visit#7,clinicalTrial#9),patient#3(clinicalTrial#8))",
+    )
+    .unwrap();
+    let policy = xuc_workloads::trees::example_2_1_constraints();
+
+    let signer = Signer::new(0x5ec2e7);
+    let certificate = signer.certify(&original, &policy);
+    println!("Source signed {} range snapshots", certificate.entries.len());
+
+    // Broker performs Fig. 2's edit: deletes visit n7, adds a patient.
+    let mut published = original.clone();
+    published.delete_subtree(NodeId::from_raw(7)).unwrap();
+    published.add(published.root_id(), "patient").unwrap();
+
+    // User verifies: the deletion breaks (/patient/visit, ↑).
+    match certificate.verify(0x5ec2e7, &published) {
+        Ok(()) => println!("User: document verified"),
+        Err(e) => println!("User: REJECTED — {e}"),
+    }
+
+    // A compliant Broker edit instead: only *add* a visit.
+    let mut compliant = original.clone();
+    compliant.add(NodeId::from_raw(2), "visit").unwrap();
+    assert!(certificate.verify(0x5ec2e7, &compliant).is_ok());
+    println!("User: compliant edit verified");
+
+    // Reasoning about the past (Section 2.1): given only `compliant` and
+    // c3 = (/patient/visit, ↑), were the visits of clinicalTrial patients
+    // preserved? Yes — every patient in this instance is in a trial, so a
+    // visit had nowhere constraint-free to be moved from.
+    let c3 = vec![parse_constraint("(/patient/visit, ↑)").unwrap()];
+    let goal = parse_constraint("(/patient[/clinicalTrial]/visit, ↑)").unwrap();
+    let past = implies_on(&c3, &compliant, &goal);
+    println!("{{c3}} ⊨_J {goal}? {past}");
+    assert!(past.is_implied(), "no trial-less patient exists to move a visit to");
+
+    // The deduction is genuinely instance-based: on a document with a
+    // trial-less patient the same constraint set does NOT imply the goal.
+    let other_j = parse_term(
+        "hospital#1(patient#2(visit#6,clinicalTrial#9),patient#3(visit#7))",
+    )
+    .unwrap();
+    let not_past = implies_on(&c3, &other_j, &goal);
+    println!("{{c3}} ⊨_J' {goal}? {not_past}");
+    assert!(not_past.is_not_implied());
+}

@@ -1,0 +1,53 @@
+//! Quickstart: build documents, evaluate queries, check validity, and ask
+//! both implication questions.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use xml_update_constraints::prelude::*;
+
+fn main() {
+    // --- documents with persistent node identity ---------------------
+    let before = parse_term("shop(product#1(price#2),product#3,ad#4)").unwrap();
+    let mut after = before.clone();
+    after.delete_subtree(NodeId::from_raw(3)).unwrap(); // drop a product
+    after.add(after.root_id(), "ad").unwrap(); // add an advertisement
+
+    // --- query evaluation ---------------------------------------------
+    let products = parse_query("/product").unwrap();
+    println!("products before: {:?}", eval(&products, &before));
+    println!("products after:  {:?}", eval(&products, &after));
+
+    // --- validity of the evolution --------------------------------------
+    let policy = vec![
+        parse_constraint("(/product, ↓)").unwrap(),  // products may only shrink
+        parse_constraint("(/product/price, ↓)").unwrap(),
+        parse_constraint("(/ad, ↑)").unwrap(),       // ads may only grow
+    ];
+    for c in &policy {
+        println!("{c}: {}", if c.satisfied_by(&before, &after) { "ok" } else { "VIOLATED" });
+    }
+
+    // --- general implication (Definition 2.4) ---------------------------
+    // The §2.1 pattern: two protected predicates imply their conjunction.
+    let review_policy = vec![
+        parse_constraint("(/product[/price], ↓)").unwrap(),
+        parse_constraint("(/product[/review], ↓)").unwrap(),
+    ];
+    let goal = parse_constraint("(/product[/price][/review], ↓)").unwrap();
+    let outcome = implies(&review_policy, &goal);
+    println!("{{(/product[/price],↓), (/product[/review],↓)}} ⊨ {goal}? {outcome}");
+    assert!(outcome.is_implied());
+
+    // Whereas the weaker single constraint does not protect the pair:
+    let weaker = implies(&review_policy[..1].to_vec(), &goal);
+    println!("{{(/product[/price],↓)}} ⊨ {goal}? {weaker}");
+    assert!(weaker.is_not_implied());
+
+    // --- instance-based implication (Definition 2.5) --------------------
+    let goal2 = parse_constraint("(/ad, ↓)").unwrap();
+    let outcome2 = implies_on(&policy, &after, &goal2);
+    println!("policy ⊨_J {goal2}? {outcome2}");
+    if let Outcome::NotImplied(ce) = &outcome2 {
+        println!("  a previous instance refuting it:\n{}", ce.before.render());
+    }
+}

@@ -1,0 +1,130 @@
+//! End-to-end reproduction of every worked example in the paper, exercised
+//! through the public facade.
+
+use xml_update_constraints::prelude::*;
+
+#[test]
+fn example_2_1_figure_2() {
+    let (i, j) = xuc_workloads::trees::fig2_pair();
+    let cs = xuc_workloads::trees::example_2_1_constraints();
+    // (I, J) is valid for c1 and c2 but not c3 — the visit n7 was deleted.
+    assert!(cs[0].satisfied_by(&i, &j));
+    assert!(cs[1].satisfied_by(&i, &j) && cs[2].satisfied_by(&i, &j));
+    let v = cs[3].violation(&i, &j).expect("c3 violated");
+    assert_eq!(v.offenders.iter().map(|n| n.id.raw()).collect::<Vec<_>>(), vec![7]);
+}
+
+#[test]
+fn section_2_1_general_implication() {
+    // {c1, c2} ⊨ (/patient[/visit][/clinicalTrial], ↓).
+    let set = vec![
+        parse_constraint("(/patient[/visit], ↓)").unwrap(),
+        parse_constraint("(/patient[/clinicalTrial], ↓)").unwrap(),
+        parse_constraint("(/patient[/clinicalTrial], ↑)").unwrap(),
+    ];
+    let goal = parse_constraint("(/patient[/visit][/clinicalTrial], ↓)").unwrap();
+    assert!(implies(&set, &goal).is_implied());
+    // Dropping either predicate protection breaks the implication.
+    assert!(implies(&set[..1].to_vec(), &goal).is_not_implied());
+}
+
+#[test]
+fn example_4_1_interaction_of_types() {
+    let (set, goal) = xuc_workloads::trees::example_4_1();
+    let full = implies(&set, &goal);
+    assert!(full.is_implied(), "Example 4.1: the mixed-type set implies c");
+    let up_only: Vec<Constraint> =
+        set.iter().filter(|c| c.kind == ConstraintKind::NoRemove).cloned().collect();
+    let partial = implies(&up_only, &goal);
+    assert!(partial.is_not_implied(), "Example 4.1: ↑ constraints alone do not");
+    if let Outcome::NotImplied(ce) = partial {
+        assert!(ce.verify(&up_only, &goal));
+    }
+}
+
+#[test]
+fn theorem_3_1_equivalence_characterization() {
+    // c1 ⊨ c2 (single constraints, same type) iff the ranges are
+    // equivalent.
+    let pairs = [
+        ("/a/b", "/a/b", true),
+        ("/a[/b]", "/a[/b]", true),
+        ("//a//b", "//a//b", true),
+        ("/a/b", "//b", false),
+        ("//b", "/a/b", false),
+        ("/a[/b]", "/a", false),
+    ];
+    for (q1, q2, expected) in pairs {
+        for kind in ["↑", "↓"] {
+            let c1 = parse_constraint(&format!("({q1}, {kind})")).unwrap();
+            let c2 = parse_constraint(&format!("({q2}, {kind})")).unwrap();
+            let got = implies(&[c1], &c2).decided().expect("decidable fragment");
+            assert_eq!(got, expected, "({q1},{kind}) ⊨ ({q2},{kind})");
+        }
+    }
+}
+
+#[test]
+fn example_3_3_chase_divergence() {
+    let deps = xuc_xic::example_3_3();
+    let mut db = xuc_xic::FactDb::new();
+    xuc_xic::seed_two_branch(&mut db);
+    xuc_xic::seed_path(&mut db, xuc_xic::I_BRANCH, &["a", "b", "c", "d"]);
+    assert!(matches!(
+        xuc_xic::chase(&mut db, &deps, 12),
+        xuc_xic::ChaseResult::CapReached { .. }
+    ));
+}
+
+#[test]
+fn example_6_1_relative_same_type_failure() {
+    // With relative constraints the same-type property fails even in
+    // XP{/,[]}: c is only enforced through the ↓ constraints. We verify
+    // the *validity-level* facts on a move that the relative constraint
+    // forbids but the absolute one allows.
+    let i = parse_term("h(patient#1(visit#3),patient#2)").unwrap();
+    let j = parse_term("h(patient#1,patient#2(visit#3))").unwrap();
+    let absolute = parse_constraint("(/patient/visit, ↑)").unwrap();
+    let relative = RelativeConstraint::new(
+        parse_query("/patient").unwrap(),
+        parse_query("/visit").unwrap(),
+        ConstraintKind::NoRemove,
+    );
+    assert!(absolute.satisfied_by(&i, &j));
+    assert!(!relative.satisfied_by(&i, &j));
+}
+
+#[test]
+fn section_2_2_sequences() {
+    let c = vec![parse_constraint("(/a, ↓)").unwrap()];
+    let s0 = parse_term("r(a#1,a#2,a#3)").unwrap();
+    let s1 = parse_term("r(a#1,a#2)").unwrap();
+    let s2 = parse_term("r(a#1)").unwrap();
+    assert!(xuc_core::constraint::sequence_pairwise_valid(&c, &[
+        s0.clone(),
+        s1.clone(),
+        s2.clone()
+    ]));
+    assert!(xuc_core::constraint::sequence_valid_for_last(&c, &[s0, s1, s2]));
+}
+
+#[test]
+fn hardness_gadgets_track_sat() {
+    for f in [
+        xuc_workloads::Formula::unsatisfiable(3),
+        xuc_workloads::Formula::new(
+            3,
+            vec![xuc_workloads::Clause([
+                xuc_workloads::Literal::pos(0),
+                xuc_workloads::Literal::neg(1),
+                xuc_workloads::Literal::pos(2),
+            ])],
+        ),
+    ] {
+        let sat = f.satisfiable();
+        let g46 = xuc_workloads::gadgets::Thm46Gadget::new(f.clone());
+        assert_eq!(g46.implied_by_assignment_sweep(), !sat, "Thm 4.6 on {f}");
+        let g52 = xuc_workloads::gadgets::Thm52Gadget::new(f.clone());
+        assert_eq!(g52.implied_by_assignment_sweep(), !sat, "Thm 5.2 on {f}");
+    }
+}
