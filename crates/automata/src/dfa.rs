@@ -109,10 +109,7 @@ impl Dfa {
                 next[s][sym] = t;
             }
         }
-        let accept = pairs
-            .iter()
-            .map(|&(a, b)| self.accept[a] && other.accept[b])
-            .collect();
+        let accept = pairs.iter().map(|&(a, b)| self.accept[a] && other.accept[b]).collect();
         Dfa { alphabet: self.alphabet.clone(), start: 0, accept, next }
     }
 

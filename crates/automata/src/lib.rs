@@ -21,7 +21,7 @@ pub mod product;
 
 pub use dfa::Dfa;
 pub use nfa::Nfa;
-pub use product::ProductDfa;
+pub use product::{ProductDfa, ProductError};
 
 use xuc_xpath::Pattern;
 use xuc_xtree::Label;

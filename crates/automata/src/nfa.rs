@@ -145,10 +145,8 @@ impl Nfa {
             }
         }
 
-        let accept = subsets
-            .iter()
-            .map(|subset| subset.iter().any(|s| self.accept.contains(s)))
-            .collect();
+        let accept =
+            subsets.iter().map(|subset| subset.iter().any(|s| self.accept.contains(s))).collect();
         crate::dfa::Dfa::from_parts(alphabet.to_vec(), 0, accept, next)
     }
 }

@@ -10,7 +10,38 @@
 //! the number of constraints is bounded" refinement.
 
 use crate::dfa::Dfa;
+use std::fmt;
 use xuc_xtree::Label;
+
+/// Why a product automaton could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProductError {
+    /// The product of zero automata is not defined here.
+    NoComponents,
+    /// Acceptance masks pack one bit per component into a `u64`; more than
+    /// 64 components would silently corrupt them, so the build refuses.
+    TooManyComponents { got: usize },
+    /// Component `index` disagrees with component 0 on the alphabet.
+    AlphabetMismatch { index: usize },
+}
+
+impl fmt::Display for ProductError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProductError::NoComponents => write!(f, "product of zero automata"),
+            ProductError::TooManyComponents { got } => write!(
+                f,
+                "{got} component DFAs, but acceptance masks hold at most 64 \
+                 (one bit per component in a u64)"
+            ),
+            ProductError::AlphabetMismatch { index } => {
+                write!(f, "component {index} uses a different alphabet than component 0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProductError {}
 
 /// Synchronous product of up to 64 component DFAs over a shared alphabet.
 #[derive(Debug, Clone)]
@@ -33,13 +64,27 @@ impl ProductDfa {
     ///
     /// # Panics
     /// Panics if `dfas` is empty, has more than 64 components, or the
-    /// alphabets differ.
+    /// alphabets differ — see [`try_build`](Self::try_build) for the
+    /// non-panicking form.
     pub fn build(dfas: &[Dfa]) -> ProductDfa {
-        assert!(!dfas.is_empty(), "product of zero automata");
-        assert!(dfas.len() <= 64, "at most 64 component automata supported");
+        Self::try_build(dfas).unwrap_or_else(|e| panic!("ProductDfa::build: {e}"))
+    }
+
+    /// Builds the reachable product of `dfas`, or explains why it cannot:
+    /// zero components, more than 64 components (the `u64` acceptance
+    /// masks would corrupt), or mismatched alphabets.
+    pub fn try_build(dfas: &[Dfa]) -> Result<ProductDfa, ProductError> {
+        if dfas.is_empty() {
+            return Err(ProductError::NoComponents);
+        }
+        if dfas.len() > 64 {
+            return Err(ProductError::TooManyComponents { got: dfas.len() });
+        }
         let alphabet = dfas[0].alphabet().to_vec();
-        for d in dfas {
-            assert_eq!(d.alphabet(), &alphabet[..], "product requires equal alphabets");
+        for (index, d) in dfas.iter().enumerate() {
+            if d.alphabet() != &alphabet[..] {
+                return Err(ProductError::AlphabetMismatch { index });
+            }
         }
         let k = alphabet.len();
         let start_vec: Vec<usize> = dfas.iter().map(|d| d.start()).collect();
@@ -52,11 +97,8 @@ impl ProductDfa {
         let mut queue = std::collections::VecDeque::from([0usize]);
         while let Some(s) = queue.pop_front() {
             for sym in 0..k {
-                let target: Vec<usize> = state_vecs[s]
-                    .iter()
-                    .zip(dfas)
-                    .map(|(&cs, d)| d.step(cs, sym))
-                    .collect();
+                let target: Vec<usize> =
+                    state_vecs[s].iter().zip(dfas).map(|(&cs, d)| d.step(cs, sym)).collect();
                 let t = match index.get(&target) {
                     Some(&t) => t,
                     None => {
@@ -76,20 +118,17 @@ impl ProductDfa {
         let accept_masks = state_vecs
             .iter()
             .map(|vec| {
-                vec.iter()
-                    .zip(dfas)
-                    .enumerate()
-                    .fold(0u64, |m, (i, (&cs, d))| {
-                        if d.is_accepting(cs) {
-                            m | (1 << i)
-                        } else {
-                            m
-                        }
-                    })
+                vec.iter().zip(dfas).enumerate().fold(0u64, |m, (i, (&cs, d))| {
+                    if d.is_accepting(cs) {
+                        m | (1 << i)
+                    } else {
+                        m
+                    }
+                })
             })
             .collect();
 
-        ProductDfa {
+        Ok(ProductDfa {
             alphabet,
             components: dfas.len(),
             state_vecs,
@@ -97,7 +136,7 @@ impl ProductDfa {
             next,
             prev,
             start: 0,
-        }
+        })
     }
 
     pub fn alphabet(&self) -> &[Label] {
@@ -249,5 +288,35 @@ mod tests {
         let s = p.run(&labels(&["a"]));
         assert!(p.component_accepts(s, 0));
         assert!(!p.component_accepts(s, 1));
+    }
+
+    #[test]
+    fn try_build_rejects_mask_overflow() {
+        // 65 components would need 65 mask bits: must be a clear error,
+        // not silent corruption of accept_masks.
+        let alpha = labels(&["a", "z"]);
+        let one = Nfa::from_linear_pattern(&parse("//a").unwrap()).determinize(&alpha);
+        let many: Vec<Dfa> = vec![one.clone(); 65];
+        assert!(matches!(
+            ProductDfa::try_build(&many),
+            Err(ProductError::TooManyComponents { got: 65 })
+        ));
+        // Exactly 64 components is still fine.
+        let ok: Vec<Dfa> = vec![one; 64];
+        let p = ProductDfa::try_build(&ok).expect("64 components fit the mask");
+        assert_eq!(p.component_count(), 64);
+        let s = p.run(&labels(&["a"]));
+        assert_eq!(p.accept_mask(s), u64::MAX);
+    }
+
+    #[test]
+    fn try_build_rejects_empty_and_mismatched() {
+        assert!(matches!(ProductDfa::try_build(&[]), Err(ProductError::NoComponents)));
+        let a = Nfa::from_linear_pattern(&parse("//a").unwrap()).determinize(&labels(&["a", "z"]));
+        let b = Nfa::from_linear_pattern(&parse("//b").unwrap()).determinize(&labels(&["b", "z"]));
+        assert!(matches!(
+            ProductDfa::try_build(&[a, b]),
+            Err(ProductError::AlphabetMismatch { index: 1 })
+        ));
     }
 }

@@ -20,11 +20,8 @@ fn e41_interacting_types(c: &mut Criterion) {
     c.bench_function("e41_full_set", |b| {
         b.iter(|| xuc_core::implication::linear::implies_linear(black_box(&set), black_box(&goal)))
     });
-    let up_only: Vec<_> = set
-        .iter()
-        .filter(|x| x.kind == xuc_core::ConstraintKind::NoRemove)
-        .cloned()
-        .collect();
+    let up_only: Vec<_> =
+        set.iter().filter(|x| x.kind == xuc_core::ConstraintKind::NoRemove).cloned().collect();
     c.bench_function("e41_up_only", |b| {
         b.iter(|| {
             xuc_core::implication::linear::implies_linear(black_box(&up_only), black_box(&goal))

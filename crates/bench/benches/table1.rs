@@ -17,8 +17,6 @@ fn t1a_pred_star_ptime(c: &mut Criterion) {
     g.sample_size(10);
     g.warm_up_time(std::time::Duration::from_millis(200));
     g.measurement_time(std::time::Duration::from_millis(600));
-    g.warm_up_time(std::time::Duration::from_millis(200));
-    g.measurement_time(std::time::Duration::from_millis(600));
     for n in [2usize, 4, 8, 16, 32] {
         let (set, goal) = wl::t1a_workload(n);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
@@ -91,7 +89,9 @@ fn t1d_full_fragment_search(c: &mut Criterion) {
     for n in [1usize, 2, 3] {
         let (set, goal) = wl::t1d_workload(n);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| implication::search::find_counterexample(black_box(&set), black_box(&goal), 500))
+            b.iter(|| {
+                implication::search::find_counterexample(black_box(&set), black_box(&goal), 500)
+            })
         });
     }
     g.finish();

@@ -11,12 +11,12 @@ fn t2a_plain(c: &mut Criterion) {
     g.sample_size(10);
     g.warm_up_time(std::time::Duration::from_millis(200));
     g.measurement_time(std::time::Duration::from_millis(600));
-    g.warm_up_time(std::time::Duration::from_millis(200));
-    g.measurement_time(std::time::Duration::from_millis(600));
     for p in [25usize, 50, 100, 200] {
         let (set, j, goal) = wl::t2a_workload(p);
         g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
-            b.iter(|| instance::plain::implies_plain(black_box(&set), black_box(&j), black_box(&goal)))
+            b.iter(|| {
+                instance::plain::implies_plain(black_box(&set), black_box(&j), black_box(&goal))
+            })
         });
     }
     g.finish();
@@ -26,8 +26,6 @@ fn t2a_plain(c: &mut Criterion) {
 fn t2b_certain_facts(c: &mut Criterion) {
     let mut g = c.benchmark_group("t2b_certain_facts");
     g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(200));
-    g.measurement_time(std::time::Duration::from_millis(600));
     g.warm_up_time(std::time::Duration::from_millis(200));
     g.measurement_time(std::time::Duration::from_millis(600));
     for p in [25usize, 50, 100, 200] {
@@ -50,8 +48,6 @@ fn t2b_certain_facts(c: &mut Criterion) {
 fn t2c_linear_instance(c: &mut Criterion) {
     let mut g = c.benchmark_group("t2c_linear_instance");
     g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(200));
-    g.measurement_time(std::time::Duration::from_millis(600));
     g.warm_up_time(std::time::Duration::from_millis(200));
     g.measurement_time(std::time::Duration::from_millis(600));
     for p in [25usize, 50, 100, 200] {

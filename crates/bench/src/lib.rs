@@ -90,6 +90,20 @@ pub fn t2f_gadget(v: usize) -> gadgets::Thm52Gadget {
     gadgets::Thm52Gadget::new(formula(v))
 }
 
+/// E-EV: the evaluation-engine workload — one random document and a batch
+/// of random full-fragment patterns, both deterministic.
+pub fn eval_engine_workload(
+    nodes: usize,
+    patterns: usize,
+) -> (xuc_xtree::DataTree, Vec<xuc_xpath::Pattern>) {
+    let labels = ["a", "b", "c", "d", "e"];
+    let mut r = rng();
+    let tree = trees::random_tree(&mut r, &labels, nodes);
+    let gen = queries::QueryGen::full(&labels);
+    let qs = (0..patterns).map(|_| gen.query(&mut r)).collect();
+    (tree, qs)
+}
+
 /// T2-a: plain instance workload over a hospital document of `p` patients.
 pub fn t2a_workload(p: usize) -> (Vec<Constraint>, xuc_xtree::DataTree, Constraint) {
     let j = trees::hospital(&mut rng(), p, 3);
@@ -108,8 +122,7 @@ pub fn t2b_workload(p: usize) -> (Vec<Constraint>, xuc_xtree::DataTree, Constrai
         xuc_core::parse_constraint("(/patient[/visit], ↓)").expect("static"),
         xuc_core::parse_constraint("(/patient[/clinicalTrial], ↓)").expect("static"),
     ];
-    let goal =
-        xuc_core::parse_constraint("(/patient[/visit][/clinicalTrial], ↓)").expect("static");
+    let goal = xuc_core::parse_constraint("(/patient[/visit][/clinicalTrial], ↓)").expect("static");
     (set, j, goal)
 }
 
@@ -126,10 +139,7 @@ pub fn t2c_workload(p: usize) -> (Vec<Constraint>, xuc_xtree::DataTree, Constrai
 
 /// T2-e: possible-embeddings workload; `p` controls |J| (polynomial
 /// dimension), `qsize` the goal query size (exponential dimension).
-pub fn t2e_workload(
-    p: usize,
-    qsize: usize,
-) -> (Vec<Constraint>, xuc_xtree::DataTree, Constraint) {
+pub fn t2e_workload(p: usize, qsize: usize) -> (Vec<Constraint>, xuc_xtree::DataTree, Constraint) {
     let j = trees::hospital(&mut rng(), p, 2);
     let set = vec![xuc_core::parse_constraint("(/patient/visit, ↑)").expect("static")];
     let preds = ["visit", "clinicalTrial", "phone"];

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
-use xuc_xpath::{eval, Pattern};
+use xuc_xpath::{eval, Evaluator, Pattern};
 use xuc_xtree::{DataTree, NodeRef};
 
 /// The constraint type `σ`: `no-insert` (↓) or `no-remove` (↑).
@@ -28,6 +28,30 @@ impl ConstraintKind {
         match self {
             ConstraintKind::NoInsert => "↓",
             ConstraintKind::NoRemove => "↑",
+        }
+    }
+
+    /// Definition 2.3 on precomputed range results: is a pair with these
+    /// evaluations valid for a constraint of this kind? The single home of
+    /// the `⊆`-direction logic — every validity check (cold or on cached
+    /// sets) goes through here or [`offenders_on`](Self::offenders_on).
+    pub fn satisfied_on(self, in_before: &BTreeSet<NodeRef>, in_after: &BTreeSet<NodeRef>) -> bool {
+        match self {
+            ConstraintKind::NoInsert => in_after.is_subset(in_before),
+            ConstraintKind::NoRemove => in_before.is_subset(in_after),
+        }
+    }
+
+    /// The violating nodes for a pair with these range results: nodes
+    /// inserted into (↓) or removed from (↑) the range.
+    pub fn offenders_on(
+        self,
+        in_before: &BTreeSet<NodeRef>,
+        in_after: &BTreeSet<NodeRef>,
+    ) -> BTreeSet<NodeRef> {
+        match self {
+            ConstraintKind::NoInsert => in_after.difference(in_before).copied().collect(),
+            ConstraintKind::NoRemove => in_before.difference(in_after).copied().collect(),
         }
     }
 }
@@ -79,10 +103,7 @@ impl Constraint {
     pub fn violation(&self, before: &DataTree, after: &DataTree) -> Option<Violation> {
         let in_before = eval::eval(&self.range, before);
         let in_after = eval::eval(&self.range, after);
-        let offenders: BTreeSet<NodeRef> = match self.kind {
-            ConstraintKind::NoInsert => in_after.difference(&in_before).copied().collect(),
-            ConstraintKind::NoRemove => in_before.difference(&in_after).copied().collect(),
-        };
+        let offenders = self.kind.offenders_on(&in_before, &in_after);
         if offenders.is_empty() {
             None
         } else {
@@ -116,14 +137,36 @@ impl fmt::Display for Violation {
     }
 }
 
-/// Is the pair valid for every constraint in `set`?
+/// Is the pair valid for every constraint in `set`? Both trees are
+/// snapshotted once and shared across the whole set.
 pub fn all_satisfied(set: &[Constraint], before: &DataTree, after: &DataTree) -> bool {
-    set.iter().all(|c| c.satisfied_by(before, after))
+    if set.is_empty() {
+        return true;
+    }
+    let mut ev_before = Evaluator::new(before);
+    let mut ev_after = Evaluator::new(after);
+    set.iter().all(|c| c.kind.satisfied_on(&ev_before.eval(&c.range), &ev_after.eval(&c.range)))
 }
 
-/// All violations of the pair against `set`.
+/// All violations of the pair against `set`. Both trees are snapshotted
+/// once and shared across the whole set.
 pub fn violations(set: &[Constraint], before: &DataTree, after: &DataTree) -> Vec<Violation> {
-    set.iter().filter_map(|c| c.violation(before, after)).collect()
+    if set.is_empty() {
+        return Vec::new();
+    }
+    let mut ev_before = Evaluator::new(before);
+    let mut ev_after = Evaluator::new(after);
+    set.iter()
+        .filter_map(|c| {
+            let offenders =
+                c.kind.offenders_on(&ev_before.eval(&c.range), &ev_after.eval(&c.range));
+            if offenders.is_empty() {
+                None
+            } else {
+                Some(Violation { constraint: c.clone(), offenders })
+            }
+        })
+        .collect()
 }
 
 /// Pairwise validity of a sequence of instances (Section 2.2): every pair
@@ -156,9 +199,9 @@ pub fn sequence_valid_for_last(set: &[Constraint], seq: &[DataTree]) -> bool {
 pub fn parse_constraint(src: &str) -> Result<Constraint, String> {
     let s = src.trim();
     let s = s.strip_prefix('(').and_then(|t| t.strip_suffix(')')).unwrap_or(s);
-    let (qpart, kpart) = s.rsplit_once(',').ok_or_else(|| {
-        format!("expected `query, kind` in constraint {src:?}")
-    })?;
+    let (qpart, kpart) = s
+        .rsplit_once(',')
+        .ok_or_else(|| format!("expected `query, kind` in constraint {src:?}"))?;
     let range = xuc_xpath::parse(qpart.trim()).map_err(|e| e.to_string())?;
     let kind = match kpart.trim() {
         "↓" | "down" | "no-insert" | "noinsert" => ConstraintKind::NoInsert,
@@ -180,15 +223,11 @@ mod tests {
     /// The paper's Figure 2 instances (Example 2.1), with shared node ids.
     fn fig2() -> (DataTree, DataTree) {
         // I: patient1(visit n6, visit n7), patient2(clinicalTrial n8)
-        let i = parse_term(
-            "hospital#1(patient#2(visit#6,visit#7),patient#3(clinicalTrial#8))",
-        )
-        .unwrap();
+        let i = parse_term("hospital#1(patient#2(visit#6,visit#7),patient#3(clinicalTrial#8))")
+            .unwrap();
         // J: visit n7 deleted; a new patient without visits added.
-        let j = parse_term(
-            "hospital#1(patient#2(visit#6),patient#3(clinicalTrial#8),patient#4)",
-        )
-        .unwrap();
+        let j = parse_term("hospital#1(patient#2(visit#6),patient#3(clinicalTrial#8),patient#4)")
+            .unwrap();
         (i, j)
     }
 
@@ -202,10 +241,7 @@ mod tests {
         assert!(all_satisfied(&c2, &i, &j), "c2 holds on Fig. 2");
         // c3 fails: visit n7 was deleted.
         let v = c3.violation(&i, &j).expect("c3 violated");
-        assert_eq!(
-            v.offenders.iter().map(|n| n.id.raw()).collect::<Vec<_>>(),
-            vec![7]
-        );
+        assert_eq!(v.offenders.iter().map(|n| n.id.raw()).collect::<Vec<_>>(), vec![7]);
     }
 
     #[test]

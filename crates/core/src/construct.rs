@@ -57,10 +57,8 @@ pub fn merge_and_swap(
 /// The net effect from `before` to `after`: node `n` disappears, everything
 /// else (including a structural stand-in for `n`) remains.
 pub fn duplicate_and_drop(tree: &DataTree, n: NodeId) -> CounterExample {
-    let parent = tree
-        .parent(n)
-        .expect("node present")
-        .expect("Figure 4 does not apply to the root");
+    let parent =
+        tree.parent(n).expect("node present").expect("Figure 4 does not apply to the root");
     let mut before = tree.clone();
     let n_copy = before.graft_copy(parent, tree, n).expect("graft copy");
     let mut after = before.clone();

@@ -65,9 +65,17 @@ pub fn conjunctive_contained_in_budgeted(
             }
             let choice: Vec<&Vec<usize>> =
                 counter.iter().zip(&embeddings).map(|(&c, e)| &e[c]).collect();
-            if let Some(found) =
-                check_candidate(qs, &spines, &choice, chain_len, q, z, max_gap, budget, &mut examined)
-            {
+            if let Some(found) = check_candidate(
+                qs,
+                &spines,
+                &choice,
+                chain_len,
+                q,
+                z,
+                max_gap,
+                budget,
+                &mut examined,
+            ) {
                 if found {
                     return Some(false); // counterexample: intersection ⊄ q
                 }
@@ -184,11 +192,8 @@ fn check_candidate(
             }
         }
     }
-    let desc_edges: usize = preds_at
-        .iter()
-        .flatten()
-        .map(|&(i, p)| count_desc_edges(qs[i], p))
-        .sum();
+    let desc_edges: usize =
+        preds_at.iter().flatten().map(|&(i, p)| count_desc_edges(qs[i], p)).sum();
 
     // Enumerate predicate //-expansion lengths (all 1 when no wildcards).
     let gap_choices: Vec<usize> = if max_gap == 1 { vec![1] } else { (0..=max_gap).collect() };
@@ -249,8 +254,8 @@ fn build_model(
     let mut tree = DataTree::new("root");
     let mut cursor = tree.root_id();
     let mut chain_nodes = Vec::with_capacity(chain_len);
-    for pos in 0..chain_len {
-        let label = labels[pos].unwrap_or(z);
+    for &label_at in labels.iter().take(chain_len) {
+        let label = label_at.unwrap_or(z);
         cursor = tree.add(cursor, label).expect("fresh id");
         chain_nodes.push(cursor);
     }

@@ -55,10 +55,8 @@ pub fn implies_linear(set: &[Constraint], goal: &Constraint) -> Outcome<CounterE
         ConstraintKind::NoInsert => {
             // (q,↓) on (I,J) is (q,↑) on (J,I); flip every constraint and
             // swap the counterexample back.
-            let flipped: Vec<Constraint> = set
-                .iter()
-                .map(|c| Constraint::new(c.range.clone(), c.kind.flip()))
-                .collect();
+            let flipped: Vec<Constraint> =
+                set.iter().map(|c| Constraint::new(c.range.clone(), c.kind.flip())).collect();
             let flipped_goal = Constraint::no_remove(goal.range.clone());
             match decide_no_remove(&flipped, &flipped_goal) {
                 Outcome::Implied => Outcome::Implied,
@@ -110,10 +108,8 @@ fn decide_no_remove(set: &[Constraint], goal: &Constraint) -> Outcome<CounterExa
     let ranges: Vec<&xuc_xpath::Pattern> =
         set.iter().map(|c| &c.range).chain([&goal.range]).collect();
     let alphabet = effective_alphabet(ranges.iter().copied());
-    let dfas: Vec<Dfa> = ranges
-        .iter()
-        .map(|q| Nfa::from_linear_pattern(q).determinize(&alphabet))
-        .collect();
+    let dfas: Vec<Dfa> =
+        ranges.iter().map(|q| Nfa::from_linear_pattern(q).determinize(&alphabet)).collect();
     let product = ProductDfa::build(&dfas);
 
     let mut up_mask = 0u64;
@@ -180,8 +176,7 @@ fn compute_fixpoint(a: &mut Analysis) {
         }
         for t in 0..n {
             if reach_j[t] {
-                let supported = a.vanish_ok_j(t)
-                    || (0..n).any(|s| next_i[s] && a.legal_pair(s, t));
+                let supported = a.vanish_ok_j(t) || (0..n).any(|s| next_i[s] && a.legal_pair(s, t));
                 next_j[t] = supported;
             }
         }
@@ -314,11 +309,7 @@ impl Side {
 /// Builds the explicit counterexample pair for witness I-state `s_star`
 /// (and optional J-state `t_star` when the witness node survives in J
 /// outside the goal range).
-fn build_counterexample(
-    a: &Analysis,
-    s_star: usize,
-    t_star: Option<usize>,
-) -> CounterExample {
+fn build_counterexample(a: &Analysis, s_star: usize, t_star: Option<usize>) -> CounterExample {
     let alphabet: Vec<Label> = a.product.alphabet().to_vec();
     let words_i = good_words(&a.product, &a.good_i);
     let words_j = good_words(&a.product, &a.good_j);
@@ -450,15 +441,9 @@ mod tests {
         let goal = c("(//b//a//c, ↑)");
         assert!(decide(&set, &goal), "Example 4.1: full set implies c");
         // …but NOT by the no-remove constraints alone.
-        let up_only: Vec<Constraint> = set
-            .iter()
-            .filter(|x| x.kind == ConstraintKind::NoRemove)
-            .cloned()
-            .collect();
-        assert!(
-            !decide(&up_only, &goal),
-            "Example 4.1: ↑ constraints alone do not imply c"
-        );
+        let up_only: Vec<Constraint> =
+            set.iter().filter(|x| x.kind == ConstraintKind::NoRemove).cloned().collect();
+        assert!(!decide(&up_only, &goal), "Example 4.1: ↑ constraints alone do not imply c");
     }
 
     #[test]

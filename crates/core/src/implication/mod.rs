@@ -51,13 +51,9 @@ pub fn implies_with(
     goal: &Constraint,
     config: &ImplicationConfig,
 ) -> Outcome<CounterExample> {
-    let features = Features::of_all(set.iter().map(|c| &c.range))
-        .union(Features::of(&goal.range));
+    let features = Features::of_all(set.iter().map(|c| &c.range)).union(Features::of(&goal.range));
 
-    let all_concrete = set
-        .iter()
-        .chain([goal])
-        .all(|c| c.range.is_concrete());
+    let all_concrete = set.iter().chain([goal]).all(|c| c.range.is_concrete());
 
     // XP{/,[],*}: PTIME, arbitrary types (Theorems 4.1 + 4.4 + 4.5). The
     // characterization assumes concrete paths (the paper's standing

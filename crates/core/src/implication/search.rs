@@ -15,12 +15,23 @@
 //! and returns the first candidate that *verifies*: satisfies every
 //! constraint of `C` and violates `c`. Small-model properties
 //! (Theorems 4.7/5.1) justify searching small instances first.
+//!
+//! # Hot-path layout
+//!
+//! The search examines thousands of candidates per call, so it never
+//! clones a tree per candidate. Each seed tree gets **one** working copy
+//! and **one** reusable [`Evaluator`]; every candidate edit is applied via
+//! [`xuc_xtree::apply_undoable`], the evaluator is re-snapshotted, all
+//! range results are compared against the seed's cached results as plain
+//! set inclusions, and the edit is reverted via [`xuc_xtree::undo`].
+//! Trees are cloned exactly once per *returned* counterexample.
 
 use crate::constraint::Constraint;
 use crate::construct;
 use crate::outcome::CounterExample;
-use xuc_xpath::{canonical, Pattern};
-use xuc_xtree::{DataTree, Label, NodeId};
+use std::collections::BTreeSet;
+use xuc_xpath::{canonical, Evaluator, Pattern};
+use xuc_xtree::{apply_undoable, undo, DataTree, Label, NodeId, NodeRef, Update};
 
 /// A tiny deterministic xorshift generator (no external dependency, fully
 /// reproducible searches).
@@ -45,6 +56,29 @@ impl XorShift {
     }
 }
 
+/// Is the pair a counterexample, judged on precomputed range results
+/// (one entry per constraint of `set` followed by one for `goal`)?
+/// Reference implementation of the candidate check — the hot loops in
+/// [`find_counterexample`] compute the same answer lazily, goal range
+/// first, and the agreement test pins the two to `CounterExample::verify`.
+#[cfg(test)]
+fn refutes(
+    set: &[Constraint],
+    goal: &Constraint,
+    before_sets: &[BTreeSet<NodeRef>],
+    after_sets: &[BTreeSet<NodeRef>],
+) -> bool {
+    let goal_i = set.len();
+    if goal.kind.satisfied_on(&before_sets[goal_i], &after_sets[goal_i]) {
+        return false;
+    }
+    set.iter().enumerate().all(|(i, c)| c.kind.satisfied_on(&before_sets[i], &after_sets[i]))
+}
+
+fn eval_sets(ev: &mut Evaluator, patterns: &[&Pattern]) -> Vec<BTreeSet<NodeRef>> {
+    patterns.iter().map(|q| ev.eval(q)).collect()
+}
+
 /// Searches for a verified counterexample to `C ⊨ c`, examining at most
 /// `budget` candidate pairs. Sound: every returned pair is checked by
 /// [`CounterExample::verify`].
@@ -54,40 +88,71 @@ pub fn find_counterexample(
     budget: usize,
 ) -> Option<CounterExample> {
     let mut examined = 0usize;
-    let check = |before: &DataTree, after: &DataTree| -> Option<CounterExample> {
-        let ce = CounterExample { before: before.clone(), after: after.clone() };
-        if ce.verify(set, goal) {
-            Some(ce)
-        } else {
-            None
-        }
-    };
+    let patterns: Vec<&Pattern> = set.iter().map(|c| &c.range).chain([&goal.range]).collect();
 
-    // Phase 1: canonical-model edits.
-    let all_patterns: Vec<&Pattern> =
-        set.iter().map(|c| &c.range).chain([&goal.range]).collect();
-    let z = canonical::fresh_label_for(all_patterns.iter().copied());
-    let bound = all_patterns.iter().map(|p| canonical::chain_bound_for(p)).max().unwrap_or(2);
-    let labels = label_pool(&all_patterns, z);
+    // Phase 1: canonical-model edits, apply/evaluate/undo on one working
+    // tree per seed.
+    let z = canonical::fresh_label_for(patterns.iter().copied());
+    let bound = patterns.iter().map(|p| canonical::chain_bound_for(p)).max().unwrap_or(2);
+    let labels = label_pool(&patterns, z);
 
     let seeds = seed_trees(&goal.range, set, bound.min(3), z);
     for (tree, n) in &seeds {
-        for (before, after) in edit_candidates(tree, *n, &labels) {
+        let mut work = tree.clone();
+        let mut work_ev = Evaluator::new(&work);
+        // `work` is still identical to the seed here, so the same snapshot
+        // serves both the cached before-sets and the first candidate.
+        let base = eval_sets(&mut work_ev, &patterns);
+        let base_goal = &base[set.len()];
+        for edit in edit_candidates(tree, *n, &labels) {
+            // Unapplicable edits (e.g. cycle-creating moves) cost nothing:
+            // budget is spent on *evaluated* candidates only, matching the
+            // old materialize-then-check enumeration.
+            work_ev.invalidate();
+            let Ok(token) = apply_undoable(&mut work, &edit) else { continue };
             examined += 1;
             if examined > budget {
                 return None;
             }
-            if let Some(ce) = check(&before, &after) {
-                return Some(ce);
+            work_ev.refresh(&work);
+
+            // Goal range first: most candidates leave the goal satisfied in
+            // both directions and never pay for the constraint ranges.
+            let after_goal = work_ev.eval(&goal.range);
+            let fwd = !goal.kind.satisfied_on(base_goal, &after_goal);
+            // The opposite direction covers ↓ goals.
+            let bwd = !goal.kind.satisfied_on(&after_goal, base_goal);
+            let after: Vec<BTreeSet<NodeRef>> = if fwd || bwd {
+                set.iter().map(|c| work_ev.eval(&c.range)).collect()
+            } else {
+                Vec::new()
+            };
+            let constraints_ok =
+                |before_sets: &[BTreeSet<NodeRef>], after_sets: &[BTreeSet<NodeRef>]| {
+                    set.iter()
+                        .enumerate()
+                        .all(|(i, c)| c.kind.satisfied_on(&before_sets[i], &after_sets[i]))
+                };
+            if fwd && constraints_ok(&base, &after) {
+                let ce = CounterExample { before: tree.clone(), after: work.clone() };
+                debug_assert!(ce.verify(set, goal), "set-level refutation must verify");
+                if ce.verify(set, goal) {
+                    return Some(ce);
+                }
             }
-            // Also try the pair in the opposite direction (covers ↓ goals).
             examined += 1;
             if examined > budget {
                 return None;
             }
-            if let Some(ce) = check(&after, &before) {
-                return Some(ce);
+            if bwd && constraints_ok(&after, &base) {
+                let ce = CounterExample { before: work.clone(), after: tree.clone() };
+                debug_assert!(ce.verify(set, goal), "set-level refutation must verify");
+                if ce.verify(set, goal) {
+                    return Some(ce);
+                }
             }
+            undo(&mut work, token).expect("undo token applies to its own tree");
+            debug_assert!(work.identified_eq(tree), "undo must restore the seed");
         }
     }
 
@@ -99,25 +164,48 @@ pub fn find_counterexample(
                 return None;
             }
             let fig4 = construct::duplicate_and_drop(tree, *n);
-            if let Some(ce) = check(&fig4.before, &fig4.after) {
-                return Some(ce);
+            if fig4.verify(set, goal) {
+                return Some(fig4);
             }
-            if let Some(ce) = check(&fig4.after, &fig4.before) {
-                return Some(ce);
+            let flipped = CounterExample { before: fig4.after, after: fig4.before };
+            if flipped.verify(set, goal) {
+                return Some(flipped);
             }
         }
     }
 
-    // Phase 3: deterministic random pairs.
+    // Phase 3: deterministic random pairs, edited in place with an undo
+    // stack so the `before` tree is recovered without a per-candidate
+    // clone.
     let mut rng = XorShift::new(0x5eed_cafe_d00d_f00d);
     while examined < budget {
         examined += 1;
         let size = 2 + rng.below(7);
-        let before = random_tree(&mut rng, &labels, size);
+        let mut t = random_tree(&mut rng, &labels, size);
+        let mut ev = Evaluator::new(&t);
+        // Goal range only: constraint validity is left to `verify` on the
+        // rare candidates whose goal check fires.
+        let base_goal = ev.eval(&goal.range);
         let edits = 1 + rng.below(3);
-        let after = random_edit(&mut rng, &before, &labels, edits);
-        if let Some(ce) = check(&before, &after) {
-            return Some(ce);
+        let mut stack = Vec::new();
+        ev.invalidate();
+        for _ in 0..edits {
+            let op = random_update(&mut rng, &t, &labels);
+            if let Ok(token) = apply_undoable(&mut t, &op) {
+                stack.push(token);
+            }
+        }
+        ev.refresh(&t);
+        let after_goal = ev.eval(&goal.range);
+        if !goal.kind.satisfied_on(&base_goal, &after_goal) {
+            let after_tree = t.clone();
+            while let Some(token) = stack.pop() {
+                undo(&mut t, token).expect("undo token applies to its own tree");
+            }
+            let ce = CounterExample { before: t, after: after_tree };
+            if ce.verify(set, goal) {
+                return Some(ce);
+            }
         }
     }
     None
@@ -161,61 +249,40 @@ fn seed_trees(
     out
 }
 
-/// Candidate `J`s for a given `I` and target node: the edits a violator
-/// could try.
-fn edit_candidates(
-    tree: &DataTree,
-    n: NodeId,
-    labels: &[Label],
-) -> Vec<(DataTree, DataTree)> {
+/// Candidate edits for a given `I` and target node: the updates a violator
+/// could try, as undoable operations (no trees are materialized here).
+fn edit_candidates(tree: &DataTree, n: NodeId, labels: &[Label]) -> Vec<Update> {
     let mut out = Vec::new();
-    let before = tree.clone();
 
     if tree.parent(n).ok().flatten().is_some() {
         // Delete the whole subtree.
-        let mut t = tree.clone();
-        t.delete_subtree(n).expect("live");
-        out.push((before.clone(), t));
+        out.push(Update::DeleteSubtree { node: n });
         // Splice the node out.
-        let mut t = tree.clone();
-        t.delete_node(n).expect("live");
-        out.push((before.clone(), t));
+        out.push(Update::DeleteNode { node: n });
         // Replace identity (Theorem 3.1).
-        let (t, _) = construct::replace_with_fresh(tree, n);
-        out.push((before.clone(), t));
+        out.push(Update::ReplaceId { node: n, new_id: NodeId::fresh() });
         // Move under the root.
-        let mut t = tree.clone();
-        if t.move_node(n, t.root_id()).is_ok() {
-            out.push((before.clone(), t));
-        }
-        // Move under every other node.
+        out.push(Update::Move { node: n, new_parent: tree.root_id() });
+        // Move under every other node (cycle-creating moves fail to apply
+        // and are skipped by the caller; the root was already tried above).
         for target in tree.node_ids() {
-            if target == n {
-                continue;
-            }
-            let mut t = tree.clone();
-            if t.move_node(n, target).is_ok() {
-                out.push((before.clone(), t));
+            if target != n && target != tree.root_id() {
+                out.push(Update::Move { node: n, new_parent: target });
             }
         }
     }
     // Relabel.
     for &l in labels {
         if Ok(l) != tree.label(n) {
-            let mut t = tree.clone();
-            t.relabel(n, l).expect("live");
-            out.push((before.clone(), t));
+            out.push(Update::Relabel { node: n, label: l });
         }
     }
     // Also attack each ancestor of n the same basic ways.
     let mut cur = tree.parent(n).ok().flatten();
     while let Some(a) = cur {
         if tree.parent(a).ok().flatten().is_some() {
-            let mut t = tree.clone();
-            t.delete_node(a).expect("live");
-            out.push((before.clone(), t));
-            let (t, _) = construct::replace_with_fresh(tree, a);
-            out.push((before.clone(), t));
+            out.push(Update::DeleteNode { node: a });
+            out.push(Update::ReplaceId { node: a, new_id: NodeId::fresh() });
         }
         cur = tree.parent(a).ok().flatten();
     }
@@ -235,6 +302,30 @@ pub(crate) fn random_tree(rng: &mut XorShift, labels: &[Label], n: usize) -> Dat
     tree
 }
 
+/// One random primitive update against the current shape of `tree`.
+fn random_update(rng: &mut XorShift, tree: &DataTree, labels: &[Label]) -> Update {
+    let ids = tree.node_ids();
+    match rng.below(5) {
+        0 => Update::InsertLeaf {
+            parent: ids[rng.below(ids.len())],
+            id: NodeId::fresh(),
+            label: labels[rng.below(labels.len())],
+        },
+        1 => Update::DeleteSubtree { node: ids[rng.below(ids.len())] },
+        2 => Update::DeleteNode { node: ids[rng.below(ids.len())] },
+        3 => {
+            let node = ids[rng.below(ids.len())];
+            let target = ids[rng.below(ids.len())];
+            Update::Move { node, new_parent: target }
+        }
+        _ => {
+            let node = ids[rng.below(ids.len())];
+            let label = labels[rng.below(labels.len())];
+            Update::Relabel { node, label }
+        }
+    }
+}
+
 /// Applies `k` random updates to a copy of `tree`.
 pub(crate) fn random_edit(
     rng: &mut XorShift,
@@ -244,32 +335,8 @@ pub(crate) fn random_edit(
 ) -> DataTree {
     let mut t = tree.clone();
     for _ in 0..k {
-        let ids = t.node_ids();
-        match rng.below(5) {
-            0 => {
-                let parent = ids[rng.below(ids.len())];
-                let label = labels[rng.below(labels.len())];
-                let _ = t.add(parent, label);
-            }
-            1 => {
-                let victim = ids[rng.below(ids.len())];
-                let _ = t.delete_subtree(victim);
-            }
-            2 => {
-                let victim = ids[rng.below(ids.len())];
-                let _ = t.delete_node(victim);
-            }
-            3 => {
-                let node = ids[rng.below(ids.len())];
-                let target = ids[rng.below(ids.len())];
-                let _ = t.move_node(node, target);
-            }
-            _ => {
-                let node = ids[rng.below(ids.len())];
-                let label = labels[rng.below(labels.len())];
-                let _ = t.relabel(node, label);
-            }
-        }
+        let op = random_update(rng, &t, labels);
+        let _ = xuc_xtree::apply_update(&mut t, &op);
     }
     t
 }
@@ -325,8 +392,53 @@ mod tests {
             assert_eq!(t.len(), 7);
             let edited = random_edit(&mut rng, &t, &labels, 3);
             // Edits keep a live tree rooted at the same root.
-            assert!(edited.len() >= 1);
+            assert!(!edited.is_empty());
             assert_eq!(edited.root_id(), t.root_id());
+        }
+    }
+
+    #[test]
+    fn edit_candidates_apply_and_undo_without_cloning() {
+        // The acceptance property of the clone-free search: every candidate
+        // edit round-trips on the single working tree via apply/undo.
+        let z = Label::z();
+        let goal = c("(/a[/b]//c, ↑)");
+        let set = vec![c("(//c, ↑)"), c("(/a, ↓)")];
+        let patterns: Vec<&Pattern> = set.iter().map(|x| &x.range).chain([&goal.range]).collect();
+        let labels = label_pool(&patterns, z);
+        let seeds = seed_trees(&goal.range, &set, 2, z);
+        assert!(!seeds.is_empty());
+        let mut candidates_seen = 0;
+        for (tree, n) in &seeds {
+            let mut work = tree.clone();
+            for edit in edit_candidates(tree, *n, &labels) {
+                let Ok(token) = apply_undoable(&mut work, &edit) else { continue };
+                candidates_seen += 1;
+                undo(&mut work, token).unwrap();
+                assert!(work.identified_eq(tree), "apply/undo of {edit} must restore the seed");
+            }
+        }
+        assert!(candidates_seen > 50, "enumeration exercised: {candidates_seen}");
+    }
+
+    #[test]
+    fn refutes_agrees_with_verify_on_random_pairs() {
+        // The set-inclusion fast path must judge pairs exactly like
+        // CounterExample::verify.
+        let set = vec![c("(/a[/b], ↑)"), c("(//b, ↓)")];
+        let goal = c("(/a, ↑)");
+        let patterns: Vec<&Pattern> = set.iter().map(|x| &x.range).chain([&goal.range]).collect();
+        let labels = label_pool(&patterns, Label::z());
+        let mut rng = XorShift::new(99);
+        for _ in 0..200 {
+            let before = random_tree(&mut rng, &labels, 5);
+            let after = random_edit(&mut rng, &before, &labels, 2);
+            let base = eval_sets(&mut Evaluator::new(&before), &patterns);
+            let post = eval_sets(&mut Evaluator::new(&after), &patterns);
+            let fast = refutes(&set, &goal, &base, &post);
+            let slow =
+                CounterExample { before: before.clone(), after: after.clone() }.verify(&set, &goal);
+            assert_eq!(fast, slow, "before={before:?} after={after:?}");
         }
     }
 }

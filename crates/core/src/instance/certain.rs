@@ -13,20 +13,27 @@
 //! dispatcher uses `F_J` outside `XP{/,[],*}` as a refutation engine.
 
 use crate::constraint::{Constraint, ConstraintKind};
-use xuc_xpath::{canonical, eval, Axis, NodeTest, PIdx, Pattern};
+use xuc_xpath::{canonical, Axis, Evaluator, NodeTest, PIdx, Pattern};
 use xuc_xtree::{DataTree, Label, NodeId};
 
 /// Builds the certain-facts tree `F_J` for the no-insert constraints of
 /// `set` against the current instance `j`.
 pub fn certain_facts_tree(set: &[Constraint], j: &DataTree) -> DataTree {
+    certain_facts_tree_with(&mut Evaluator::new(j), set)
+}
+
+/// As [`certain_facts_tree`], but reusing an existing snapshot of `J` so
+/// callers that also evaluate goal ranges on `J` pay for it once.
+fn certain_facts_tree_with(j_ev: &mut Evaluator, set: &[Constraint]) -> DataTree {
     let patterns: Vec<&Pattern> = set.iter().map(|c| &c.range).collect();
     let z = canonical::fresh_label_for(patterns);
-    let mut f = DataTree::with_root_id(j.root_id(), j.root_label());
+    let root = j_ev.root();
+    let mut f = DataTree::with_root_id(root.id, root.label);
     for c in set {
         if c.kind != ConstraintKind::NoInsert {
             continue;
         }
-        for n in eval::eval(&c.range, j) {
+        for n in j_ev.eval(&c.range) {
             insert_skeleton(&mut f, &c.range, n.id, n.label, z);
         }
     }
@@ -127,9 +134,12 @@ pub fn implies_no_insert_pred_star(
     goal: &Constraint,
 ) -> Result<(), DataTree> {
     debug_assert!(goal.kind == ConstraintKind::NoInsert);
-    let f = certain_facts_tree(set, j);
-    let in_j = eval::eval(&goal.range, j);
-    let in_f = eval::eval(&goal.range, &f);
+    // One snapshot of J serves both the skeleton construction and the
+    // goal-range inclusion check.
+    let mut j_ev = Evaluator::new(j);
+    let f = certain_facts_tree_with(&mut j_ev, set);
+    let in_j = j_ev.eval(&goal.range);
+    let in_f = Evaluator::new(&f).eval(&goal.range);
     let missing = in_j.difference(&in_f).next();
     match missing {
         None => Ok(()),
@@ -141,6 +151,7 @@ pub fn implies_no_insert_pred_star(
 mod tests {
     use super::*;
     use crate::constraint::parse_constraint;
+    use xuc_xpath::eval;
     use xuc_xtree::parse_term;
 
     fn c(s: &str) -> Constraint {
@@ -235,7 +246,7 @@ mod tests {
     #[test]
     fn mixed_concrete_and_wildcard_merge_label() {
         let j = parse_term("r(a#1(b#2))").unwrap();
-        let set = vec![c("(/*/b, ↓)")];
+        let set = [c("(/*/b, ↓)")];
         // The same node 2 selected through a concrete range as well: since
         // both skeletons go root→parent→2 but create *separate* parents
         // unless ids coincide, merging only happens through n itself.

@@ -27,7 +27,7 @@
 use crate::constraint::{Constraint, ConstraintKind};
 use crate::outcome::{InstanceCounterExample, Outcome};
 use std::collections::{BTreeSet, HashMap};
-use xuc_xpath::{canonical, eval, Axis, NodeTest, PIdx, Pattern};
+use xuc_xpath::{canonical, Axis, Evaluator, NodeTest, PIdx, Pattern};
 use xuc_xtree::{DataTree, Label, NodeId, NodeRef};
 
 /// Decides `C ⊨_J (q, ↑)` for a no-remove constraint set.
@@ -53,17 +53,12 @@ pub fn implies_no_remove(
     pool.insert(z);
     let pool: Vec<Label> = pool.into_iter().collect();
 
-    let m = set
-        .iter()
-        .map(|c| c.range.star_length())
-        .chain([q.star_length()])
-        .max()
-        .unwrap_or(0);
+    let m = set.iter().map(|c| c.range.star_length()).chain([q.star_length()]).max().unwrap_or(0);
 
-    // Precompute range results on J.
-    let ranges_on_j: Vec<BTreeSet<NodeRef>> =
-        set.iter().map(|c| eval::eval(&c.range, j)).collect();
-    let goal_on_j = eval::eval(q, j);
+    // Precompute range results on J with one shared snapshot of J.
+    let mut j_ev = Evaluator::new(j);
+    let ranges_on_j: Vec<BTreeSet<NodeRef>> = set.iter().map(|c| j_ev.eval(&c.range)).collect();
+    let goal_on_j = j_ev.eval(q);
 
     let mut budget_left = budget;
     let order = q.dfs();
@@ -71,6 +66,10 @@ pub fn implies_no_remove(
     let root = image.root_id();
     let mut placement: HashMap<PIdx, NodeId> = HashMap::new();
 
+    // One evaluator reused (re-snapshotted) for every candidate image the
+    // enumeration completes, instead of a fresh dense build per range per
+    // candidate.
+    let image_ev = Evaluator::new(&image);
     let found = place(
         &mut PlaceCtx {
             q,
@@ -82,6 +81,7 @@ pub fn implies_no_remove(
             ranges_on_j: &ranges_on_j,
             goal_on_j: &goal_on_j,
             j,
+            image_ev,
             budget_left: &mut budget_left,
         },
         0,
@@ -113,6 +113,7 @@ struct PlaceCtx<'a> {
     ranges_on_j: &'a [BTreeSet<NodeRef>],
     goal_on_j: &'a BTreeSet<NodeRef>,
     j: &'a DataTree,
+    image_ev: Evaluator,
     budget_left: &'a mut usize,
 }
 
@@ -233,18 +234,23 @@ fn try_assign_ids(
 ) -> Option<DataTree> {
     let witness_img = placement[&ctx.q.output()];
 
-    // Membership of every image node in each ↑ range (structure-only).
+    // Membership of every image node in each ↑ range (structure-only),
+    // against one snapshot of the candidate image.
+    ctx.image_ev.refresh(image);
     let mut needs: Vec<(NodeId, Vec<usize>)> = Vec::new();
     let mut membership: HashMap<NodeId, Vec<usize>> = HashMap::new();
     for (i, c) in ctx.set.iter().enumerate() {
-        for n in eval::eval(&c.range, image) {
+        for n in ctx.image_ev.eval(&c.range) {
             membership.entry(n.id).or_default().push(i);
         }
     }
     // The witness must not already be selected by q in J; also, the image
     // must actually put the witness in q(image) — guaranteed by
     // construction, but check cheaply in debug builds.
-    debug_assert!(eval::eval(ctx.q, image).iter().any(|n| n.id == witness_img));
+    debug_assert!(ctx.image_ev.eval(ctx.q).iter().any(|n| n.id == witness_img));
+    // The enumeration in `place` mutates the image as soon as we return;
+    // mark the snapshot stale so any eval before the next refresh panics.
+    ctx.image_ev.invalidate();
 
     for id in image.node_ids() {
         if id == image.root_id() {
@@ -382,10 +388,7 @@ mod tests {
         // J of Fig. 2; C = {(/patient/visit, ↑)} implies
         // (/patient[/clinicalTrial]/visit, ↑) because J has no patient
         // without clinicalTrial… (see §2.1: the move target is missing).
-        let j = parse_term(
-            "h(patient#2(visit#6,clinicalTrial#8))",
-        )
-        .unwrap();
+        let j = parse_term("h(patient#2(visit#6,clinicalTrial#8))").unwrap();
         let set = vec![c("(/patient/visit, ↑)")];
         assert!(decide(&set, &j, &c("(/patient[/clinicalTrial]/visit, ↑)")));
     }
@@ -395,10 +398,7 @@ mod tests {
         // Same constraints but J now has a patient *without* clinicalTrial:
         // the visit could have been moved from under a clinicalTrial
         // patient to the plain one, so the goal is NOT implied.
-        let j = parse_term(
-            "h(patient#2(visit#6,clinicalTrial#8),patient#3(visit#9))",
-        )
-        .unwrap();
+        let j = parse_term("h(patient#2(visit#6,clinicalTrial#8),patient#3(visit#9))").unwrap();
         let set = vec![c("(/patient/visit, ↑)")];
         assert!(!decide(&set, &j, &c("(/patient[/clinicalTrial]/visit, ↑)")));
     }

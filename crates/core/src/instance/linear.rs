@@ -16,7 +16,7 @@
 use crate::constraint::{Constraint, ConstraintKind};
 use crate::outcome::{InstanceCounterExample, Outcome};
 use xuc_automata::{effective_alphabet, Dfa, Nfa};
-use xuc_xpath::eval;
+use xuc_xpath::Evaluator;
 use xuc_xtree::{DataTree, Label};
 
 /// Exact decision of `C ⊨_J (q, ↓)` for ↓-only linear constraint sets.
@@ -39,20 +39,18 @@ pub fn implies_no_insert_linear(
     let ranges: Vec<&xuc_xpath::Pattern> =
         set.iter().map(|c| &c.range).chain([&goal.range]).collect();
     let alphabet = effective_alphabet(ranges.iter().copied());
-    let dfas: Vec<Dfa> = ranges
-        .iter()
-        .map(|q| Nfa::from_linear_pattern(q).determinize(&alphabet))
-        .collect();
+    let dfas: Vec<Dfa> =
+        ranges.iter().map(|q| Nfa::from_linear_pattern(q).determinize(&alphabet)).collect();
     let (constraint_dfas, goal_dfa) = dfas.split_at(set.len());
     let goal_dfa = &goal_dfa[0];
 
-    // Membership of each witness candidate in every constraint range on J.
-    let range_results: Vec<std::collections::BTreeSet<xuc_xtree::NodeId>> = set
-        .iter()
-        .map(|c| eval::eval(&c.range, j).into_iter().map(|n| n.id).collect())
-        .collect();
+    // Membership of each witness candidate in every constraint range on J,
+    // all against one shared snapshot of J.
+    let mut j_ev = Evaluator::new(j);
+    let range_results: Vec<std::collections::BTreeSet<xuc_xtree::NodeId>> =
+        set.iter().map(|c| j_ev.eval_ids(&c.range)).collect();
 
-    for n in eval::eval(&goal.range, j) {
+    for n in j_ev.eval(&goal.range) {
         // Ranges that select n in J; with none, n has no obligations and
         // can simply be absent from I.
         let selecting: Vec<usize> = range_results

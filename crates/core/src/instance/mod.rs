@@ -41,8 +41,7 @@ pub fn implies_on_with(
     goal: &Constraint,
     config: &ImplicationConfig,
 ) -> Outcome<InstanceCounterExample> {
-    let features = Features::of_all(set.iter().map(|c| &c.range))
-        .union(Features::of(&goal.range));
+    let features = Features::of_all(set.iter().map(|c| &c.range)).union(Features::of(&goal.range));
 
     // XP{/}: exact for arbitrary type mixes.
     if features.is_plain() {
@@ -197,19 +196,17 @@ mod tests {
     #[test]
     fn general_implication_implies_instance_based() {
         // Section 2.1: C ⊨ c entails C ⊨_J c for every J.
-        let set = vec![c("(/patient[/visit], ↓)"), c("(/patient[/clinicalTrial], ↓)"),
-                       c("(/patient[/clinicalTrial], ↑)")];
+        let set = vec![
+            c("(/patient[/visit], ↓)"),
+            c("(/patient[/clinicalTrial], ↓)"),
+            c("(/patient[/clinicalTrial], ↑)"),
+        ];
         let goal = c("(/patient[/visit][/clinicalTrial], ↓)");
-        for term in [
-            "h(patient#1(visit#2))",
-            "h(patient#1(visit#2,clinicalTrial#3),patient#4)",
-            "h(x#1)",
-        ] {
+        for term in
+            ["h(patient#1(visit#2))", "h(patient#1(visit#2,clinicalTrial#3),patient#4)", "h(x#1)"]
+        {
             let j = parse_term(term).unwrap();
-            assert!(
-                implies_on(&set, &j, &goal).is_implied(),
-                "instance-based must hold on {term}"
-            );
+            assert!(implies_on(&set, &j, &goal).is_implied(), "instance-based must hold on {term}");
         }
     }
 }

@@ -79,14 +79,9 @@ pub fn implies_plain(
             }
             let others_at_q = witnesses.len() >= 2;
             for &n in &witnesses {
-                let has_obligated_desc = j
-                    .nodes()
-                    .iter()
-                    .filter(|m| m.id != n)
-                    .any(|m| {
-                        j.is_proper_ancestor(n, m.id).unwrap_or(false)
-                            && down.contains(&path_of[&m.id])
-                    });
+                let has_obligated_desc = j.nodes().iter().filter(|m| m.id != n).any(|m| {
+                    j.is_proper_ancestor(n, m.id).unwrap_or(false) && down.contains(&path_of[&m.id])
+                });
                 let stuck = has_obligated_desc && up.contains(&q) && !others_at_q;
                 if !stuck {
                     let ce = build_no_insert_witness(j, n, &q, &down, &up, &nodes_at);
@@ -195,17 +190,13 @@ fn build_no_insert_witness(
             let prefix = chain_of(j, n);
             let parent_chain = &prefix[..prefix.len() - 1];
             place_chain(&mut out, parent_chain);
-            let parent = parent_chain
-                .last()
-                .map(|&(id, _)| id)
-                .unwrap_or_else(|| out.root_id());
+            let parent = parent_chain.last().map(|&(id, _)| id).unwrap_or_else(|| out.root_id());
             out.add(parent, q_label).expect("fresh stand-in")
         };
         // Route every obligated descendant of n below the stand-in.
         for m in under_n {
             let full = chain_of(j, m);
-            let below_n: Vec<(NodeId, Label)> =
-                full.into_iter().skip(q.len()).collect();
+            let below_n: Vec<(NodeId, Label)> = full.into_iter().skip(q.len()).collect();
             let mut cursor = stand_in;
             for (id, label) in below_n {
                 cursor = if out.contains(id) {
@@ -251,9 +242,8 @@ fn build_no_remove_witness(
     for k in k0 + 1..q.len() {
         let prefix = q[..k].to_vec();
         let label = q[k - 1];
-        let graft = nodes_at
-            .get(&prefix)
-            .and_then(|ids| ids.iter().copied().find(|&id| !out.contains(id)));
+        let graft =
+            nodes_at.get(&prefix).and_then(|ids| ids.iter().copied().find(|&id| !out.contains(id)));
         cursor = match graft {
             Some(id) => out.add_with_id(cursor, id, label).expect("fresh"),
             None => out.add(cursor, label).expect("fresh"),

@@ -55,8 +55,7 @@ pub fn find_instance_counterexample(
         ConstraintKind::NoInsert => eval::eval(&goal.range, j).into_iter().collect(),
         ConstraintKind::NoRemove => j.nodes().into_iter().skip(1).collect(),
     };
-    let patterns: Vec<&Pattern> =
-        set.iter().map(|c| &c.range).chain([&goal.range]).collect();
+    let patterns: Vec<&Pattern> = set.iter().map(|c| &c.range).chain([&goal.range]).collect();
     let z = canonical::fresh_label_for(patterns.iter().copied());
     let labels: Vec<Label> = {
         let mut pool: std::collections::BTreeSet<Label> =

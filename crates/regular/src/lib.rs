@@ -95,12 +95,8 @@ impl RegularPath {
             if doc.label(b).expect("live") != self.branch {
                 continue;
             }
-            let mut stack: Vec<(NodeId, usize)> = doc
-                .children(b)
-                .expect("live")
-                .into_iter()
-                .map(|c| (c, self.dfa.start()))
-                .collect();
+            let mut stack: Vec<(NodeId, usize)> =
+                doc.children(b).expect("live").into_iter().map(|c| (c, self.dfa.start())).collect();
             while let Some((node, state)) = stack.pop() {
                 let l = doc.label(node).expect("live");
                 let sym = self
@@ -228,16 +224,12 @@ pub fn reduce(set: &[Constraint], goal: &Constraint) -> Reduction {
         ));
     }
     // (8): the witness id lies in reg(q_c) of I and exists…
-    constraints.push(RegularConstraint::Inclusion(
-        witness_path(),
-        reg_of(&goal.range, &alphabet, "I"),
-    ));
+    constraints
+        .push(RegularConstraint::Inclusion(witness_path(), reg_of(&goal.range, &alphabet, "I")));
     constraints.push(RegularConstraint::NonEmpty(witness_path()));
     // (9): …and not in reg(q_c) of J.
-    constraints.push(RegularConstraint::Disjoint(
-        witness_path(),
-        reg_of(&goal.range, &alphabet, "J"),
-    ));
+    constraints
+        .push(RegularConstraint::Disjoint(witness_path(), reg_of(&goal.range, &alphabet, "J")));
 
     Reduction { dtd, constraints, alphabet }
 }
@@ -402,11 +394,8 @@ mod tests {
         let red = reduce(&set, &c("(//b, ↑)"));
         let shown = format!("{}", red.dtd);
         assert!(shown.contains(":−"));
-        let incl = red
-            .constraints
-            .iter()
-            .find(|k| matches!(k, RegularConstraint::Inclusion(..)))
-            .unwrap();
+        let incl =
+            red.constraints.iter().find(|k| matches!(k, RegularConstraint::Inclusion(..))).unwrap();
         if let RegularConstraint::Inclusion(a, b) = incl {
             assert!(a.display.contains("reg("));
             assert!(b.display.contains("reg("));

@@ -1,0 +1,404 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The workspace builds without network access, so the real `proptest`
+//! crate is replaced by this shim. It keeps the *shape* of the API the test
+//! suites use — [`Strategy`], `prop_map` / `prop_flat_map` / `boxed`,
+//! tuple and `Vec` composition, [`collection::vec`], [`any`], [`Just`],
+//! `prop_oneof!`, the [`proptest!`] macro and the `prop_assert*` macros —
+//! but implements only random generation, **no shrinking**: a failing case
+//! panics with the generated inputs in the assertion message instead of a
+//! minimized counterexample.
+//!
+//! Generation is deterministic per test: the RNG is seeded from the test
+//! function's name, so failures reproduce across runs.
+
+use std::rc::Rc;
+
+pub mod test_runner {
+    /// Per-test configuration. Only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// The deterministic test RNG (SplitMix64 core).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds deterministically from a test name.
+        pub fn deterministic(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h | 1 }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `0..n` (n > 0).
+        pub fn below(&mut self, n: usize) -> usize {
+            debug_assert!(n > 0);
+            (self.next_u64() % n as u64) as usize
+        }
+
+        pub fn random_bool(&mut self) -> bool {
+            self.next_u64() & 1 == 1
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of random values. Unlike real proptest there is no value
+/// tree: `generate` directly yields a value and nothing shrinks.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { source: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased strategy (`.boxed()`).
+pub struct BoxedStrategy<V>(Rc<dyn Strategy<Value = V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate(rng)
+    }
+}
+
+/// The strategy that always yields a clone of its value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+impl Strategy for std::ops::Range<usize> {
+    type Value = usize;
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty range strategy {self:?}");
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<usize> {
+    type Value = usize;
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start() <= self.end(), "empty range strategy {self:?}");
+        self.start() + rng.below(self.end() - self.start() + 1)
+    }
+}
+
+/// A `Vec` of strategies generates element-wise (proptest's `Vec<S>` impl).
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        self.iter().map(|s| s.generate(rng)).collect()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A: 0);
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+/// Types with a canonical strategy, reachable through [`any`].
+pub trait Arbitrary {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.random_bool()
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Uniform choice among boxed alternatives (`prop_oneof!`).
+pub struct Union<V>(Vec<BoxedStrategy<V>>);
+
+impl<V> Union<V> {
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union(options)
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.0.len());
+        self.0[i].generate(rng)
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Length specifications accepted by [`vec`]: an exact `usize`, `a..b`,
+    /// or `a..=b`.
+    pub trait SizeRange {
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range {self:?}");
+            self.start + rng.below(self.end - self.start)
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start() <= self.end(), "empty size range {self:?}");
+            self.start() + rng.below(self.end() - self.start() + 1)
+        }
+    }
+
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector of values from `element`, with length drawn from `len`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Uniform choice among strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Boolean property assertion (panics — no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality property assertion (panics — no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+/// Inequality property assertion (panics — no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_ne!($left, $right, $($fmt)*) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strategy:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __case in 0..__config.cases {
+                    $(
+                        let $arg =
+                            $crate::Strategy::generate(&($strategy), &mut __rng);
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// The test-harness macro: each contained `#[test] fn name(arg in strategy,
+/// ...) { body }` runs `cases` times with freshly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, Strategy, Union,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_vecs_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic("bounds");
+        let s = crate::collection::vec(0..5usize, 1..4usize);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn oneof_and_flat_map_compose() {
+        let mut rng = crate::test_runner::TestRng::deterministic("compose");
+        let s = (1..4usize).prop_flat_map(|n| {
+            crate::collection::vec(prop_oneof![Just("a"), Just("b")], n)
+                .prop_map(|parts| parts.concat())
+        });
+        for _ in 0..50 {
+            let word = s.generate(&mut rng);
+            assert!((1..4).contains(&word.len()));
+            assert!(word.chars().all(|c| c == 'a' || c == 'b'));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_all_args(x in 0..10usize, flip in any::<bool>()) {
+            prop_assert!(x < 10);
+            let _ = flip;
+        }
+    }
+}

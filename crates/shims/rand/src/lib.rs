@@ -1,0 +1,169 @@
+//! Offline drop-in subset of the `rand` 0.9 API.
+//!
+//! The workspace builds without network access, so the real `rand` crate is
+//! replaced by this shim exposing exactly the surface the sources use:
+//!
+//! * [`Rng`] with `random_range` (over `usize` ranges) and `random_bool`,
+//! * [`rng()`] returning a process-unique [`rngs::ThreadRng`],
+//! * [`rngs::StdRng`] + [`SeedableRng::seed_from_u64`] for reproducible
+//!   workloads and benches.
+//!
+//! The generator core is SplitMix64 — not cryptographic, statistically fine
+//! for workload generation and property tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A range usable with [`Rng::random_range`]. Implemented for the `usize`
+/// range shapes the workspace uses (`a..b` and `a..=b`).
+pub trait SampleRange {
+    /// Inclusive `(low, high)` bounds. Panics if the range is empty.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl SampleRange for std::ops::Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "cannot sample empty range {self:?}");
+        (self.start, self.end - 1)
+    }
+}
+
+impl SampleRange for std::ops::RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start() <= self.end(), "cannot sample empty range {self:?}");
+        (*self.start(), *self.end())
+    }
+}
+
+/// User-facing random-value methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (modulo method; bias is negligible for
+    /// the small ranges used in workload generation).
+    fn random_range<R: SampleRange>(&mut self, range: R) -> usize {
+        let (lo, hi) = range.bounds();
+        let span = (hi - lo) as u64 + 1;
+        lo + (self.next_u64() % span) as usize
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        // 53 uniform mantissa bits, the standard float-in-[0,1) trick.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// RNGs constructible from seeds.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The deterministic standard generator (SplitMix64 core).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // One warm-up scramble so similar seeds diverge immediately.
+            let mut state = seed ^ 0x1bad_5eed_0ddc_0ffe;
+            let _ = splitmix64(&mut state);
+            StdRng { state }
+        }
+    }
+
+    /// The generator handed out by [`crate::rng`]: per-call unique stream.
+    #[derive(Debug, Clone)]
+    pub struct ThreadRng(pub(crate) StdRng);
+
+    impl RngCore for ThreadRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+static STREAM: AtomicU64 = AtomicU64::new(0x5eed);
+
+/// Returns a process-unique generator (the `rand 0.9` spelling of
+/// `thread_rng`). Each call starts a distinct deterministic stream; seed a
+/// [`rngs::StdRng`] explicitly when reproducibility matters.
+pub fn rng() -> rngs::ThreadRng {
+    let stream = STREAM.fetch_add(0x9e37_79b9, Ordering::Relaxed);
+    rngs::ThreadRng(<rngs::StdRng as SeedableRng>::seed_from_u64(stream))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_are_in_bounds() {
+        let mut r = rngs::StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.random_range(2..9);
+            assert!((2..9).contains(&v));
+            let w = r.random_range(0..=3);
+            assert!(w <= 3);
+        }
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut r = rngs::StdRng::seed_from_u64(7);
+        assert!((0..100).all(|_| !r.random_bool(0.0)));
+        assert!((0..100).all(|_| r.random_bool(1.0)));
+        let heads = (0..2000).filter(|_| r.random_bool(0.5)).count();
+        assert!((800..1200).contains(&heads), "suspicious coin: {heads}/2000");
+    }
+
+    #[test]
+    fn seeding_is_reproducible() {
+        let mut a = rngs::StdRng::seed_from_u64(42);
+        let mut b = rngs::StdRng::seed_from_u64(42);
+        let s1: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let s2: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(s1, s2);
+        let mut c = rngs::StdRng::seed_from_u64(43);
+        assert_ne!(s1[0], c.next_u64());
+    }
+
+    #[test]
+    fn rng_streams_differ() {
+        let mut a = rng();
+        let mut b = rng();
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

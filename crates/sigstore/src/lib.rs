@@ -24,7 +24,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 use xuc_core::{Constraint, ConstraintKind};
-use xuc_xpath::eval;
+use xuc_xpath::Evaluator;
 use xuc_xtree::{DataTree, NodeRef};
 
 /// A 64-bit FNV-1a style keyed digest (simulation of a MAC).
@@ -100,13 +100,15 @@ impl Signer {
         Signer { key }
     }
 
-    /// Certifies `document` under `constraints`: evaluates each range and
-    /// signs the selected set.
+    /// Certifies `document` under `constraints`: evaluates each range
+    /// (against one shared snapshot of the document) and signs the
+    /// selected set.
     pub fn certify(&self, document: &DataTree, constraints: &[Constraint]) -> Certificate {
+        let mut ev = Evaluator::new(document);
         let entries = constraints
             .iter()
             .map(|c| {
-                let snapshot = eval::eval(&c.range, document);
+                let snapshot = ev.eval(&c.range);
                 let tag = mac(self.key, &serialize_set(&snapshot));
                 CertEntry { constraint: c.clone(), snapshot, tag }
             })
@@ -117,13 +119,15 @@ impl Signer {
 
 impl Certificate {
     /// The User-side check: authenticate every entry, then compare the
-    /// signed snapshot against the received document's evaluation.
+    /// signed snapshot against the received document's evaluation (one
+    /// shared snapshot of the received document for all entries).
     pub fn verify(&self, key: u64, received: &DataTree) -> Result<(), VerifyError> {
+        let mut ev = Evaluator::new(received);
         for (index, e) in self.entries.iter().enumerate() {
             if mac(key, &serialize_set(&e.snapshot)) != e.tag {
                 return Err(VerifyError::BadSignature { index });
             }
-            let now = eval::eval(&e.constraint.range, received);
+            let now = ev.eval(&e.constraint.range);
             let offenders = match e.constraint.kind {
                 // no-remove: everything signed must still be selected.
                 ConstraintKind::NoRemove => e.snapshot.difference(&now).count(),
@@ -216,8 +220,7 @@ mod tests {
         // The certificate verdict must coincide with pair validity for
         // arbitrary update sequences.
         let i = parse_term("r(a#1(b#2,b#3),c#4(b#5))").unwrap();
-        let constraints =
-            vec![c("(/a/b, ↑)"), c("(/a/b, ↓)"), c("(//b, ↑)"), c("(/c[/b], ↓)")];
+        let constraints = vec![c("(/a/b, ↑)"), c("(/a/b, ↓)"), c("(//b, ↑)"), c("(/c[/b], ↓)")];
         let cert = Signer::new(0xabc).certify(&i, &constraints);
         let edits: Vec<DataTree> = vec![
             parse_term("r(a#1(b#2,b#3),c#4(b#5))").unwrap(),

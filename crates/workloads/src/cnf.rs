@@ -141,10 +141,7 @@ mod tests {
 
     #[test]
     fn satisfiability_basics() {
-        let f = Formula::new(
-            2,
-            vec![Clause([Literal::pos(0), Literal::neg(1), Literal::pos(0)])],
-        );
+        let f = Formula::new(2, vec![Clause([Literal::pos(0), Literal::neg(1), Literal::pos(0)])]);
         assert!(f.satisfiable());
         assert!(f.satisfied_by(&[true, true]));
         assert!(!f.satisfied_by(&[false, true]));

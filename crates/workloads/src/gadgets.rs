@@ -336,10 +336,7 @@ impl Thm52Gadget {
             immutable(&format!("/a/v[/{}]/-", xvar(i)));
         }
         for i in 0..n {
-            set.push(Constraint::no_remove(q(&format!(
-                "/a[/two][/v[/{}][/+][/-]]",
-                xvar(i)
-            ))));
+            set.push(Constraint::no_remove(q(&format!("/a[/two][/v[/{}][/+][/-]]", xvar(i)))));
         }
         for clause in &formula.clauses {
             let mut preds = String::new();

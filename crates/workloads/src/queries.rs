@@ -85,11 +85,8 @@ impl<'a> QueryGen<'a> {
     /// A random constraint with the given kind distribution
     /// (`up_p` = probability of ↑).
     pub fn constraint(&self, rng: &mut impl Rng, up_p: f64) -> Constraint {
-        let kind = if rng.random_bool(up_p) {
-            ConstraintKind::NoRemove
-        } else {
-            ConstraintKind::NoInsert
-        };
+        let kind =
+            if rng.random_bool(up_p) { ConstraintKind::NoRemove } else { ConstraintKind::NoInsert };
         Constraint::new(self.query(rng), kind)
     }
 
@@ -193,13 +190,8 @@ mod tests {
         let mut rng = rand::rng();
         let labels = ["doc", "a", "b", "c"];
         for n in 1..5 {
-            let (set, goal) = implied_pred_star_family(
-                &mut rng,
-                &labels,
-                n,
-                2,
-                ConstraintKind::NoRemove,
-            );
+            let (set, goal) =
+                implied_pred_star_family(&mut rng, &labels, n, 2, ConstraintKind::NoRemove);
             assert!(
                 xuc_core::implication::ptime::implies_pred_star(&set, &goal),
                 "family of size {n} must be implied"

@@ -7,10 +7,9 @@ use xuc_xtree::{DataTree, Label, NodeId};
 /// The Figure 2 pair of instances `(I, J)` of Example 2.1 — `J` deletes
 /// visit `n7` and adds a fresh patient.
 pub fn fig2_pair() -> (DataTree, DataTree) {
-    let i = xuc_xtree::parse_term(
-        "hospital#1(patient#2(visit#6,visit#7),patient#3(clinicalTrial#8))",
-    )
-    .expect("static term");
+    let i =
+        xuc_xtree::parse_term("hospital#1(patient#2(visit#6,visit#7),patient#3(clinicalTrial#8))")
+            .expect("static term");
     let j = xuc_xtree::parse_term(
         "hospital#1(patient#2(visit#6),patient#3(clinicalTrial#8),patient#4)",
     )
@@ -30,16 +29,11 @@ pub fn example_2_1_constraints() -> Vec<Constraint> {
 
 /// Example 4.1's mixed-type linear constraint set and implied goal.
 pub fn example_4_1() -> (Vec<Constraint>, Constraint) {
-    let set = [
-        "(//a//c, ↑)",
-        "(//b//c, ↑)",
-        "(//a//b//c, ↓)",
-        "(//a//b//a//c, ↑)",
-        "(//b//a//b//c, ↑)",
-    ]
-    .iter()
-    .map(|s| xuc_core::parse_constraint(s).expect("static"))
-    .collect();
+    let set =
+        ["(//a//c, ↑)", "(//b//c, ↑)", "(//a//b//c, ↓)", "(//a//b//a//c, ↑)", "(//b//a//b//c, ↑)"]
+            .iter()
+            .map(|s| xuc_core::parse_constraint(s).expect("static"))
+            .collect();
     let goal = xuc_core::parse_constraint("(//b//a//c, ↑)").expect("static");
     (set, goal)
 }

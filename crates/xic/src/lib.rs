@@ -300,10 +300,7 @@ pub fn seed_two_branch(db: &mut FactDb) {
 /// follows [15] and is out of scope; the paper itself demonstrates the
 /// phenomenon on child-only ranges).
 pub fn translate(constraint: &Constraint, name: impl Into<String>) -> Xic {
-    let steps = constraint
-        .range
-        .linear_steps()
-        .expect("translate requires a linear range");
+    let steps = constraint.range.linear_steps().expect("translate requires a linear range");
     let (src, dst) = match constraint.kind {
         ConstraintKind::NoRemove => (I_BRANCH, J_BRANCH),
         ConstraintKind::NoInsert => (J_BRANCH, I_BRANCH),

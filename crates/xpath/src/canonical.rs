@@ -53,11 +53,7 @@ pub fn instantiate(
             desc_edges.push(i);
         }
     }
-    assert_eq!(
-        desc_edges.len(),
-        chain_lens.len(),
-        "one chain length per descendant edge required"
-    );
+    assert_eq!(desc_edges.len(), chain_lens.len(), "one chain length per descendant edge required");
     let chain_of: std::collections::HashMap<PIdx, usize> =
         desc_edges.iter().copied().zip(chain_lens.iter().copied()).collect();
 

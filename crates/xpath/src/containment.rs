@@ -128,10 +128,7 @@ fn child_mapped(
     strictly_below: &[Vec<PIdx>],
 ) -> bool {
     match from.axis(c) {
-        Axis::Child => to
-            .children(v)
-            .iter()
-            .any(|&w| to.axis(w) == Axis::Child && can[c][w]),
+        Axis::Child => to.children(v).iter().any(|&w| to.axis(w) == Axis::Child && can[c][w]),
         Axis::Descendant => strictly_below[v].iter().any(|&w| can[c][w]),
     }
 }
@@ -145,10 +142,7 @@ fn maps_at(
     strictly_below: &[Vec<PIdx>],
 ) -> bool {
     node_compatible(from, to, u, v)
-        && from
-            .children(u)
-            .iter()
-            .all(|&c| child_mapped(from, to, c, v, can, strictly_below))
+        && from.children(u).iter().all(|&c| child_mapped(from, to, c, v, can, strictly_below))
 }
 
 /// Complete containment test: does `q1 ⊆ q2` hold (every node selected by
@@ -294,11 +288,7 @@ mod tests {
         ];
         for (s1, s2) in cases {
             let (p1, p2) = (q(s1), q(s2));
-            assert_eq!(
-                contains(&p1, &p2),
-                contains_canonical(&p1, &p2),
-                "mismatch on {s1} ⊆ {s2}"
-            );
+            assert_eq!(contains(&p1, &p2), contains_canonical(&p1, &p2), "mismatch on {s1} ⊆ {s2}");
         }
     }
 

@@ -1,0 +1,489 @@
+//! The reusable bitset evaluation engine.
+//!
+//! [`crate::eval`]'s two-phase algorithm is correct but rebuilds a dense
+//! snapshot of the tree on *every* call and keeps its satisfaction matrices
+//! as `Vec<Vec<bool>>`. The hot consumers — counterexample search, possible
+//! embeddings, certain-facts trees — evaluate *many* patterns against the
+//! *same* tree, so this module restructures the data layout around that
+//! access pattern:
+//!
+//! * [`Evaluator::new`] builds the snapshot **once**: ids, labels, parent
+//!   indices, children in CSR (compressed sparse row) form, all in pre-order
+//!   (parents before children), plus a lazy per-label bitset cache.
+//! * Satisfaction rows, descendant closures and spine frontiers are packed
+//!   `u64` bitsets; the label test and per-child requirement conjunctions
+//!   are word-wide AND sweeps, and sparse propagation steps (child→parent,
+//!   frontier→children) skip zero words.
+//! * [`Evaluator::eval_all`] amortizes one snapshot across a whole batch of
+//!   patterns; [`Evaluator::refresh`] re-snapshots after the caller mutates
+//!   the tree, and [`Evaluator::invalidate`] is the guard rail that makes a
+//!   forgotten refresh a loud panic instead of a silent wrong answer.
+//!
+//! The algorithm is exactly the one documented in [`crate::eval`]
+//! (Gottlob–Koch–Pichler–Segoufin two-phase evaluation); only the data
+//! layout differs, and the property tests in `tests/prop.rs` pin the two
+//! implementations (and the naive oracle) to each other.
+
+use crate::pattern::{Axis, NodeTest, Pattern};
+use std::collections::{BTreeSet, HashMap};
+use xuc_xtree::{DataTree, Label, NodeId, NodeRef};
+
+const NO_PARENT: u32 = u32::MAX;
+
+#[inline]
+fn word_count(n: usize) -> usize {
+    n.div_ceil(64)
+}
+
+#[inline]
+fn set_bit(row: &mut [u64], i: usize) {
+    row[i >> 6] |= 1u64 << (i & 63);
+}
+
+#[inline]
+fn get_bit(row: &[u64], i: usize) -> bool {
+    row[i >> 6] & (1u64 << (i & 63)) != 0
+}
+
+#[inline]
+fn and_assign(dst: &mut [u64], src: &[u64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d &= s;
+    }
+}
+
+#[inline]
+fn is_zero(row: &[u64]) -> bool {
+    row.iter().all(|&w| w == 0)
+}
+
+/// Calls `f(i)` for every set bit, skipping zero words.
+#[inline]
+fn for_each_set_bit(row: &[u64], mut f: impl FnMut(usize)) {
+    for (wi, &word) in row.iter().enumerate() {
+        let mut w = word;
+        while w != 0 {
+            let b = w.trailing_zeros() as usize;
+            f((wi << 6) | b);
+            w &= w - 1;
+        }
+    }
+}
+
+/// A reusable tree-pattern evaluator bound to one snapshot of a tree.
+///
+/// ```
+/// use xuc_xpath::{parse, Evaluator};
+/// use xuc_xtree::parse_term;
+///
+/// let mut tree = parse_term("root(a#1(b#2),a#3)").unwrap();
+/// let mut ev = Evaluator::new(&tree);
+/// let q = parse("/a[/b]").unwrap();
+/// assert_eq!(ev.eval(&q).len(), 1);
+///
+/// // After mutating the tree, refresh before evaluating again.
+/// tree.add(xuc_xtree::NodeId::from_raw(3), "b").unwrap();
+/// ev.refresh(&tree);
+/// assert_eq!(ev.eval(&q).len(), 2);
+/// ```
+pub struct Evaluator {
+    n: usize,
+    words: usize,
+    ids: Vec<NodeId>,
+    labels: Vec<Label>,
+    /// Pre-order parent indices; `NO_PARENT` for the root.
+    parent: Vec<u32>,
+    /// Children in CSR form: node `v`'s children are
+    /// `child_list[child_start[v]..child_start[v + 1]]`.
+    child_start: Vec<u32>,
+    child_list: Vec<u32>,
+    index_of: HashMap<NodeId, u32>,
+    /// Lazy per-label node bitsets (cleared on refresh).
+    label_rows: HashMap<Label, Vec<u64>>,
+    /// All-ones row masked to `n` bits (the wildcard test).
+    ones: Vec<u64>,
+    stale: bool,
+}
+
+impl Evaluator {
+    /// Builds the snapshot for `tree`. Cost: one pre-order walk plus the
+    /// id index; every subsequent [`eval`](Self::eval) reuses it.
+    pub fn new(tree: &DataTree) -> Evaluator {
+        let mut ev = Evaluator {
+            n: 0,
+            words: 0,
+            ids: Vec::new(),
+            labels: Vec::new(),
+            parent: Vec::new(),
+            child_start: Vec::new(),
+            child_list: Vec::new(),
+            index_of: HashMap::new(),
+            label_rows: HashMap::new(),
+            ones: Vec::new(),
+            stale: true,
+        };
+        ev.refresh(tree);
+        ev
+    }
+
+    /// Rebuilds the snapshot after `tree` was mutated, reusing the
+    /// existing allocations. This is the re-snapshot half of the
+    /// invalidation protocol; see [`invalidate`](Self::invalidate).
+    pub fn refresh(&mut self, tree: &DataTree) {
+        let flat = tree.preorder_snapshot();
+        let n = flat.len();
+        self.n = n;
+        self.words = word_count(n);
+
+        self.ids.clear();
+        self.labels.clear();
+        self.parent.clear();
+        self.index_of.clear();
+        self.label_rows.clear();
+        self.ids.reserve(n);
+        self.labels.reserve(n);
+        self.parent.reserve(n);
+        self.index_of.reserve(n);
+
+        // CSR: count children per node, prefix-sum, then scatter. Pre-order
+        // guarantees parent indices precede their children.
+        let mut counts = vec![0u32; n + 1];
+        for (i, (id, label, parent)) in flat.iter().enumerate() {
+            self.ids.push(*id);
+            self.labels.push(*label);
+            self.index_of.insert(*id, i as u32);
+            match parent {
+                Some(p) => {
+                    debug_assert!(*p < i, "pre-order parents come first");
+                    self.parent.push(*p as u32);
+                    counts[*p] += 1;
+                }
+                None => self.parent.push(NO_PARENT),
+            }
+        }
+        self.child_start.clear();
+        self.child_start.resize(n + 1, 0);
+        let mut acc = 0u32;
+        for (start, count) in self.child_start[..n].iter_mut().zip(&counts) {
+            *start = acc;
+            acc += count;
+        }
+        self.child_start[n] = acc;
+        self.child_list.clear();
+        self.child_list.resize(acc as usize, 0);
+        let mut cursor: Vec<u32> = self.child_start[..n].to_vec();
+        for (i, &p) in self.parent.iter().enumerate() {
+            if p != NO_PARENT {
+                self.child_list[cursor[p as usize] as usize] = i as u32;
+                cursor[p as usize] += 1;
+            }
+        }
+
+        self.ones.clear();
+        self.ones.resize(self.words, !0u64);
+        if !n.is_multiple_of(64) && self.words > 0 {
+            self.ones[self.words - 1] = (1u64 << (n % 64)) - 1;
+        }
+        self.stale = false;
+    }
+
+    /// Marks the snapshot stale. Call this when handing the underlying
+    /// tree out for mutation; any evaluation before the matching
+    /// [`refresh`](Self::refresh) panics instead of returning answers
+    /// computed against a dead snapshot.
+    pub fn invalidate(&mut self) {
+        self.stale = true;
+    }
+
+    /// Is the snapshot marked stale?
+    pub fn is_stale(&self) -> bool {
+        self.stale
+    }
+
+    /// Number of nodes in the snapshot.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// The snapshotted tree's root node.
+    pub fn root(&self) -> NodeRef {
+        NodeRef { id: self.ids[0], label: self.labels[0] }
+    }
+
+    /// Trees always have a root, so a snapshot is never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn children(&self, v: usize) -> &[u32] {
+        &self.child_list[self.child_start[v] as usize..self.child_start[v + 1] as usize]
+    }
+
+    /// The bitset of nodes whose label passes `test` (cached per label).
+    fn test_row(&mut self, test: NodeTest) -> &[u64] {
+        match test {
+            NodeTest::Wildcard => &self.ones,
+            NodeTest::Label(l) => {
+                if !self.label_rows.contains_key(&l) {
+                    let mut row = vec![0u64; self.words];
+                    for (v, &vl) in self.labels.iter().enumerate() {
+                        if vl == l {
+                            set_bit(&mut row, v);
+                        }
+                    }
+                    self.label_rows.insert(l, row);
+                }
+                &self.label_rows[&l]
+            }
+        }
+    }
+
+    /// `out[v] = 1` iff some child `w` of `v` has `src[w] = 1`.
+    fn any_child(&self, src: &[u64], out: &mut Vec<u64>) {
+        out.clear();
+        out.resize(self.words, 0);
+        for_each_set_bit(src, |w| {
+            let p = self.parent[w];
+            if p != NO_PARENT {
+                set_bit(out, p as usize);
+            }
+        });
+    }
+
+    /// `out[v] = 1` iff some *proper descendant* `w` of `v` has
+    /// `src[w] = 1`. One reverse pre-order pass: children are visited
+    /// before their parents, so `out` accumulates bottom-up.
+    fn any_descendant(&self, src: &[u64], out: &mut Vec<u64>) {
+        out.clear();
+        out.resize(self.words, 0);
+        for v in (1..self.n).rev() {
+            if get_bit(src, v) || get_bit(out, v) {
+                set_bit(out, self.parent[v] as usize);
+            }
+        }
+    }
+
+    /// Phase 1 + phase 2 producing the output-node frontier bitset.
+    fn frontier_of(&mut self, q: &Pattern, start_idx: usize) -> Vec<u64> {
+        assert!(
+            !self.stale,
+            "Evaluator used after invalidate(): call refresh(&tree) after mutating the tree"
+        );
+        let words = self.words;
+
+        // Phase 1: bottom-up subpattern satisfaction, one bitset row per
+        // pattern node. Children are processed before parents, so child
+        // rows are complete when the parent conjoins its requirements.
+        let mut sat: Vec<Vec<u64>> = vec![Vec::new(); q.len()];
+        let mut req = vec![0u64; words];
+        for p in q.post_order() {
+            let mut row = self.test_row(q.test(p)).to_vec();
+            for &c in q.children(p) {
+                if is_zero(&row) {
+                    break;
+                }
+                match q.axis(c) {
+                    Axis::Child => self.any_child(&sat[c], &mut req),
+                    Axis::Descendant => self.any_descendant(&sat[c], &mut req),
+                }
+                and_assign(&mut row, &req);
+            }
+            sat[p] = row;
+        }
+
+        // Phase 2: walk the spine from `start_idx`, keeping the frontier of
+        // nodes matching the spine prefix.
+        let mut frontier = vec![0u64; words];
+        set_bit(&mut frontier, start_idx);
+        let mut next = vec![0u64; words];
+        for p in q.spine() {
+            next.clear();
+            next.resize(words, 0);
+            match q.axis(p) {
+                Axis::Child => {
+                    // Children of the frontier, via CSR.
+                    for_each_set_bit(&frontier, |v| {
+                        for &w in self.children(v) {
+                            set_bit(&mut next, w as usize);
+                        }
+                    });
+                }
+                Axis::Descendant => {
+                    // has-frontier-proper-ancestor by pre-order propagation.
+                    for v in 1..self.n {
+                        let pv = self.parent[v] as usize;
+                        if get_bit(&frontier, pv) || get_bit(&next, pv) {
+                            set_bit(&mut next, v);
+                        }
+                    }
+                }
+            }
+            and_assign(&mut next, &sat[p]);
+            std::mem::swap(&mut frontier, &mut next);
+            if is_zero(&frontier) {
+                break;
+            }
+        }
+        frontier
+    }
+
+    /// Evaluates `q` from the document root: `q(I)`.
+    pub fn eval(&mut self, q: &Pattern) -> BTreeSet<NodeRef> {
+        self.eval_at(q, self.ids[0])
+    }
+
+    /// Evaluates `q` on the subtree rooted at `start`: `q(n, I)`.
+    ///
+    /// # Panics
+    /// Panics if `start` is not a node of the snapshotted tree.
+    pub fn eval_at(&mut self, q: &Pattern, start: NodeId) -> BTreeSet<NodeRef> {
+        let start_idx =
+            *self.index_of.get(&start).unwrap_or_else(|| panic!("start node {start} not in tree"))
+                as usize;
+        let frontier = self.frontier_of(q, start_idx);
+        let mut out = BTreeSet::new();
+        for_each_set_bit(&frontier, |v| {
+            out.insert(NodeRef { id: self.ids[v], label: self.labels[v] });
+        });
+        out
+    }
+
+    /// Evaluates a batch of patterns against the shared snapshot; the
+    /// snapshot cost is paid once for the whole batch.
+    pub fn eval_all(&mut self, queries: &[Pattern]) -> Vec<BTreeSet<NodeRef>> {
+        queries.iter().map(|q| self.eval(q)).collect()
+    }
+
+    /// The id set of `q(I)` (constraints compare ranges by id).
+    pub fn eval_ids(&mut self, q: &Pattern) -> BTreeSet<NodeId> {
+        let frontier = self.frontier_of(q, 0);
+        let mut out = BTreeSet::new();
+        for_each_set_bit(&frontier, |v| {
+            out.insert(self.ids[v]);
+        });
+        out
+    }
+
+    /// Does `q`, read as a boolean query, hold below `start`?
+    pub fn holds_below(&mut self, q: &Pattern, start: NodeId) -> bool {
+        let start_idx =
+            *self.index_of.get(&start).unwrap_or_else(|| panic!("start node {start} not in tree"))
+                as usize;
+        !is_zero(&self.frontier_of(q, start_idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use xuc_xtree::parse_term;
+
+    fn ids(set: &BTreeSet<NodeRef>) -> Vec<u64> {
+        set.iter().map(|n| n.id.raw()).collect()
+    }
+
+    #[test]
+    fn matches_eval_module_on_examples() {
+        let cases = [
+            ("root(a#1(b#2),a#3,c#4(a#5))", "/a"),
+            ("root(a#1(b#2),a#3,c#4(a#5))", "//a"),
+            ("root(a#1(b#2),a#3)", "/a[/b]"),
+            ("root(a#1(x#2(b#3(c#4)),b#5),b#6(c#7))", "/a//b[/c]"),
+            ("root(a#1(b#2),c#3(d#4))", "/*/*"),
+            ("a#1(a#2)", "//a"),
+            ("root(a#1(b#2(c#3(d#4))),a#5(b#6(c#7)))", "/a[/b[/c[/d]]]"),
+            ("root(a#1(b#2,v#3),a#4(b#5))", "/a[/v]/b"),
+            ("r(a#1(a#2(a#3(a#4))))", "//a//a"),
+        ];
+        for (term, query) in cases {
+            let t = parse_term(term).unwrap();
+            let q = parse(query).unwrap();
+            let mut ev = Evaluator::new(&t);
+            assert_eq!(ev.eval(&q), crate::eval::eval(&q, &t), "tree {term} query {query}");
+        }
+    }
+
+    #[test]
+    fn batch_reuses_one_snapshot() {
+        let t = parse_term("root(a#1(b#2(c#3)),a#4(b#5),c#6)").unwrap();
+        let queries: Vec<_> =
+            ["/a", "//b", "/a/b[/c]", "//c", "/*"].iter().map(|s| parse(s).unwrap()).collect();
+        let mut ev = Evaluator::new(&t);
+        let batch = ev.eval_all(&queries);
+        for (q, r) in queries.iter().zip(&batch) {
+            assert_eq!(*r, crate::eval::eval(q, &t), "query {q}");
+        }
+    }
+
+    #[test]
+    fn eval_at_subtree() {
+        let t = parse_term("root(a#1(b#2(c#3)),b#4(c#5))").unwrap();
+        let q = parse("/b/c").unwrap();
+        let mut ev = Evaluator::new(&t);
+        assert_eq!(ids(&ev.eval_at(&q, NodeId::from_raw(1))), vec![3]);
+        assert_eq!(ids(&ev.eval(&q)), vec![5]);
+        assert!(ev.holds_below(&q, NodeId::from_raw(1)));
+        assert!(!ev.holds_below(&q, NodeId::from_raw(2)));
+    }
+
+    #[test]
+    fn refresh_tracks_mutation() {
+        let mut t = parse_term("root(a#1(b#2),a#3)").unwrap();
+        let q = parse("/a[/b]").unwrap();
+        let mut ev = Evaluator::new(&t);
+        assert_eq!(ids(&ev.eval(&q)), vec![1]);
+        t.add(NodeId::from_raw(3), "b").unwrap();
+        ev.refresh(&t);
+        assert_eq!(ids(&ev.eval(&q)), vec![1, 3]);
+        t.delete_subtree(NodeId::from_raw(1)).unwrap();
+        ev.refresh(&t);
+        assert_eq!(ids(&ev.eval(&q)), vec![3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalidate")]
+    fn stale_snapshot_panics() {
+        let t = parse_term("root(a#1)").unwrap();
+        let mut ev = Evaluator::new(&t);
+        ev.invalidate();
+        let q = parse("/a").unwrap();
+        let _ = ev.eval(&q);
+    }
+
+    #[test]
+    fn wide_trees_cross_word_boundaries() {
+        // > 64 children exercises multi-word rows and the tail mask.
+        let mut t = xuc_xtree::DataTree::new("root");
+        let root = t.root_id();
+        let mut b_parent = None;
+        for i in 0..150 {
+            let id = t.add(root, if i % 3 == 0 { "a" } else { "x" }).unwrap();
+            if i == 149 {
+                b_parent = Some(id);
+            }
+        }
+        t.add(b_parent.unwrap(), "b").unwrap();
+        let mut ev = Evaluator::new(&t);
+        let qa = parse("/a").unwrap();
+        assert_eq!(ev.eval(&qa).len(), 50);
+        let qw = parse("//*").unwrap();
+        assert_eq!(ev.eval(&qw).len(), 151);
+        let qxb = parse("/x[/b]").unwrap();
+        assert_eq!(ev.eval(&qxb).len(), 1);
+        for (term_q, expect) in [("//b", 1), ("/x/b", 1), ("/a/b", 0)] {
+            let q = parse(term_q).unwrap();
+            assert_eq!(ev.eval(&q).len(), expect, "{term_q}");
+        }
+    }
+
+    #[test]
+    fn eval_ids_projection() {
+        let t = parse_term("root(a#1(b#2),a#3)").unwrap();
+        let mut ev = Evaluator::new(&t);
+        let q = parse("/a").unwrap();
+        let want: BTreeSet<NodeId> = [NodeId::from_raw(1), NodeId::from_raw(3)].into();
+        assert_eq!(ev.eval_ids(&q), want);
+    }
+}

@@ -1,7 +1,10 @@
 //! PTIME evaluation of tree patterns on data trees.
 //!
 //! The evaluation of `XP{/,[],//,*}` queries is polynomial (Gottlob, Koch,
-//! Pichler, Segoufin [18]); we use the standard two-phase algorithm:
+//! Pichler, Segoufin [18]); we use the standard two-phase algorithm,
+//! implemented by the reusable bitset engine in [`crate::engine`] — the
+//! free functions here are thin cold-path wrappers that build a throwaway
+//! [`Evaluator`] per call:
 //!
 //! 1. **Bottom-up**: for every pattern node `p` and tree node `v`, decide
 //!    whether the subpattern rooted at `p` matches with `p ↦ v`
@@ -13,164 +16,39 @@
 //! Results are sets of `(id, label)` pairs ([`NodeRef`]), matching the
 //! paper's convention that a query returns *nodes*, not labels.
 
-use crate::pattern::{Axis, Pattern};
+use crate::engine::Evaluator;
+use crate::pattern::Pattern;
 use std::collections::BTreeSet;
 use xuc_xtree::{DataTree, NodeId, NodeRef};
 
-/// A dense snapshot of a tree used for evaluation.
-struct Dense {
-    ids: Vec<NodeId>,
-    labels: Vec<xuc_xtree::Label>,
-    parent: Vec<Option<usize>>,
-    children: Vec<Vec<usize>>,
-    /// Pre-order (parents before children).
-    order: Vec<usize>,
-    index_of: std::collections::HashMap<NodeId, usize>,
-}
-
-impl Dense {
-    fn build(tree: &DataTree) -> Dense {
-        let nodes = tree.nodes();
-        let mut index_of = std::collections::HashMap::with_capacity(nodes.len());
-        for (i, n) in nodes.iter().enumerate() {
-            index_of.insert(n.id, i);
-        }
-        let mut parent = vec![None; nodes.len()];
-        let mut children = vec![Vec::new(); nodes.len()];
-        for (i, n) in nodes.iter().enumerate() {
-            if let Some(p) = tree.parent(n.id).expect("live node") {
-                let pi = index_of[&p];
-                parent[i] = Some(pi);
-                children[pi].push(i);
-            }
-        }
-        // `DataTree::nodes` returns depth-first order with parents first.
-        let order = (0..nodes.len()).collect();
-        Dense {
-            ids: nodes.iter().map(|n| n.id).collect(),
-            labels: nodes.iter().map(|n| n.label).collect(),
-            parent,
-            children,
-            order,
-            index_of,
-        }
-    }
-}
-
 /// Evaluates `q` from the document root: `q(I)` in the paper's notation.
+///
+/// This is the *cold* entry point: it snapshots `tree` on every call.
+/// Callers evaluating several patterns against the same tree should build
+/// one [`Evaluator`] and amortize the snapshot across the batch.
 pub fn eval(q: &Pattern, tree: &DataTree) -> BTreeSet<NodeRef> {
-    eval_at(q, tree, tree.root_id())
+    Evaluator::new(tree).eval(q)
 }
 
 /// Evaluates `q` on the subtree of `tree` rooted at `start`:
-/// `q(n, I)` in the paper's notation.
+/// `q(n, I)` in the paper's notation. Cold path; see [`eval`].
 ///
 /// # Panics
 /// Panics if `start` is not a node of `tree`.
 pub fn eval_at(q: &Pattern, tree: &DataTree, start: NodeId) -> BTreeSet<NodeRef> {
-    let dense = Dense::build(tree);
-    let start_idx = *dense
-        .index_of
-        .get(&start)
-        .unwrap_or_else(|| panic!("start node {start} not in tree"));
-    let n = dense.ids.len();
-
-    // Phase 1: bottom-up subpattern satisfaction.
-    // sat[p][v] = subpattern rooted at pattern node p matches with p ↦ v.
-    let mut sat: Vec<Vec<bool>> = vec![vec![false; n]; q.len()];
-    for p in q.post_order() {
-        // For each child c, precompute desc_ok[v] = some proper descendant
-        // of v satisfies c (only needed for descendant-axis children).
-        let mut child_reqs: Vec<(Axis, &Vec<bool>, Vec<bool>)> = Vec::new();
-        for &c in q.children(p) {
-            let desc_ok = if q.axis(c) == Axis::Descendant {
-                let mut desc = vec![false; n];
-                for &v in dense.order.iter().rev() {
-                    let mut any = false;
-                    for &w in &dense.children[v] {
-                        if sat[c][w] || desc[w] {
-                            any = true;
-                            break;
-                        }
-                    }
-                    desc[v] = any;
-                }
-                desc
-            } else {
-                Vec::new()
-            };
-            child_reqs.push((q.axis(c), &sat[c], desc_ok));
-        }
-        let mut row = vec![false; n];
-        'node: for v in 0..n {
-            if !q.test(p).accepts(dense.labels[v]) {
-                continue;
-            }
-            for (axis, child_sat, desc_ok) in &child_reqs {
-                let ok = match axis {
-                    Axis::Child => dense.children[v].iter().any(|&w| child_sat[w]),
-                    Axis::Descendant => desc_ok[v],
-                };
-                if !ok {
-                    continue 'node;
-                }
-            }
-            row[v] = true;
-        }
-        sat[p] = row;
-    }
-
-    // Phase 2: top-down along the spine from `start`.
-    let mut frontier = vec![false; n];
-    frontier[start_idx] = true;
-    for p in q.spine() {
-        let mut next = vec![false; n];
-        match q.axis(p) {
-            Axis::Child => {
-                for v in 0..n {
-                    if sat[p][v] {
-                        if let Some(pv) = dense.parent[v] {
-                            if frontier[pv] {
-                                next[v] = true;
-                            }
-                        }
-                    }
-                }
-            }
-            Axis::Descendant => {
-                // has_frontier_proper_ancestor via pre-order propagation.
-                let mut hfa = vec![false; n];
-                for &v in &dense.order {
-                    if let Some(pv) = dense.parent[v] {
-                        hfa[v] = frontier[pv] || hfa[pv];
-                    }
-                }
-                for v in 0..n {
-                    if sat[p][v] && hfa[v] {
-                        next[v] = true;
-                    }
-                }
-            }
-        }
-        frontier = next;
-    }
-
-    (0..n)
-        .filter(|&v| frontier[v])
-        .map(|v| NodeRef { id: dense.ids[v], label: dense.labels[v] })
-        .collect()
+    Evaluator::new(tree).eval_at(q, start)
 }
 
 /// Does `q`, read as a boolean query, hold below `start`
-/// (i.e. is `q(start, tree)` non-empty)?
+/// (i.e. is `q(start, tree)` non-empty)? Cold path; see [`eval`].
 pub fn holds_below(q: &Pattern, tree: &DataTree, start: NodeId) -> bool {
-    !eval_at(q, tree, start).is_empty()
+    Evaluator::new(tree).holds_below(q, start)
 }
 
-/// The set of node ids in `q(tree)`; convenience wrapper used by the
-/// constraints layer, which compares ranges by id set.
+/// The set of node ids in `q(tree)`. Cold-path convenience; callers with
+/// a live [`Evaluator`] should use [`Evaluator::eval_ids`] instead.
 pub fn eval_ids(q: &Pattern, tree: &DataTree) -> BTreeSet<NodeId> {
-    eval(q, tree).into_iter().map(|n| n.id).collect()
+    Evaluator::new(tree).eval_ids(q)
 }
 
 #[cfg(test)]

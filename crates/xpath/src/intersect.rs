@@ -121,8 +121,7 @@ mod tests {
         let lhs: Vec<u64> = eval(&qi, &t).iter().map(|n| n.id.raw()).collect();
         let r1 = eval(&q1, &t);
         let r2 = eval(&q2, &t);
-        let rhs: Vec<u64> =
-            r1.intersection(&r2).map(|n| n.id.raw()).collect();
+        let rhs: Vec<u64> = r1.intersection(&r2).map(|n| n.id.raw()).collect();
         assert_eq!(lhs, rhs);
         assert_eq!(lhs, vec![1]);
     }

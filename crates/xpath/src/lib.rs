@@ -18,6 +18,8 @@
 //! * [`parse`] — a parser for the grammar above ([`parser`]),
 //! * [`eval`] — PTIME evaluation on [`xuc_xtree::DataTree`]s ([`eval`]),
 //!   plus a naive exponential oracle in [`naive`],
+//! * [`Evaluator`] — the reusable bitset engine behind [`eval`]: one dense
+//!   snapshot amortized across many pattern evaluations ([`engine`]),
 //! * containment / equivalence via homomorphisms (sound, PTIME) and
 //!   canonical models (complete, coNP) ([`containment`], [`canonical`]),
 //! * intersection for `XP{/,[],*}` ([`intersect`]) as used by Theorem 4.4,
@@ -25,6 +27,7 @@
 
 pub mod canonical;
 pub mod containment;
+pub mod engine;
 pub mod eval;
 pub mod fragment;
 pub mod intersect;
@@ -33,6 +36,7 @@ pub mod parser;
 pub mod pattern;
 
 pub use containment::{contains, equivalent, homomorphism_exists};
+pub use engine::Evaluator;
 pub use eval::{eval, eval_at};
 pub use fragment::Features;
 pub use intersect::intersect_all;

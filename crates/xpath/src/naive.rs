@@ -13,9 +13,9 @@ fn matches_sub(q: &Pattern, p: PIdx, tree: &DataTree, v: NodeId) -> bool {
     if !q.test(p).accepts(tree.label(v).expect("live node")) {
         return false;
     }
-    q.children(p).iter().all(|&c| {
-        candidate_targets(q.axis(c), tree, v).iter().any(|&w| matches_sub(q, c, tree, w))
-    })
+    q.children(p)
+        .iter()
+        .all(|&c| candidate_targets(q.axis(c), tree, v).iter().any(|&w| matches_sub(q, c, tree, w)))
 }
 
 /// Tree nodes reachable from `v` through `axis`.

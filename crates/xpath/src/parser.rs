@@ -80,7 +80,8 @@ impl<'a> P<'a> {
             return Ok(NodeTest::Wildcard);
         }
         let start = self.pos;
-        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-' || c == '+') {
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-' || c == '+')
+        {
             self.pos += 1;
         }
         if self.pos == start {
@@ -109,7 +110,10 @@ impl<'a> P<'a> {
             self.skip_ws();
             let axis = match self.axis() {
                 Some(a) => a,
-                None if first && allow_bare_first && matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '*' || c == '_') => {
+                None if first
+                    && allow_bare_first
+                    && matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '*' || c == '_') =>
+                {
                     // Shorthand `[c]` == `[/c]`.
                     Axis::Child
                 }
@@ -226,10 +230,7 @@ mod tests {
             ("/patient[/visit]", "/patient[/visit]"),
             ("/patient/visit", "/patient/visit"),
             ("//a//b//c", "//a//b//c"),
-            (
-                "/s[//m//m]//p[//q]",
-                "/s[//m//m]//p[//q]",
-            ),
+            ("/s[//m//m]//p[//q]", "/s[//m//m]//p[//q]"),
         ] {
             assert_eq!(parse(src).unwrap().to_string(), expect);
         }

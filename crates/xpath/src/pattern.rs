@@ -113,7 +113,12 @@ impl PatternBuilder {
     pub fn add(&mut self, parent: PIdx, axis: Axis, test: impl Into<NodeTest>) -> PIdx {
         assert!(parent < self.nodes.len(), "parent index out of range");
         let idx = self.nodes.len();
-        self.nodes.push(PNode { axis, test: test.into(), parent: Some(parent), children: Vec::new() });
+        self.nodes.push(PNode {
+            axis,
+            test: test.into(),
+            parent: Some(parent),
+            children: Vec::new(),
+        });
         self.nodes[parent].children.push(idx);
         idx
     }
@@ -200,16 +205,9 @@ impl Pattern {
     /// Predicate children of `i`: children that are not the next spine node.
     pub fn predicate_children(&self, i: PIdx) -> Vec<PIdx> {
         let spine = self.spine();
-        let next_on_spine = spine
-            .iter()
-            .position(|&s| s == i)
-            .and_then(|pos| spine.get(pos + 1).copied());
-        self.nodes[i]
-            .children
-            .iter()
-            .copied()
-            .filter(|&c| Some(c) != next_on_spine)
-            .collect()
+        let next_on_spine =
+            spine.iter().position(|&s| s == i).and_then(|pos| spine.get(pos + 1).copied());
+        self.nodes[i].children.iter().copied().filter(|&c| Some(c) != next_on_spine).collect()
     }
 
     /// All node indices in depth-first (pre-order) order from the root.

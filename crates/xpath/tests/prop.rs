@@ -1,9 +1,12 @@
 //! Property tests: the PTIME evaluator against the naive oracle, and
-//! containment against direct model checking.
+//! containment against direct model checking. The reusable bitset
+//! [`Evaluator`] is pinned against both the naive oracle and the cold
+//! per-call `eval_at`, including re-evaluation after in-place edits and
+//! their undos.
 
 use proptest::prelude::*;
-use xuc_xpath::{canonical, containment, eval, naive, Axis, Pattern, PatternBuilder};
-use xuc_xtree::DataTree;
+use xuc_xpath::{canonical, containment, eval, naive, Axis, Evaluator, Pattern, PatternBuilder};
+use xuc_xtree::{apply_undoable, undo, DataTree, Label, NodeId, Update};
 
 const LABELS: &[&str] = &["a", "b", "c", "d"];
 
@@ -11,8 +14,7 @@ const LABELS: &[&str] = &["a", "b", "c", "d"];
 /// vector (node i ≥ 1 hangs under a random earlier node).
 fn tree_strategy(max_nodes: usize) -> impl Strategy<Value = DataTree> {
     (1..max_nodes).prop_flat_map(|n| {
-        let parents: Vec<BoxedStrategy<usize>> =
-            (1..n).map(|i| (0..i).boxed()).collect();
+        let parents: Vec<BoxedStrategy<usize>> = (1..n).map(|i| (0..i).boxed()).collect();
         let labels = proptest::collection::vec(0..LABELS.len(), n);
         (parents, labels).prop_map(|(parents, labels)| {
             let mut tree = DataTree::new("root");
@@ -36,8 +38,7 @@ fn pattern_strategy(max_nodes: usize) -> impl Strategy<Value = Pattern> {
 
 fn pattern_strategy_with(max_nodes: usize, allow_desc: bool) -> impl Strategy<Value = Pattern> {
     (1..max_nodes).prop_flat_map(move |n| {
-        let parents: Vec<BoxedStrategy<usize>> =
-            (1..n).map(|i| (0..i).boxed()).collect();
+        let parents: Vec<BoxedStrategy<usize>> = (1..n).map(|i| (0..i).boxed()).collect();
         let tests = proptest::collection::vec(0..=LABELS.len(), n); // == len => wildcard
         let axes = if allow_desc {
             proptest::collection::vec(any::<bool>().boxed(), n)
@@ -132,6 +133,84 @@ proptest! {
         let printed = q.to_string();
         let reparsed = xuc_xpath::parse(&printed).unwrap();
         prop_assert_eq!(printed, reparsed.to_string());
+    }
+
+    #[test]
+    fn bitset_evaluator_matches_naive_and_cold_eval(
+        tree in tree_strategy(12),
+        q in pattern_strategy(6),
+    ) {
+        let mut ev = Evaluator::new(&tree);
+        let batch = ev.eval(&q);
+        prop_assert_eq!(&batch, &naive::eval(&q, &tree));
+        prop_assert_eq!(&batch, &eval::eval(&q, &tree));
+        for id in tree.node_ids() {
+            prop_assert_eq!(ev.eval_at(&q, id), eval::eval_at(&q, &tree, id));
+        }
+    }
+
+    #[test]
+    fn evaluator_batch_is_pointwise_eval(
+        tree in tree_strategy(10),
+        q1 in pattern_strategy(4),
+        q2 in pattern_strategy(4),
+        q3 in pattern_strategy(4),
+    ) {
+        let queries = vec![q1, q2, q3];
+        let batch = Evaluator::new(&tree).eval_all(&queries);
+        for (q, r) in queries.iter().zip(&batch) {
+            prop_assert_eq!(r, &eval::eval(q, &tree));
+        }
+    }
+
+    #[test]
+    fn evaluator_tracks_edits_and_undo(
+        tree in tree_strategy(12),
+        q in pattern_strategy(5),
+        op_choice in 0..4usize,
+        node_pick in 0..64usize,
+    ) {
+        let mut work = tree.clone();
+        let mut ev = Evaluator::new(&work);
+        let before_result = ev.eval(&q);
+
+        // Pick a deterministic edit target among the non-root nodes (the
+        // insert case may target the root too).
+        let ids = work.node_ids();
+        let target = if ids.len() > 1 {
+            ids[1 + node_pick % (ids.len() - 1)]
+        } else {
+            ids[0]
+        };
+        let op = match op_choice {
+            0 => Update::Relabel { node: target, label: Label::new("d") },
+            1 => Update::DeleteSubtree { node: target },
+            2 => Update::DeleteNode { node: target },
+            _ => Update::InsertLeaf {
+                parent: target,
+                id: NodeId::fresh(),
+                label: Label::new("b"),
+            },
+        };
+        ev.invalidate();
+        if let Ok(token) = apply_undoable(&mut work, &op) {
+            // After the edit: the refreshed snapshot matches the oracle on
+            // the edited tree.
+            ev.refresh(&work);
+            prop_assert_eq!(ev.eval(&q), naive::eval(&q, &work));
+            // After the undo: results are bit-identical to pre-edit.
+            undo(&mut work, token).unwrap();
+            prop_assert!(work.identified_eq(&tree), "undo must restore the tree");
+            ev.refresh(&work);
+            let after_undo = ev.eval(&q);
+            prop_assert_eq!(&after_undo, &before_result);
+            prop_assert_eq!(&after_undo, &naive::eval(&q, &tree));
+        } else {
+            // Root-targeting delete ops fail without mutating: refreshing
+            // must be a no-op for results.
+            ev.refresh(&work);
+            prop_assert_eq!(ev.eval(&q), before_result);
+        }
     }
 
     #[test]

@@ -28,12 +28,7 @@ struct Interner {
 
 fn interner() -> &'static RwLock<Interner> {
     static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
-    INTERNER.get_or_init(|| {
-        RwLock::new(Interner {
-            names: Vec::new(),
-            index: HashMap::new(),
-        })
-    })
+    INTERNER.get_or_init(|| RwLock::new(Interner { names: Vec::new(), index: HashMap::new() }))
 }
 
 impl Label {

@@ -71,7 +71,8 @@ impl<'a> Parser<'a> {
     fn ident(&mut self) -> Result<String, TermError> {
         self.skip_ws();
         let start = self.pos;
-        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-' || c == '+') {
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-' || c == '+')
+        {
             self.pos += 1;
         }
         if self.pos == start {
@@ -80,7 +81,11 @@ impl<'a> Parser<'a> {
         Ok(std::str::from_utf8(&self.src[start..self.pos]).expect("ascii").to_string())
     }
 
-    fn node(&mut self, tree: &mut Option<DataTree>, parent: Option<NodeId>) -> Result<(), TermError> {
+    fn node(
+        &mut self,
+        tree: &mut Option<DataTree>,
+        parent: Option<NodeId>,
+    ) -> Result<(), TermError> {
         let label = self.ident()?;
         let explicit_id = if self.peek() == Some('#') {
             self.pos += 1;

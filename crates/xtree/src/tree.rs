@@ -57,6 +57,25 @@ pub struct NodeRef {
     pub label: Label,
 }
 
+/// Opaque restore token for [`DataTree::detach_subtree`]. Valid only on
+/// the issuing tree, consumed LIFO by [`DataTree::reattach_subtree`].
+#[derive(Debug)]
+pub struct DetachToken {
+    slot: usize,
+    parent_slot: usize,
+    slots: Vec<usize>,
+}
+
+/// Opaque restore token for [`DataTree::splice_node`]. Valid only on the
+/// issuing tree, consumed LIFO by [`DataTree::unsplice_node`].
+#[derive(Debug)]
+pub struct SpliceToken {
+    slot: usize,
+    parent_slot: usize,
+    child_slots: Vec<usize>,
+    id: NodeId,
+}
+
 /// An unordered data tree with uniquely identified nodes.
 #[derive(Clone)]
 pub struct DataTree {
@@ -74,20 +93,10 @@ impl DataTree {
 
     /// Creates a tree consisting of a single root node with the given id.
     pub fn with_root_id(id: NodeId, root_label: impl Into<Label>) -> Self {
-        let root = NodeData {
-            id,
-            label: root_label.into(),
-            parent: None,
-            children: Vec::new(),
-        };
+        let root = NodeData { id, label: root_label.into(), parent: None, children: Vec::new() };
         let mut by_id = HashMap::new();
         by_id.insert(id, 0);
-        DataTree {
-            nodes: vec![Some(root)],
-            root: 0,
-            by_id,
-            live: 1,
-        }
+        DataTree { nodes: vec![Some(root)], root: 0, by_id, live: 1 }
     }
 
     fn slot(&self, id: NodeId) -> Result<usize, TreeError> {
@@ -162,6 +171,30 @@ impl DataTree {
     /// All node ids, root first, in depth-first order.
     pub fn node_ids(&self) -> Vec<NodeId> {
         self.nodes().into_iter().map(|n| n.id).collect()
+    }
+
+    /// Pre-order traversal as `(id, label, parent_index)` triples, where
+    /// `parent_index` points at an earlier entry of the returned vector
+    /// (`None` for the root). This is the bulk-export used by evaluation
+    /// engines to build dense snapshots in one pass, without per-node
+    /// id lookups.
+    pub fn preorder_snapshot(&self) -> Vec<(NodeId, Label, Option<usize>)> {
+        fn rec(
+            t: &DataTree,
+            slot: usize,
+            parent_index: Option<usize>,
+            out: &mut Vec<(NodeId, Label, Option<usize>)>,
+        ) {
+            let d = t.data(slot);
+            let my_index = out.len();
+            out.push((d.id, d.label, parent_index));
+            for &c in &d.children {
+                rec(t, c, Some(my_index), out);
+            }
+        }
+        let mut out = Vec::with_capacity(self.live);
+        rec(self, self.root, None, &mut out);
+        out
     }
 
     fn walk(&self, slot: usize, f: &mut impl FnMut(&NodeData)) {
@@ -335,6 +368,92 @@ impl DataTree {
         self.data_mut(target).children.push(slot);
         self.data_mut(slot).parent = Some(target);
         Ok(())
+    }
+
+    /// Detaches the subtree rooted at `id` without destroying it: the
+    /// subtree's nodes stay in the arena but become unreachable and their
+    /// ids are unregistered, so the tree behaves exactly as after
+    /// [`delete_subtree`](Self::delete_subtree). The returned token
+    /// restores the subtree via [`reattach_subtree`](Self::reattach_subtree).
+    ///
+    /// This is the undoable half of subtree deletion used by clone-free
+    /// candidate search: apply → evaluate → reattach, no tree copies.
+    ///
+    /// Tokens are only valid on the tree that issued them and must be
+    /// consumed LIFO with respect to other undoable edits; while a subtree
+    /// is detached, re-inserting one of its node ids is the caller's bug
+    /// (checked on reattach in debug builds).
+    pub fn detach_subtree(&mut self, id: NodeId) -> Result<DetachToken, TreeError> {
+        let slot = self.slot(id)?;
+        let parent_slot = self.data(slot).parent.ok_or(TreeError::RootImmovable)?;
+        let mut slots = Vec::new();
+        self.walk_slots(slot, &mut |s| slots.push(s));
+        for &s in &slots {
+            let sid = self.data(s).id;
+            self.by_id.remove(&sid);
+        }
+        self.live -= slots.len();
+        self.data_mut(parent_slot).children.retain(|&c| c != slot);
+        Ok(DetachToken { slot, parent_slot, slots })
+    }
+
+    /// Restores a subtree detached by [`detach_subtree`](Self::detach_subtree).
+    pub fn reattach_subtree(&mut self, token: DetachToken) {
+        let DetachToken { slot, parent_slot, slots } = token;
+        for &s in &slots {
+            let sid = self.data(s).id;
+            debug_assert!(
+                !self.by_id.contains_key(&sid),
+                "id {sid} was re-inserted while its subtree was detached"
+            );
+            self.by_id.insert(sid, s);
+        }
+        self.live += slots.len();
+        self.data_mut(parent_slot).children.push(slot);
+    }
+
+    /// Splices out node `id` without destroying it: its children are
+    /// promoted to its parent and the node becomes unreachable, exactly as
+    /// after [`delete_node`](Self::delete_node). The returned token
+    /// restores it via [`unsplice_node`](Self::unsplice_node); the same
+    /// LIFO discipline as [`detach_subtree`](Self::detach_subtree) applies.
+    pub fn splice_node(&mut self, id: NodeId) -> Result<SpliceToken, TreeError> {
+        let slot = self.slot(id)?;
+        let parent_slot = self.data(slot).parent.ok_or(TreeError::RootImmovable)?;
+        let child_slots = self.data(slot).children.clone();
+        for &c in &child_slots {
+            self.data_mut(c).parent = Some(parent_slot);
+        }
+        let parent = self.data_mut(parent_slot);
+        parent.children.retain(|&c| c != slot);
+        parent.children.extend(&child_slots);
+        self.by_id.remove(&id);
+        self.live -= 1;
+        Ok(SpliceToken { slot, parent_slot, child_slots, id })
+    }
+
+    /// Restores a node spliced out by [`splice_node`](Self::splice_node).
+    pub fn unsplice_node(&mut self, token: SpliceToken) {
+        let SpliceToken { slot, parent_slot, child_slots, id } = token;
+        let parent = self.data_mut(parent_slot);
+        parent.children.retain(|&c| !child_slots.contains(&c));
+        parent.children.push(slot);
+        for &c in &child_slots {
+            self.data_mut(c).parent = Some(slot);
+        }
+        debug_assert!(
+            !self.by_id.contains_key(&id),
+            "id {id} was re-inserted while its node was spliced out"
+        );
+        self.by_id.insert(id, slot);
+        self.live += 1;
+    }
+
+    fn walk_slots(&self, slot: usize, f: &mut impl FnMut(usize)) {
+        f(slot);
+        for &c in &self.data(slot).children {
+            self.walk_slots(c, f);
+        }
     }
 
     /// Grafts a copy of the subtree of `other` rooted at `src` under
@@ -542,12 +661,8 @@ mod tests {
         let mut t = DataTree::new("root");
         let a = t.add(t.root_id(), "a").unwrap();
         let b = t.add(a, "b").unwrap();
-        let path: Vec<String> = t
-            .label_path(b)
-            .unwrap()
-            .into_iter()
-            .map(|l| l.as_str().to_string())
-            .collect();
+        let path: Vec<String> =
+            t.label_path(b).unwrap().into_iter().map(|l| l.as_str().to_string()).collect();
         assert_eq!(path, vec!["a", "b"]);
         assert!(t.label_path(t.root_id()).unwrap().is_empty());
     }
@@ -665,6 +780,77 @@ mod tests {
         assert!(!t.contains(a));
         assert!(t.contains(fresh));
         assert_eq!(t.label(fresh).unwrap(), Label::new("a"));
+    }
+
+    #[test]
+    fn detach_behaves_like_delete_until_reattached() {
+        let t = sample();
+        let a = t.children(t.root_id()).unwrap()[0];
+        let mut deleted = t.clone();
+        deleted.delete_subtree(a).unwrap();
+        let mut detached = t.clone();
+        let token = detached.detach_subtree(a).unwrap();
+        // While detached: identical observable state to deletion.
+        assert!(detached.identified_eq(&deleted));
+        assert_eq!(detached.len(), deleted.len());
+        assert!(!detached.contains(a));
+        // Reattach restores the original exactly.
+        detached.reattach_subtree(token);
+        assert!(detached.identified_eq(&t));
+        assert!(detached.contains(a));
+    }
+
+    #[test]
+    fn splice_behaves_like_delete_node_until_restored() {
+        let t = sample();
+        let a = t.children(t.root_id()).unwrap()[0];
+        let mut deleted = t.clone();
+        deleted.delete_node(a).unwrap();
+        let mut spliced = t.clone();
+        let token = spliced.splice_node(a).unwrap();
+        assert!(spliced.identified_eq(&deleted));
+        assert!(!spliced.contains(a));
+        spliced.unsplice_node(token);
+        assert!(spliced.identified_eq(&t));
+    }
+
+    #[test]
+    fn detach_root_refused() {
+        let mut t = sample();
+        assert!(matches!(t.detach_subtree(t.root_id()), Err(TreeError::RootImmovable)));
+        assert!(matches!(t.splice_node(t.root_id()), Err(TreeError::RootImmovable)));
+    }
+
+    #[test]
+    fn edits_on_top_of_detached_state_round_trip() {
+        let t = sample();
+        let kids = t.children(t.root_id()).unwrap();
+        let (a, e) = (kids[0], kids[1]);
+        let mut work = t.clone();
+        let token = work.detach_subtree(a).unwrap();
+        // Mutations while detached (on live nodes) are fine...
+        let extra = work.add(e, "extra").unwrap();
+        work.relabel(e, "e2").unwrap();
+        // ...and unwinding in LIFO order restores the original.
+        work.relabel(e, "e").unwrap();
+        work.delete_subtree(extra).unwrap();
+        work.reattach_subtree(token);
+        assert!(work.identified_eq(&t));
+    }
+
+    #[test]
+    fn preorder_snapshot_parents_precede_children() {
+        let t = sample();
+        let flat = t.preorder_snapshot();
+        assert_eq!(flat.len(), t.len());
+        assert_eq!(flat[0].0, t.root_id());
+        assert_eq!(flat[0].2, None);
+        for (i, (id, label, parent)) in flat.iter().enumerate().skip(1) {
+            let p = parent.expect("non-root has a parent index");
+            assert!(p < i, "parents precede children");
+            assert_eq!(t.parent(*id).unwrap(), Some(flat[p].0));
+            assert_eq!(t.label(*id).unwrap(), *label);
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::label::Label;
 use crate::node::NodeId;
-use crate::tree::{DataTree, TreeError};
+use crate::tree::{DataTree, DetachToken, SpliceToken, TreeError};
 use std::fmt;
 
 /// A single primitive update.
@@ -24,6 +24,9 @@ pub enum Update {
     Move { node: NodeId, new_parent: NodeId },
     /// Change the label of `node`.
     Relabel { node: NodeId, label: Label },
+    /// Replace `node`'s identity by `new_id`, keeping label, position and
+    /// children (the `I[n → n']` operation of Theorem 3.1).
+    ReplaceId { node: NodeId, new_id: NodeId },
 }
 
 impl fmt::Display for Update {
@@ -36,6 +39,7 @@ impl fmt::Display for Update {
             Update::DeleteNode { node } => write!(f, "delete node {node}"),
             Update::Move { node, new_parent } => write!(f, "move {node} under {new_parent}"),
             Update::Relabel { node, label } => write!(f, "relabel {node} to {label}"),
+            Update::ReplaceId { node, new_id } => write!(f, "replace id {node} by {new_id}"),
         }
     }
 }
@@ -73,6 +77,66 @@ pub fn apply_update(tree: &mut DataTree, update: &Update) -> Result<(), UpdateEr
         Update::DeleteNode { node } => tree.delete_node(*node)?,
         Update::Move { node, new_parent } => tree.move_node(*node, *new_parent)?,
         Update::Relabel { node, label } => tree.relabel(*node, *label)?,
+        Update::ReplaceId { node, new_id } => tree.replace_id(*node, *new_id)?,
+    }
+    Ok(())
+}
+
+/// The inverse record of one applied [`Update`], produced by
+/// [`apply_undoable`] and consumed (LIFO) by [`undo`].
+///
+/// Deletions are recorded as *detachments* — the removed nodes stay parked
+/// in the tree's arena — so a full apply/undo round trip performs **no
+/// tree clones and no node reconstruction**. This is what lets candidate
+/// searches edit one working tree in place instead of cloning per
+/// candidate.
+#[derive(Debug)]
+pub enum Undo {
+    RemoveLeaf { id: NodeId },
+    Reattach(DetachToken),
+    Unsplice(SpliceToken),
+    MoveBack { node: NodeId, old_parent: NodeId },
+    Relabel { node: NodeId, old: Label },
+    RestoreId { current: NodeId, old: NodeId },
+}
+
+/// Applies one update in place and returns the token that undoes it.
+pub fn apply_undoable(tree: &mut DataTree, update: &Update) -> Result<Undo, UpdateError> {
+    Ok(match update {
+        Update::InsertLeaf { parent, id, label } => {
+            tree.add_with_id(*parent, *id, *label)?;
+            Undo::RemoveLeaf { id: *id }
+        }
+        Update::DeleteSubtree { node } => Undo::Reattach(tree.detach_subtree(*node)?),
+        Update::DeleteNode { node } => Undo::Unsplice(tree.splice_node(*node)?),
+        Update::Move { node, new_parent } => {
+            let old_parent =
+                tree.parent(*node)?.ok_or(UpdateError::Tree(TreeError::RootImmovable))?;
+            tree.move_node(*node, *new_parent)?;
+            Undo::MoveBack { node: *node, old_parent }
+        }
+        Update::Relabel { node, label } => {
+            let old = tree.label(*node)?;
+            tree.relabel(*node, *label)?;
+            Undo::Relabel { node: *node, old }
+        }
+        Update::ReplaceId { node, new_id } => {
+            tree.replace_id(*node, *new_id)?;
+            Undo::RestoreId { current: *new_id, old: *node }
+        }
+    })
+}
+
+/// Reverts one update recorded by [`apply_undoable`]. Undo tokens must be
+/// consumed in LIFO order relative to the applies they revert.
+pub fn undo(tree: &mut DataTree, token: Undo) -> Result<(), UpdateError> {
+    match token {
+        Undo::RemoveLeaf { id } => tree.delete_subtree(id)?,
+        Undo::Reattach(t) => tree.reattach_subtree(t),
+        Undo::Unsplice(t) => tree.unsplice_node(t),
+        Undo::MoveBack { node, old_parent } => tree.move_node(node, old_parent)?,
+        Undo::Relabel { node, old } => tree.relabel(node, old)?,
+        Undo::RestoreId { current, old } => tree.replace_id(current, old)?,
     }
     Ok(())
 }
@@ -142,5 +206,82 @@ mod tests {
     fn display_updates() {
         let u = Update::DeleteSubtree { node: NodeId::from_raw(7) };
         assert_eq!(format!("{u}"), "delete subtree n7");
+    }
+
+    #[test]
+    fn apply_undo_round_trips_every_op() {
+        let original = parse_term("r(a#1(b#2(c#3),d#4),e#5)").unwrap();
+        let fresh = NodeId::fresh();
+        let ops = [
+            Update::InsertLeaf {
+                parent: NodeId::from_raw(4),
+                id: NodeId::fresh(),
+                label: Label::new("new"),
+            },
+            Update::DeleteSubtree { node: NodeId::from_raw(1) },
+            Update::DeleteNode { node: NodeId::from_raw(2) },
+            Update::Move { node: NodeId::from_raw(2), new_parent: NodeId::from_raw(5) },
+            Update::Relabel { node: NodeId::from_raw(3), label: Label::new("x") },
+            Update::ReplaceId { node: NodeId::from_raw(4), new_id: fresh },
+        ];
+        let mut work = original.clone();
+        for op in &ops {
+            let token = apply_undoable(&mut work, op).unwrap();
+            // The edit is observable...
+            assert!(!work.identified_eq(&original), "{op} must change the tree");
+            // ...and fully reverted by its token.
+            undo(&mut work, token).unwrap();
+            assert!(work.identified_eq(&original), "undo of {op} must restore");
+        }
+    }
+
+    #[test]
+    fn apply_undoable_matches_apply_update() {
+        let before = parse_term("r(a#1(b#2),c#3)").unwrap();
+        for op in [
+            Update::DeleteSubtree { node: NodeId::from_raw(1) },
+            Update::DeleteNode { node: NodeId::from_raw(1) },
+            Update::Move { node: NodeId::from_raw(2), new_parent: NodeId::from_raw(3) },
+            Update::Relabel { node: NodeId::from_raw(2), label: Label::new("y") },
+        ] {
+            let mut via_plain = before.clone();
+            apply_update(&mut via_plain, &op).unwrap();
+            let mut via_undoable = before.clone();
+            let _token = apply_undoable(&mut via_undoable, &op).unwrap();
+            assert!(via_plain.identified_eq(&via_undoable), "{op}");
+        }
+    }
+
+    #[test]
+    fn nested_undo_stack_restores_in_lifo_order() {
+        let original = parse_term("r(a#1(b#2(c#3)),d#4)").unwrap();
+        let mut work = original.clone();
+        let mut stack = Vec::new();
+        for op in [
+            Update::Relabel { node: NodeId::from_raw(4), label: Label::new("w") },
+            Update::DeleteNode { node: NodeId::from_raw(2) },
+            Update::Move { node: NodeId::from_raw(3), new_parent: NodeId::from_raw(4) },
+            Update::DeleteSubtree { node: NodeId::from_raw(3) },
+        ] {
+            stack.push(apply_undoable(&mut work, &op).unwrap());
+        }
+        while let Some(token) = stack.pop() {
+            undo(&mut work, token).unwrap();
+        }
+        assert!(work.identified_eq(&original));
+    }
+
+    #[test]
+    fn failed_undoable_apply_leaves_tree_untouched() {
+        let before = parse_term("r(a#1)").unwrap();
+        let mut work = before.clone();
+        for op in [
+            Update::DeleteSubtree { node: NodeId::from_raw(99) },
+            Update::DeleteNode { node: before.root_id() },
+            Update::Move { node: before.root_id(), new_parent: NodeId::from_raw(1) },
+        ] {
+            assert!(apply_undoable(&mut work, &op).is_err());
+            assert!(work.identified_eq(&before), "{op}");
+        }
     }
 }

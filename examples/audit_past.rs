@@ -9,10 +9,9 @@
 use xml_update_constraints::prelude::*;
 
 fn main() {
-    let current = parse_term(
-        "catalog(product#1(price#2,review#3),product#4(price#5),discontinued#6)",
-    )
-    .unwrap();
+    let current =
+        parse_term("catalog(product#1(price#2,review#3),product#4(price#5),discontinued#6)")
+            .unwrap();
 
     let policy = vec![
         // Products may never be inserted after publication…

@@ -51,10 +51,8 @@ fn main() {
 
     // The deduction is genuinely instance-based: on a document with a
     // trial-less patient the same constraint set does NOT imply the goal.
-    let other_j = parse_term(
-        "hospital#1(patient#2(visit#6,clinicalTrial#9),patient#3(visit#7))",
-    )
-    .unwrap();
+    let other_j =
+        parse_term("hospital#1(patient#2(visit#6,clinicalTrial#9),patient#3(visit#7))").unwrap();
     let not_past = implies_on(&c3, &other_j, &goal);
     println!("{{c3}} ⊨_J' {goal}? {not_past}");
     assert!(not_past.is_not_implied());

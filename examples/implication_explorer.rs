@@ -15,7 +15,8 @@ fn main() {
     let mut refuted = 0usize;
 
     for round in 0..200 {
-        let gen = if round % 2 == 0 { QueryGen::linear(&labels) } else { QueryGen::pred_star(&labels) };
+        let gen =
+            if round % 2 == 0 { QueryGen::linear(&labels) } else { QueryGen::pred_star(&labels) };
         let set = gen.set(&mut rng, 1 + round % 3, 0.5);
         let goal = gen.constraint(&mut rng, 0.5);
 
@@ -39,7 +40,9 @@ fn main() {
         }
     }
     println!("{total} random implication instances");
-    println!("{agree} decided exactly and cross-checked ({refuted} refuted with verified witnesses)");
+    println!(
+        "{agree} decided exactly and cross-checked ({refuted} refuted with verified witnesses)"
+    );
 }
 
 fn xuc_bench_rng() -> impl rand::Rng {

@@ -19,9 +19,9 @@ fn main() {
 
     // --- validity of the evolution --------------------------------------
     let policy = vec![
-        parse_constraint("(/product, ↓)").unwrap(),  // products may only shrink
+        parse_constraint("(/product, ↓)").unwrap(), // products may only shrink
         parse_constraint("(/product/price, ↓)").unwrap(),
-        parse_constraint("(/ad, ↑)").unwrap(),       // ads may only grow
+        parse_constraint("(/ad, ↑)").unwrap(), // ads may only grow
     ];
     for c in &policy {
         println!("{c}: {}", if c.satisfied_by(&before, &after) { "ok" } else { "VIOLATED" });
@@ -39,7 +39,7 @@ fn main() {
     assert!(outcome.is_implied());
 
     // Whereas the weaker single constraint does not protect the pair:
-    let weaker = implies(&review_policy[..1].to_vec(), &goal);
+    let weaker = implies(&review_policy[..1], &goal);
     println!("{{(/product[/price],↓)}} ⊨ {goal}? {weaker}");
     assert!(weaker.is_not_implied());
 

@@ -25,7 +25,7 @@ fn section_2_1_general_implication() {
     let goal = parse_constraint("(/patient[/visit][/clinicalTrial], ↓)").unwrap();
     assert!(implies(&set, &goal).is_implied());
     // Dropping either predicate protection breaks the implication.
-    assert!(implies(&set[..1].to_vec(), &goal).is_not_implied());
+    assert!(implies(&set[..1], &goal).is_not_implied());
 }
 
 #[test]
@@ -70,10 +70,7 @@ fn example_3_3_chase_divergence() {
     let mut db = xuc_xic::FactDb::new();
     xuc_xic::seed_two_branch(&mut db);
     xuc_xic::seed_path(&mut db, xuc_xic::I_BRANCH, &["a", "b", "c", "d"]);
-    assert!(matches!(
-        xuc_xic::chase(&mut db, &deps, 12),
-        xuc_xic::ChaseResult::CapReached { .. }
-    ));
+    assert!(matches!(xuc_xic::chase(&mut db, &deps, 12), xuc_xic::ChaseResult::CapReached { .. }));
 }
 
 #[test]
@@ -100,11 +97,10 @@ fn section_2_2_sequences() {
     let s0 = parse_term("r(a#1,a#2,a#3)").unwrap();
     let s1 = parse_term("r(a#1,a#2)").unwrap();
     let s2 = parse_term("r(a#1)").unwrap();
-    assert!(xuc_core::constraint::sequence_pairwise_valid(&c, &[
-        s0.clone(),
-        s1.clone(),
-        s2.clone()
-    ]));
+    assert!(xuc_core::constraint::sequence_pairwise_valid(
+        &c,
+        &[s0.clone(), s1.clone(), s2.clone()]
+    ));
     assert!(xuc_core::constraint::sequence_valid_for_last(&c, &[s0, s1, s2]));
 }
 
