@@ -12,11 +12,17 @@
 //!
 //! The acceptance bar for the engine is `amortized ≥ 3× cold_per_call` on
 //! this workload; measured numbers are recorded in EXPERIMENTS.md.
+//!
+//! A second group (`bench_refresh`, EXPERIMENTS.md §E-IR) measures the
+//! edit-scope refresh protocol: keeping an evaluator in sync across an
+//! apply/undo relabel via `refresh_after` (two bitset-word patches) versus
+//! the full `refresh` re-walk, plus the structural-edit path that re-walks
+//! but reuses every allocation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use xuc_xpath::{eval, Evaluator, Pattern};
-use xuc_xtree::DataTree;
+use xuc_xtree::{apply_undoable, undo, DataTree, Update};
 
 const PATTERNS: usize = 32;
 
@@ -68,6 +74,57 @@ fn bench_eval_engine(c: &mut Criterion) {
     g.finish();
 }
 
+/// E-IR: per-edit evaluator re-sync cost — the edit-scope protocol against
+/// the full re-walk, for a relabel (patchable) and a detach (structural).
+fn bench_refresh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bench_refresh");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1000));
+    for nodes in [1_000usize, 10_000] {
+        let (tree, patterns) = xuc_bench::eir_workload(nodes);
+        let mut work = tree.clone();
+        let mut ev = Evaluator::new(&work);
+        for q in &patterns {
+            ev.eval(q); // prime the label-row cache
+        }
+        let ids = work.node_ids();
+        let labels = work.labels();
+        let target = ids[ids.len() / 2];
+        let relabel = Update::Relabel { node: target, label: labels[0] };
+        let detach = Update::DeleteSubtree { node: target };
+
+        g.bench_with_input(BenchmarkId::new("relabel_full_refresh", nodes), &nodes, |b, _| {
+            b.iter(|| {
+                let (token, _scope) = apply_undoable(&mut work, black_box(&relabel)).unwrap();
+                ev.refresh(&work);
+                undo(&mut work, token).unwrap();
+                ev.refresh(&work);
+                ev.len()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("relabel_scoped_refresh", nodes), &nodes, |b, _| {
+            b.iter(|| {
+                let (token, scope) = apply_undoable(&mut work, black_box(&relabel)).unwrap();
+                ev.refresh_after(&work, &scope);
+                let scope = undo(&mut work, token).unwrap();
+                ev.refresh_after(&work, &scope);
+                ev.len()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("detach_scoped_refresh", nodes), &nodes, |b, _| {
+            b.iter(|| {
+                let (token, scope) = apply_undoable(&mut work, black_box(&detach)).unwrap();
+                ev.refresh_after(&work, &scope);
+                let scope = undo(&mut work, token).unwrap();
+                ev.refresh_after(&work, &scope);
+                ev.len()
+            })
+        });
+    }
+    g.finish();
+}
+
 /// Sanity: the cold and batch paths agree on the workload.
 fn bench_agreement_check(c: &mut Criterion) {
     let (tree, patterns) = workload(1_000);
@@ -87,6 +144,6 @@ criterion_group! {
         .sample_size(10)
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_millis(1000));
-    targets = bench_eval_engine, bench_agreement_check
+    targets = bench_eval_engine, bench_refresh, bench_agreement_check
 }
 criterion_main!(eval_engine);

@@ -3,36 +3,198 @@
 //! with median wall times and the decision outcomes.
 //!
 //! Run with `cargo run --release -p xuc-bench --bin run_experiments`.
+//!
+//! Two environment knobs:
+//!
+//! * `XUC_SMOKE=1` — reduced-size sweeps for CI smoke runs: every decision
+//!   assertion still fires, but the long parameter tails are dropped and
+//!   wall-clock perf floors are reported without failing the exit code
+//!   (timings on shared CI runners are not trustworthy).
+//! * `XUC_BENCH_JSON=<path>` — where to write the machine-readable results
+//!   (default `BENCH_results.json` in the working directory).
 
 use xuc_bench as wl;
+use xuc_core::implication::search::find_counterexample_sharded;
 use xuc_core::{implication, instance};
+use xuc_xpath::Evaluator;
+use xuc_xtree::{apply_undoable, undo, DataTree, Update};
 
-fn header(id: &str, title: &str, claim: &str) {
-    println!();
-    println!("== {id}: {title}");
-    println!("   paper claim: {claim}");
+/// Collects every printed measurement so the run also emits
+/// `BENCH_results.json` (experiment id → measured µs / ratios), letting the
+/// perf trajectory be tracked across PRs.
+struct Report {
+    smoke: bool,
+    perf_regression: bool,
+    /// `"<id>.<param>.<value>"` → median µs, in print order.
+    rows_us: Vec<(String, f64)>,
+    /// `"<id>.<metric>"` → dimensionless value (ratios, speedups).
+    metrics: Vec<(String, f64)>,
 }
 
-fn row(param: &str, value: usize, micros: f64, note: &str) {
-    println!("   {param:>10} = {value:<6} {micros:>12.1} µs   {note}");
+impl Report {
+    fn new() -> Report {
+        Report {
+            smoke: std::env::var("XUC_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0"),
+            perf_regression: false,
+            rows_us: Vec::new(),
+            metrics: Vec::new(),
+        }
+    }
+
+    fn header(&self, id: &str, title: &str, claim: &str) {
+        println!();
+        println!("== {id}: {title}");
+        println!("   paper claim: {claim}");
+    }
+
+    fn row(&mut self, id: &str, param: &str, value: usize, micros: f64, note: &str) {
+        println!("   {param:>10} = {value:<6} {micros:>12.1} µs   {note}");
+        self.rows_us.push((format!("{id}.{param}.{value}"), micros));
+    }
+
+    fn metric(&mut self, id: &str, name: &str, value: f64) {
+        self.metrics.push((format!("{id}.{name}"), value));
+    }
+
+    /// A wall-clock floor: `value >= floor` is expected (record the value
+    /// itself with [`metric`](Self::metric)). In smoke mode (or when
+    /// `assessable` is false, e.g. too few cores for a parallel speedup)
+    /// the floor is reported but does not fail the run.
+    fn floor(&mut self, id: &str, name: &str, value: f64, floor: f64, assessable: bool) {
+        if !assessable {
+            println!("   note: {id} {name} = {value:.2} (floor {floor:.1}x not assessable here)");
+            return;
+        }
+        if value < floor {
+            if self.smoke {
+                println!(
+                    "   note: {id} {name} = {value:.2} below {floor:.1}x (smoke run, ignored)"
+                );
+            } else {
+                // Wall-clock ratios are noisy on loaded machines: keep the
+                // already-printed results, flag the regression, and fail
+                // the exit code at the end instead of aborting mid-run.
+                println!(
+                    "   WARNING: {id} {name} = {value:.2} below the {floor:.1}x bar — rerun on a \
+                     quiet machine"
+                );
+                self.perf_regression = true;
+            }
+        }
+    }
+
+    /// Truncates a sweep in smoke mode: keep the first `keep` points.
+    fn sweep<'a, T>(&self, full: &'a [T], keep: usize) -> &'a [T] {
+        if self.smoke {
+            &full[..keep.min(full.len())]
+        } else {
+            full
+        }
+    }
+
+    fn write_json(&self) {
+        let path = std::env::var("XUC_BENCH_JSON").unwrap_or_else(|_| "BENCH_results.json".into());
+        let mut s = String::from("{\n  \"schema\": 1,\n");
+        s.push_str(&format!("  \"smoke\": {},\n", self.smoke));
+        s.push_str("  \"rows_us\": {\n");
+        for (i, (k, v)) in self.rows_us.iter().enumerate() {
+            let comma = if i + 1 < self.rows_us.len() { "," } else { "" };
+            s.push_str(&format!("    \"{k}\": {v:.3}{comma}\n"));
+        }
+        s.push_str("  },\n  \"metrics\": {\n");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 < self.metrics.len() { "," } else { "" };
+            s.push_str(&format!("    \"{k}\": {v:.4}{comma}\n"));
+        }
+        s.push_str("  }\n}\n");
+        match std::fs::write(&path, s) {
+            Ok(()) => println!("machine-readable results written to {path}"),
+            Err(e) => println!("WARNING: could not write {path}: {e}"),
+        }
+    }
+}
+
+/// The three E-IR edit mixes.
+#[derive(Clone, Copy)]
+enum Mix {
+    Relabel,
+    Detach,
+    Splice,
+}
+
+impl Mix {
+    fn name(self) -> &'static str {
+        match self {
+            Mix::Relabel => "relabel",
+            Mix::Detach => "detach",
+            Mix::Splice => "splice",
+        }
+    }
+}
+
+/// Median per-edit cost (µs) of keeping an evaluator in sync across an
+/// apply/undo edit mix: `incremental` uses the edit-scope protocol
+/// (`refresh_after`), the baseline calls the full `refresh` after every
+/// apply and every undo — the shape of the code before this PR.
+fn refresh_cost_micros(
+    tree: &DataTree,
+    patterns: &[xuc_xpath::Pattern],
+    mix: Mix,
+    incremental: bool,
+    runs: usize,
+) -> f64 {
+    const EDITS: usize = 64;
+    let mut work = tree.clone();
+    let mut ev = Evaluator::new(&work);
+    for q in patterns {
+        ev.eval(q); // prime the label-row cache
+    }
+    let ids = work.node_ids();
+    let labels = work.labels();
+    let total = wl::median_micros(runs, || {
+        for i in 0..EDITS {
+            let target = ids[1 + (i * 37) % (ids.len() - 1)];
+            let op = match mix {
+                Mix::Relabel => Update::Relabel { node: target, label: labels[i % labels.len()] },
+                Mix::Detach => Update::DeleteSubtree { node: target },
+                Mix::Splice => Update::DeleteNode { node: target },
+            };
+            let (token, scope) = apply_undoable(&mut work, &op).expect("valid edit target");
+            if incremental {
+                ev.refresh_after(&work, &scope);
+            } else {
+                ev.refresh(&work);
+            }
+            let undo_scope = undo(&mut work, token).expect("undo own token");
+            if incremental {
+                ev.refresh_after(&work, &undo_scope);
+            } else {
+                ev.refresh(&work);
+            }
+        }
+    });
+    total / EDITS as f64
 }
 
 fn main() {
     println!("Reasoning about XML update constraints — experiment harness");
     println!("(shape reproduction of Tables 1 and 2; see EXPERIMENTS.md)");
-    let mut perf_regression = false;
+    let mut rep = Report::new();
+    if rep.smoke {
+        println!("(XUC_SMOKE set: reduced sweeps, perf floors reported but not enforced)");
+    }
 
     // ---------------- Table 1 ----------------
-    header("T1-a", "XP{/,[],*} implication (Thms 4.1/4.4/4.5)", "PTIME");
-    for n in [2usize, 4, 8, 16, 32, 64] {
+    rep.header("T1-a", "XP{/,[],*} implication (Thms 4.1/4.4/4.5)", "PTIME");
+    for &n in rep.sweep(&[2usize, 4, 8, 16, 32, 64], 3) {
         let (set, goal) = wl::t1a_workload(n);
         let implied = implication::ptime::implies_pred_star(&set, &goal);
         let t = wl::median_micros(9, || implication::ptime::implies_pred_star(&set, &goal));
-        row("constraints", n, t, if implied { "implied" } else { "not implied" });
+        rep.row("T1-a", "constraints", n, t, if implied { "implied" } else { "not implied" });
     }
 
-    header("T1-b", "XP{/,[],//} one-type: conjunctive containment ([13])", "coNP-complete");
-    for k in [1usize, 2, 3] {
+    rep.header("T1-b", "XP{/,[],//} one-type: conjunctive containment ([13])", "coNP-complete");
+    for &k in rep.sweep(&[1usize, 2, 3], 2) {
         let (set, goal) = wl::t1b_workload(k);
         let ranges: Vec<&xuc_xpath::Pattern> = set.iter().map(|c| &c.range).collect();
         let result = implication::conjunctive::conjunctive_contained_in_budgeted(
@@ -47,107 +209,119 @@ fn main() {
                 5_000_000,
             )
         });
-        row("chain k", k, t, &format!("contained: {result:?}"));
+        rep.row("T1-b", "chain k", k, t, &format!("contained: {result:?}"));
     }
 
-    header("T1-c", "XP{/,//,*} linear, fixed constraint count (Thm 4.8)", "PTIME");
-    for k in [2usize, 4, 6, 8, 10] {
+    rep.header("T1-c", "XP{/,//,*} linear, fixed constraint count (Thm 4.8)", "PTIME");
+    for &k in rep.sweep(&[2usize, 4, 6, 8, 10], 3) {
         let (set, goal) = wl::t1_linear_workload(2, k);
         let out = implication::linear::implies_linear(&set, &goal);
         let t = wl::median_micros(5, || implication::linear::implies_linear(&set, &goal));
-        row("query size", k, t, &out.to_string());
+        rep.row("T1-c", "query size", k, t, &out.to_string());
     }
 
-    header(
+    rep.header(
         "T1-f",
         "XP{/,//,*} linear, growing constraint count (Thm 4.3)",
         "NP (exponential only in #constraints)",
     );
-    for n in [1usize, 2, 3, 4, 5, 6] {
+    for &n in rep.sweep(&[1usize, 2, 3, 4, 5, 6], 3) {
         let (set, goal) = wl::t1_linear_workload(n, 3);
         let out = implication::linear::implies_linear(&set, &goal);
         let t = wl::median_micros(3, || implication::linear::implies_linear(&set, &goal));
-        row("constraints", n, t, &out.to_string());
+        rep.row("T1-f", "constraints", n, t, &out.to_string());
     }
 
-    header("T1-d", "full fragment, bounded search (Thms 4.2/4.7)", "coNP / NEXPTIME");
-    for n in [1usize, 2, 3] {
+    rep.header("T1-d", "full fragment, bounded search (Thms 4.2/4.7)", "coNP / NEXPTIME");
+    for &n in rep.sweep(&[1usize, 2, 3], 2) {
         let (set, goal) = wl::t1d_workload(n);
         let found = implication::search::find_counterexample(&set, &goal, 500).is_some();
         let t = wl::median_micros(3, || implication::search::find_counterexample(&set, &goal, 500));
-        row("constraints", n, t, if found { "refuted" } else { "no witness in budget" });
+        rep.row(
+            "T1-d",
+            "constraints",
+            n,
+            t,
+            if found { "refuted" } else { "no witness in budget" },
+        );
     }
 
-    header("T1-h", "Theorem 4.6 gadget: implication ⇔ UNSAT", "coNP-hard (2^v sweep)");
-    for v in [2usize, 4, 6, 8, 10] {
+    rep.header("T1-h", "Theorem 4.6 gadget: implication ⇔ UNSAT", "coNP-hard (2^v sweep)");
+    for &v in rep.sweep(&[2usize, 4, 6, 8, 10], 3) {
         let gadget = wl::t1h_gadget(v);
         let implied = gadget.implied_by_assignment_sweep();
         let sat = gadget.formula.satisfiable();
         let t = wl::median_micros(3, || gadget.implied_by_assignment_sweep());
-        row("variables", v, t, &format!("implied={implied} sat={sat} (must be opposite)"));
+        rep.row(
+            "T1-h",
+            "variables",
+            v,
+            t,
+            &format!("implied={implied} sat={sat} (must be opposite)"),
+        );
         assert_eq!(implied, !sat, "reduction must track the SAT oracle");
     }
 
     // ---------------- Table 2 ----------------
-    header("T2-a", "XP{/} instance-based (any types)", "PTIME");
-    for p in [25usize, 50, 100, 200, 400] {
+    rep.header("T2-a", "XP{/} instance-based (any types)", "PTIME");
+    for &p in rep.sweep(&[25usize, 50, 100, 200, 400], 2) {
         let (set, j, goal) = wl::t2a_workload(p);
         let out = instance::plain::implies_plain(&set, &j, &goal);
         let t = wl::median_micros(5, || instance::plain::implies_plain(&set, &j, &goal));
-        row("patients", p, t, &out.to_string());
+        rep.row("T2-a", "patients", p, t, &out.to_string());
     }
 
-    header("T2-b", "↓-only XP{/,[],*}: certain-facts tree (Thm 5.3)", "PTIME");
-    for p in [25usize, 50, 100, 200, 400] {
+    rep.header("T2-b", "↓-only XP{/,[],*}: certain-facts tree (Thm 5.3)", "PTIME");
+    for &p in rep.sweep(&[25usize, 50, 100, 200, 400], 2) {
         let (set, j, goal) = wl::t2b_workload(p);
         let ok = instance::certain::implies_no_insert_pred_star(&set, &j, &goal).is_ok();
         let t = wl::median_micros(5, || {
             instance::certain::implies_no_insert_pred_star(&set, &j, &goal).is_ok()
         });
-        row("patients", p, t, if ok { "implied" } else { "not implied" });
+        rep.row("T2-b", "patients", p, t, if ok { "implied" } else { "not implied" });
     }
 
-    header("T2-c", "↓-only linear instance (Thm 5.4)", "PTIME (bounded constraints)");
-    for p in [25usize, 50, 100, 200, 400] {
+    rep.header("T2-c", "↓-only linear instance (Thm 5.4)", "PTIME (bounded constraints)");
+    for &p in rep.sweep(&[25usize, 50, 100, 200, 400], 2) {
         let (set, j, goal) = wl::t2c_workload(p);
         let out = instance::linear::implies_no_insert_linear(&set, &j, &goal);
         let t =
             wl::median_micros(5, || instance::linear::implies_no_insert_linear(&set, &j, &goal));
-        row("patients", p, t, &out.to_string());
+        rep.row("T2-c", "patients", p, t, &out.to_string());
     }
 
-    header("T2-e", "↑-only possible embeddings (Thm 5.5), |J| sweep", "polynomial in |J|");
-    for p in [10usize, 20, 40, 80] {
+    rep.header("T2-e", "↑-only possible embeddings (Thm 5.5), |J| sweep", "polynomial in |J|");
+    for &p in rep.sweep(&[10usize, 20, 40, 80], 2) {
         let (set, j, goal) = wl::t2e_workload(p, 1);
         let out = instance::embeddings::implies_no_remove(&set, &j, &goal, 10_000_000);
         let t = wl::median_micros(3, || {
             instance::embeddings::implies_no_remove(&set, &j, &goal, 10_000_000)
         });
-        row("patients", p, t, &out.to_string());
+        rep.row("T2-e", "patients", p, t, &out.to_string());
     }
 
-    header("T2-e'", "↑-only possible embeddings (Thm 5.5), |q| sweep", "exponential in |q|");
-    for qsize in [1usize, 2, 3] {
+    rep.header("T2-e'", "↑-only possible embeddings (Thm 5.5), |q| sweep", "exponential in |q|");
+    for &qsize in rep.sweep(&[1usize, 2, 3], 2) {
         let (set, j, goal) = wl::t2e_workload(8, qsize);
         let out = instance::embeddings::implies_no_remove(&set, &j, &goal, 50_000_000);
         let t = wl::median_micros(3, || {
             instance::embeddings::implies_no_remove(&set, &j, &goal, 50_000_000)
         });
-        row("goal preds", qsize, t, &out.to_string());
+        rep.row("T2-e'", "goal preds", qsize, t, &out.to_string());
     }
 
-    header("T2-f", "Theorem 5.2 / Fig. 6 gadget: implication ⇔ UNSAT", "coNP-hard (2^v)");
-    for v in [2usize, 4, 6, 8, 10] {
+    rep.header("T2-f", "Theorem 5.2 / Fig. 6 gadget: implication ⇔ UNSAT", "coNP-hard (2^v)");
+    for &v in rep.sweep(&[2usize, 4, 6, 8, 10], 3) {
         let gadget = wl::t2f_gadget(v);
         let implied = gadget.implied_by_assignment_sweep();
         let sat = gadget.formula.satisfiable();
         let t = wl::median_micros(3, || gadget.implied_by_assignment_sweep());
-        row("variables", v, t, &format!("implied={implied} sat={sat}"));
+        rep.row("T2-f", "variables", v, t, &format!("implied={implied} sat={sat}"));
         assert_eq!(implied, !sat, "reduction must track the SAT oracle");
     }
 
     // ---------------- Figures / examples ----------------
-    header("F2", "Figure 2 / Example 2.1 validity", "c1 ✓  c2 ✓  c3 ✗");
+    rep.header("F2", "Figure 2 / Example 2.1 validity", "c1 ✓  c2 ✓  c3 ✗");
     {
         let (i, j) = xuc_workloads::trees::fig2_pair();
         let cs = xuc_workloads::trees::example_2_1_constraints();
@@ -159,7 +333,7 @@ fn main() {
         assert_eq!(v.len(), 1);
     }
 
-    header("E41", "Example 4.1: interacting update types (exact)", "full set ⊨ c; ↑-only ⊭ c");
+    rep.header("E41", "Example 4.1: interacting update types (exact)", "full set ⊨ c; ↑-only ⊭ c");
     {
         let (set, goal) = xuc_workloads::trees::example_4_1();
         let full = implication::linear::implies_linear(&set, &goal);
@@ -171,8 +345,8 @@ fn main() {
         assert!(full.is_implied() && up.is_not_implied());
     }
 
-    header("E33", "Example 3.3: diverging chase", "fact count grows with the round cap");
-    for cap in [2usize, 4, 6, 8] {
+    rep.header("E33", "Example 3.3: diverging chase", "fact count grows with the round cap");
+    for &cap in rep.sweep(&[2usize, 4, 6, 8], 2) {
         let deps = xuc_xic::example_3_3();
         let mut db = xuc_xic::FactDb::new();
         xuc_xic::seed_two_branch(&mut db);
@@ -185,12 +359,12 @@ fn main() {
         }
     }
 
-    header(
+    rep.header(
         "E-EV",
         "evaluation engine: cold per-call vs amortized bitset batch",
         "amortized ≥ 3× cold on 1k nodes / 32 patterns",
     );
-    for nodes in [100usize, 1_000, 4_000] {
+    for &nodes in rep.sweep(&[100usize, 1_000, 4_000], 2) {
         let (tree, patterns) = wl::eval_engine_workload(nodes, 32);
         let cold = wl::median_micros(9, || {
             patterns.iter().map(|q| xuc_xpath::eval::eval(q, &tree).len()).sum::<usize>()
@@ -199,21 +373,97 @@ fn main() {
             let mut ev = xuc_xpath::Evaluator::new(&tree);
             patterns.iter().map(|q| ev.eval(q).len()).sum::<usize>()
         });
-        row("nodes", nodes, cold, "cold per-call eval");
-        row("nodes", nodes, amortized, &format!("amortized ({:.1}x)", cold / amortized));
-        if nodes == 1_000 && cold / amortized < 3.0 {
-            // Wall-clock ratios are noisy on loaded machines: keep the
-            // already-printed results, flag the regression, and fail the
-            // exit code at the end instead of aborting mid-run.
-            println!(
-                "   WARNING: amortized/cold ratio below the 3x bar — rerun on a quiet machine"
-            );
-            perf_regression = true;
+        rep.row("E-EV", "cold_nodes", nodes, cold, "cold per-call eval");
+        rep.row(
+            "E-EV",
+            "amort_nodes",
+            nodes,
+            amortized,
+            &format!("amortized ({:.1}x)", cold / amortized),
+        );
+        rep.metric("E-EV", &format!("amortized_speedup_{nodes}"), cold / amortized);
+        if nodes == 1_000 {
+            rep.floor("E-EV", "amortized_speedup_1000", cold / amortized, 3.0, true);
         }
     }
 
+    rep.header(
+        "E-IR",
+        "incremental (edit-scope) vs full snapshot refresh per edit",
+        "incremental relabel refresh ≥ 10× full refresh at 10k nodes",
+    );
+    for &nodes in rep.sweep(&[1_000usize, 4_000, 10_000], 1) {
+        let (tree, patterns) = wl::eir_workload(nodes);
+        let runs = if rep.smoke { 3 } else { 7 };
+        for mix in [Mix::Relabel, Mix::Detach, Mix::Splice] {
+            let full = refresh_cost_micros(&tree, &patterns, mix, false, runs);
+            let incr = refresh_cost_micros(&tree, &patterns, mix, true, runs);
+            let ratio = full / incr;
+            rep.row("E-IR", &format!("{}_full", mix.name()), nodes, full, "full refresh per edit");
+            rep.row(
+                "E-IR",
+                &format!("{}_incr", mix.name()),
+                nodes,
+                incr,
+                &format!("incremental ({ratio:.1}x)"),
+            );
+            rep.metric("E-IR", &format!("{}_ratio_{nodes}", mix.name()), ratio);
+            if matches!(mix, Mix::Relabel) && (nodes == 10_000 || (rep.smoke && nodes == 1_000)) {
+                rep.floor("E-IR", &format!("relabel_ratio_{nodes}"), ratio, 10.0, true);
+            }
+        }
+    }
+
+    rep.header(
+        "E-PAR",
+        "sharded counterexample search throughput (T1-d style, budget exhausted)",
+        "4-shard ≥ 2× single-shard (needs ≥ 4 cores)",
+    );
+    {
+        let (set, goal) = wl::epar_workload();
+        let budget = if rep.smoke { 2_000 } else { 30_000 };
+        let runs = if rep.smoke { 1 } else { 3 };
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let mut single = 0.0f64;
+        for shards in [1usize, 2, 4, 8] {
+            let t = wl::median_micros(runs, || {
+                assert!(
+                    find_counterexample_sharded(&set, &goal, budget, shards).is_none(),
+                    "E-PAR workload must exhaust its budget"
+                );
+            });
+            if shards == 1 {
+                single = t;
+            }
+            let speedup = single / t;
+            rep.row("E-PAR", "shards", shards, t, &format!("{speedup:.2}x vs 1 shard"));
+            rep.metric("E-PAR", &format!("speedup_{shards}shard"), speedup);
+            if shards == 4 {
+                // The ≥ 2× floor is only physical with ≥ 4 cores; on
+                // smaller machines the sweep still checks determinism and
+                // records the series.
+                rep.floor("E-PAR", "speedup_4shard", speedup, 2.0, cores >= 4);
+            }
+        }
+        // Shard-count independence spot check on a refutable workload.
+        let (rset, rgoal) = (
+            vec![xuc_core::parse_constraint("(/a[/b], ↑)").expect("static")],
+            xuc_core::parse_constraint("(/a, ↑)").expect("static"),
+        );
+        let one = find_counterexample_sharded(&rset, &rgoal, 5_000, 1).expect("witness");
+        let four = find_counterexample_sharded(&rset, &rgoal, 5_000, 4).expect("witness");
+        assert_eq!(
+            one.canonical_pair_form(),
+            four.canonical_pair_form(),
+            "sharded search must be shard-count independent"
+        );
+        println!("   determinism: 1-shard and 4-shard counterexamples identical ✓");
+        println!("   cores available: {cores}");
+    }
+
     println!();
-    if perf_regression {
+    rep.write_json();
+    if rep.perf_regression {
         println!("experiment assertions passed; PERF WARNING above (exit 1)");
         std::process::exit(1);
     }

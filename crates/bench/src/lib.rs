@@ -104,6 +104,21 @@ pub fn eval_engine_workload(
     (tree, qs)
 }
 
+/// E-IR: the incremental-refresh workload — the E-EV document plus a small
+/// pattern batch used to prime the evaluator's label-row cache before the
+/// edit mixes run.
+pub fn eir_workload(nodes: usize) -> (xuc_xtree::DataTree, Vec<xuc_xpath::Pattern>) {
+    eval_engine_workload(nodes, 8)
+}
+
+/// E-PAR: a full-fragment (T1-d style) workload whose implication *holds*,
+/// so the counterexample search exhausts its entire budget — a pure
+/// candidate-throughput measurement for the shard sweep.
+pub fn epar_workload() -> (Vec<Constraint>, Constraint) {
+    let goal = Constraint::no_remove(xuc_xpath::parse("//a[/b]/c").expect("static"));
+    (vec![goal.clone()], goal)
+}
+
 /// T2-a: plain instance workload over a hospital document of `p` patients.
 pub fn t2a_workload(p: usize) -> (Vec<Constraint>, xuc_xtree::DataTree, Constraint) {
     let j = trees::hospital(&mut rng(), p, 3);

@@ -2,8 +2,9 @@
 //! counterexamples.
 
 use crate::constraint::{all_satisfied, Constraint};
+use std::collections::HashMap;
 use std::fmt;
-use xuc_xtree::DataTree;
+use xuc_xtree::{DataTree, NodeId};
 
 /// A counterexample to general implication `C ⊨ c`: a pair of instances
 /// valid for `C` but violating `c`.
@@ -19,6 +20,50 @@ impl CounterExample {
     pub fn verify(&self, set: &[Constraint], goal: &Constraint) -> bool {
         all_satisfied(set, &self.before, &self.after)
             && !goal.satisfied_by(&self.before, &self.after)
+    }
+
+    /// A canonical serialization of the pair, invariant under a consistent
+    /// renaming of node ids across `before` and `after` (id *sharing*
+    /// between the two trees — the thing constraints are about — is
+    /// preserved by the shared alias map).
+    ///
+    /// Freshly minted ids differ between otherwise identical search runs,
+    /// so shard-determinism tests compare these strings instead of raw
+    /// ids: two runs returning the same candidate produce byte-identical
+    /// forms.
+    pub fn canonical_pair_form(&self) -> String {
+        fn rec(t: &DataTree, id: NodeId, alias: &mut HashMap<NodeId, usize>, out: &mut String) {
+            let next = alias.len();
+            let a = *alias.entry(id).or_insert(next);
+            out.push_str(t.label(id).expect("live node").as_str());
+            out.push('#');
+            out.push_str(&a.to_string());
+            let kids = t.children(id).expect("live node");
+            if !kids.is_empty() {
+                // Sort children by their id-free shape (stable: structurally
+                // identical siblings keep their arrival order, which is
+                // itself deterministic — undo tokens restore exact child
+                // positions, so the search's working trees never depend on
+                // scheduling), then assign aliases in that order.
+                let mut keyed: Vec<(String, NodeId)> =
+                    kids.iter().map(|&c| (t.canonical_form_of(c).expect("live node"), c)).collect();
+                keyed.sort_by(|a, b| a.0.cmp(&b.0));
+                out.push('(');
+                for (i, (_, c)) in keyed.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    rec(t, *c, alias, out);
+                }
+                out.push(')');
+            }
+        }
+        let mut alias = HashMap::new();
+        let mut out = String::new();
+        rec(&self.before, self.before.root_id(), &mut alias, &mut out);
+        out.push('|');
+        rec(&self.after, self.after.root_id(), &mut alias, &mut out);
+        out
     }
 }
 
@@ -111,6 +156,39 @@ mod tests {
         assert!(ce.verify(&set, &goal));
         // Not a counterexample to its own constraint set member.
         assert!(!ce.verify(&set, &set[0].clone()));
+    }
+
+    #[test]
+    fn canonical_pair_form_ignores_renaming_but_keeps_sharing() {
+        let a = CounterExample {
+            before: parse_term("r(a#1,a#2)").unwrap(),
+            after: parse_term("r(a#1)").unwrap(),
+        };
+        // Same pair under an id renaming (1,2) → (7,9).
+        let b = CounterExample {
+            before: parse_term("r(a#7,a#9)").unwrap(),
+            after: parse_term("r(a#7)").unwrap(),
+        };
+        assert_eq!(a.canonical_pair_form(), b.canonical_pair_form());
+        // Different id *sharing*: the surviving node is the other one.
+        let c = CounterExample {
+            before: parse_term("r(a#1,a#2)").unwrap(),
+            after: parse_term("r(a#2)").unwrap(),
+        };
+        // (a#1, a#2) are structurally identical siblings, so `a` and `c`
+        // canonicalize identically only if sharing is ignored — it is not:
+        // the alias of the survivor differs.
+        assert_ne!(a.canonical_pair_form(), c.canonical_pair_form());
+        // Sibling order is canonicalized away.
+        let d = CounterExample {
+            before: parse_term("r(b#1,a#2)").unwrap(),
+            after: parse_term("r(a#2,b#1)").unwrap(),
+        };
+        let e = CounterExample {
+            before: parse_term("r(a#2,b#1)").unwrap(),
+            after: parse_term("r(b#1,a#2)").unwrap(),
+        };
+        assert_eq!(d.canonical_pair_form(), e.canonical_pair_form());
     }
 
     #[test]

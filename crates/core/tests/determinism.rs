@@ -1,0 +1,81 @@
+//! Shard-count independence of the counterexample search.
+//!
+//! `find_counterexample_sharded` promises that the returned counterexample
+//! is the lowest-global-index verifying candidate of a fixed enumeration —
+//! a property of the *input*, not of thread scheduling. This test runs a
+//! workload sweep at 1, 2 and 8 shards and requires byte-identical results
+//! (modulo the values of freshly minted node ids, which differ between any
+//! two runs in one process; `CounterExample::canonical_pair_form` is the
+//! id-renaming-invariant serialization used for the comparison).
+
+use xuc_core::implication::search::{find_counterexample_with_stats, SearchStats};
+use xuc_core::parse_constraint;
+use xuc_core::Constraint;
+
+fn c(s: &str) -> Constraint {
+    parse_constraint(s).unwrap()
+}
+
+/// The sweep: refutable cases from every phase of the search (canonical
+/// edits, proof constructions, random pairs), plus implied cases where the
+/// budget is exhausted without a witness.
+fn workloads() -> Vec<(Vec<Constraint>, Constraint, usize)> {
+    vec![
+        // Phase-1 witnesses (canonical-model edits).
+        (vec![c("(/a[/b], ↑)")], c("(/a, ↑)"), 5_000),
+        (vec![c("(/a[/b], ↓)")], c("(/a, ↓)"), 5_000),
+        (vec![c("(//a[/b]/c, ↑)")], c("(//a/c, ↑)"), 20_000),
+        (vec![c("(//c, ↑)"), c("(/a, ↓)")], c("(/a[/b]//c, ↑)"), 8_000),
+        // Implied: no witness at any shard count; budget fully consumed.
+        (vec![c("(/a, ↑)")], c("(/a, ↑)"), 2_000),
+        (vec![c("(//a, ↑)"), c("(//b, ↑)")], c("(//a, ↑)"), 2_000),
+        // Tiny budgets: the budget prefix itself must be deterministic.
+        (vec![c("(/a[/b], ↑)")], c("(/a, ↑)"), 7),
+        (vec![c("(/a[/b], ↑)")], c("(/a, ↑)"), 64),
+    ]
+}
+
+#[test]
+fn counterexamples_are_shard_count_independent() {
+    for (i, (set, goal, budget)) in workloads().into_iter().enumerate() {
+        let runs: Vec<(Option<String>, SearchStats)> = [1usize, 2, 8]
+            .into_iter()
+            .map(|shards| {
+                let (ce, stats) = find_counterexample_with_stats(&set, &goal, budget, shards);
+                // Soundness at every shard count.
+                if let Some(ce) = &ce {
+                    assert!(ce.verify(&set, &goal), "workload {i} shards {shards}");
+                }
+                (ce.map(|ce| ce.canonical_pair_form()), stats)
+            })
+            .collect();
+        let (form1, stats1) = &runs[0];
+        for (shards, (form, stats)) in [2usize, 8].into_iter().zip(&runs[1..]) {
+            assert_eq!(
+                stats1.winner_index, stats.winner_index,
+                "workload {i}: winner index diverged between 1 and {shards} shards"
+            );
+            assert_eq!(
+                form1, form,
+                "workload {i}: counterexample diverged between 1 and {shards} shards"
+            );
+        }
+        // Re-running at the same shard count is reproducible too.
+        let (again, stats_again) = find_counterexample_with_stats(&set, &goal, budget, 2);
+        assert_eq!(stats_again.winner_index, stats1.winner_index, "workload {i} rerun");
+        assert_eq!(again.map(|ce| ce.canonical_pair_form()), *form1, "workload {i} rerun");
+    }
+}
+
+#[test]
+fn budget_prefix_is_monotone() {
+    // A witness found under a small budget must also be the winner under
+    // any larger budget (the admitted candidate set only grows, and the
+    // winner is the minimum index).
+    let set = vec![c("(/a[/b], ↑)")];
+    let goal = c("(/a, ↑)");
+    let (_, small) = find_counterexample_with_stats(&set, &goal, 2_000, 2);
+    let (_, large) = find_counterexample_with_stats(&set, &goal, 20_000, 2);
+    let idx = small.winner_index.expect("witness exists at 2k budget");
+    assert_eq!(large.winner_index, Some(idx));
+}

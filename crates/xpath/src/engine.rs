@@ -15,9 +15,14 @@
 //!   are word-wide AND sweeps, and sparse propagation steps (child→parent,
 //!   frontier→children) skip zero words.
 //! * [`Evaluator::eval_all`] amortizes one snapshot across a whole batch of
-//!   patterns; [`Evaluator::refresh`] re-snapshots after the caller mutates
-//!   the tree, and [`Evaluator::invalidate`] is the guard rail that makes a
-//!   forgotten refresh a loud panic instead of a silent wrong answer.
+//!   patterns; [`Evaluator::refresh_after`] re-syncs after a mutation in
+//!   time proportional to the edit (a relabel patches two bitset words, an
+//!   id swap patches one index entry; only structural edits re-walk — and
+//!   even those reuse every allocation, snapshot buffer and label-row
+//!   cache included); [`Evaluator::refresh`] is the blunt full rebuild and
+//!   the oracle `refresh_after` is tested against; [`Evaluator::invalidate`]
+//!   is the guard rail that makes a forgotten refresh a loud panic instead
+//!   of a silent wrong answer.
 //!
 //! The algorithm is exactly the one documented in [`crate::eval`]
 //! (Gottlob–Koch–Pichler–Segoufin two-phase evaluation); only the data
@@ -26,7 +31,7 @@
 
 use crate::pattern::{Axis, NodeTest, Pattern};
 use std::collections::{BTreeSet, HashMap};
-use xuc_xtree::{DataTree, Label, NodeId, NodeRef};
+use xuc_xtree::{DataTree, EditScope, Label, NodeId, NodeRef};
 
 const NO_PARENT: u32 = u32::MAX;
 
@@ -38,6 +43,11 @@ fn word_count(n: usize) -> usize {
 #[inline]
 fn set_bit(row: &mut [u64], i: usize) {
     row[i >> 6] |= 1u64 << (i & 63);
+}
+
+#[inline]
+fn clear_bit(row: &mut [u64], i: usize) {
+    row[i >> 6] &= !(1u64 << (i & 63));
 }
 
 #[inline]
@@ -98,11 +108,16 @@ pub struct Evaluator {
     child_start: Vec<u32>,
     child_list: Vec<u32>,
     index_of: HashMap<NodeId, u32>,
-    /// Lazy per-label node bitsets (cleared on refresh).
+    /// Lazy per-label node bitsets (re-derived in place on refresh, so the
+    /// cache and its allocations survive structural rebuilds).
     label_rows: HashMap<Label, Vec<u64>>,
     /// All-ones row masked to `n` bits (the wildcard test).
     ones: Vec<u64>,
     stale: bool,
+    /// Reused snapshot buffer: one heap allocation across all refreshes.
+    scratch: Vec<(NodeId, Label, Option<usize>)>,
+    /// Reused per-node child-count buffer for the CSR rebuild.
+    scratch_counts: Vec<u32>,
 }
 
 impl Evaluator {
@@ -121,16 +136,24 @@ impl Evaluator {
             label_rows: HashMap::new(),
             ones: Vec::new(),
             stale: true,
+            scratch: Vec::new(),
+            scratch_counts: Vec::new(),
         };
         ev.refresh(tree);
         ev
     }
 
     /// Rebuilds the snapshot after `tree` was mutated, reusing the
-    /// existing allocations. This is the re-snapshot half of the
-    /// invalidation protocol; see [`invalidate`](Self::invalidate).
+    /// existing allocations (including the snapshot buffer itself, via
+    /// [`DataTree::preorder_snapshot_into`]). This is the blunt fallback
+    /// of the refresh protocol — and the oracle the edit-proportional
+    /// [`refresh_after`](Self::refresh_after) is tested against; see
+    /// [`invalidate`](Self::invalidate).
     pub fn refresh(&mut self, tree: &DataTree) {
-        let flat = tree.preorder_snapshot();
+        // Take the scratch buffer out of `self` so the walk can fill it
+        // while the snapshot arrays are rebuilt.
+        let mut flat = std::mem::take(&mut self.scratch);
+        tree.preorder_snapshot_into(&mut flat);
         let n = flat.len();
         self.n = n;
         self.words = word_count(n);
@@ -139,7 +162,6 @@ impl Evaluator {
         self.labels.clear();
         self.parent.clear();
         self.index_of.clear();
-        self.label_rows.clear();
         self.ids.reserve(n);
         self.labels.reserve(n);
         self.parent.reserve(n);
@@ -147,7 +169,9 @@ impl Evaluator {
 
         // CSR: count children per node, prefix-sum, then scatter. Pre-order
         // guarantees parent indices precede their children.
-        let mut counts = vec![0u32; n + 1];
+        let mut counts = std::mem::take(&mut self.scratch_counts);
+        counts.clear();
+        counts.resize(n + 1, 0);
         for (i, (id, label, parent)) in flat.iter().enumerate() {
             self.ids.push(*id);
             self.labels.push(*label);
@@ -171,20 +195,81 @@ impl Evaluator {
         self.child_start[n] = acc;
         self.child_list.clear();
         self.child_list.resize(acc as usize, 0);
-        let mut cursor: Vec<u32> = self.child_start[..n].to_vec();
+        // Reuse `counts` as the scatter cursor.
+        counts[..n].copy_from_slice(&self.child_start[..n]);
         for (i, &p) in self.parent.iter().enumerate() {
             if p != NO_PARENT {
-                self.child_list[cursor[p as usize] as usize] = i as u32;
-                cursor[p as usize] += 1;
+                self.child_list[counts[p as usize] as usize] = i as u32;
+                counts[p as usize] += 1;
             }
         }
+        self.scratch_counts = counts;
+        self.scratch = flat;
 
         self.ones.clear();
         self.ones.resize(self.words, !0u64);
         if !n.is_multiple_of(64) && self.words > 0 {
             self.ones[self.words - 1] = (1u64 << (n % 64)) - 1;
         }
+
+        // Re-derive the cached label rows from the new `labels` array in
+        // one pass instead of discarding the cache: rows for labels no
+        // longer present simply become zero rows (still correct answers).
+        for row in self.label_rows.values_mut() {
+            row.clear();
+            row.resize(self.words, 0);
+        }
+        for (v, l) in self.labels.iter().enumerate() {
+            if let Some(row) = self.label_rows.get_mut(l) {
+                set_bit(row, v);
+            }
+        }
         self.stale = false;
+    }
+
+    /// Refreshes the snapshot **proportionally to one applied edit**,
+    /// described by the [`EditScope`] that [`xuc_xtree::apply_undoable`]
+    /// (or [`xuc_xtree::undo`]) returned for it.
+    ///
+    /// * A relabel patches `labels[i]` and the two affected cached label
+    ///   rows in place — no walk, no `HashMap` churn.
+    /// * An id replacement patches `ids[i]` and its `index_of` entry.
+    /// * Structural scopes fall back to the full [`refresh`](Self::refresh)
+    ///   (which itself reuses every allocation, including the label-row
+    ///   cache).
+    ///
+    /// The scope must describe the **single** edit separating the
+    /// snapshotted state from `tree`'s current state; for a batch of
+    /// edits, call this once per edit as it is applied (or undone).
+    pub fn refresh_after(&mut self, tree: &DataTree, scope: &EditScope) {
+        match scope {
+            EditScope::Relabel { node, from, to } => {
+                let i = *self
+                    .index_of
+                    .get(node)
+                    .unwrap_or_else(|| panic!("relabeled node {node} not in snapshot"))
+                    as usize;
+                debug_assert_eq!(self.labels[i], *from, "scope does not match snapshot");
+                self.labels[i] = *to;
+                if let Some(row) = self.label_rows.get_mut(from) {
+                    clear_bit(row, i);
+                }
+                if let Some(row) = self.label_rows.get_mut(to) {
+                    set_bit(row, i);
+                }
+                self.stale = false;
+            }
+            EditScope::ReplaceId { from, to } => {
+                let i = self
+                    .index_of
+                    .remove(from)
+                    .unwrap_or_else(|| panic!("replaced node {from} not in snapshot"));
+                self.index_of.insert(*to, i);
+                self.ids[i as usize] = *to;
+                self.stale = false;
+            }
+            EditScope::Structural { .. } => self.refresh(tree),
+        }
     }
 
     /// Marks the snapshot stale. Call this when handing the underlying
@@ -378,7 +463,7 @@ impl Evaluator {
 mod tests {
     use super::*;
     use crate::parser::parse;
-    use xuc_xtree::parse_term;
+    use xuc_xtree::{apply_undoable, parse_term, undo, Update};
 
     fn ids(set: &BTreeSet<NodeRef>) -> Vec<u64> {
         set.iter().map(|n| n.id.raw()).collect()
@@ -475,6 +560,121 @@ mod tests {
         for (term_q, expect) in [("//b", 1), ("/x/b", 1), ("/a/b", 0)] {
             let q = parse(term_q).unwrap();
             assert_eq!(ev.eval(&q).len(), expect, "{term_q}");
+        }
+    }
+
+    #[test]
+    fn refresh_after_relabel_patches_without_walking() {
+        let mut t = parse_term("root(a#1(b#2),a#3,c#4)").unwrap();
+        let qa = parse("/a").unwrap();
+        let qc = parse("//c").unwrap();
+        let mut ev = Evaluator::new(&t);
+        // Prime the label-row cache for both labels involved.
+        assert_eq!(ev.eval(&qa).len(), 2);
+        assert_eq!(ev.eval(&qc).len(), 1);
+
+        let op = Update::Relabel { node: NodeId::from_raw(3), label: Label::new("c") };
+        let walks_before = xuc_xtree::preorder_walk_count();
+        let (token, scope) = apply_undoable(&mut t, &op).unwrap();
+        ev.refresh_after(&t, &scope);
+        assert_eq!(ids(&ev.eval(&qa)), vec![1]);
+        assert_eq!(ids(&ev.eval(&qc)), vec![3, 4]);
+        let scope = undo(&mut t, token).unwrap();
+        ev.refresh_after(&t, &scope);
+        assert_eq!(ids(&ev.eval(&qa)), vec![1, 3]);
+        assert_eq!(ids(&ev.eval(&qc)), vec![4]);
+        assert_eq!(
+            xuc_xtree::preorder_walk_count(),
+            walks_before,
+            "relabel apply/undo must not re-walk the tree"
+        );
+    }
+
+    #[test]
+    fn refresh_after_replace_id_patches_index() {
+        let mut t = parse_term("root(a#1(b#2),a#3)").unwrap();
+        let q = parse("/a").unwrap();
+        let mut ev = Evaluator::new(&t);
+        assert_eq!(ids(&ev.eval(&q)), vec![1, 3]);
+
+        let fresh = NodeId::fresh();
+        let op = Update::ReplaceId { node: NodeId::from_raw(1), new_id: fresh };
+        let walks_before = xuc_xtree::preorder_walk_count();
+        let (token, scope) = apply_undoable(&mut t, &op).unwrap();
+        ev.refresh_after(&t, &scope);
+        assert_eq!(ids(&ev.eval(&q)), vec![3, fresh.raw()]);
+        // eval_at by the new id works (index patched, not rebuilt).
+        assert_eq!(ev.eval_at(&parse("/b").unwrap(), fresh).len(), 1);
+        let scope = undo(&mut t, token).unwrap();
+        ev.refresh_after(&t, &scope);
+        assert_eq!(ids(&ev.eval(&q)), vec![1, 3]);
+        assert_eq!(xuc_xtree::preorder_walk_count(), walks_before);
+    }
+
+    #[test]
+    fn refresh_after_structural_rebuilds_and_keeps_label_cache_correct() {
+        let mut t = parse_term("root(a#1(b#2),a#3)").unwrap();
+        let q = parse("/a[/b]").unwrap();
+        let mut ev = Evaluator::new(&t);
+        assert_eq!(ids(&ev.eval(&q)), vec![1]);
+
+        let op = Update::InsertLeaf {
+            parent: NodeId::from_raw(3),
+            id: NodeId::from_raw(9),
+            label: Label::new("b"),
+        };
+        let (token, scope) = apply_undoable(&mut t, &op).unwrap();
+        assert!(scope.is_structural());
+        ev.refresh_after(&t, &scope);
+        assert_eq!(ids(&ev.eval(&q)), vec![1, 3]);
+        let scope = undo(&mut t, token).unwrap();
+        ev.refresh_after(&t, &scope);
+        assert_eq!(ids(&ev.eval(&q)), vec![1]);
+
+        // Shrinking the tree across a structural refresh must mask the
+        // cached rows down to the new size.
+        let (_token, scope) =
+            apply_undoable(&mut t, &Update::DeleteSubtree { node: NodeId::from_raw(1) }).unwrap();
+        ev.refresh_after(&t, &scope);
+        assert_eq!(ids(&ev.eval(&parse("/a").unwrap())), vec![3]);
+        assert!(ev.eval(&q).is_empty());
+    }
+
+    #[test]
+    fn interleaved_scoped_refreshes_match_full_refresh() {
+        // A mixed apply/undo sequence where every step goes through
+        // refresh_after, checked against a from-scratch evaluator.
+        let mut t = parse_term("root(a#1(b#2(c#3),d#4),e#5)").unwrap();
+        let queries: Vec<_> =
+            ["/a", "//b", "/a/b[/c]", "//*", "/a[/d]//c"].map(|s| parse(s).unwrap()).into();
+        let mut ev = Evaluator::new(&t);
+        for q in &queries {
+            ev.eval(q); // prime caches
+        }
+        let ops = [
+            Update::Relabel { node: NodeId::from_raw(4), label: Label::new("b") },
+            Update::DeleteNode { node: NodeId::from_raw(2) },
+            Update::Relabel { node: NodeId::from_raw(3), label: Label::new("a") },
+            Update::Move { node: NodeId::from_raw(3), new_parent: NodeId::from_raw(5) },
+            Update::ReplaceId { node: NodeId::from_raw(5), new_id: NodeId::from_raw(50) },
+        ];
+        let mut stack = Vec::new();
+        for op in &ops {
+            let (token, scope) = apply_undoable(&mut t, op).unwrap();
+            stack.push(token);
+            ev.refresh_after(&t, &scope);
+            let mut oracle = Evaluator::new(&t);
+            for q in &queries {
+                assert_eq!(ev.eval(q), oracle.eval(q), "{op} / {q}");
+            }
+        }
+        while let Some(token) = stack.pop() {
+            let scope = undo(&mut t, token).unwrap();
+            ev.refresh_after(&t, &scope);
+        }
+        let mut oracle = Evaluator::new(&t);
+        for q in &queries {
+            assert_eq!(ev.eval(q), oracle.eval(q), "after full unwind / {q}");
         }
     }
 

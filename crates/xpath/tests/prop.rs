@@ -193,7 +193,7 @@ proptest! {
             },
         };
         ev.invalidate();
-        if let Ok(token) = apply_undoable(&mut work, &op) {
+        if let Ok((token, _scope)) = apply_undoable(&mut work, &op) {
             // After the edit: the refreshed snapshot matches the oracle on
             // the edited tree.
             ev.refresh(&work);
@@ -211,6 +211,55 @@ proptest! {
             ev.refresh(&work);
             prop_assert_eq!(ev.eval(&q), before_result);
         }
+    }
+
+    #[test]
+    fn scoped_refresh_equals_full_refresh_and_naive(
+        tree in tree_strategy(12),
+        q in pattern_strategy(5),
+        ops in proptest::collection::vec((0..5usize, 0..64usize, 0..64usize), 1..8),
+    ) {
+        // Random edit sequences (relabel, detach, splice, move, replace-id)
+        // applied through the edit-scope protocol: after every apply and
+        // every undo, the incrementally refreshed evaluator must agree with
+        // a from-scratch evaluator and with the naive oracle.
+        let mut work = tree.clone();
+        let mut inc = Evaluator::new(&work);
+        inc.eval(&q); // prime the label-row cache so in-place patching is exercised
+        let mut stack = Vec::new();
+        for (op_choice, pick_a, pick_b) in ops {
+            let ids = work.node_ids();
+            let target = if ids.len() > 1 {
+                ids[1 + pick_a % (ids.len() - 1)]
+            } else {
+                ids[0]
+            };
+            let other = ids[pick_b % ids.len()];
+            let op = match op_choice {
+                0 => Update::Relabel {
+                    node: target,
+                    label: Label::new(LABELS[pick_b % LABELS.len()]),
+                },
+                1 => Update::DeleteSubtree { node: target },
+                2 => Update::DeleteNode { node: target },
+                3 => Update::Move { node: target, new_parent: other },
+                _ => Update::ReplaceId { node: target, new_id: NodeId::fresh() },
+            };
+            let Ok((token, scope)) = apply_undoable(&mut work, &op) else { continue };
+            stack.push(token);
+            inc.refresh_after(&work, &scope);
+            let incremental = inc.eval(&q);
+            prop_assert_eq!(&incremental, &Evaluator::new(&work).eval(&q), "apply {}", &op);
+            prop_assert_eq!(&incremental, &naive::eval(&q, &work), "apply {}", &op);
+        }
+        while let Some(token) = stack.pop() {
+            let scope = undo(&mut work, token).unwrap();
+            inc.refresh_after(&work, &scope);
+            let incremental = inc.eval(&q);
+            prop_assert_eq!(&incremental, &Evaluator::new(&work).eval(&q));
+            prop_assert_eq!(&incremental, &naive::eval(&q, &work));
+        }
+        prop_assert!(work.identified_eq(&tree), "full unwind must restore the seed");
     }
 
     #[test]

@@ -27,5 +27,5 @@ pub mod update;
 pub use label::Label;
 pub use node::NodeId;
 pub use term::{parse_term, to_term};
-pub use tree::{DataTree, DetachToken, NodeRef, SpliceToken, TreeError};
-pub use update::{apply_undoable, apply_update, undo, Undo, Update, UpdateError};
+pub use tree::{preorder_walk_count, DataTree, DetachToken, NodeRef, SpliceToken, TreeError};
+pub use update::{apply_undoable, apply_update, undo, EditScope, Undo, Update, UpdateError};

@@ -9,8 +9,25 @@
 
 use crate::label::Label;
 use crate::node::NodeId;
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
+
+thread_local! {
+    /// Per-thread count of full pre-order walks performed by
+    /// [`DataTree::preorder_snapshot_into`] (and its allocating wrapper).
+    /// Tests use the delta of [`preorder_walk_count`] to assert that
+    /// edit-proportional refresh paths really do avoid O(n) re-walks;
+    /// thread-local so concurrently running tests (or search shards)
+    /// cannot inflate each other's deltas.
+    static PREORDER_WALKS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The number of full pre-order snapshot walks performed so far **on the
+/// calling thread**. Monotone; only deltas are meaningful.
+pub fn preorder_walk_count() -> u64 {
+    PREORDER_WALKS.with(Cell::get)
+}
 
 /// Errors raised by tree manipulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,6 +80,11 @@ pub struct NodeRef {
 pub struct DetachToken {
     slot: usize,
     parent_slot: usize,
+    /// Position in the parent's child list, restored on reattach so that
+    /// an apply/undo round trip reproduces the original child order (the
+    /// tree is semantically unordered, but deterministic consumers — the
+    /// sharded search — rely on undo being an *exact* inverse).
+    child_index: usize,
     slots: Vec<usize>,
 }
 
@@ -72,8 +94,24 @@ pub struct DetachToken {
 pub struct SpliceToken {
     slot: usize,
     parent_slot: usize,
+    /// Position in the parent's child list (see [`DetachToken`]).
+    child_index: usize,
     child_slots: Vec<usize>,
     id: NodeId,
+}
+
+impl DetachToken {
+    /// The detached subtree's former parent (for edit-scope reporting).
+    pub(crate) fn parent_id(&self, tree: &DataTree) -> NodeId {
+        tree.data(self.parent_slot).id
+    }
+}
+
+impl SpliceToken {
+    /// The spliced node's former parent (for edit-scope reporting).
+    pub(crate) fn parent_id(&self, tree: &DataTree) -> NodeId {
+        tree.data(self.parent_slot).id
+    }
 }
 
 /// An unordered data tree with uniquely identified nodes.
@@ -179,6 +217,16 @@ impl DataTree {
     /// engines to build dense snapshots in one pass, without per-node
     /// id lookups.
     pub fn preorder_snapshot(&self) -> Vec<(NodeId, Label, Option<usize>)> {
+        let mut out = Vec::with_capacity(self.live);
+        self.preorder_snapshot_into(&mut out);
+        out
+    }
+
+    /// Like [`preorder_snapshot`](Self::preorder_snapshot), but fills a
+    /// caller-owned buffer (cleared first) so repeated snapshots — e.g. an
+    /// evaluator refreshing after every candidate edit — reuse one heap
+    /// allocation instead of allocating a fresh triple `Vec` per call.
+    pub fn preorder_snapshot_into(&self, out: &mut Vec<(NodeId, Label, Option<usize>)>) {
         fn rec(
             t: &DataTree,
             slot: usize,
@@ -192,9 +240,10 @@ impl DataTree {
                 rec(t, c, Some(my_index), out);
             }
         }
-        let mut out = Vec::with_capacity(self.live);
-        rec(self, self.root, None, &mut out);
-        out
+        PREORDER_WALKS.with(|c| c.set(c.get() + 1));
+        out.clear();
+        out.reserve(self.live);
+        rec(self, self.root, None, out);
     }
 
     fn walk(&self, slot: usize, f: &mut impl FnMut(&NodeData)) {
@@ -393,13 +442,18 @@ impl DataTree {
             self.by_id.remove(&sid);
         }
         self.live -= slots.len();
-        self.data_mut(parent_slot).children.retain(|&c| c != slot);
-        Ok(DetachToken { slot, parent_slot, slots })
+        let parent = self.data_mut(parent_slot);
+        let child_index =
+            parent.children.iter().position(|&c| c == slot).expect("child of its parent");
+        parent.children.remove(child_index);
+        Ok(DetachToken { slot, parent_slot, child_index, slots })
     }
 
-    /// Restores a subtree detached by [`detach_subtree`](Self::detach_subtree).
+    /// Restores a subtree detached by [`detach_subtree`](Self::detach_subtree),
+    /// at its original position in the parent's child list — undo is an
+    /// exact inverse, not merely an isomorphic one.
     pub fn reattach_subtree(&mut self, token: DetachToken) {
-        let DetachToken { slot, parent_slot, slots } = token;
+        let DetachToken { slot, parent_slot, child_index, slots } = token;
         for &s in &slots {
             let sid = self.data(s).id;
             debug_assert!(
@@ -409,7 +463,8 @@ impl DataTree {
             self.by_id.insert(sid, s);
         }
         self.live += slots.len();
-        self.data_mut(parent_slot).children.push(slot);
+        let parent = self.data_mut(parent_slot);
+        parent.children.insert(child_index.min(parent.children.len()), slot);
     }
 
     /// Splices out node `id` without destroying it: its children are
@@ -425,19 +480,23 @@ impl DataTree {
             self.data_mut(c).parent = Some(parent_slot);
         }
         let parent = self.data_mut(parent_slot);
-        parent.children.retain(|&c| c != slot);
+        let child_index =
+            parent.children.iter().position(|&c| c == slot).expect("child of its parent");
+        parent.children.remove(child_index);
         parent.children.extend(&child_slots);
         self.by_id.remove(&id);
         self.live -= 1;
-        Ok(SpliceToken { slot, parent_slot, child_slots, id })
+        Ok(SpliceToken { slot, parent_slot, child_index, child_slots, id })
     }
 
-    /// Restores a node spliced out by [`splice_node`](Self::splice_node).
+    /// Restores a node spliced out by [`splice_node`](Self::splice_node),
+    /// at its original position in the parent's child list (see
+    /// [`reattach_subtree`](Self::reattach_subtree)).
     pub fn unsplice_node(&mut self, token: SpliceToken) {
-        let SpliceToken { slot, parent_slot, child_slots, id } = token;
+        let SpliceToken { slot, parent_slot, child_index, child_slots, id } = token;
         let parent = self.data_mut(parent_slot);
         parent.children.retain(|&c| !child_slots.contains(&c));
-        parent.children.push(slot);
+        parent.children.insert(child_index.min(parent.children.len()), slot);
         for &c in &child_slots {
             self.data_mut(c).parent = Some(slot);
         }
@@ -447,6 +506,28 @@ impl DataTree {
         );
         self.by_id.insert(id, slot);
         self.live += 1;
+    }
+
+    /// The position of `id` in its parent's child list (`None` for the
+    /// root). Crate-internal: lets undoable moves record and restore exact
+    /// child order.
+    pub(crate) fn child_position(&self, id: NodeId) -> Result<Option<usize>, TreeError> {
+        let slot = self.slot(id)?;
+        Ok(self.data(slot).parent.map(|p| {
+            self.data(p).children.iter().position(|&c| c == slot).expect("child of its parent")
+        }))
+    }
+
+    /// Moves `id` (already a child of its current parent) to position
+    /// `index` in that parent's child list. Crate-internal counterpart of
+    /// [`child_position`](Self::child_position).
+    pub(crate) fn restore_child_position(&mut self, id: NodeId, index: usize) {
+        let slot = self.slot(id).expect("live node");
+        let Some(parent) = self.data(slot).parent else { return };
+        let children = &mut self.data_mut(parent).children;
+        let cur = children.iter().position(|&c| c == slot).expect("child of its parent");
+        children.remove(cur);
+        children.insert(index.min(children.len()), slot);
     }
 
     fn walk_slots(&self, slot: usize, f: &mut impl FnMut(usize)) {
@@ -570,33 +651,34 @@ impl DataTree {
     /// A canonical string form invariant under sibling reordering and id
     /// renaming. Used for structural hashing and equality.
     pub fn canonical_form(&self) -> String {
-        fn rec(t: &DataTree, slot: usize, out: &mut String) {
-            let d = t.data(slot);
-            out.push_str(d.label.as_str());
-            if !d.children.is_empty() {
-                let mut kids: Vec<String> = d
-                    .children
-                    .iter()
-                    .map(|&c| {
-                        let mut s = String::new();
-                        rec(t, c, &mut s);
-                        s
-                    })
-                    .collect();
-                kids.sort();
-                out.push('(');
-                for (i, k) in kids.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push_str(k);
+        self.canonical_form_slot(self.root)
+    }
+
+    /// [`canonical_form`](Self::canonical_form) of the subtree rooted at
+    /// `id` — the one canonicalization grammar, shared by whole-tree
+    /// hashing and by consumers that canonicalize per subtree (e.g. the
+    /// id-invariant counterexample serialization in `xuc-core`).
+    pub fn canonical_form_of(&self, id: NodeId) -> Result<String, TreeError> {
+        Ok(self.canonical_form_slot(self.slot(id)?))
+    }
+
+    fn canonical_form_slot(&self, slot: usize) -> String {
+        let d = self.data(slot);
+        let mut out = String::from(d.label.as_str());
+        if !d.children.is_empty() {
+            let mut kids: Vec<String> =
+                d.children.iter().map(|&c| self.canonical_form_slot(c)).collect();
+            kids.sort();
+            out.push('(');
+            for (i, k) in kids.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
                 }
-                out.push(')');
+                out.push_str(k);
             }
+            out.push(')');
         }
-        let mut s = String::new();
-        rec(self, self.root, &mut s);
-        s
+        out
     }
 
     /// Pretty indented rendering (ids and labels), for debugging and demos.

@@ -82,6 +82,58 @@ pub fn apply_update(tree: &mut DataTree, update: &Update) -> Result<(), UpdateEr
     Ok(())
 }
 
+/// How an applied (or undone) edit affected the tree, from the point of
+/// view of derived snapshots (evaluator id indexes, label bitset caches,
+/// preorder layouts).
+///
+/// [`apply_undoable`] returns the scope of the edit it applied and
+/// [`undo`] returns the scope of the reversal, so snapshot holders can
+/// refresh **proportionally to the edit**: a relabel patches one label
+/// cell and two bitset words, an id swap patches one index entry, and
+/// only genuinely structural edits force a re-walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditScope {
+    /// Only `node`'s label changed (`from` → `to`): ids, parents and the
+    /// preorder layout are untouched.
+    Relabel { node: NodeId, from: Label, to: Label },
+    /// Only one node's identity changed (`from` → `to`): labels and the
+    /// preorder layout are untouched.
+    ReplaceId { from: NodeId, to: NodeId },
+    /// The preorder layout changed. `root` is the deepest node whose
+    /// subtree contains every change (`None` when unknown); a full
+    /// re-snapshot is always a correct response.
+    Structural { root: Option<NodeId> },
+}
+
+impl EditScope {
+    /// Did the edit change the preorder layout (as opposed to patching a
+    /// label or an identity in place)?
+    pub fn is_structural(&self) -> bool {
+        matches!(self, EditScope::Structural { .. })
+    }
+}
+
+/// The deepest common ancestor of `a` and `b` (both must be live).
+/// Allocation-free — this runs on every move apply/undo in the search's
+/// candidate loop.
+fn lca(tree: &DataTree, mut a: NodeId, mut b: NodeId) -> Option<NodeId> {
+    let mut da = tree.depth(a).ok()?;
+    let mut db = tree.depth(b).ok()?;
+    while da > db {
+        a = tree.parent(a).ok()??;
+        da -= 1;
+    }
+    while db > da {
+        b = tree.parent(b).ok()??;
+        db -= 1;
+    }
+    while a != b {
+        a = tree.parent(a).ok()??;
+        b = tree.parent(b).ok()??;
+    }
+    Some(a)
+}
+
 /// The inverse record of one applied [`Update`], produced by
 /// [`apply_undoable`] and consumed (LIFO) by [`undo`].
 ///
@@ -90,55 +142,110 @@ pub fn apply_update(tree: &mut DataTree, update: &Update) -> Result<(), UpdateEr
 /// tree clones and no node reconstruction**. This is what lets candidate
 /// searches edit one working tree in place instead of cloning per
 /// candidate.
+///
+/// Undo is an **exact** inverse, not merely an isomorphic one: child
+/// positions are recorded and restored, so an apply/undo round trip
+/// reproduces the original child order. Deterministic consumers (the
+/// sharded counterexample search) rely on the working tree being
+/// bit-identical to the seed after every round trip, independent of which
+/// candidates were tried before.
 #[derive(Debug)]
 pub enum Undo {
     RemoveLeaf { id: NodeId },
     Reattach(DetachToken),
     Unsplice(SpliceToken),
-    MoveBack { node: NodeId, old_parent: NodeId },
+    MoveBack { node: NodeId, old_parent: NodeId, old_index: usize },
     Relabel { node: NodeId, old: Label },
     RestoreId { current: NodeId, old: NodeId },
 }
 
-/// Applies one update in place and returns the token that undoes it.
-pub fn apply_undoable(tree: &mut DataTree, update: &Update) -> Result<Undo, UpdateError> {
+/// Applies one update in place and returns the token that undoes it plus
+/// the [`EditScope`] describing what the edit touched (so snapshot holders
+/// can refresh proportionally to the edit instead of re-walking).
+pub fn apply_undoable(
+    tree: &mut DataTree,
+    update: &Update,
+) -> Result<(Undo, EditScope), UpdateError> {
     Ok(match update {
         Update::InsertLeaf { parent, id, label } => {
             tree.add_with_id(*parent, *id, *label)?;
-            Undo::RemoveLeaf { id: *id }
+            (Undo::RemoveLeaf { id: *id }, EditScope::Structural { root: Some(*parent) })
         }
-        Update::DeleteSubtree { node } => Undo::Reattach(tree.detach_subtree(*node)?),
-        Update::DeleteNode { node } => Undo::Unsplice(tree.splice_node(*node)?),
+        Update::DeleteSubtree { node } => {
+            let token = tree.detach_subtree(*node)?;
+            let root = Some(token.parent_id(tree));
+            (Undo::Reattach(token), EditScope::Structural { root })
+        }
+        Update::DeleteNode { node } => {
+            let token = tree.splice_node(*node)?;
+            let root = Some(token.parent_id(tree));
+            (Undo::Unsplice(token), EditScope::Structural { root })
+        }
         Update::Move { node, new_parent } => {
             let old_parent =
                 tree.parent(*node)?.ok_or(UpdateError::Tree(TreeError::RootImmovable))?;
+            let old_index = tree.child_position(*node)?.expect("non-root has a position");
             tree.move_node(*node, *new_parent)?;
-            Undo::MoveBack { node: *node, old_parent }
+            let root = lca(tree, old_parent, *new_parent);
+            (Undo::MoveBack { node: *node, old_parent, old_index }, EditScope::Structural { root })
         }
         Update::Relabel { node, label } => {
             let old = tree.label(*node)?;
             tree.relabel(*node, *label)?;
-            Undo::Relabel { node: *node, old }
+            (
+                Undo::Relabel { node: *node, old },
+                EditScope::Relabel { node: *node, from: old, to: *label },
+            )
         }
         Update::ReplaceId { node, new_id } => {
             tree.replace_id(*node, *new_id)?;
-            Undo::RestoreId { current: *new_id, old: *node }
+            (
+                Undo::RestoreId { current: *new_id, old: *node },
+                EditScope::ReplaceId { from: *node, to: *new_id },
+            )
         }
     })
 }
 
-/// Reverts one update recorded by [`apply_undoable`]. Undo tokens must be
-/// consumed in LIFO order relative to the applies they revert.
-pub fn undo(tree: &mut DataTree, token: Undo) -> Result<(), UpdateError> {
-    match token {
-        Undo::RemoveLeaf { id } => tree.delete_subtree(id)?,
-        Undo::Reattach(t) => tree.reattach_subtree(t),
-        Undo::Unsplice(t) => tree.unsplice_node(t),
-        Undo::MoveBack { node, old_parent } => tree.move_node(node, old_parent)?,
-        Undo::Relabel { node, old } => tree.relabel(node, old)?,
-        Undo::RestoreId { current, old } => tree.replace_id(current, old)?,
-    }
-    Ok(())
+/// Reverts one update recorded by [`apply_undoable`] and returns the
+/// [`EditScope`] of the reversal (a relabel undoes as a relabel, a
+/// structural edit as a structural edit). Undo tokens must be consumed in
+/// LIFO order relative to the applies they revert.
+pub fn undo(tree: &mut DataTree, token: Undo) -> Result<EditScope, UpdateError> {
+    Ok(match token {
+        Undo::RemoveLeaf { id } => {
+            let parent = tree.parent(id)?;
+            tree.delete_subtree(id)?;
+            EditScope::Structural { root: parent }
+        }
+        Undo::Reattach(t) => {
+            let root = Some(t.parent_id(tree));
+            tree.reattach_subtree(t);
+            EditScope::Structural { root }
+        }
+        Undo::Unsplice(t) => {
+            let root = Some(t.parent_id(tree));
+            tree.unsplice_node(t);
+            EditScope::Structural { root }
+        }
+        Undo::MoveBack { node, old_parent, old_index } => {
+            let cur_parent =
+                tree.parent(node)?.ok_or(UpdateError::Tree(TreeError::RootImmovable))?;
+            tree.move_node(node, old_parent)?;
+            tree.restore_child_position(node, old_index);
+            let root = lca(tree, old_parent, cur_parent);
+            EditScope::Structural { root }
+        }
+        Undo::Relabel { node, old } => {
+            let from = tree.label(node)?;
+            tree.relabel(node, old)?;
+            EditScope::Relabel { node, from, to: old }
+        }
+        Undo::RestoreId { current, old } => {
+            tree.replace_id(current, old)?;
+            EditScope::ReplaceId { from: current, to: old }
+        }
+    })
 }
 
 /// Applies a sequence of updates to a copy of `before`, returning the
@@ -226,11 +333,13 @@ mod tests {
         ];
         let mut work = original.clone();
         for op in &ops {
-            let token = apply_undoable(&mut work, op).unwrap();
+            let (token, scope) = apply_undoable(&mut work, op).unwrap();
             // The edit is observable...
             assert!(!work.identified_eq(&original), "{op} must change the tree");
-            // ...and fully reverted by its token.
-            undo(&mut work, token).unwrap();
+            // ...and fully reverted by its token, with a scope of the same
+            // structural class as the apply.
+            let undo_scope = undo(&mut work, token).unwrap();
+            assert_eq!(scope.is_structural(), undo_scope.is_structural(), "{op}");
             assert!(work.identified_eq(&original), "undo of {op} must restore");
         }
     }
@@ -247,7 +356,7 @@ mod tests {
             let mut via_plain = before.clone();
             apply_update(&mut via_plain, &op).unwrap();
             let mut via_undoable = before.clone();
-            let _token = apply_undoable(&mut via_undoable, &op).unwrap();
+            let (_token, _scope) = apply_undoable(&mut via_undoable, &op).unwrap();
             assert!(via_plain.identified_eq(&via_undoable), "{op}");
         }
     }
@@ -263,12 +372,89 @@ mod tests {
             Update::Move { node: NodeId::from_raw(3), new_parent: NodeId::from_raw(4) },
             Update::DeleteSubtree { node: NodeId::from_raw(3) },
         ] {
-            stack.push(apply_undoable(&mut work, &op).unwrap());
+            stack.push(apply_undoable(&mut work, &op).unwrap().0);
         }
         while let Some(token) = stack.pop() {
             undo(&mut work, token).unwrap();
         }
         assert!(work.identified_eq(&original));
+    }
+
+    #[test]
+    fn edit_scopes_classify_and_locate() {
+        let mut t = parse_term("r(a#1(b#2(c#3),d#4),e#5)").unwrap();
+        let n = |i| NodeId::from_raw(i);
+
+        let (tok, scope) =
+            apply_undoable(&mut t, &Update::Relabel { node: n(3), label: Label::new("x") })
+                .unwrap();
+        assert_eq!(
+            scope,
+            EditScope::Relabel { node: n(3), from: Label::new("c"), to: Label::new("x") }
+        );
+        let back = undo(&mut t, tok).unwrap();
+        assert_eq!(
+            back,
+            EditScope::Relabel { node: n(3), from: Label::new("x"), to: Label::new("c") }
+        );
+
+        let fresh = NodeId::fresh();
+        let (tok, scope) =
+            apply_undoable(&mut t, &Update::ReplaceId { node: n(4), new_id: fresh }).unwrap();
+        assert_eq!(scope, EditScope::ReplaceId { from: n(4), to: fresh });
+        assert_eq!(undo(&mut t, tok).unwrap(), EditScope::ReplaceId { from: fresh, to: n(4) });
+
+        // Structural edits report the deepest node containing every change.
+        let (tok, scope) = apply_undoable(&mut t, &Update::DeleteSubtree { node: n(2) }).unwrap();
+        assert_eq!(scope, EditScope::Structural { root: Some(n(1)) });
+        assert_eq!(undo(&mut t, tok).unwrap(), EditScope::Structural { root: Some(n(1)) });
+
+        let (tok, scope) = apply_undoable(&mut t, &Update::DeleteNode { node: n(2) }).unwrap();
+        assert_eq!(scope, EditScope::Structural { root: Some(n(1)) });
+        assert_eq!(undo(&mut t, tok).unwrap(), EditScope::Structural { root: Some(n(1)) });
+
+        // Move from under a#1 to under e#5: the common ancestor is the root.
+        let (tok, scope) =
+            apply_undoable(&mut t, &Update::Move { node: n(2), new_parent: n(5) }).unwrap();
+        assert_eq!(scope, EditScope::Structural { root: Some(t.root_id()) });
+        assert_eq!(undo(&mut t, tok).unwrap(), EditScope::Structural { root: Some(t.root_id()) });
+
+        // Move within one subtree: the scope narrows to that subtree.
+        let (tok, scope) =
+            apply_undoable(&mut t, &Update::Move { node: n(3), new_parent: n(4) }).unwrap();
+        assert_eq!(scope, EditScope::Structural { root: Some(n(1)) });
+        assert_eq!(undo(&mut t, tok).unwrap(), EditScope::Structural { root: Some(n(1)) });
+    }
+
+    #[test]
+    fn undo_restores_exact_child_order() {
+        // Undo must be an exact inverse: same child order, not just the
+        // same unordered tree. `render()` prints children in list order.
+        let original = parse_term("r(a#1,b#2,c#3(d#4,e#5),f#6)").unwrap();
+        let mut work = original.clone();
+        for op in [
+            Update::DeleteSubtree { node: NodeId::from_raw(2) },
+            Update::DeleteNode { node: NodeId::from_raw(3) },
+            Update::Move { node: NodeId::from_raw(1), new_parent: NodeId::from_raw(3) },
+            Update::Move { node: NodeId::from_raw(4), new_parent: NodeId::from_raw(6) },
+        ] {
+            let (token, _scope) = apply_undoable(&mut work, &op).unwrap();
+            undo(&mut work, token).unwrap();
+            assert_eq!(work.render(), original.render(), "{op}");
+        }
+        // Also across a LIFO stack of interleaved edits.
+        let mut stack = Vec::new();
+        for op in [
+            Update::DeleteNode { node: NodeId::from_raw(3) },
+            Update::DeleteSubtree { node: NodeId::from_raw(4) },
+            Update::Move { node: NodeId::from_raw(1), new_parent: NodeId::from_raw(6) },
+        ] {
+            stack.push(apply_undoable(&mut work, &op).unwrap().0);
+        }
+        while let Some(token) = stack.pop() {
+            undo(&mut work, token).unwrap();
+        }
+        assert_eq!(work.render(), original.render());
     }
 
     #[test]
