@@ -4,7 +4,7 @@
 //! (Theorems 4.3, 4.8 and 5.4) treat a linear query as a regular language
 //! over label strings: a node lies in the range of a linear query iff its
 //! root-to-node label path belongs to the query's language. This crate
-//! provides the machinery those theorems invoke ([19,20] in the paper):
+//! provides the machinery those theorems invoke (\[19,20\] in the paper):
 //!
 //! * [`Nfa`] — nondeterministic automata with `label` / `any` guards and a
 //!   translation from linear patterns ([`Nfa::from_linear_pattern`]),
@@ -13,15 +13,26 @@
 //!   complement, intersection, emptiness and witness extraction,
 //! * [`ProductDfa`] — the synchronous product of many DFAs, exposing per
 //!   state which component languages accept; this is the state space over
-//!   which `xuc-core` runs its greatest-fixpoint implication procedure.
+//!   which `xuc-core` runs its greatest-fixpoint implication procedure,
+//! * [`PatternSetCompiler`] — set-at-a-time lowering of a whole pattern
+//!   batch into one minimal tagged DFA ([`CompiledPatternSet`]), consumed
+//!   by [`xuc_xpath::Evaluator::eval_set`] to label every tree node with
+//!   its satisfied-pattern bitset in a single pre-order pass,
+//! * [`StateSetTable`] — the ranked (multi-word) acceptance-set
+//!   representation shared by [`ProductDfa`] and the compiler, lifting
+//!   the old 64-component `u64` mask ceiling.
 
 pub mod dfa;
 pub mod nfa;
 pub mod product;
+pub mod setcompile;
+pub mod stateset;
 
 pub use dfa::Dfa;
 pub use nfa::Nfa;
 pub use product::{ProductDfa, ProductError};
+pub use setcompile::{CompiledPatternSet, PatternSetCompiler};
+pub use stateset::StateSetTable;
 
 use xuc_xpath::Pattern;
 use xuc_xtree::Label;

@@ -11,7 +11,8 @@ pub enum Guard {
 }
 
 impl Guard {
-    fn accepts(self, l: Label) -> bool {
+    /// Does the guard admit label `l`?
+    pub fn accepts(self, l: Label) -> bool {
         match self {
             Guard::Label(g) => g == l,
             Guard::Any => true,
@@ -58,6 +59,16 @@ impl Nfa {
 
     pub fn add_transition(&mut self, from: usize, guard: Guard, to: usize) {
         self.transitions.push((from, guard, to));
+    }
+
+    /// The accept states, in the order they were marked.
+    pub fn accept_states(&self) -> &[usize] {
+        &self.accept
+    }
+
+    /// The raw transition list `(from, guard, to)`.
+    pub fn transitions(&self) -> &[(usize, Guard, usize)] {
+        &self.transitions
     }
 
     /// Builds the NFA recognizing the root-to-node label strings selected by

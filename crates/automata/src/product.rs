@@ -3,13 +3,19 @@
 //! The implication procedures for linear constraints (Theorems 4.3/4.8 and
 //! 5.4) reason about which *combinations* of ranges a node's root-to-node
 //! path can belong to. A product state records one state per component DFA;
-//! its **acceptance mask** says exactly which component languages contain
+//! its **acceptance set** says exactly which component languages contain
 //! every word reaching the state. Reachable product states therefore
 //! enumerate the realizable membership vectors — exponential in the number
 //! of constraints in the worst case, matching the paper's "polynomial when
 //! the number of constraints is bounded" refinement.
+//!
+//! Acceptance sets use the ranked [`StateSetTable`] representation shared
+//! with [`crate::PatternSetCompiler`], so products over more than 64
+//! components are fully supported; only the legacy `u64`
+//! [`ProductDfa::accept_mask`] accessor retains the 64-component bound.
 
 use crate::dfa::Dfa;
+use crate::stateset::StateSetTable;
 use std::fmt;
 use xuc_xtree::Label;
 
@@ -18,9 +24,6 @@ use xuc_xtree::Label;
 pub enum ProductError {
     /// The product of zero automata is not defined here.
     NoComponents,
-    /// Acceptance masks pack one bit per component into a `u64`; more than
-    /// 64 components would silently corrupt them, so the build refuses.
-    TooManyComponents { got: usize },
     /// Component `index` disagrees with component 0 on the alphabet.
     AlphabetMismatch { index: usize },
 }
@@ -29,11 +32,6 @@ impl fmt::Display for ProductError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ProductError::NoComponents => write!(f, "product of zero automata"),
-            ProductError::TooManyComponents { got } => write!(
-                f,
-                "{got} component DFAs, but acceptance masks hold at most 64 \
-                 (one bit per component in a u64)"
-            ),
             ProductError::AlphabetMismatch { index } => {
                 write!(f, "component {index} uses a different alphabet than component 0")
             }
@@ -43,15 +41,21 @@ impl fmt::Display for ProductError {
 
 impl std::error::Error for ProductError {}
 
-/// Synchronous product of up to 64 component DFAs over a shared alphabet.
+/// Synchronous product of component DFAs over a shared alphabet.
+///
+/// Acceptance sets are stored in the ranked [`StateSetTable`]
+/// representation, so the component count is unbounded (the former
+/// 64-component `u64` ceiling applies only to the legacy
+/// [`accept_mask`](Self::accept_mask) accessor; the hot set-evaluation
+/// path reads whole rows via [`accept_row`](Self::accept_row)).
 #[derive(Debug, Clone)]
 pub struct ProductDfa {
     alphabet: Vec<Label>,
     components: usize,
     /// Component state vectors, indexed by product state.
     state_vecs: Vec<Vec<usize>>,
-    /// Bit `i` set iff component `i` accepts in this product state.
-    accept_masks: Vec<u64>,
+    /// Row `s` holds the components accepting in product state `s`.
+    accept: StateSetTable,
     /// `next[state][symbol]`.
     next: Vec<Vec<usize>>,
     /// BFS parent pointers (state, symbol) for shortest-witness extraction.
@@ -63,22 +67,17 @@ impl ProductDfa {
     /// Builds the reachable product of `dfas`.
     ///
     /// # Panics
-    /// Panics if `dfas` is empty, has more than 64 components, or the
-    /// alphabets differ — see [`try_build`](Self::try_build) for the
-    /// non-panicking form.
+    /// Panics if `dfas` is empty or the alphabets differ — see
+    /// [`try_build`](Self::try_build) for the non-panicking form.
     pub fn build(dfas: &[Dfa]) -> ProductDfa {
         Self::try_build(dfas).unwrap_or_else(|e| panic!("ProductDfa::build: {e}"))
     }
 
     /// Builds the reachable product of `dfas`, or explains why it cannot:
-    /// zero components, more than 64 components (the `u64` acceptance
-    /// masks would corrupt), or mismatched alphabets.
+    /// zero components or mismatched alphabets.
     pub fn try_build(dfas: &[Dfa]) -> Result<ProductDfa, ProductError> {
         if dfas.is_empty() {
             return Err(ProductError::NoComponents);
-        }
-        if dfas.len() > 64 {
-            return Err(ProductError::TooManyComponents { got: dfas.len() });
         }
         let alphabet = dfas[0].alphabet().to_vec();
         for (index, d) in dfas.iter().enumerate() {
@@ -115,24 +114,21 @@ impl ProductDfa {
             }
         }
 
-        let accept_masks = state_vecs
-            .iter()
-            .map(|vec| {
-                vec.iter().zip(dfas).enumerate().fold(0u64, |m, (i, (&cs, d))| {
-                    if d.is_accepting(cs) {
-                        m | (1 << i)
-                    } else {
-                        m
-                    }
-                })
-            })
-            .collect();
+        let mut accept = StateSetTable::new(dfas.len());
+        for vec in &state_vecs {
+            let row = accept.push_row();
+            for (i, (&cs, d)) in vec.iter().zip(dfas).enumerate() {
+                if d.is_accepting(cs) {
+                    accept.insert(row, i);
+                }
+            }
+        }
 
         Ok(ProductDfa {
             alphabet,
             components: dfas.len(),
             state_vecs,
-            accept_masks,
+            accept,
             next,
             prev,
             start: 0,
@@ -156,13 +152,24 @@ impl ProductDfa {
     }
 
     /// Bit `i` set iff component `i` accepts every word reaching `state`.
+    ///
+    /// # Panics
+    /// Panics when the product has more than 64 components (the mask
+    /// would truncate); wide products read [`accept_row`](Self::accept_row).
     pub fn accept_mask(&self, state: usize) -> u64 {
-        self.accept_masks[state]
+        self.accept.as_u64(state)
+    }
+
+    /// The ranked acceptance row of `state`: `⌈components / 64⌉` packed
+    /// words, bit `i` set iff component `i` accepts every word reaching
+    /// the state. Valid at any component count.
+    pub fn accept_row(&self, state: usize) -> &[u64] {
+        self.accept.row(state)
     }
 
     /// Does component `i` accept in `state`?
     pub fn component_accepts(&self, state: usize, i: usize) -> bool {
-        self.accept_masks[state] & (1 << i) != 0
+        self.accept.contains(state, i)
     }
 
     pub fn step(&self, state: usize, symbol: usize) -> usize {
@@ -291,22 +298,38 @@ mod tests {
     }
 
     #[test]
-    fn try_build_rejects_mask_overflow() {
-        // 65 components would need 65 mask bits: must be a clear error,
-        // not silent corruption of accept_masks.
+    fn ranked_rows_support_past_64_components() {
+        // The former u64 ceiling: 130 components must build, and the
+        // ranked rows must track every component faithfully.
+        let alpha = labels(&["a", "b", "z"]);
+        let wants_a = Nfa::from_linear_pattern(&parse("//a").unwrap()).determinize(&alpha);
+        let wants_b = Nfa::from_linear_pattern(&parse("//b").unwrap()).determinize(&alpha);
+        let many: Vec<Dfa> =
+            (0..130).map(|i| if i % 2 == 0 { wants_a.clone() } else { wants_b.clone() }).collect();
+        let p = ProductDfa::try_build(&many).expect("ranked rows have no component ceiling");
+        assert_eq!(p.component_count(), 130);
+
+        let s = p.run(&labels(&["b", "a"]));
+        assert_eq!(p.accept_row(s).len(), 130usize.div_ceil(64));
+        for i in 0..130 {
+            assert_eq!(p.component_accepts(s, i), i % 2 == 0, "component {i} after 'ba'");
+        }
+        let s = p.run(&labels(&["a", "b"]));
+        for i in 0..130 {
+            assert_eq!(p.component_accepts(s, i), i % 2 == 1, "component {i} after 'ab'");
+        }
+        let s = p.run(&labels(&["z"]));
+        assert!(p.accept_row(s).iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn accept_mask_matches_rows_at_64_and_below() {
         let alpha = labels(&["a", "z"]);
         let one = Nfa::from_linear_pattern(&parse("//a").unwrap()).determinize(&alpha);
-        let many: Vec<Dfa> = vec![one.clone(); 65];
-        assert!(matches!(
-            ProductDfa::try_build(&many),
-            Err(ProductError::TooManyComponents { got: 65 })
-        ));
-        // Exactly 64 components is still fine.
-        let ok: Vec<Dfa> = vec![one; 64];
-        let p = ProductDfa::try_build(&ok).expect("64 components fit the mask");
-        assert_eq!(p.component_count(), 64);
+        let p = ProductDfa::try_build(&vec![one; 64]).expect("64 components");
         let s = p.run(&labels(&["a"]));
         assert_eq!(p.accept_mask(s), u64::MAX);
+        assert_eq!(p.accept_row(s), &[u64::MAX]);
     }
 
     #[test]

@@ -1,0 +1,443 @@
+//! Set-at-a-time compilation of whole pattern batches.
+//!
+//! The per-pattern evaluation path pays one bitset sweep per pattern per
+//! tree, even when the batch shares most of its structure (constraint
+//! suites routinely protect dozens of ranges over the same few spine
+//! prefixes). For **linear** patterns — `XP{/,//,*}`, where membership of
+//! a node depends only on its root-to-node label string — the whole batch
+//! can instead be lowered into *one* automaton:
+//!
+//! 1. each linear pattern becomes an [`Nfa`] ([`Nfa::from_linear_pattern`]),
+//! 2. the union of those NFAs is determinized by a **tagged subset
+//!    construction** that records, per DFA state, the set of patterns
+//!    whose accept states are present ([`StateSetTable`], the same ranked
+//!    representation [`crate::ProductDfa`] uses — no 64-pattern ceiling),
+//! 3. the DFA is minimized by Moore partition refinement, which is what
+//!    actually pools the shared prefixes: equivalent residuals of
+//!    different patterns collapse into one state.
+//!
+//! A single pre-order pass over a tree then labels every node with its
+//! satisfied-pattern bitset row ([`xuc_xpath::Evaluator::eval_set`] runs
+//! that pass over its snapshot). Patterns with predicates cannot be path
+//! automata; they are carried as **fallbacks** and evaluated by the
+//! per-pattern path, so a compiled batch always answers for the full
+//! input slice.
+
+use crate::nfa::{Guard, Nfa};
+use crate::stateset::StateSetTable;
+use std::collections::{BTreeSet, HashMap};
+use xuc_xpath::{Pattern, PatternSetAutomaton};
+use xuc_xtree::Label;
+
+/// Compiles a slice of XPath patterns into one [`CompiledPatternSet`].
+///
+/// ```
+/// use xuc_automata::PatternSetCompiler;
+/// use xuc_xpath::parse;
+///
+/// let suite =
+///     vec![parse("/a/b").unwrap(), parse("//b").unwrap(), parse("/a[/c]").unwrap()];
+/// let compiled = PatternSetCompiler::compile(&suite);
+/// assert_eq!(compiled.pattern_count(), 3);
+/// assert_eq!(compiled.compiled_count(), 2); // the predicate pattern falls back
+/// assert_eq!(compiled.fallback_count(), 1);
+/// ```
+pub struct PatternSetCompiler;
+
+/// One pattern batch lowered into a minimal DFA plus per-pattern
+/// fallbacks; see the [module docs](self) for the construction and
+/// [`xuc_xpath::Evaluator::eval_set`] for the consumer.
+#[derive(Debug, Clone)]
+pub struct CompiledPatternSet {
+    alphabet: Vec<Label>,
+    /// Label raw id → symbol index; ids past the end (and ids of labels
+    /// outside the alphabet) map to `z_sym`.
+    sym_by_raw: Vec<u16>,
+    z_sym: u16,
+    start: u32,
+    /// `next[state * alphabet.len() + symbol]`.
+    next: Vec<u32>,
+    /// Row `s` = batch indices of the patterns state `s` satisfies.
+    accept: StateSetTable,
+    /// `(batch index, pattern)` pairs the automaton does not cover.
+    fallbacks: Vec<(usize, Pattern)>,
+    pattern_count: usize,
+}
+
+impl PatternSetCompiler {
+    /// Lowers `patterns` into one automaton. Linear patterns are compiled;
+    /// patterns with predicates are kept as fallbacks. Order is preserved:
+    /// bit `i` of an acceptance row (and entry `i` of every
+    /// [`eval_set`](xuc_xpath::Evaluator::eval_set) result) corresponds to
+    /// the `i`-th input pattern.
+    pub fn compile<'a>(patterns: impl IntoIterator<Item = &'a Pattern>) -> CompiledPatternSet {
+        let patterns: Vec<&Pattern> = patterns.into_iter().collect();
+        let pattern_count = patterns.len();
+        let mut linear: Vec<(usize, Nfa)> = Vec::new();
+        let mut fallbacks: Vec<(usize, Pattern)> = Vec::new();
+        for (i, q) in patterns.iter().enumerate() {
+            if q.is_linear() {
+                linear.push((i, Nfa::from_linear_pattern(q)));
+            } else {
+                fallbacks.push((i, (*q).clone()));
+            }
+        }
+        if linear.is_empty() {
+            // Trivial one-state automaton: nothing accepts, everything
+            // comes from the fallback path.
+            let mut accept = StateSetTable::new(pattern_count);
+            accept.push_row();
+            return CompiledPatternSet {
+                alphabet: vec![Label::z()],
+                sym_by_raw: Vec::new(),
+                z_sym: 0,
+                start: 0,
+                next: vec![0],
+                accept,
+                fallbacks,
+                pattern_count,
+            };
+        }
+
+        // Alphabet: every label the compiled patterns mention plus the
+        // fresh `z` standing for "any other label" (a tree label outside
+        // the alphabet interacts with no guard a compiled pattern has, so
+        // mapping it to `z` preserves every answer).
+        let z = xuc_xpath::canonical::fresh_label_for(
+            patterns.iter().copied().filter(|q| q.is_linear()),
+        );
+        let mut alpha_set: BTreeSet<Label> = BTreeSet::new();
+        for (i, _) in &linear {
+            alpha_set.extend(patterns[*i].labels());
+        }
+        alpha_set.insert(z);
+        let alphabet: Vec<Label> = alpha_set.into_iter().collect();
+        let alen = alphabet.len();
+        let z_sym = alphabet.iter().position(|&l| l == z).expect("z inserted") as u16;
+        let max_raw = alphabet.iter().map(|l| l.raw() as usize).max().expect("non-empty");
+        let mut sym_by_raw = vec![z_sym; max_raw + 1];
+        for (s, l) in alphabet.iter().enumerate() {
+            sym_by_raw[l.raw() as usize] = s as u16;
+        }
+
+        // Global NFA state space: the disjoint union of the per-pattern
+        // NFAs, with per-state successor lists and accept tags.
+        let mut offsets = Vec::with_capacity(linear.len());
+        let mut total = 0usize;
+        for (_, nfa) in &linear {
+            offsets.push(total);
+            total += nfa.state_count();
+        }
+        let mut succ: Vec<Vec<(Guard, u32)>> = vec![Vec::new(); total];
+        let mut accept_tag: Vec<Option<u32>> = vec![None; total];
+        let mut starts: Vec<u32> = Vec::with_capacity(linear.len());
+        for (j, (batch_idx, nfa)) in linear.iter().enumerate() {
+            let off = offsets[j];
+            starts.push((off + nfa.start()) as u32);
+            for &(from, guard, to) in nfa.transitions() {
+                succ[off + from].push((guard, (off + to) as u32));
+            }
+            for &a in nfa.accept_states() {
+                accept_tag[off + a] = Some(*batch_idx as u32);
+            }
+        }
+        starts.sort_unstable();
+
+        // Tagged subset construction over the explicit alphabet. Each new
+        // subset gets its `next` row up front, so rows are always
+        // allocated before the state is popped from the worklist.
+        let mut index: HashMap<Vec<u32>, u32> = HashMap::new();
+        let mut subsets: Vec<Vec<u32>> = vec![starts.clone()];
+        index.insert(starts, 0);
+        let mut next: Vec<u32> = vec![u32::MAX; alen];
+        let mut seen = vec![false; total];
+        let mut work = vec![0u32];
+        while let Some(s) = work.pop() {
+            let row_base = s as usize * alen;
+            for (sym, &label) in alphabet.iter().enumerate() {
+                let mut target: Vec<u32> = Vec::new();
+                for &g in &subsets[s as usize] {
+                    for &(guard, to) in &succ[g as usize] {
+                        if guard.accepts(label) && !seen[to as usize] {
+                            seen[to as usize] = true;
+                            target.push(to);
+                        }
+                    }
+                }
+                for &t in &target {
+                    seen[t as usize] = false;
+                }
+                target.sort_unstable();
+                let t = match index.get(&target) {
+                    Some(&t) => t,
+                    None => {
+                        let t = subsets.len() as u32;
+                        index.insert(target.clone(), t);
+                        subsets.push(target);
+                        next.resize(next.len() + alen, u32::MAX);
+                        work.push(t);
+                        t
+                    }
+                };
+                next[row_base + sym] = t;
+            }
+        }
+
+        let mut accept = StateSetTable::new(pattern_count);
+        for subset in &subsets {
+            let row = accept.push_row();
+            for &g in subset {
+                if let Some(b) = accept_tag[g as usize] {
+                    accept.insert(row, b as usize);
+                }
+            }
+        }
+
+        let (start, next, accept) = minimize(0, &next, &accept, alen);
+        CompiledPatternSet {
+            alphabet,
+            sym_by_raw,
+            z_sym,
+            start,
+            next,
+            accept,
+            fallbacks,
+            pattern_count,
+        }
+    }
+}
+
+/// Moore partition refinement: initial classes by acceptance row, refined
+/// by successor classes until stable. Returns the quotient automaton's
+/// `(start, next, accept)`. Class ids are assigned in first-state order,
+/// so the result is deterministic.
+fn minimize(
+    start: u32,
+    next: &[u32],
+    accept: &StateSetTable,
+    alen: usize,
+) -> (u32, Vec<u32>, StateSetTable) {
+    let n = accept.len();
+    let mut class: Vec<u32> = Vec::with_capacity(n);
+    let mut by_row: HashMap<Vec<u64>, u32> = HashMap::new();
+    for s in 0..n {
+        let c = by_row.len() as u32;
+        class.push(*by_row.entry(accept.row(s).to_vec()).or_insert(c));
+    }
+    let mut classes = by_row.len();
+    loop {
+        let mut key_index: HashMap<Vec<u32>, u32> = HashMap::new();
+        let mut new_class: Vec<u32> = Vec::with_capacity(n);
+        for s in 0..n {
+            let mut key = Vec::with_capacity(alen + 1);
+            key.push(class[s]);
+            for sym in 0..alen {
+                key.push(class[next[s * alen + sym] as usize]);
+            }
+            let c = key_index.len() as u32;
+            new_class.push(*key_index.entry(key).or_insert(c));
+        }
+        let stable = key_index.len() == classes;
+        classes = key_index.len();
+        class = new_class;
+        if stable {
+            break;
+        }
+    }
+
+    // Rebuild on class representatives (the first state of each class).
+    let mut rep: Vec<usize> = vec![usize::MAX; classes];
+    for (s, &c) in class.iter().enumerate() {
+        if rep[c as usize] == usize::MAX {
+            rep[c as usize] = s;
+        }
+    }
+    let mut min_next = vec![u32::MAX; classes * alen];
+    let mut min_accept = StateSetTable::new(accept.components());
+    for (c, &r) in rep.iter().enumerate() {
+        for sym in 0..alen {
+            min_next[c * alen + sym] = class[next[r * alen + sym] as usize];
+        }
+        min_accept.push_packed(accept.row(r));
+    }
+    (class[start as usize], min_next, min_accept)
+}
+
+impl CompiledPatternSet {
+    /// Number of patterns in the batch (compiled + fallback).
+    pub fn pattern_count(&self) -> usize {
+        self.pattern_count
+    }
+
+    /// Number of patterns the automaton covers.
+    pub fn compiled_count(&self) -> usize {
+        self.pattern_count - self.fallbacks.len()
+    }
+
+    /// Number of patterns carried as per-pattern fallbacks.
+    pub fn fallback_count(&self) -> usize {
+        self.fallbacks.len()
+    }
+
+    /// Number of DFA states after minimization.
+    pub fn state_count(&self) -> usize {
+        self.accept.len()
+    }
+
+    /// The compiled alphabet (pattern labels plus the fresh `z`).
+    pub fn alphabet(&self) -> &[Label] {
+        &self.alphabet
+    }
+
+    #[inline]
+    fn symbol_of(&self, label: Label) -> usize {
+        let raw = label.raw() as usize;
+        if raw < self.sym_by_raw.len() {
+            self.sym_by_raw[raw] as usize
+        } else {
+            self.z_sym as usize
+        }
+    }
+
+    /// Batch indices of the compiled patterns matched by `word` (a
+    /// root-to-node label path, root label excluded) — the slow per-word
+    /// reference for the per-node pass [`xuc_xpath::Evaluator::eval_set`]
+    /// runs over whole trees.
+    pub fn matches(&self, word: &[Label]) -> Vec<usize> {
+        let mut s = self.start;
+        for &l in word {
+            s = self.next[s as usize * self.alphabet.len() + self.symbol_of(l)];
+        }
+        self.accept.iter_row(s as usize).collect()
+    }
+}
+
+impl PatternSetAutomaton for CompiledPatternSet {
+    fn pattern_count(&self) -> usize {
+        self.pattern_count
+    }
+
+    fn start_state(&self) -> u32 {
+        self.start
+    }
+
+    #[inline]
+    fn step(&self, state: u32, label: Label) -> u32 {
+        self.next[state as usize * self.alphabet.len() + self.symbol_of(label)]
+    }
+
+    fn accept_row(&self, state: u32) -> &[u64] {
+        self.accept.row(state as usize)
+    }
+
+    fn fallbacks(&self) -> &[(usize, Pattern)] {
+        &self.fallbacks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xuc_xpath::parse;
+
+    fn labels(names: &[&str]) -> Vec<Label> {
+        names.iter().map(|n| Label::new(n)).collect()
+    }
+
+    #[test]
+    fn matches_agree_with_per_pattern_nfas() {
+        let srcs = ["/a/b", "//b", "/a/*//b", "//a//a", "/a", "//*/b"];
+        let suite: Vec<Pattern> = srcs.iter().map(|s| parse(s).unwrap()).collect();
+        let compiled = PatternSetCompiler::compile(&suite);
+        assert_eq!(compiled.compiled_count(), srcs.len());
+        let nfas: Vec<Nfa> = suite.iter().map(Nfa::from_linear_pattern).collect();
+        let alpha = labels(&["a", "b", "q"]);
+        // Exhaustive words up to length 4 over a 3-letter alphabet.
+        let mut words: Vec<Vec<Label>> = vec![vec![]];
+        for _ in 0..4 {
+            let mut next: Vec<Vec<Label>> = Vec::new();
+            for w in &words {
+                for &l in &alpha {
+                    let mut w2 = w.clone();
+                    w2.push(l);
+                    next.push(w2);
+                }
+            }
+            for w in &next {
+                let got = compiled.matches(w);
+                let want: Vec<usize> = (0..nfas.len()).filter(|&i| nfas[i].accepts(w)).collect();
+                assert_eq!(got, want, "word {w:?}");
+            }
+            words = next;
+        }
+    }
+
+    #[test]
+    fn predicates_fall_back() {
+        let suite: Vec<Pattern> =
+            ["/a[/b]", "//c", "/a[/b]/d"].iter().map(|s| parse(s).unwrap()).collect();
+        let compiled = PatternSetCompiler::compile(&suite);
+        assert_eq!(compiled.compiled_count(), 1);
+        let fallback_idxs: Vec<usize> =
+            PatternSetAutomaton::fallbacks(&compiled).iter().map(|(i, _)| *i).collect();
+        assert_eq!(fallback_idxs, vec![0, 2]);
+        // The compiled bit is the original batch index, not a dense rank.
+        assert_eq!(compiled.matches(&labels(&["c"])), vec![1]);
+    }
+
+    #[test]
+    fn all_fallback_batch_compiles_to_trivial_automaton() {
+        let suite: Vec<Pattern> = ["/a[/b]", "/c[/d]"].iter().map(|s| parse(s).unwrap()).collect();
+        let compiled = PatternSetCompiler::compile(&suite);
+        assert_eq!(compiled.compiled_count(), 0);
+        assert_eq!(compiled.state_count(), 1);
+        assert!(compiled.matches(&labels(&["a", "b"])).is_empty());
+    }
+
+    #[test]
+    fn shared_prefixes_pool_states() {
+        // 32 patterns sharing one /a/b/c spine prefix: the minimized
+        // automaton must stay far below the sum of per-pattern sizes.
+        let suite: Vec<Pattern> =
+            (0..32).map(|i| parse(&format!("/a/b/c/t{}", i % 8)).unwrap()).collect();
+        let compiled = PatternSetCompiler::compile(&suite);
+        let per_pattern_states: usize = suite.iter().map(|q| q.len() + 1).sum();
+        assert!(
+            compiled.state_count() * 4 < per_pattern_states,
+            "minimization must pool shared prefixes: {} states vs {} summed",
+            compiled.state_count(),
+            per_pattern_states
+        );
+        // Duplicate tails share one accepting state but keep distinct bits.
+        assert_eq!(compiled.matches(&labels(&["a", "b", "c", "t3"])), vec![3, 11, 19, 27],);
+    }
+
+    #[test]
+    fn foreign_labels_behave_like_z() {
+        let suite: Vec<Pattern> = ["//a/*", "/a/b"].iter().map(|s| parse(s).unwrap()).collect();
+        let compiled = PatternSetCompiler::compile(&suite);
+        // `weird` is not in the alphabet: the wildcard still consumes it,
+        // the concrete /a/b guard still rejects it.
+        assert_eq!(compiled.matches(&labels(&["a", "weird-label-outside"])), vec![0]);
+        assert_eq!(compiled.matches(&labels(&["a", "b"])), vec![0, 1]);
+    }
+
+    #[test]
+    fn past_64_patterns_use_ranked_rows() {
+        let suite: Vec<Pattern> = (0..130).map(|i| parse(&format!("//p{i}")).unwrap()).collect();
+        let compiled = PatternSetCompiler::compile(&suite);
+        assert_eq!(compiled.pattern_count(), 130);
+        assert_eq!(compiled.matches(&labels(&["p0", "p129"])), vec![129]);
+        assert_eq!(compiled.matches(&labels(&["p64"])), vec![64]);
+        // //p0 stays matched under descendant padding.
+        assert_eq!(compiled.matches(&labels(&["x", "p0", "x"])), vec![]);
+        assert_eq!(compiled.matches(&labels(&["x", "p0"])), vec![0]);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let compiled = PatternSetCompiler::compile(std::iter::empty::<&Pattern>());
+        assert_eq!(compiled.pattern_count(), 0);
+        assert!(compiled.matches(&labels(&["a"])).is_empty());
+    }
+}

@@ -1,0 +1,197 @@
+//! The ranked state-set representation shared by every multi-component
+//! automaton in this crate.
+//!
+//! Both [`crate::ProductDfa`] and [`crate::PatternSetCompiler`] need to
+//! answer, per automaton state, "which of the `k` components accept
+//! here?". With `k ≤ 64` a plain `u64` mask suffices, but the
+//! set-at-a-time evaluation path runs over batches of dozens to hundreds
+//! of patterns, so the acceptance sets are stored *ranked*: one dense row
+//! of `⌈k / 64⌉` words per state, laid out contiguously so the hot loop
+//! reads a state's whole row as a single slice. Word `w` of a row covers
+//! components `64·w .. 64·w + 63`; bit `i & 63` of word `i >> 6` is
+//! component `i` — the same packing `xuc_xpath`'s bitset evaluation
+//! engine uses for its satisfaction rows, so rows can be consumed
+//! directly as satisfied-pattern bitsets.
+
+use std::fmt;
+
+/// A table of fixed-width component bitsets: one row per automaton state,
+/// one bit per component.
+///
+/// ```
+/// use xuc_automata::StateSetTable;
+///
+/// let mut t = StateSetTable::new(130); // 130 components → 3 words per row
+/// assert_eq!(t.words_per_row(), 3);
+/// let s0 = t.push_row();
+/// let s1 = t.push_row();
+/// t.insert(s1, 0);
+/// t.insert(s1, 129);
+/// assert!(t.contains(s1, 129) && !t.contains(s0, 129));
+/// assert_eq!(t.iter_row(s1).collect::<Vec<_>>(), vec![0, 129]);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct StateSetTable {
+    components: usize,
+    words: usize,
+    bits: Vec<u64>,
+}
+
+impl StateSetTable {
+    /// An empty table whose rows hold `components` bits each.
+    pub fn new(components: usize) -> StateSetTable {
+        StateSetTable { components, words: components.div_ceil(64).max(1), bits: Vec::new() }
+    }
+
+    /// Number of components (bits) per row.
+    pub fn components(&self) -> usize {
+        self.components
+    }
+
+    /// Number of `u64` words per row: `⌈components / 64⌉` (min 1).
+    pub fn words_per_row(&self) -> usize {
+        self.words
+    }
+
+    /// Number of rows (states) stored.
+    pub fn len(&self) -> usize {
+        self.bits.len() / self.words
+    }
+
+    /// Is the table empty (no rows)?
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Appends an all-zero row and returns its index.
+    pub fn push_row(&mut self) -> usize {
+        self.bits.resize(self.bits.len() + self.words, 0);
+        self.len() - 1
+    }
+
+    /// Appends a pre-packed row of exactly
+    /// [`words_per_row`](Self::words_per_row) words and returns its index.
+    ///
+    /// # Panics
+    /// Panics when `row` has the wrong width.
+    pub fn push_packed(&mut self, row: &[u64]) -> usize {
+        assert_eq!(row.len(), self.words, "packed row width mismatch");
+        self.bits.extend_from_slice(row);
+        self.len() - 1
+    }
+
+    /// Sets bit `component` of `row`.
+    ///
+    /// # Panics
+    /// Panics when `component` is out of range.
+    pub fn insert(&mut self, row: usize, component: usize) {
+        assert!(component < self.components, "component {component} out of range");
+        self.bits[row * self.words + (component >> 6)] |= 1u64 << (component & 63);
+    }
+
+    /// Is bit `component` of `row` set?
+    pub fn contains(&self, row: usize, component: usize) -> bool {
+        component < self.components
+            && self.bits[row * self.words + (component >> 6)] & (1u64 << (component & 63)) != 0
+    }
+
+    /// The packed words of `row` (length [`words_per_row`](Self::words_per_row)).
+    pub fn row(&self, row: usize) -> &[u64] {
+        &self.bits[row * self.words..(row + 1) * self.words]
+    }
+
+    /// Does `row` contain no components at all?
+    pub fn row_is_empty(&self, row: usize) -> bool {
+        self.row(row).iter().all(|&w| w == 0)
+    }
+
+    /// The row as a single `u64`, for callers predating the ranked
+    /// representation.
+    ///
+    /// # Panics
+    /// Panics when the table holds more than 64 components (the mask
+    /// would silently truncate); use [`row`](Self::row) instead.
+    pub fn as_u64(&self, row: usize) -> u64 {
+        assert!(
+            self.components <= 64,
+            "{} components do not fit a u64 mask; use row() for the ranked form",
+            self.components
+        );
+        self.bits[row * self.words]
+    }
+
+    /// Iterates the set components of `row` in ascending order.
+    pub fn iter_row(&self, row: usize) -> impl Iterator<Item = usize> + '_ {
+        self.row(row).iter().enumerate().flat_map(|(wi, &word)| {
+            (0..64).filter(move |b| word & (1u64 << b) != 0).map(move |b| (wi << 6) | b)
+        })
+    }
+}
+
+impl fmt::Debug for StateSetTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "StateSetTable({} rows × {} components)", self.len(), self.components)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_word_rows() {
+        let mut t = StateSetTable::new(3);
+        assert_eq!(t.words_per_row(), 1);
+        let r = t.push_row();
+        t.insert(r, 0);
+        t.insert(r, 2);
+        assert_eq!(t.as_u64(r), 0b101);
+        assert!(t.contains(r, 0) && !t.contains(r, 1) && t.contains(r, 2));
+        assert!(!t.contains(r, 99), "out-of-range membership is false, not a panic");
+        assert_eq!(t.iter_row(r).collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn multi_word_rows_round_trip() {
+        let mut t = StateSetTable::new(200);
+        assert_eq!(t.words_per_row(), 4);
+        let r0 = t.push_row();
+        let r1 = t.push_row();
+        for c in [0usize, 63, 64, 127, 128, 199] {
+            t.insert(r1, c);
+        }
+        assert!(t.row_is_empty(r0));
+        assert!(!t.row_is_empty(r1));
+        assert_eq!(t.iter_row(r1).collect::<Vec<_>>(), vec![0, 63, 64, 127, 128, 199]);
+        assert_eq!(t.row(r1).len(), 4);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn push_packed_matches_insert() {
+        let mut a = StateSetTable::new(70);
+        let r = a.push_row();
+        a.insert(r, 1);
+        a.insert(r, 69);
+        let mut b = StateSetTable::new(70);
+        let rb = b.push_packed(a.row(r));
+        assert_eq!(a.row(r), b.row(rb));
+    }
+
+    #[test]
+    #[should_panic(expected = "do not fit a u64")]
+    fn as_u64_rejects_wide_tables() {
+        let mut t = StateSetTable::new(65);
+        let r = t.push_row();
+        let _ = t.as_u64(r);
+    }
+
+    #[test]
+    fn zero_components_still_has_one_word() {
+        let mut t = StateSetTable::new(0);
+        assert_eq!(t.words_per_row(), 1);
+        let r = t.push_row();
+        assert!(t.row_is_empty(r));
+        assert_eq!(t.iter_row(r).count(), 0);
+    }
+}

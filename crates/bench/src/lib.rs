@@ -111,6 +111,27 @@ pub fn eir_workload(nodes: usize) -> (xuc_xtree::DataTree, Vec<xuc_xpath::Patter
     eval_engine_workload(nodes, 8)
 }
 
+/// E-SET: the set-at-a-time workload — the E-EV document generator plus a
+/// deterministic overlapping-prefix suite of `patterns` linear patterns
+/// over the same label pool, so the suite actually selects nodes.
+pub fn eset_workload(
+    nodes: usize,
+    patterns: usize,
+) -> (xuc_xtree::DataTree, Vec<xuc_xpath::Pattern>) {
+    let labels = ["a", "b", "c", "d", "e"];
+    let tree = trees::random_tree(&mut rng(), &labels, nodes);
+    let suite = queries::overlapping_prefix_suite(&labels, patterns, 6);
+    (tree, suite)
+}
+
+/// E-SET search integration: an overlapping-prefix constraint batch above
+/// the set-at-a-time crossover, with a refutable goal — the search
+/// verifies candidates through one compiled automaton.
+pub fn eset_search_workload() -> (Vec<Constraint>, Constraint) {
+    let labels = ["a", "b", "c", "d", "e"];
+    queries::overlapping_prefix_constraints(&labels, 24, 4, ConstraintKind::NoRemove)
+}
+
 /// E-PAR: a full-fragment (T1-d style) workload whose implication *holds*,
 /// so the counterexample search exhausts its entire budget — a pure
 /// candidate-throughput measurement for the shard sweep.

@@ -2,7 +2,7 @@
 //! `q1 ∩ … ∩ qk ⊆ q`.
 //!
 //! This is the hard direction of Theorem 4.4's equivalence test for
-//! `XP{/,[],//}` — coNP-hard by [13] (Theorem 4.9) — decided here by
+//! `XP{/,[],//}` — coNP-hard by \[13\] (Theorem 4.9) — decided here by
 //! enumerating the *merged canonical models* of the conjunction:
 //!
 //! In any tree where all `qi` select a common output node `n`, every

@@ -50,6 +50,20 @@ pub fn implies_linear(set: &[Constraint], goal: &Constraint) -> Outcome<CounterE
             effort: "exact linear decision requires concrete (non-wildcard) outputs".into(),
         };
     }
+    // The fixpoint's `Analysis` packs one bit per range (constraints +
+    // goal) into `u64` masks. `ProductDfa` itself has no component
+    // ceiling any more (ranked rows), but this procedure's masks do —
+    // and the paper's PTIME/NP cells assume a *bounded* constraint count
+    // anyway, so past it we report honest ignorance instead of panicking
+    // deep in the mask arithmetic.
+    if set.len() + 1 > 64 {
+        return Outcome::Unknown {
+            effort: format!(
+                "exact linear decision packs ranges into u64 masks; got {} ranges (max 64)",
+                set.len() + 1
+            ),
+        };
+    }
     match goal.kind {
         ConstraintKind::NoRemove => decide_no_remove(set, goal),
         ConstraintKind::NoInsert => {
@@ -406,6 +420,21 @@ mod tests {
 
     fn c(s: &str) -> Constraint {
         parse_constraint(s).unwrap()
+    }
+
+    #[test]
+    fn past_64_ranges_reports_unknown_not_panic() {
+        // The fixpoint packs ranges into u64 masks; ProductDfa itself no
+        // longer has a component ceiling, so the guard must live here.
+        // 64 constraints + goal = 65 mask bits: honest Unknown, and the
+        // implies() dispatcher falls through to the (set-path) search.
+        let set: Vec<Constraint> = (0..64).map(|i| c(&format!("(//k{i}, ↑)"))).collect();
+        let goal = c("(//g, ↑)");
+        assert!(matches!(implies_linear(&set, &goal), Outcome::Unknown { .. }));
+        // One fewer constraint fits the masks and decides exactly.
+        assert!(implies_linear(&set[..63], &goal).is_not_implied());
+        // End to end: the dispatcher still answers (via the search).
+        assert!(crate::implication::implies(&set, &goal).is_not_implied());
     }
 
     fn decide(set: &[Constraint], goal: &Constraint) -> bool {

@@ -29,6 +29,18 @@
 //! the edit is reverted via [`xuc_xtree::undo`]. Trees are cloned exactly
 //! once per *returned* counterexample.
 //!
+//! Large constraint batches additionally take the **set-at-a-time** path:
+//! when at least `SET_PATH_CROSSOVER` constraint ranges are linear, the
+//! whole range batch is compiled **once per search** into a single tagged
+//! automaton ([`xuc_automata::PatternSetCompiler`]) and every candidate's
+//! constraint verification becomes one [`Evaluator::eval_set`] pass —
+//! one automaton step per node instead of one bitset sweep per range.
+//! The goal range stays on the lazy per-pattern path (it is evaluated for
+//! every candidate; the constraint ranges only when the goal check
+//! fires). Results are identical either way (`eval_set` ≡ `eval_all` is
+//! property-pinned in `xuc-xpath`), so determinism is unaffected — the
+//! sharded determinism suite runs a batch above the crossover to prove it.
+//!
 //! # Sharding and determinism
 //!
 //! Candidate enumeration is embarrassingly parallel, so
@@ -45,7 +57,7 @@
 //!   candidate: workers publish wins to a shared atomic best-index (also
 //!   used to prune candidates that can no longer win), and the minimum
 //!   over all workers is taken at join;
-//! * phase 3's random pairs are drawn from [`P3_STREAMS`] *virtual
+//! * phase 3's random pairs are drawn from `P3_STREAMS` *virtual
 //!   streams*, each with a seed derived as `P3_SEED ^ mix(stream)`
 //!   (per-stream, **not** per-OS-thread), interleaved round-robin into the
 //!   global index space — so the pair at any index is the same no matter
@@ -63,8 +75,19 @@ use crate::outcome::CounterExample;
 use parking_lot::Mutex;
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use xuc_automata::{CompiledPatternSet, PatternSetCompiler};
 use xuc_xpath::{canonical, Evaluator, Pattern};
 use xuc_xtree::{apply_undoable, undo, DataTree, Label, NodeId, NodeRef, Update};
+
+/// Crossover for the set-at-a-time constraint verification path: the
+/// range batch is compiled into one automaton when at least this many
+/// ranges take the compiled (linear) path. Below the crossover the
+/// per-pattern loop wins — it usually evaluates only the goal range,
+/// while the compiled pass scans every range's acceptance row per node.
+/// The E-SET experiment in `run_experiments` measures the batch
+/// break-even (between 8 and 16 patterns on 1k-node documents) and
+/// asserts the ≥ 3× win at 64 patterns that justifies the switch.
+pub(crate) const SET_PATH_CROSSOVER: usize = 16;
 
 /// A tiny deterministic xorshift generator (no external dependency, fully
 /// reproducible searches).
@@ -115,6 +138,21 @@ fn refutes(
 
 fn eval_sets(ev: &mut Evaluator, patterns: &[&Pattern]) -> Vec<BTreeSet<NodeRef>> {
     patterns.iter().map(|q| ev.eval(q)).collect()
+}
+
+/// All range results for the current tree, in `SearchCtx::patterns`
+/// layout (one entry per constraint of `set`, then the goal): a single
+/// [`Evaluator::eval_set`] pass on the set-at-a-time path, the
+/// per-pattern loop otherwise. The two produce identical sets.
+fn eval_ranges(ctx: &SearchCtx, ev: &mut Evaluator) -> Vec<BTreeSet<NodeRef>> {
+    match ctx.set_dfa {
+        Some(dfa) => {
+            let mut sets = ev.eval_set(dfa);
+            sets.push(ev.eval(&ctx.goal.range));
+            sets
+        }
+        None => eval_sets(ev, ctx.patterns),
+    }
 }
 
 /// Virtual phase-3 RNG streams. Fixed (independent of the worker count) so
@@ -186,6 +224,19 @@ pub fn find_counterexample_with_stats(
     budget: usize,
     shards: usize,
 ) -> (Option<CounterExample>, SearchStats) {
+    find_counterexample_tuned(set, goal, budget, shards, SET_PATH_CROSSOVER)
+}
+
+/// [`find_counterexample_with_stats`] with an explicit set-path crossover
+/// (tests force both verification paths on one input; `usize::MAX`
+/// disables the set path entirely).
+fn find_counterexample_tuned(
+    set: &[Constraint],
+    goal: &Constraint,
+    budget: usize,
+    shards: usize,
+    crossover: usize,
+) -> (Option<CounterExample>, SearchStats) {
     let shards = shards.max(1);
     let budget = budget as u64;
     let patterns: Vec<&Pattern> = set.iter().map(|c| &c.range).chain([&goal.range]).collect();
@@ -194,6 +245,16 @@ pub fn find_counterexample_with_stats(
     let bound = patterns.iter().map(|p| canonical::chain_bound_for(p)).max().unwrap_or(2);
     let labels = label_pool(&patterns, z);
     let seeds = seed_trees(&goal.range, set, bound.min(3), z);
+
+    // Set-at-a-time crossover: compile the constraint ranges (goal
+    // excluded — it stays on the lazy per-candidate path) once for the
+    // whole search when enough of them compile to linear automata.
+    let set_dfa: Option<CompiledPatternSet> = if set.len() >= crossover {
+        let compiled = PatternSetCompiler::compile(set.iter().map(|c| &c.range));
+        (compiled.compiled_count() >= crossover).then_some(compiled)
+    } else {
+        None
+    };
 
     // Enumerate the phase-1 candidates up front on this thread, so
     // candidate identity (including the ids minted for `ReplaceId` edits)
@@ -236,6 +297,7 @@ pub fn find_counterexample_with_stats(
         set,
         goal,
         patterns: &patterns,
+        set_dfa: set_dfa.as_ref(),
         seeds: &seeds,
         seed_edits: &seed_edits,
         labels: &labels,
@@ -282,6 +344,9 @@ struct SearchCtx<'a> {
     set: &'a [Constraint],
     goal: &'a Constraint,
     patterns: &'a [&'a Pattern],
+    /// The compiled constraint-range batch, present iff the search is on
+    /// the set-at-a-time path (see `SET_PATH_CROSSOVER`).
+    set_dfa: Option<&'a CompiledPatternSet>,
     seeds: &'a [(DataTree, NodeId)],
     seed_edits: &'a [Vec<Update>],
     labels: &'a [Label],
@@ -360,7 +425,7 @@ fn run_edit_chunk(
             }
             None => Evaluator::new(&work),
         };
-        let base_sets = eval_sets(&mut ev, ctx.patterns);
+        let base_sets = eval_ranges(ctx, &mut ev);
         *cache = Some(SeedState { seed, work, ev, base_sets });
     }
     let st = cache.as_mut().expect("just built");
@@ -387,7 +452,11 @@ fn run_edit_chunk(
         // The opposite direction covers ↓ goals.
         let bwd = !ctx.goal.kind.satisfied_on(&after_goal, &st.base_sets[goal_i]);
         let after: Vec<BTreeSet<NodeRef>> = if fwd || bwd {
-            ctx.set.iter().map(|c| st.ev.eval(&c.range)).collect()
+            match ctx.set_dfa {
+                // One compiled pass for the whole constraint batch.
+                Some(dfa) => st.ev.eval_set(dfa),
+                None => ctx.set.iter().map(|c| st.ev.eval(&c.range)).collect(),
+            }
         } else {
             Vec::new()
         };
@@ -783,6 +852,7 @@ mod tests {
             set: &set,
             goal: &goal,
             patterns: &patterns,
+            set_dfa: None,
             seeds: &seeds,
             seed_edits: &seed_edits,
             labels: &labels,
@@ -810,6 +880,58 @@ mod tests {
             "walks {walks} != seed builds {seeds_built} over {total} relabel candidates"
         );
         assert!(ctx.spent.load(Ordering::Relaxed) >= total as u64);
+    }
+
+    /// A linear constraint batch above the set-path crossover: `count`
+    /// distinct `(//k{i}, ↑)` ranges. The goal `(//g, ↑)` is refutable
+    /// (delete the `g` node: no `k{i}` range is touched).
+    fn big_linear_batch(count: usize) -> (Vec<Constraint>, Constraint) {
+        let set = (0..count).map(|i| c(&format!("(//k{i}, ↑)"))).collect();
+        (set, c("(//g, ↑)"))
+    }
+
+    #[test]
+    fn set_path_agrees_with_per_pattern_path() {
+        // The same input forced down both verification paths must produce
+        // the same winner index and the same counterexample (modulo fresh
+        // ids): the set path may only change *speed*, never results.
+        let (set, goal) = big_linear_batch(20);
+        for budget in [500usize, 5_000] {
+            let (via_set, s1) = find_counterexample_tuned(&set, &goal, budget, 1, 16);
+            let (via_pat, s2) = find_counterexample_tuned(&set, &goal, budget, 1, usize::MAX);
+            assert_eq!(s1.winner_index, s2.winner_index, "budget {budget}");
+            assert_eq!(
+                via_set.map(|ce| ce.canonical_pair_form()),
+                via_pat.map(|ce| ce.canonical_pair_form()),
+                "budget {budget}"
+            );
+        }
+        // An implied goal exhausts its budget identically on both paths.
+        let goal = set[3].clone();
+        let (none_set, s1) = find_counterexample_tuned(&set, &goal, 2_000, 1, 16);
+        let (none_pat, s2) = find_counterexample_tuned(&set, &goal, 2_000, 1, usize::MAX);
+        assert!(none_set.is_none() && none_pat.is_none());
+        assert_eq!(s1.evaluated, s2.evaluated);
+    }
+
+    #[test]
+    fn set_path_counterexamples_verify() {
+        let (set, goal) = big_linear_batch(SET_PATH_CROSSOVER + 4);
+        let ce = find_counterexample(&set, &goal, 5_000).expect("refutable goal");
+        assert!(ce.verify(&set, &goal));
+    }
+
+    #[test]
+    fn mostly_nonlinear_batches_stay_on_the_per_pattern_path() {
+        // Predicate-heavy ranges do not compile; with fewer than
+        // SET_PATH_CROSSOVER compiled patterns the search must not build
+        // a set automaton (compiled_count gate), and still be correct.
+        let mut set: Vec<Constraint> =
+            (0..SET_PATH_CROSSOVER).map(|i| c(&format!("(/h[/p{i}], ↑)"))).collect();
+        set.push(c("(//k, ↑)"));
+        let goal = c("(//g, ↑)");
+        let ce = find_counterexample(&set, &goal, 5_000).expect("refutable goal");
+        assert!(ce.verify(&set, &goal));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //!   (Definition 2.4), with every decision procedure of Section 4:
 //!   the PTIME intersection algorithm for `XP{/,[],*}` (Theorems 4.1,
 //!   4.4, 4.5), the conjunctive-containment procedure for one-type
-//!   `XP{/,[],//}` (Theorem 4.4 + [13]), the exact product-DFA
+//!   `XP{/,[],//}` (Theorem 4.4 + \[13\]), the exact product-DFA
 //!   greatest-fixpoint decision for the linear fragment with *arbitrary*
 //!   update types (Theorems 4.3/4.8), and a verified counterexample search
 //!   for the remaining coNP/NEXPTIME territory (Theorems 4.2/4.7);

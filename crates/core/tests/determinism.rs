@@ -18,8 +18,14 @@ fn c(s: &str) -> Constraint {
 
 /// The sweep: refutable cases from every phase of the search (canonical
 /// edits, proof constructions, random pairs), plus implied cases where the
-/// budget is exhausted without a witness.
+/// budget is exhausted without a witness, plus batches above the
+/// set-at-a-time crossover (≥ 16 linear ranges verify through one
+/// compiled automaton — `eval_set` must not perturb determinism).
 fn workloads() -> Vec<(Vec<Constraint>, Constraint, usize)> {
+    let big_linear: Vec<Constraint> = (0..20).map(|i| c(&format!("(//k{i}, ↑)"))).collect();
+    let mut mixed_kinds: Vec<Constraint> =
+        (0..9).flat_map(|i| [c(&format!("(//m{i}, ↑)")), c(&format!("(/h/m{i}, ↓)"))]).collect();
+    mixed_kinds.push(c("(//g[/q], ↑)")); // one fallback pattern in the batch
     vec![
         // Phase-1 witnesses (canonical-model edits).
         (vec![c("(/a[/b], ↑)")], c("(/a, ↑)"), 5_000),
@@ -32,6 +38,10 @@ fn workloads() -> Vec<(Vec<Constraint>, Constraint, usize)> {
         // Tiny budgets: the budget prefix itself must be deterministic.
         (vec![c("(/a[/b], ↑)")], c("(/a, ↑)"), 7),
         (vec![c("(/a[/b], ↑)")], c("(/a, ↑)"), 64),
+        // Set-at-a-time path: refutable and implied above the crossover.
+        (big_linear.clone(), c("(//g, ↑)"), 5_000),
+        (big_linear.clone(), big_linear[7].clone(), 2_000),
+        (mixed_kinds, c("(//g, ↑)"), 6_000),
     ]
 }
 

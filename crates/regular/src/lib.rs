@@ -1,5 +1,5 @@
 //! DTDs and unary regular key / foreign-key constraints
-//! (Arenas–Fan–Libkin [6]), and the paper's reduction from constraint
+//! (Arenas–Fan–Libkin \[6\]), and the paper's reduction from constraint
 //! implication to *consistency* (Section 3.2 and Theorem 4.2, linear case).
 //!
 //! The reduction maps a candidate counterexample tuple `(I, J, n)` to a

@@ -245,7 +245,7 @@ impl<V> Strategy for Union<V> {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Length specifications accepted by [`vec`]: an exact `usize`, `a..b`,
+    /// Length specifications accepted by [`vec()`](vec()): an exact `usize`, `a..b`,
     /// or `a..=b`.
     pub trait SizeRange {
         fn sample_len(&self, rng: &mut TestRng) -> usize;

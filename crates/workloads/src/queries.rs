@@ -141,6 +141,70 @@ pub fn not_implied_pred_star_family(
     (set, Constraint::new(weakened, kind))
 }
 
+/// A deterministic **overlapping-prefix** suite of `count` distinct linear
+/// patterns over `labels`: every pattern starts with a prefix of the
+/// cyclic spine `/l0/l1/l2/…` (length `1 ..= depth`, so prefixes nest) and
+/// ends in one of a family of short tails (`/x`, `//x`, `//x/y`,
+/// `/*/x//y`). This is the shape of a realistic constraint suite — many
+/// ranges protecting neighborhoods of the same few document spines — and
+/// the stress case the set-at-a-time compiler is built for: the shared
+/// prefixes collapse into shared automaton states, so one compiled pass
+/// answers the whole suite.
+pub fn overlapping_prefix_suite(labels: &[&str], count: usize, depth: usize) -> Vec<Pattern> {
+    assert!(!labels.is_empty(), "need at least one label");
+    assert!(depth >= 1, "need a positive prefix depth");
+    let l = labels.len();
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let mut src = String::new();
+        for k in 0..1 + (i % depth) {
+            src.push('/');
+            src.push_str(labels[k % l]);
+        }
+        let j = i / depth;
+        if j < l {
+            src.push_str(&format!("/{}", labels[j]));
+        } else if j < 2 * l {
+            src.push_str(&format!("//{}", labels[j - l]));
+        } else if j < 2 * l + l * l {
+            let t = j - 2 * l;
+            src.push_str(&format!("//{}/{}", labels[t / l], labels[t % l]));
+        } else {
+            // The last family never wraps: once its l² wildcard tails are
+            // exhausted, a growing `/*` chain keeps every pattern distinct
+            // (distinct (prefix, chain length, tail) ⇒ distinct pattern).
+            let t = j - 2 * l - l * l;
+            src.push_str(&format!("/*/{}", labels[(t % (l * l)) / l]));
+            for _ in 0..t / (l * l) {
+                src.push_str("/*");
+            }
+            src.push_str(&format!("//{}", labels[t % l]));
+        }
+        out.push(xuc_xpath::parse(&src).expect("generated"));
+    }
+    out
+}
+
+/// [`overlapping_prefix_suite`] as a constraint set plus a refutable goal:
+/// every suite pattern protects its range with `kind`, while the goal
+/// protects `//unprotected`, which no constraint covers — so the
+/// counterexample search actually has to verify candidates against the
+/// whole batch (the set-at-a-time path once `count` crosses the
+/// compiled-batch threshold).
+pub fn overlapping_prefix_constraints(
+    labels: &[&str],
+    count: usize,
+    depth: usize,
+    kind: ConstraintKind,
+) -> (Vec<Constraint>, Constraint) {
+    let set = overlapping_prefix_suite(labels, count, depth)
+        .into_iter()
+        .map(|q| Constraint::new(q, kind))
+        .collect();
+    let goal = Constraint::new(xuc_xpath::parse("//unprotected").expect("static"), kind);
+    (set, goal)
+}
+
 /// A linear family with known status built from chains: constraints
 /// protect `//l1//l2…//lk` for every prefix; the goal is the full chain
 /// (implied) or the reversed chain (not implied for k ≥ 2).
@@ -206,6 +270,46 @@ mod tests {
         let (set, goal) =
             not_implied_pred_star_family(&mut rng, &labels, 3, ConstraintKind::NoInsert);
         assert!(!xuc_core::implication::ptime::implies_pred_star(&set, &goal));
+    }
+
+    #[test]
+    fn overlapping_prefix_suites_are_linear_and_distinct() {
+        let labels = ["a", "b", "c", "d", "e"];
+        for (count, depth) in [(12usize, 3usize), (64, 6), (256, 6)] {
+            let suite = overlapping_prefix_suite(&labels, count, depth);
+            assert_eq!(suite.len(), count);
+            let mut printed: Vec<String> = suite.iter().map(|q| q.to_string()).collect();
+            for q in &suite {
+                assert!(q.is_linear(), "{q} must be linear");
+            }
+            printed.sort();
+            printed.dedup();
+            assert_eq!(printed.len(), count, "suite of {count} must be duplicate-free");
+        }
+        // Tiny label pools exhaust the tail families early: the growing
+        // wildcard chain must keep the suite duplicate-free anyway.
+        let tiny = ["a", "b"];
+        for (count, depth) in [(40usize, 2usize), (100, 3)] {
+            let suite = overlapping_prefix_suite(&tiny, count, depth);
+            assert_eq!(suite.len(), count);
+            let mut printed: Vec<String> = suite.iter().map(|q| q.to_string()).collect();
+            for q in &suite {
+                assert!(q.is_linear(), "{q} must be linear");
+            }
+            printed.sort();
+            printed.dedup();
+            assert_eq!(printed.len(), count, "tiny-pool suite of {count} must be duplicate-free");
+        }
+    }
+
+    #[test]
+    fn overlapping_prefix_constraints_are_refutable() {
+        let labels = ["a", "b", "c"];
+        let (set, goal) = overlapping_prefix_constraints(&labels, 20, 4, ConstraintKind::NoRemove);
+        assert_eq!(set.len(), 20);
+        let ce = xuc_core::implication::search::find_counterexample(&set, &goal, 5_000)
+            .expect("goal protects a range no constraint covers");
+        assert!(ce.verify(&set, &goal));
     }
 
     #[test]

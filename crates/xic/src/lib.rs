@@ -1,7 +1,7 @@
 //! XML Integrity Constraints (XICs) and a chase engine (Section 3.3).
 //!
 //! The paper relates update constraints to the XICs of Deutsch–Tannen
-//! [15]: every update constraint is expressible as an XIC over a virtual
+//! \[15\]: every update constraint is expressible as an XIC over a virtual
 //! two-branch document (`I` and `J` under one root, node identity through
 //! an `@id` attribute), but the resulting XICs are *unbounded* — the chase,
 //! the classical inference tool for XICs, need not terminate. Example 3.3
@@ -297,7 +297,7 @@ pub fn seed_two_branch(db: &mut FactDb) {
 ///
 /// # Panics
 /// Panics on non-linear or non-child-axis ranges (the general translation
-/// follows [15] and is out of scope; the paper itself demonstrates the
+/// follows \[15\] and is out of scope; the paper itself demonstrates the
 /// phenomenon on child-only ranges).
 pub fn translate(constraint: &Constraint, name: impl Into<String>) -> Xic {
     let steps = constraint.range.linear_steps().expect("translate requires a linear range");

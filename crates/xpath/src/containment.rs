@@ -1,6 +1,6 @@
 //! Containment and equivalence of tree patterns.
 //!
-//! Two complementary procedures, following Miklau–Suciu [23]:
+//! Two complementary procedures, following Miklau–Suciu \[23\]:
 //!
 //! * [`homomorphism_exists`] — a PTIME *containment mapping* test. Sound in
 //!   every fragment; complete whenever the pair of queries does not combine

@@ -1,6 +1,6 @@
 //! The reusable bitset evaluation engine.
 //!
-//! [`crate::eval`]'s two-phase algorithm is correct but rebuilds a dense
+//! [`crate::eval`](mod@crate::eval)'s two-phase algorithm is correct but rebuilds a dense
 //! snapshot of the tree on *every* call and keeps its satisfaction matrices
 //! as `Vec<Vec<bool>>`. The hot consumers — counterexample search, possible
 //! embeddings, certain-facts trees — evaluate *many* patterns against the
@@ -15,7 +15,12 @@
 //!   are word-wide AND sweeps, and sparse propagation steps (child→parent,
 //!   frontier→children) skip zero words.
 //! * [`Evaluator::eval_all`] amortizes one snapshot across a whole batch of
-//!   patterns; [`Evaluator::refresh_after`] re-syncs after a mutation in
+//!   patterns; [`Evaluator::eval_set`] goes one step further and runs a
+//!   **set-at-a-time** pass: a whole batch compiled into one deterministic
+//!   automaton (see [`PatternSetAutomaton`] — the compiler lives in
+//!   `xuc_automata`) is driven over the snapshot **once**, labelling every
+//!   node with its satisfied-pattern bitset row in a single pre-order
+//!   sweep; [`Evaluator::refresh_after`] re-syncs after a mutation in
 //!   time proportional to the edit (a relabel patches two bitset words, an
 //!   id swap patches one index entry; only structural edits re-walk — and
 //!   even those reuse every allocation, snapshot buffer and label-row
@@ -24,7 +29,7 @@
 //!   is the guard rail that makes a forgotten refresh a loud panic instead
 //!   of a silent wrong answer.
 //!
-//! The algorithm is exactly the one documented in [`crate::eval`]
+//! The algorithm is exactly the one documented in [`crate::eval`](mod@crate::eval)
 //! (Gottlob–Koch–Pichler–Segoufin two-phase evaluation); only the data
 //! layout differs, and the property tests in `tests/prop.rs` pin the two
 //! implementations (and the naive oracle) to each other.
@@ -80,6 +85,44 @@ fn for_each_set_bit(row: &[u64], mut f: impl FnMut(usize)) {
     }
 }
 
+/// A pattern batch compiled into one deterministic automaton over
+/// root-to-node label paths, consumable by [`Evaluator::eval_set`].
+///
+/// Implemented by `xuc_automata::CompiledPatternSet` (`xuc_automata`
+/// depends on this crate, so the engine consumes the automaton through
+/// this trait rather than the concrete type). The contract:
+///
+/// * states are opaque `u32`s strictly below `u32::MAX` (the engine uses
+///   `u32::MAX` as its out-of-subtree sentinel), and the automaton is
+///   **complete** — [`step`](Self::step) is total over all labels;
+/// * a node's state is reached by stepping from its parent's state on the
+///   node's label, starting from [`start_state`](Self::start_state) at
+///   the evaluation origin (whose own label is *not* consumed — patterns
+///   match the path strictly below the origin, exactly like
+///   [`Evaluator::eval_at`]);
+/// * bits in [`accept_row`](Self::accept_row) beyond
+///   [`pattern_count`](Self::pattern_count) must be zero.
+pub trait PatternSetAutomaton {
+    /// Number of patterns in the batch (compiled + fallback).
+    fn pattern_count(&self) -> usize;
+
+    /// The state assigned to the evaluation origin.
+    fn start_state(&self) -> u32;
+
+    /// The successor state when stepping into a child labeled `label`.
+    fn step(&self, state: u32, label: Label) -> u32;
+
+    /// The satisfied-pattern row of `state`: `⌈pattern_count / 64⌉`
+    /// packed words, bit `i` set iff a node in this state belongs to
+    /// pattern `i`'s result set.
+    fn accept_row(&self, state: u32) -> &[u64];
+
+    /// Patterns the automaton does not cover (typically patterns with
+    /// predicates), as `(batch index, pattern)` pairs;
+    /// [`Evaluator::eval_set`] routes these through the per-pattern path.
+    fn fallbacks(&self) -> &[(usize, Pattern)];
+}
+
 /// A reusable tree-pattern evaluator bound to one snapshot of a tree.
 ///
 /// ```
@@ -118,6 +161,8 @@ pub struct Evaluator {
     scratch: Vec<(NodeId, Label, Option<usize>)>,
     /// Reused per-node child-count buffer for the CSR rebuild.
     scratch_counts: Vec<u32>,
+    /// Reused per-node automaton-state buffer for the set-at-a-time pass.
+    scratch_states: Vec<u32>,
 }
 
 impl Evaluator {
@@ -138,6 +183,7 @@ impl Evaluator {
             stale: true,
             scratch: Vec::new(),
             scratch_counts: Vec::new(),
+            scratch_states: Vec::new(),
         };
         ev.refresh(tree);
         ev
@@ -440,6 +486,106 @@ impl Evaluator {
         queries.iter().map(|q| self.eval(q)).collect()
     }
 
+    /// Set-at-a-time batch evaluation: drives a pre-compiled
+    /// [`PatternSetAutomaton`] over the snapshot **once**, producing the
+    /// same results as [`eval_all`](Self::eval_all) on the batch the
+    /// automaton was compiled from. The cost is one automaton step plus
+    /// one acceptance-row scan per node — independent of how many
+    /// patterns the batch holds — versus one full bitset sweep *per
+    /// pattern* on the per-pattern path. Patterns the automaton does not
+    /// cover (its [`fallbacks`](PatternSetAutomaton::fallbacks)) are
+    /// evaluated per-pattern, so the result is always complete.
+    ///
+    /// Cooperates with the edit-scope refresh protocol: the pass reads
+    /// `labels` straight from the snapshot, so after a relabel patched in
+    /// O(1) by [`refresh_after`](Self::refresh_after) the very next
+    /// `eval_set` sees the new labels — no automaton recompilation, no
+    /// extra re-sync cost on the set path.
+    ///
+    /// ```
+    /// use xuc_automata::PatternSetCompiler;
+    /// use xuc_xpath::{parse, Evaluator};
+    /// use xuc_xtree::parse_term;
+    ///
+    /// let tree = parse_term("root(a#1(b#2(c#3)),a#4(b#5))").unwrap();
+    /// // Mixed batch: two linear patterns compile, the predicate falls back.
+    /// let suite: Vec<_> =
+    ///     ["/a/b", "//c", "/a[/b]"].iter().map(|s| parse(s).unwrap()).collect();
+    /// let compiled = PatternSetCompiler::compile(&suite);
+    ///
+    /// let mut ev = Evaluator::new(&tree);
+    /// let rows = ev.eval_set(&compiled); // one pass for the whole batch
+    /// assert_eq!(rows, ev.eval_all(&suite)); // ≡ one pass per pattern
+    /// assert_eq!(rows[0].len(), 2); // b#2 and b#5
+    /// ```
+    pub fn eval_set<A: PatternSetAutomaton + ?Sized>(&mut self, set: &A) -> Vec<BTreeSet<NodeRef>> {
+        self.eval_set_at(set, self.ids[0])
+    }
+
+    /// [`eval_set`](Self::eval_set) on the subtree rooted at `start`:
+    /// entry `i` equals `eval_at(&batch[i], start)` for every pattern of
+    /// the compiled batch.
+    ///
+    /// ```
+    /// use xuc_automata::PatternSetCompiler;
+    /// use xuc_xpath::{parse, Evaluator};
+    /// use xuc_xtree::{parse_term, NodeId};
+    ///
+    /// let tree = parse_term("root(a#1(b#2(c#3)),b#4(c#5))").unwrap();
+    /// let suite = vec![parse("/b/c").unwrap()];
+    /// let compiled = PatternSetCompiler::compile(&suite);
+    /// let mut ev = Evaluator::new(&tree);
+    /// let below_a = ev.eval_set_at(&compiled, NodeId::from_raw(1));
+    /// assert_eq!(below_a[0].iter().map(|n| n.id.raw()).collect::<Vec<_>>(), vec![3]);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `start` is not a node of the snapshotted tree.
+    pub fn eval_set_at<A: PatternSetAutomaton + ?Sized>(
+        &mut self,
+        set: &A,
+        start: NodeId,
+    ) -> Vec<BTreeSet<NodeRef>> {
+        assert!(
+            !self.stale,
+            "Evaluator used after invalidate(): call refresh(&tree) after mutating the tree"
+        );
+        let start_idx =
+            *self.index_of.get(&start).unwrap_or_else(|| panic!("start node {start} not in tree"))
+                as usize;
+        let mut out: Vec<BTreeSet<NodeRef>> = vec![BTreeSet::new(); set.pattern_count()];
+
+        // Sentinel for nodes outside `start`'s subtree (automaton states
+        // are required to stay below it; see the trait contract).
+        const NO_STATE: u32 = u32::MAX;
+        let mut states = std::mem::take(&mut self.scratch_states);
+        states.clear();
+        states.resize(self.n, NO_STATE);
+        states[start_idx] = set.start_state();
+        // One pre-order sweep: parents precede children, so every node's
+        // state derives from an already-computed parent state. Pre-order
+        // also makes `start`'s subtree contiguous, so the first node whose
+        // parent carries the sentinel is past the subtree — as is
+        // everything after it — and the sweep stops there.
+        for v in start_idx + 1..self.n {
+            let ps = states[self.parent[v] as usize];
+            if ps == NO_STATE {
+                break;
+            }
+            let s = set.step(ps, self.labels[v]);
+            states[v] = s;
+            for_each_set_bit(set.accept_row(s), |q| {
+                out[q].insert(NodeRef { id: self.ids[v], label: self.labels[v] });
+            });
+        }
+        self.scratch_states = states;
+
+        for (i, q) in set.fallbacks() {
+            out[*i] = self.eval_at(q, start);
+        }
+        out
+    }
+
     /// The id set of `q(I)` (constraints compare ranges by id).
     pub fn eval_ids(&mut self, q: &Pattern) -> BTreeSet<NodeId> {
         let frontier = self.frontier_of(q, 0);
@@ -676,6 +822,70 @@ mod tests {
         for q in &queries {
             assert_eq!(ev.eval(q), oracle.eval(q), "after full unwind / {q}");
         }
+    }
+
+    /// A hand-rolled two-state automaton for the batch `["/a", "/x[/b]"]`:
+    /// pattern 0 (`/a`) is compiled — state 1 = "depth-1 node labeled a" —
+    /// and pattern 1 rides along as a fallback. Exercises the engine pass
+    /// without depending on `xuc_automata` (whose `CompiledPatternSet`
+    /// implements the same trait; unit tests cannot link it because of the
+    /// dev-dependency cycle — integration tests and doctests can).
+    struct DepthOneA {
+        fallback: Vec<(usize, Pattern)>,
+    }
+
+    impl PatternSetAutomaton for DepthOneA {
+        fn pattern_count(&self) -> usize {
+            2
+        }
+
+        fn start_state(&self) -> u32 {
+            0
+        }
+
+        fn step(&self, state: u32, label: Label) -> u32 {
+            if state == 0 && label == Label::new("a") {
+                1
+            } else {
+                2 // dead
+            }
+        }
+
+        fn accept_row(&self, state: u32) -> &[u64] {
+            const ROWS: [[u64; 1]; 3] = [[0], [0b01], [0]];
+            &ROWS[state as usize]
+        }
+
+        fn fallbacks(&self) -> &[(usize, Pattern)] {
+            &self.fallback
+        }
+    }
+
+    #[test]
+    fn eval_set_runs_automaton_and_fallbacks() {
+        let t = parse_term("root(a#1(a#2),x#3(b#4),a#5)").unwrap();
+        let batch = vec![parse("/a").unwrap(), parse("/x[/b]").unwrap()];
+        let set = DepthOneA { fallback: vec![(1, batch[1].clone())] };
+        let mut ev = Evaluator::new(&t);
+        let rows = ev.eval_set(&set);
+        assert_eq!(rows, ev.eval_all(&batch));
+        assert_eq!(ids(&rows[0]), vec![1, 5], "depth-1 a nodes only (a#2 is depth 2)");
+        assert_eq!(ids(&rows[1]), vec![3], "fallback pattern answered per-pattern");
+
+        // Subtree evaluation re-anchors the automaton at `start`.
+        let below = ev.eval_set_at(&set, NodeId::from_raw(1));
+        assert_eq!(below, vec![ev.eval_at(&batch[0], NodeId::from_raw(1)), BTreeSet::new()]);
+        assert_eq!(ids(&below[0]), vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalidate")]
+    fn eval_set_checks_staleness() {
+        let t = parse_term("root(a#1)").unwrap();
+        let mut ev = Evaluator::new(&t);
+        ev.invalidate();
+        let set = DepthOneA { fallback: Vec::new() };
+        let _ = ev.eval_set(&set);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! PTIME evaluation of tree patterns on data trees.
 //!
 //! The evaluation of `XP{/,[],//,*}` queries is polynomial (Gottlob, Koch,
-//! Pichler, Segoufin [18]); we use the standard two-phase algorithm,
+//! Pichler, Segoufin \[18\]); we use the standard two-phase algorithm,
 //! implemented by the reusable bitset engine in [`crate::engine`] — the
 //! free functions here are thin cold-path wrappers that build a throwaway
 //! [`Evaluator`] per call:

@@ -16,10 +16,12 @@
 //!
 //! * [`Pattern`] — the arena AST with builder API ([`pattern`]),
 //! * [`parse`] — a parser for the grammar above ([`parser`]),
-//! * [`eval`] — PTIME evaluation on [`xuc_xtree::DataTree`]s ([`eval`]),
+//! * [`eval()`](eval()) — PTIME evaluation on [`xuc_xtree::DataTree`]s ([`mod@eval`]),
 //!   plus a naive exponential oracle in [`naive`],
-//! * [`Evaluator`] — the reusable bitset engine behind [`eval`]: one dense
-//!   snapshot amortized across many pattern evaluations ([`engine`]),
+//! * [`Evaluator`] — the reusable bitset engine behind [`eval()`](eval()): one dense
+//!   snapshot amortized across many pattern evaluations ([`engine`]), with
+//!   a set-at-a-time batch path ([`Evaluator::eval_set`]) driven by a
+//!   compiled [`PatternSetAutomaton`] (compiler in `xuc_automata`),
 //! * containment / equivalence via homomorphisms (sound, PTIME) and
 //!   canonical models (complete, coNP) ([`containment`], [`canonical`]),
 //! * intersection for `XP{/,[],*}` ([`intersect`]) as used by Theorem 4.4,
@@ -36,7 +38,7 @@ pub mod parser;
 pub mod pattern;
 
 pub use containment::{contains, equivalent, homomorphism_exists};
-pub use engine::Evaluator;
+pub use engine::{Evaluator, PatternSetAutomaton};
 pub use eval::{eval, eval_at};
 pub use fragment::Features;
 pub use intersect::intersect_all;

@@ -1,7 +1,7 @@
 //! A naive, embedding-enumeration evaluator.
 //!
 //! Exponential in the worst case and kept deliberately simple: it serves as
-//! the *test oracle* against which the PTIME evaluator of [`crate::eval`]
+//! the *test oracle* against which the PTIME evaluator of [`crate::eval`](mod@crate::eval)
 //! is property-checked.
 
 use crate::pattern::{Axis, PIdx, Pattern};

@@ -2,9 +2,13 @@
 //! containment against direct model checking. The reusable bitset
 //! [`Evaluator`] is pinned against both the naive oracle and the cold
 //! per-call `eval_at`, including re-evaluation after in-place edits and
-//! their undos.
+//! their undos. The set-at-a-time path (`eval_set` over a
+//! [`xuc_automata::PatternSetCompiler`] batch) is pinned against the
+//! per-pattern path and the naive oracle over random trees, random mixed
+//! pattern batches, and post-edit/undo refresh sequences.
 
 use proptest::prelude::*;
+use xuc_automata::PatternSetCompiler;
 use xuc_xpath::{canonical, containment, eval, naive, Axis, Evaluator, Pattern, PatternBuilder};
 use xuc_xtree::{apply_undoable, undo, DataTree, Label, NodeId, Update};
 
@@ -258,6 +262,82 @@ proptest! {
             let incremental = inc.eval(&q);
             prop_assert_eq!(&incremental, &Evaluator::new(&work).eval(&q));
             prop_assert_eq!(&incremental, &naive::eval(&q, &work));
+        }
+        prop_assert!(work.identified_eq(&tree), "full unwind must restore the seed");
+    }
+
+    #[test]
+    fn eval_set_matches_eval_all_and_naive(
+        tree in tree_strategy(12),
+        q1 in pattern_strategy(5),
+        q2 in pattern_strategy(5),
+        q3 in pattern_strategy(4),
+        q4 in pattern_strategy(4),
+    ) {
+        // Random mixed batches: linear patterns compile, predicate
+        // patterns ride the fallback path — the batch answer must be the
+        // per-pattern answer must be the naive oracle's, entry by entry.
+        let batch = vec![q1, q2, q3, q4];
+        let compiled = PatternSetCompiler::compile(&batch);
+        let mut ev = Evaluator::new(&tree);
+        let rows = ev.eval_set(&compiled);
+        prop_assert_eq!(&rows, &ev.eval_all(&batch));
+        for (q, r) in batch.iter().zip(&rows) {
+            prop_assert_eq!(r, &naive::eval(q, &tree), "pattern {}", q);
+        }
+        // Subtree anchoring agrees with per-pattern eval_at on every node.
+        for id in tree.node_ids() {
+            let at = ev.eval_set_at(&compiled, id);
+            for (q, r) in batch.iter().zip(&at) {
+                prop_assert_eq!(r, &ev.eval_at(q, id), "pattern {} at {}", q, id);
+            }
+        }
+    }
+
+    #[test]
+    fn eval_set_tracks_scoped_refreshes(
+        tree in tree_strategy(12),
+        q1 in pattern_strategy(5),
+        q2 in pattern_strategy(5),
+        q3 in pattern_strategy(4),
+        ops in proptest::collection::vec((0..5usize, 0..64usize, 0..64usize), 1..6),
+    ) {
+        // The compiled automaton is built ONCE; the evaluator is patched
+        // via refresh_after across a random apply/undo sequence. After
+        // every step the single-pass answer must match a from-scratch
+        // evaluator's per-pattern answer — i.e. the set path needs no
+        // recompilation and no extra re-sync to stay exact.
+        let batch = vec![q1, q2, q3];
+        let compiled = PatternSetCompiler::compile(&batch);
+        let mut work = tree.clone();
+        let mut inc = Evaluator::new(&work);
+        inc.eval_set(&compiled); // prime caches (fallback label rows)
+        let mut stack = Vec::new();
+        for (op_choice, pick_a, pick_b) in ops {
+            let ids = work.node_ids();
+            let target = if ids.len() > 1 { ids[1 + pick_a % (ids.len() - 1)] } else { ids[0] };
+            let other = ids[pick_b % ids.len()];
+            let op = match op_choice {
+                0 => Update::Relabel {
+                    node: target,
+                    label: Label::new(LABELS[pick_b % LABELS.len()]),
+                },
+                1 => Update::DeleteSubtree { node: target },
+                2 => Update::DeleteNode { node: target },
+                3 => Update::Move { node: target, new_parent: other },
+                _ => Update::ReplaceId { node: target, new_id: NodeId::fresh() },
+            };
+            let Ok((token, scope)) = apply_undoable(&mut work, &op) else { continue };
+            stack.push(token);
+            inc.refresh_after(&work, &scope);
+            let rows = inc.eval_set(&compiled);
+            prop_assert_eq!(&rows, &Evaluator::new(&work).eval_all(&batch), "apply {}", &op);
+        }
+        while let Some(token) = stack.pop() {
+            let scope = undo(&mut work, token).unwrap();
+            inc.refresh_after(&work, &scope);
+            let rows = inc.eval_set(&compiled);
+            prop_assert_eq!(&rows, &Evaluator::new(&work).eval_all(&batch));
         }
         prop_assert!(work.identified_eq(&tree), "full unwind must restore the seed");
     }

@@ -1,10 +1,39 @@
 //! Update operations over data trees.
 //!
-//! Following the paper (and Tatarinov et al. [27]), an *update* is a sequence
+//! Following the paper (and Tatarinov et al. \[27\]), an *update* is a sequence
 //! of node insertions, deletions, moves and label modifications; the paper
 //! then abstracts a whole update sequence as the pair of trees `(I, J)`.
 //! This module provides the concrete operations so examples and workload
 //! generators can *produce* such pairs by actually editing documents.
+//!
+//! # The edit-scope protocol
+//!
+//! [`apply_undoable`] and [`undo`] return an [`EditScope`] classifying
+//! what the edit touched, so snapshot holders (`xuc_xpath::Evaluator`,
+//! and through it the counterexample search) can re-sync proportionally
+//! to the edit instead of re-walking the tree:
+//!
+//! * [`EditScope::Relabel`] — only one node's label changed (`from` →
+//!   `to`); ids, parents and the pre-order layout are untouched, so a
+//!   derived snapshot patches one label cell and two cached bitset words.
+//! * [`EditScope::ReplaceId`] — only one node's identity changed (`from`
+//!   → `to`); a derived snapshot patches one id-index entry.
+//! * [`EditScope::Structural`] — the pre-order layout changed; `root` is
+//!   the deepest node whose subtree contains every change (the LCA of
+//!   source and target parent for moves, `None` when unknown), and a full
+//!   re-snapshot is always a correct response.
+//!
+//! # The position-restoration invariant
+//!
+//! [`undo`] is an **exact** inverse, not merely an isomorphic one: every
+//! [`Undo`] token records the child *position* of what it detached,
+//! spliced or moved ([`DetachToken`]/[`SpliceToken`] inside the tree,
+//! `old_index` in [`Undo::MoveBack`]), and restores it on revert. After
+//! any apply/undo round trip the tree is bit-identical to its former
+//! self — same child order, not just the same unordered tree. The
+//! deterministic sharded counterexample search relies on this: a worker's
+//! working tree must not depend on *which* candidates it happened to try
+//! before, or the search result would vary with scheduling.
 
 use crate::label::Label;
 use crate::node::NodeId;
