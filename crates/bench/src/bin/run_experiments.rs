@@ -17,6 +17,8 @@ use xuc_automata::PatternSetCompiler;
 use xuc_bench as wl;
 use xuc_core::implication::search::find_counterexample_sharded;
 use xuc_core::{implication, instance};
+use xuc_service::{admit, render_log, Gateway, SuiteCache};
+use xuc_sigstore::Signer;
 use xuc_xpath::Evaluator;
 use xuc_xtree::{apply_undoable, undo, DataTree, Update};
 
@@ -488,6 +490,81 @@ fn main() {
             "set path must stay shard-count independent"
         );
         println!("   determinism: 24-constraint set-path search identical at 1/4 shards ✓");
+    }
+
+    rep.header(
+        "E-SVC",
+        "service admission: cached suite automaton vs per-request recompilation",
+        "cached ≥ 3× recompile at 64-constraint suites",
+    );
+    {
+        let runs = if rep.smoke { 5 } else { 9 };
+        for &k in rep.sweep(&[16usize, 64, 128], 2) {
+            let (tree, suite) = wl::esvc_workload(1_000, k);
+            let cache = SuiteCache::new();
+            let resident = cache.get_or_compile(&suite);
+            let mut ev = Evaluator::new(&tree);
+            let base = ev.eval_set(&*resident);
+            // Identity admission always passes; both paths must agree on
+            // the recomputed range results.
+            assert_eq!(
+                admit(&mut ev, &resident, &suite, &base).expect("identity pair admits"),
+                base,
+                "cached admission must reproduce the baseline"
+            );
+            // Cached path: what Gateway::submit runs per request — the
+            // document-resident compiled automaton, zero compilation.
+            let cached = wl::median_micros(runs, || {
+                admit(&mut ev, &resident, &suite, &base).expect("identity pair admits")
+            });
+            // Baseline: the same admission check, recompiling the suite
+            // for every request (the shape without a SuiteCache).
+            let recompile = wl::median_micros(runs, || {
+                let compiled = PatternSetCompiler::compile(suite.iter().map(|c| &c.range));
+                admit(&mut ev, &compiled, &suite, &base).expect("identity pair admits")
+            });
+            let ratio = recompile / cached;
+            rep.row("E-SVC", "recompile", k, recompile, "compile + admit per request");
+            rep.row("E-SVC", "cached", k, cached, &format!("resident automaton ({ratio:.1}x)"));
+            rep.metric("E-SVC", &format!("speedup_{k}"), ratio);
+            if k == 64 || (rep.smoke && k == 16) {
+                rep.floor("E-SVC", &format!("speedup_{k}"), ratio, 3.0, true);
+            }
+        }
+
+        // End-to-end worker loop: the accept/reject log of a seeded
+        // request stream must be byte-identical at every worker count,
+        // and every accepted commit re-certifies its document.
+        let n_requests = if rep.smoke { 60 } else { 200 };
+        let (docs, requests) = wl::esvc_gateway_workload(n_requests);
+        let run_at = |workers: usize| {
+            // A fresh gateway per run: identical initial state, so the
+            // logs are comparable across worker counts.
+            let gw = Gateway::new(Signer::new(0x516));
+            for (id, tree, suite) in &docs {
+                gw.publish(*id, tree.clone(), suite.clone()).expect("fresh gateway");
+            }
+            let t0 = std::time::Instant::now();
+            let verdicts = gw.process(&requests, workers);
+            let micros = t0.elapsed().as_secs_f64() * 1e6;
+            for (id, ..) in &docs {
+                let cert = gw.certificate(*id).expect("published");
+                assert!(
+                    cert.verify(0x516, &gw.snapshot(*id).expect("published")).is_ok(),
+                    "commit must re-certify {id}"
+                );
+            }
+            (render_log(&requests, &verdicts), micros)
+        };
+        let (log1, t1) = run_at(1);
+        let (log4, t4) = run_at(4);
+        assert_eq!(log1, log4, "gateway log must be worker-count independent");
+        assert!(log1.contains("ACCEPT") && log1.contains("REJECT"), "stream must exercise both");
+        let throughput = n_requests as f64 / (t1 / 1e6);
+        rep.row("E-SVC", "stream_workers", 1, t1, &format!("{throughput:.0} req/s"));
+        rep.row("E-SVC", "stream_workers", 4, t4, "log byte-identical to 1 worker ✓");
+        rep.metric("E-SVC", "stream_requests_per_s_1worker", throughput);
+        println!("   determinism: {n_requests}-request gateway log identical at 1/4 workers ✓");
     }
 
     rep.header(

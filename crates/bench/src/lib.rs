@@ -132,6 +132,49 @@ pub fn eset_search_workload() -> (Vec<Constraint>, Constraint) {
     queries::overlapping_prefix_constraints(&labels, 24, 4, ConstraintKind::NoRemove)
 }
 
+/// E-SVC admission workload: the E-SET document plus a `k`-constraint
+/// suite (overlapping-prefix ranges, alternating ↑/↓) — the shape a
+/// gateway document's admission check runs per request.
+pub fn esvc_workload(nodes: usize, k: usize) -> (xuc_xtree::DataTree, Vec<Constraint>) {
+    let labels = ["a", "b", "c", "d", "e"];
+    let tree = trees::random_tree(&mut rng(), &labels, nodes);
+    let suite = queries::overlapping_prefix_suite(&labels, k, 6)
+        .into_iter()
+        .enumerate()
+        .map(|(i, q)| {
+            let kind = if i % 2 == 0 { ConstraintKind::NoRemove } else { ConstraintKind::NoInsert };
+            Constraint::new(q, kind)
+        })
+        .collect();
+    (tree, suite)
+}
+
+/// E-SVC gateway workload: a small two-document deployment plus a seeded
+/// request stream, for the end-to-end throughput and worker-determinism
+/// checks. Returns `(docs, requests)`; publish clones of the doc trees
+/// into each gateway under test.
+pub fn esvc_gateway_workload(
+    requests: usize,
+) -> (xuc_service::workload::Deployment, Vec<xuc_service::Request>) {
+    let mut r = rng();
+    let hospital = trees::hospital(&mut r, 12, 3);
+    let hospital_suite = vec![
+        xuc_core::parse_constraint("(/patient/visit, ↑)").expect("static"),
+        xuc_core::parse_constraint("(/patient[/clinicalTrial], ↓)").expect("static"),
+        xuc_core::parse_constraint("(//report, ↑)").expect("static"),
+    ];
+    let (wide_tree, wide_suite) = esvc_workload(120, 24);
+    let docs = vec![
+        (xuc_service::DocId::new("hospital"), hospital, hospital_suite),
+        (xuc_service::DocId::new("wide"), wide_tree, wide_suite),
+    ];
+    let refs: Vec<(xuc_service::DocId, &xuc_xtree::DataTree)> =
+        docs.iter().map(|(id, t, _)| (*id, t)).collect();
+    let stream =
+        xuc_service::workload::seeded_requests(&refs, &["visit", "x"], 0x5eed_05c0, requests);
+    (docs, stream)
+}
+
 /// E-PAR: a full-fragment (T1-d style) workload whose implication *holds*,
 /// so the counterexample search exhausts its entire budget — a pure
 /// candidate-throughput measurement for the shard sweep.

@@ -1,0 +1,161 @@
+//! Memoized set-at-a-time compilation of constraint suites.
+//!
+//! Admission checks evaluate a document's whole constraint suite per
+//! request. Compiling the suite into one tagged DFA
+//! ([`PatternSetCompiler`]) makes the evaluation itself cheap
+//! ([`xuc_xpath::Evaluator::eval_set`]: one automaton step per node), but
+//! compilation is orders of magnitude more expensive than a single pass —
+//! paying it per request would erase the win (the E-SVC experiment
+//! measures exactly this). The cache pays compilation **once per distinct
+//! suite**: documents published under the same policy share one
+//! [`CompiledPatternSet`] behind an [`Arc`].
+//!
+//! Keys are canonical-serialization fingerprints
+//! ([`xuc_xpath::fingerprint`]) of the suite **in sequence order** with
+//! each range's update type mixed in — positional, because acceptance-row
+//! bit `i` of the compiled automaton means "range of constraint `i`".
+//! Fingerprints are 64-bit hashes, so each bucket also stores the
+//! canonical entry strings and compares them on lookup: a collision costs
+//! a duplicate compile, never a wrong automaton.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use xuc_automata::{CompiledPatternSet, PatternSetCompiler};
+use xuc_core::Constraint;
+use xuc_xpath::Fingerprinter;
+
+/// The canonical positional key of a suite: the sequence fingerprint and
+/// the exact entry strings it digests (collision guard).
+fn suite_key(suite: &[Constraint]) -> (u64, Vec<String>) {
+    let mut fp = Fingerprinter::new();
+    fp.write_u64(suite.len() as u64);
+    let entries: Vec<String> = suite
+        .iter()
+        .map(|c| {
+            let s = c.to_string();
+            fp.write_str(&s);
+            s
+        })
+        .collect();
+    (fp.finish(), entries)
+}
+
+/// One fingerprint's compiled suites (more than one entry only on a
+/// 64-bit collision; the canonical entry strings disambiguate).
+type Bucket = Vec<(Vec<String>, Arc<CompiledPatternSet>)>;
+
+/// A concurrent memo table `suite → Arc<CompiledPatternSet>`.
+///
+/// ```
+/// use xuc_core::parse_constraint;
+/// use xuc_service::SuiteCache;
+///
+/// let suite = vec![parse_constraint("(/a/b, ↑)").unwrap()];
+/// let cache = SuiteCache::new();
+/// let first = cache.get_or_compile(&suite);
+/// let again = cache.get_or_compile(&suite);
+/// assert!(std::sync::Arc::ptr_eq(&first, &again));
+/// assert_eq!((cache.misses(), cache.hits()), (1, 1));
+/// ```
+pub struct SuiteCache {
+    map: Mutex<HashMap<u64, Bucket>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SuiteCache {
+    pub fn new() -> SuiteCache {
+        SuiteCache {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The compiled automaton of `suite`'s range batch, compiling it on
+    /// first sight. Compilation happens under the table lock: it only
+    /// runs on publish-time misses, and holding the lock guarantees one
+    /// shared `Arc` per suite instead of racing duplicate compiles.
+    pub fn get_or_compile(&self, suite: &[Constraint]) -> Arc<CompiledPatternSet> {
+        let (fp, entries) = suite_key(suite);
+        let mut map = self.map.lock();
+        let bucket = map.entry(fp).or_default();
+        if let Some((_, compiled)) = bucket.iter().find(|(k, _)| *k == entries) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(compiled);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let compiled = Arc::new(PatternSetCompiler::compile(suite.iter().map(|c| &c.range)));
+        bucket.push((entries, Arc::clone(&compiled)));
+        compiled
+    }
+
+    /// Lookups answered from the table.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that compiled.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct suites held.
+    pub fn len(&self) -> usize {
+        self.map.lock().values().map(Vec::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for SuiteCache {
+    fn default() -> Self {
+        SuiteCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xuc_core::parse_constraint;
+
+    fn suite(specs: &[&str]) -> Vec<Constraint> {
+        specs.iter().map(|s| parse_constraint(s).unwrap()).collect()
+    }
+
+    #[test]
+    fn same_suite_shares_one_automaton() {
+        let cache = SuiteCache::new();
+        let a = suite(&["(/a/b, ↑)", "(//c, ↓)"]);
+        let first = cache.get_or_compile(&a);
+        let again = cache.get_or_compile(&a.clone());
+        assert!(Arc::ptr_eq(&first, &again));
+        assert_eq!((cache.misses(), cache.hits(), cache.len()), (1, 1, 1));
+    }
+
+    #[test]
+    fn order_and_kind_are_part_of_the_key() {
+        // Positional key: acceptance-row bit i means constraint i, so a
+        // reordered suite must NOT share the compiled automaton; neither
+        // may the same ranges under different update types.
+        let cache = SuiteCache::new();
+        let _ = cache.get_or_compile(&suite(&["(/a, ↑)", "(/b, ↑)"]));
+        let _ = cache.get_or_compile(&suite(&["(/b, ↑)", "(/a, ↑)"]));
+        let _ = cache.get_or_compile(&suite(&["(/a, ↓)", "(/b, ↑)"]));
+        assert_eq!((cache.misses(), cache.hits(), cache.len()), (3, 0, 3));
+    }
+
+    #[test]
+    fn compiled_output_answers_the_full_suite() {
+        // Mixed batch: the predicate range rides along as a fallback.
+        let cache = SuiteCache::new();
+        let s = suite(&["(/a/b, ↑)", "(/a[/c], ↓)"]);
+        let compiled = cache.get_or_compile(&s);
+        assert_eq!(compiled.pattern_count(), 2);
+        assert_eq!(compiled.fallback_count(), 1);
+    }
+}

@@ -1,0 +1,294 @@
+//! The admission front-end: publish, submit, and the deterministic
+//! worker-pool request loop.
+//!
+//! # Determinism discipline
+//!
+//! [`Gateway::process`] drains a request stream over a
+//! [`std::thread::scope`] worker pool and promises a **byte-identical
+//! accept/reject log at every worker count**. The discipline mirrors the
+//! sharded counterexample search (`find_counterexample_sharded`):
+//!
+//! * a request's verdict depends only on its document's state, which
+//!   depends only on the verdicts of *earlier requests against the same
+//!   document* — so the unit of work is **one document's whole request
+//!   subsequence**, processed in arrival order by whichever worker claims
+//!   it;
+//! * units are handed out through a single atomic cursor (work stealing
+//!   decides *who* runs a unit, never *what* the unit computes);
+//! * commit numbers are per-document counters advanced in that fixed
+//!   order, so even the `commit=` fields of the log are scheduling-free;
+//! * fresh node ids are minted by the *client* (requests carry concrete
+//!   [`Update`](xuc_xtree::Update) values), not by workers — nothing
+//!   about a verdict or a log line depends on which thread ran it.
+//!
+//! Cross-document interleaving is where the parallelism lives: documents
+//! are independent by construction (no constraint spans documents), so
+//! per-document order is the *only* order the semantics needs.
+
+use crate::cache::SuiteCache;
+use crate::session::Session;
+use crate::store::{DocumentStore, PublishError};
+use crate::{DocId, RejectReason, Request, Verdict};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use xuc_core::Constraint;
+use xuc_sigstore::{Certificate, Signer};
+use xuc_xtree::DataTree;
+
+/// The update-validation gateway of Figure 1: a [`DocumentStore`] behind
+/// an admission loop, with a [`SuiteCache`] so admission never recompiles
+/// a suite, and a [`Signer`] re-certifying every accepted state. See the
+/// crate docs for a walkthrough.
+pub struct Gateway {
+    store: DocumentStore,
+    cache: SuiteCache,
+    signer: Signer,
+}
+
+impl Gateway {
+    pub fn new(signer: Signer) -> Gateway {
+        Gateway { store: DocumentStore::new(), cache: SuiteCache::new(), signer }
+    }
+
+    /// Publishes a document under its constraint suite (the Source side
+    /// of Figure 1): compiles or cache-hits the suite, certifies the
+    /// initial state, and starts serving it.
+    pub fn publish(
+        &self,
+        id: DocId,
+        tree: DataTree,
+        suite: Vec<Constraint>,
+    ) -> Result<(), PublishError> {
+        self.store.publish(id, tree, suite, &self.cache, &self.signer)
+    }
+
+    /// The underlying store (lock a document directly to run a manual
+    /// [`Session`]).
+    pub fn store(&self) -> &DocumentStore {
+        &self.store
+    }
+
+    /// The suite cache (hit/miss counters for tests and experiments).
+    pub fn cache(&self) -> &SuiteCache {
+        &self.cache
+    }
+
+    /// The current certificate of `id`'s document — what a User fetches
+    /// alongside [`snapshot`](Self::snapshot) to verify it independently.
+    pub fn certificate(&self, id: DocId) -> Option<Certificate> {
+        self.store.document(id).map(|d| d.lock().certificate().clone())
+    }
+
+    /// A clone of `id`'s current committed tree (the published state a
+    /// User downloads).
+    pub fn snapshot(&self, id: DocId) -> Option<DataTree> {
+        self.store.document(id).map(|d| d.lock().tree().clone())
+    }
+
+    /// Admits or rejects one request: locks the document, applies the
+    /// batch in a [`Session`], and commits (re-certifying) or rolls back.
+    /// Atomic either way — a failed update unwinds the applied prefix.
+    pub fn submit(&self, request: &Request) -> Verdict {
+        let Some(doc) = self.store.document(request.doc) else {
+            return Verdict::Rejected(RejectReason::UnknownDocument);
+        };
+        let mut doc = doc.lock();
+        let mut session = Session::begin(&mut doc);
+        for (index, update) in request.updates.iter().enumerate() {
+            if let Err(e) = session.apply(update) {
+                // Dropping the session rolls the applied prefix back.
+                return Verdict::Rejected(RejectReason::FailedUpdate {
+                    index,
+                    error: e.to_string(),
+                });
+            }
+        }
+        match session.commit(&self.signer) {
+            Ok(receipt) => Verdict::Accepted { commit: receipt.commit },
+            Err(r) => Verdict::Rejected(RejectReason::Violation {
+                constraint: r.constraint.to_string(),
+                offenders: r.offenders,
+            }),
+        }
+    }
+
+    /// Drains `requests` over `workers` threads and returns one verdict
+    /// per request (same order). The result — and therefore
+    /// [`render_log`] — is **identical at every worker count**; see the
+    /// module docs for why.
+    pub fn process(&self, requests: &[Request], workers: usize) -> Vec<Verdict> {
+        let workers = workers.max(1);
+        // Units: each document's request indices, in arrival order.
+        let mut order: Vec<DocId> = Vec::new();
+        let mut by_doc: HashMap<DocId, Vec<usize>> = HashMap::new();
+        for (i, r) in requests.iter().enumerate() {
+            by_doc
+                .entry(r.doc)
+                .or_insert_with(|| {
+                    order.push(r.doc);
+                    Vec::new()
+                })
+                .push(i);
+        }
+        let units: Vec<Vec<usize>> =
+            order.into_iter().map(|d| by_doc.remove(&d).expect("grouped")).collect();
+
+        let mut verdicts: Vec<Option<Verdict>> = vec![None; requests.len()];
+        if workers == 1 {
+            // Inline: identical result by construction, no spawn cost.
+            for unit in &units {
+                for &i in unit {
+                    verdicts[i] = Some(self.submit(&requests[i]));
+                }
+            }
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let results = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut out = Vec::new();
+                            loop {
+                                let u = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some(unit) = units.get(u) else { break };
+                                for &i in unit {
+                                    out.push((i, self.submit(&requests[i])));
+                                }
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("gateway worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for (i, v) in results {
+                verdicts[i] = Some(v);
+            }
+        }
+        verdicts.into_iter().map(|v| v.expect("every request verdicted")).collect()
+    }
+}
+
+/// The canonical accept/reject log of one processed stream: one line per
+/// request, in request order. This string is the determinism contract's
+/// subject — byte-identical at every worker count.
+pub fn render_log(requests: &[Request], verdicts: &[Verdict]) -> String {
+    assert_eq!(requests.len(), verdicts.len(), "one verdict per request");
+    let mut out = String::new();
+    for (i, (r, v)) in requests.iter().zip(verdicts).enumerate() {
+        out.push_str(&format!("#{i:04} {} {}\n", r.doc, v));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xuc_core::parse_constraint;
+    use xuc_xtree::{parse_term, NodeId, Update};
+
+    fn gateway_with_doc() -> (Gateway, DocId) {
+        let gw = Gateway::new(Signer::new(0xabc));
+        let id = DocId::new("h");
+        let tree = parse_term("hospital#1(patient#2(visit#3),patient#4(clinicalTrial#5))").unwrap();
+        let suite = vec![
+            parse_constraint("(/patient/visit, ↑)").unwrap(),
+            parse_constraint("(/patient[/clinicalTrial], ↓)").unwrap(),
+        ];
+        gw.publish(id, tree, suite).unwrap();
+        (gw, id)
+    }
+
+    #[test]
+    fn accept_commits_and_recertifies() {
+        let (gw, id) = gateway_with_doc();
+        let before = gw.snapshot(id).unwrap();
+        let req = Request {
+            doc: id,
+            updates: vec![Update::InsertLeaf {
+                parent: NodeId::from_raw(2),
+                id: NodeId::fresh(),
+                label: "visit".into(),
+            }],
+        };
+        assert_eq!(gw.submit(&req), Verdict::Accepted { commit: 1 });
+        let snap = gw.snapshot(id).unwrap();
+        assert_eq!(snap.len(), 6);
+        // The new certificate covers the new state — and its ↑ baseline
+        // has moved: the pre-commit tree (missing the new visit) now
+        // fails verification against it.
+        assert!(gw.certificate(id).unwrap().verify(0xabc, &snap).is_ok());
+        assert!(gw.certificate(id).unwrap().verify(0xabc, &before).is_err());
+    }
+
+    #[test]
+    fn violation_rejects_and_rolls_back() {
+        let (gw, id) = gateway_with_doc();
+        let before = gw.snapshot(id).unwrap();
+        let req =
+            Request { doc: id, updates: vec![Update::DeleteSubtree { node: NodeId::from_raw(3) }] };
+        match gw.submit(&req) {
+            Verdict::Rejected(RejectReason::Violation { constraint, offenders }) => {
+                assert_eq!(constraint, "(/patient/visit, ↑)");
+                assert_eq!(offenders, 1);
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+        assert_eq!(gw.snapshot(id).unwrap().render(), before.render());
+        assert!(gw.certificate(id).unwrap().verify(0xabc, &before).is_ok());
+    }
+
+    #[test]
+    fn failed_update_rejects_whole_batch() {
+        let (gw, id) = gateway_with_doc();
+        let before = gw.snapshot(id).unwrap();
+        // First update applies, second targets a dead node: the prefix
+        // must unwind.
+        let req = Request {
+            doc: id,
+            updates: vec![
+                Update::InsertLeaf {
+                    parent: NodeId::from_raw(2),
+                    id: NodeId::fresh(),
+                    label: "visit".into(),
+                },
+                Update::DeleteSubtree { node: NodeId::from_raw(99) },
+            ],
+        };
+        match gw.submit(&req) {
+            Verdict::Rejected(RejectReason::FailedUpdate { index: 1, .. }) => {}
+            other => panic!("expected failed update, got {other:?}"),
+        }
+        assert_eq!(gw.snapshot(id).unwrap().render(), before.render());
+    }
+
+    #[test]
+    fn unknown_document_rejected() {
+        let (gw, _) = gateway_with_doc();
+        let req = Request { doc: DocId::new("ghost"), updates: Vec::new() };
+        assert_eq!(gw.submit(&req), Verdict::Rejected(RejectReason::UnknownDocument));
+    }
+
+    #[test]
+    fn empty_batch_is_a_trivial_commit() {
+        let (gw, id) = gateway_with_doc();
+        let req = Request { doc: id, updates: Vec::new() };
+        assert_eq!(gw.submit(&req), Verdict::Accepted { commit: 1 });
+        assert_eq!(gw.submit(&req), Verdict::Accepted { commit: 2 });
+    }
+
+    #[test]
+    fn log_renders_in_request_order() {
+        let (gw, id) = gateway_with_doc();
+        let reqs = vec![
+            Request { doc: id, updates: Vec::new() },
+            Request { doc: DocId::new("ghost"), updates: Vec::new() },
+        ];
+        let verdicts = gw.process(&reqs, 1);
+        let log = render_log(&reqs, &verdicts);
+        assert_eq!(log, "#0000 h ACCEPT commit=1\n#0001 ghost REJECT unknown document\n");
+    }
+}

@@ -1,0 +1,197 @@
+//! A concurrent, transactional update-validation gateway — the paper's
+//! Figure 1 deployment as a long-running service.
+//!
+//! The motivating scenario of *Cautis–Abiteboul–Milo* (Section 1) is a
+//! gateway that intercepts update streams against signed XML documents
+//! and accepts or rejects each batch under the documents' update
+//! constraints. The library crates of this workspace provide all the
+//! single-shot pieces — evaluation ([`xuc_xpath::Evaluator`]), undoable
+//! edits ([`xuc_xtree::apply_undoable`]), compiled constraint batches
+//! ([`xuc_automata::PatternSetCompiler`]), certification
+//! ([`xuc_sigstore::Signer`]) — and this crate composes them under
+//! concurrency:
+//!
+//! * [`DocumentStore`] — documents sharded by id behind `parking_lot`
+//!   locks; each [`Document`] owns its tree, a **warm** evaluator whose
+//!   snapshot is kept in sync by the edit-scope protocol, its constraint
+//!   suite, the suite's compiled automaton and its current certificate;
+//! * [`Session`] — `begin / apply / commit / rollback` transactions built
+//!   on undo tokens: a rejected batch unwinds exactly (same child order,
+//!   [`xuc_xtree::undo`]'s position-restoration invariant) and the
+//!   evaluator is never left stale;
+//! * [`SuiteCache`] — constraint suites fingerprinted by canonical
+//!   pattern serialization ([`xuc_xpath::fingerprint`]); compiled
+//!   automata are memoized so admission rides the
+//!   [`eval_set`](xuc_xpath::Evaluator::eval_set) fast path with **zero**
+//!   per-request compilation;
+//! * [`Gateway`] — the front-end: publish documents, submit requests,
+//!   and drain a request stream through a deterministic worker pool
+//!   ([`Gateway::process`]) whose accept/reject log is byte-identical at
+//!   every worker count;
+//! * commit **re-certifies** the document
+//!   ([`Signer::certify_precomputed`](xuc_sigstore::Signer::certify_precomputed)
+//!   over the admission pass's own range results), closing the Figure 1
+//!   loop: users can verify every accepted state without seeing its
+//!   predecessor.
+//!
+//! ```
+//! use xuc_core::parse_constraint;
+//! use xuc_service::{DocId, Gateway, Request, Verdict};
+//! use xuc_sigstore::Signer;
+//! use xuc_xtree::{parse_term, NodeId, Update};
+//!
+//! let gw = Gateway::new(Signer::new(0xfeed));
+//! let doc = DocId::new("mercy-west");
+//! let tree = parse_term("hospital#1(patient#2(visit#3))").unwrap();
+//! let suite = vec![parse_constraint("(/patient/visit, ↑)").unwrap()];
+//! gw.publish(doc, tree, suite).unwrap();
+//!
+//! // A compliant batch commits and re-certifies…
+//! let ok = Request {
+//!     doc,
+//!     updates: vec![Update::InsertLeaf {
+//!         parent: NodeId::from_raw(2),
+//!         id: NodeId::fresh(),
+//!         label: "visit".into(),
+//!     }],
+//! };
+//! assert!(matches!(gw.submit(&ok), Verdict::Accepted { commit: 1 }));
+//!
+//! // …while tampering is rejected and rolled back.
+//! let bad = Request { doc, updates: vec![Update::DeleteSubtree { node: NodeId::from_raw(3) }] };
+//! assert!(matches!(gw.submit(&bad), Verdict::Rejected(_)));
+//! assert!(gw.certificate(doc).unwrap().verify(0xfeed, &gw.snapshot(doc).unwrap()).is_ok());
+//! ```
+
+pub mod cache;
+pub mod gateway;
+pub mod session;
+pub mod store;
+pub mod workload;
+
+pub use cache::SuiteCache;
+pub use gateway::{render_log, Gateway};
+pub use session::{admit, Commit, Rejection, Session};
+pub use store::{Document, DocumentStore, PublishError};
+
+use std::fmt;
+use xuc_xtree::{Label, Update};
+
+/// A document's identity inside the store. Backed by an interned
+/// [`Label`], so ids are `Copy` and compare in O(1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocId(Label);
+
+impl DocId {
+    pub fn new(name: &str) -> DocId {
+        DocId(Label::new(name))
+    }
+
+    pub fn as_str(self) -> &'static str {
+        self.0.as_str()
+    }
+}
+
+impl fmt::Display for DocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl From<&str> for DocId {
+    fn from(s: &str) -> DocId {
+        DocId::new(s)
+    }
+}
+
+/// One client request: a batch of updates against one document, admitted
+/// or rejected **atomically** (all updates commit, or none do).
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub doc: DocId,
+    pub updates: Vec<Update>,
+}
+
+/// The gateway's answer to one [`Request`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The batch committed; `commit` is the document's new commit number
+    /// (deterministic: requests against one document are processed in
+    /// arrival order at every worker count).
+    Accepted {
+        commit: u64,
+    },
+    Rejected(RejectReason),
+}
+
+impl Verdict {
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, Verdict::Accepted { .. })
+    }
+}
+
+/// Why a request was rejected. Every variant leaves the document exactly
+/// as the previous commit left it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The request named a document the store does not hold.
+    UnknownDocument,
+    /// `updates[index]` did not apply (dead node, cycle-creating move,
+    /// duplicate id); the already-applied prefix was unwound.
+    FailedUpdate { index: usize, error: String },
+    /// The batch applied but violates the document's suite; the whole
+    /// batch was unwound.
+    Violation { constraint: String, offenders: usize },
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Accepted { commit } => write!(f, "ACCEPT commit={commit}"),
+            Verdict::Rejected(RejectReason::UnknownDocument) => {
+                write!(f, "REJECT unknown document")
+            }
+            Verdict::Rejected(RejectReason::FailedUpdate { index, error }) => {
+                write!(f, "REJECT update {index} failed: {error}")
+            }
+            Verdict::Rejected(RejectReason::Violation { constraint, offenders }) => {
+                write!(f, "REJECT violates {constraint} ({offenders} offending nodes)")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_ids_are_cheap_names() {
+        let a = DocId::new("mercy-west");
+        let b: DocId = "mercy-west".into();
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "mercy-west");
+        assert_ne!(a, DocId::new("seattle-grace"));
+    }
+
+    #[test]
+    fn verdicts_render_stably() {
+        assert_eq!(Verdict::Accepted { commit: 3 }.to_string(), "ACCEPT commit=3");
+        assert!(Verdict::Accepted { commit: 3 }.is_accepted());
+        let v = Verdict::Rejected(RejectReason::Violation {
+            constraint: "(/a, ↑)".into(),
+            offenders: 2,
+        });
+        assert_eq!(v.to_string(), "REJECT violates (/a, ↑) (2 offending nodes)");
+        assert!(!v.is_accepted());
+        let v = Verdict::Rejected(RejectReason::FailedUpdate {
+            index: 1,
+            error: "node n9 not found".into(),
+        });
+        assert_eq!(v.to_string(), "REJECT update 1 failed: node n9 not found");
+        assert_eq!(
+            Verdict::Rejected(RejectReason::UnknownDocument).to_string(),
+            "REJECT unknown document"
+        );
+    }
+}

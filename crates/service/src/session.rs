@@ -1,0 +1,182 @@
+//! Transactional update sessions over one document.
+//!
+//! A [`Session`] wraps one exclusive borrow of a [`Document`] (the caller
+//! holds the document's mutex) in `begin / apply / commit / rollback`
+//! semantics:
+//!
+//! * [`Session::apply`] edits the working tree through
+//!   [`apply_undoable`], pushes the undo token, and re-syncs the warm
+//!   evaluator **proportionally to the edit** via
+//!   [`Evaluator::refresh_after`](xuc_xpath::Evaluator::refresh_after) and
+//!   the returned [`EditScope`](xuc_xtree::EditScope) — the evaluator is
+//!   never stale, at any point of the session;
+//! * [`Session::commit`] runs the admission check ([`admit`]): one
+//!   [`eval_set`](xuc_xpath::Evaluator::eval_set) pass over the suite's
+//!   compiled automaton, compared against the committed baseline under
+//!   Definition 2.3. Accepted batches re-certify the document from the
+//!   very sets the check computed
+//!   ([`Signer::certify_precomputed`](xuc_sigstore::Signer::certify_precomputed));
+//!   rejected batches unwind;
+//! * [`Session::rollback`] (and `Drop`, for abandoned sessions) unwinds
+//!   the undo stack in LIFO order. Undo is an *exact* inverse (child
+//!   positions restored), so the tree returns byte-identical to the
+//!   committed state; the evaluator re-syncs once — structural edits pool
+//!   into a single re-walk, pure relabel/id batches replay their O(1)
+//!   patches.
+
+use crate::store::Document;
+use std::collections::BTreeSet;
+use xuc_automata::CompiledPatternSet;
+use xuc_core::Constraint;
+use xuc_sigstore::Signer;
+use xuc_xpath::Evaluator;
+use xuc_xtree::{apply_undoable, undo, NodeRef, Undo, Update, UpdateError};
+
+/// A committed batch's receipt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Commit {
+    /// The document's commit number after this batch (1 for the first
+    /// accepted batch after publish).
+    pub commit: u64,
+}
+
+/// Why a batch failed admission. The session has already rolled back
+/// when a `Rejection` is returned.
+#[derive(Debug, Clone)]
+pub struct Rejection {
+    /// The first violated constraint (suite order).
+    pub constraint: Constraint,
+    /// Nodes inserted into (↓) or removed from (↑) its range.
+    pub offenders: usize,
+}
+
+/// The admission check: evaluates the whole suite in **one**
+/// [`eval_set`](Evaluator::eval_set) pass over `compiled` and compares
+/// each range against the committed baseline under Definition 2.3
+/// (`⊆` for ↓, `⊇` for ↑ — via
+/// [`ConstraintKind::satisfied_on`](xuc_core::ConstraintKind::satisfied_on)).
+///
+/// Returns the fresh range results on success (the caller re-uses them as
+/// the next baseline and as certification snapshots), or the first
+/// violation in suite order. Exposed for the E-SVC experiment, which
+/// measures this exact function under cached vs per-request-recompiled
+/// automata.
+pub fn admit(
+    ev: &mut Evaluator,
+    compiled: &CompiledPatternSet,
+    suite: &[Constraint],
+    base_sets: &[BTreeSet<NodeRef>],
+) -> Result<Vec<BTreeSet<NodeRef>>, Rejection> {
+    debug_assert_eq!(suite.len(), base_sets.len(), "one baseline per constraint");
+    let now_sets = ev.eval_set(compiled);
+    for ((c, base), now) in suite.iter().zip(base_sets).zip(&now_sets) {
+        if !c.kind.satisfied_on(base, now) {
+            let offenders = c.kind.offenders_on(base, now).len();
+            return Err(Rejection { constraint: c.clone(), offenders });
+        }
+    }
+    Ok(now_sets)
+}
+
+/// An open transaction on one document. See the module docs.
+pub struct Session<'a> {
+    doc: &'a mut Document,
+    undo_stack: Vec<Undo>,
+    open: bool,
+}
+
+impl<'a> Session<'a> {
+    /// Opens a transaction. Free: the baseline range results were cached
+    /// by the last commit (or publish), so nothing is evaluated here.
+    pub fn begin(doc: &'a mut Document) -> Session<'a> {
+        Session { doc, undo_stack: Vec::new(), open: true }
+    }
+
+    /// Number of updates applied so far.
+    pub fn applied(&self) -> usize {
+        self.undo_stack.len()
+    }
+
+    /// Applies one update to the working tree and re-syncs the evaluator
+    /// in time proportional to the edit. On error the tree is untouched
+    /// (the primitive either applies fully or not at all) and the session
+    /// stays usable — the caller decides whether to continue or roll
+    /// back.
+    pub fn apply(&mut self, update: &Update) -> Result<(), UpdateError> {
+        let (token, scope) = apply_undoable(&mut self.doc.tree, update)?;
+        self.doc.ev.refresh_after(&self.doc.tree, &scope);
+        self.undo_stack.push(token);
+        Ok(())
+    }
+
+    /// Commits the batch: admission check, then re-certification.
+    ///
+    /// * Accepted: the working tree becomes the committed state, the
+    ///   admission pass's range results become the new baseline **and**
+    ///   the certification snapshots (no re-evaluation), and the commit
+    ///   counter advances.
+    /// * Rejected: the batch is unwound exactly ([`Session::rollback`])
+    ///   before the [`Rejection`] is returned — the document is
+    ///   byte-identical to its committed state.
+    pub fn commit(mut self, signer: &Signer) -> Result<Commit, Rejection> {
+        match admit(&mut self.doc.ev, &self.doc.compiled, &self.doc.suite, &self.doc.base_sets) {
+            Ok(now_sets) => {
+                self.doc.cert = signer.certify_precomputed(&self.doc.suite, &now_sets);
+                self.doc.base_sets = now_sets;
+                self.doc.commits += 1;
+                self.open = false;
+                Ok(Commit { commit: self.doc.commits })
+            }
+            Err(rejection) => {
+                self.unwind();
+                Err(rejection)
+            }
+        }
+    }
+
+    /// Abandons the batch: unwinds every applied update in LIFO order and
+    /// re-syncs the evaluator. The document is left byte-identical to its
+    /// committed state (exact child order — the undo tokens' position
+    /// restoration invariant).
+    pub fn rollback(mut self) {
+        self.unwind();
+    }
+
+    fn unwind(&mut self) {
+        let mut structural = false;
+        let mut patches = Vec::new();
+        while let Some(token) = self.undo_stack.pop() {
+            let scope =
+                undo(&mut self.doc.tree, token).expect("undo token applies to its own tree");
+            if scope.is_structural() {
+                structural = true;
+            } else {
+                patches.push(scope);
+            }
+        }
+        // Nothing evaluates mid-unwind, so one re-sync covers the whole
+        // stack: any structural undo forces the single re-walk (which
+        // subsumes the patches); otherwise the O(1) patches replay in
+        // undo order (non-structural edits keep the preorder layout
+        // fixed, so sequential patching stays exact).
+        if structural {
+            self.doc.ev.refresh(&self.doc.tree);
+        } else {
+            for scope in &patches {
+                self.doc.ev.refresh_after(&self.doc.tree, scope);
+            }
+        }
+        self.open = false;
+    }
+}
+
+impl Drop for Session<'_> {
+    /// A dropped open session rolls back — a panicking or early-returning
+    /// request handler can never leave a document mid-edit or its
+    /// evaluator out of sync.
+    fn drop(&mut self) {
+        if self.open {
+            self.unwind();
+        }
+    }
+}

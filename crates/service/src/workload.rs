@@ -1,0 +1,156 @@
+//! Seeded request streams for tests, experiments and examples.
+//!
+//! The generator is **deterministic per seed**, and — crucially for the
+//! worker-count determinism contract — all nondeterminism is resolved
+//! here, at *generation* time: fresh node ids for inserts are minted into
+//! the [`Request`] values themselves, so replaying one generated stream
+//! into two gateways (or into the same gateway shape at different worker
+//! counts) presents byte-identical inputs.
+//!
+//! Updates are drawn against each document's **initial** node-id
+//! population. As accepted batches mutate the documents, later requests
+//! can reference ids that no longer exist or try cycle-creating moves —
+//! exactly the malformed traffic a real gateway sees, and determinism
+//! must (and does) hold for those rejection paths too.
+
+use crate::{DocId, Request};
+use xuc_core::Constraint;
+use xuc_xtree::{DataTree, Label, NodeId, Update};
+
+/// A deployment blueprint — `(id, initial tree, suite)` per document —
+/// the shape determinism tests and experiments publish into each
+/// gateway under comparison (clone the trees per gateway so every run
+/// starts identical).
+pub type Deployment = Vec<(DocId, DataTree, Vec<Constraint>)>;
+
+/// A tiny SplitMix64 — self-contained so the stream only depends on the
+/// seed, never on another crate's RNG evolution.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Near-uniform draw from `0..n` (widening multiply, one draw).
+    fn below(&mut self, n: usize) -> usize {
+        (((self.next_u64() as u128) * (n.max(1) as u128)) >> 64) as usize
+    }
+}
+
+/// One random primitive update against a fixed id/label population.
+fn random_update(rng: &mut SplitMix, ids: &[NodeId], labels: &[Label]) -> Update {
+    match rng.below(5) {
+        0 => Update::InsertLeaf {
+            parent: ids[rng.below(ids.len())],
+            id: NodeId::fresh(),
+            label: labels[rng.below(labels.len())],
+        },
+        1 => Update::DeleteSubtree { node: ids[rng.below(ids.len())] },
+        2 => Update::DeleteNode { node: ids[rng.below(ids.len())] },
+        3 => {
+            Update::Move { node: ids[rng.below(ids.len())], new_parent: ids[rng.below(ids.len())] }
+        }
+        _ => Update::Relabel {
+            node: ids[rng.below(ids.len())],
+            label: labels[rng.below(labels.len())],
+        },
+    }
+}
+
+/// A deterministic stream of `count` requests spread round-robin-ish over
+/// `docs` (each draw picks a document uniformly), each carrying 1–3
+/// updates over that document's initial node population plus `extra`
+/// labels. Same `(docs, extra, seed, count)` ⇒ byte-identical stream.
+pub fn seeded_requests(
+    docs: &[(DocId, &DataTree)],
+    extra_labels: &[&str],
+    seed: u64,
+    count: usize,
+) -> Vec<Request> {
+    assert!(!docs.is_empty(), "need at least one document");
+    let pools: Vec<(DocId, Vec<NodeId>, Vec<Label>)> = docs
+        .iter()
+        .map(|(id, tree)| {
+            let mut labels = tree.labels();
+            labels.extend(extra_labels.iter().map(|l| Label::new(l)));
+            // Sort by name, not by the interned handle: `Label`'s `Ord` is
+            // interning order, which depends on process-global history —
+            // the stream must be a pure function of the inputs.
+            labels.sort_by_key(|l| l.as_str());
+            labels.dedup();
+            (*id, tree.node_ids(), labels)
+        })
+        .collect();
+    let mut rng = SplitMix(seed);
+    (0..count)
+        .map(|_| {
+            let (doc, ids, labels) = &pools[rng.below(pools.len())];
+            let updates =
+                (0..1 + rng.below(3)).map(|_| random_update(&mut rng, ids, labels)).collect();
+            Request { doc: *doc, updates }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xuc_xtree::parse_term;
+
+    #[test]
+    fn streams_are_seed_deterministic() {
+        let t1 = parse_term("r(a#1(b#2),c#3)").unwrap();
+        let t2 = parse_term("h(p#10(v#11))").unwrap();
+        let docs = vec![(DocId::new("one"), &t1), (DocId::new("two"), &t2)];
+        let a = seeded_requests(&docs, &["x"], 42, 50);
+        let b = seeded_requests(&docs, &["x"], 42, 50);
+        // Everything except freshly minted insert ids must coincide; the
+        // rendered form (which includes ids) differs only on inserts.
+        assert_eq!(a.len(), b.len());
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.doc, rb.doc);
+            assert_eq!(ra.updates.len(), rb.updates.len());
+            for (ua, ub) in ra.updates.iter().zip(&rb.updates) {
+                match (ua, ub) {
+                    (
+                        Update::InsertLeaf { parent: pa, label: la, .. },
+                        Update::InsertLeaf { parent: pb, label: lb, .. },
+                    ) => assert_eq!((pa, la), (pb, lb)),
+                    _ => assert_eq!(ua, ub),
+                }
+            }
+        }
+        let c = seeded_requests(&docs, &["x"], 43, 50);
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.doc != y.doc || x.updates.len() != y.updates.len()),
+            "different seeds must differ"
+        );
+    }
+
+    #[test]
+    fn streams_cover_all_documents_and_op_kinds() {
+        let t = parse_term("r(a#1(b#2),c#3)").unwrap();
+        let docs = vec![(DocId::new("one"), &t), (DocId::new("two"), &t)];
+        let reqs = seeded_requests(&docs, &[], 7, 200);
+        assert!(reqs.iter().any(|r| r.doc == DocId::new("one")));
+        assert!(reqs.iter().any(|r| r.doc == DocId::new("two")));
+        let mut kinds = [false; 5];
+        for u in reqs.iter().flat_map(|r| &r.updates) {
+            let k = match u {
+                Update::InsertLeaf { .. } => 0,
+                Update::DeleteSubtree { .. } => 1,
+                Update::DeleteNode { .. } => 2,
+                Update::Move { .. } => 3,
+                Update::Relabel { .. } => 4,
+                Update::ReplaceId { .. } => unreachable!("generator never re-identifies"),
+            };
+            kinds[k] = true;
+        }
+        assert!(kinds.iter().all(|&k| k), "all op kinds drawn: {kinds:?}");
+    }
+}

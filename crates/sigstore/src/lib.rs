@@ -105,12 +105,31 @@ impl Signer {
     /// selected set.
     pub fn certify(&self, document: &DataTree, constraints: &[Constraint]) -> Certificate {
         let mut ev = Evaluator::new(document);
+        let snapshots: Vec<BTreeSet<NodeRef>> =
+            constraints.iter().map(|c| ev.eval(&c.range)).collect();
+        self.certify_precomputed(constraints, &snapshots)
+    }
+
+    /// [`certify`](Self::certify) over range results the caller already
+    /// holds: `snapshots[i]` must be `constraints[i].range`'s evaluation
+    /// on the document being certified. The service layer's commit path
+    /// uses this to sign the exact sets its admission check just computed
+    /// (one `eval_set` pass), instead of re-evaluating the whole suite.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn certify_precomputed(
+        &self,
+        constraints: &[Constraint],
+        snapshots: &[BTreeSet<NodeRef>],
+    ) -> Certificate {
+        assert_eq!(constraints.len(), snapshots.len(), "one snapshot per constraint");
         let entries = constraints
             .iter()
-            .map(|c| {
-                let snapshot = ev.eval(&c.range);
-                let tag = mac(self.key, &serialize_set(&snapshot));
-                CertEntry { constraint: c.clone(), snapshot, tag }
+            .zip(snapshots)
+            .map(|(c, snapshot)| {
+                let tag = mac(self.key, &serialize_set(snapshot));
+                CertEntry { constraint: c.clone(), snapshot: snapshot.clone(), tag }
             })
             .collect();
         Certificate { entries }
@@ -206,6 +225,24 @@ mod tests {
         let mut j = i.clone();
         j.add_with_id(j.root_id(), xuc_xtree::NodeId::from_raw(99), "a").unwrap();
         assert_eq!(cert.verify(42, &j), Err(VerifyError::BadSignature { index: 0 }));
+    }
+
+    #[test]
+    fn precomputed_certification_matches_evaluated() {
+        // certify_precomputed over the document's own range results must
+        // produce a certificate indistinguishable from certify's.
+        let i = parse_term("r(a#1(b#2),c#3(b#4))").unwrap();
+        let constraints = vec![c("(//b, ↑)"), c("(/a, ↓)"), c("(/c[/b], ↑)")];
+        let signer = Signer::new(0xd1d);
+        let via_eval = signer.certify(&i, &constraints);
+        let mut ev = Evaluator::new(&i);
+        let sets: Vec<_> = constraints.iter().map(|x| ev.eval(&x.range)).collect();
+        let via_sets = signer.certify_precomputed(&constraints, &sets);
+        for (a, b) in via_eval.entries.iter().zip(&via_sets.entries) {
+            assert_eq!(a.snapshot, b.snapshot);
+            assert_eq!(a.tag, b.tag);
+        }
+        assert!(via_sets.verify(0xd1d, &i).is_ok());
     }
 
     #[test]

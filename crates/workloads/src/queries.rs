@@ -227,6 +227,18 @@ pub fn linear_chain_family(
     (set, Constraint::new(xuc_xpath::parse(&goal_src).expect("generated"), kind))
 }
 
+/// Drops duplicate queries from a generated suite, keeping first
+/// occurrences in order. Duplicates are detected on the canonical
+/// serialization (the same rendering [`Pattern::canonical_fingerprint`]
+/// hashes — exact, no 64-bit collision risk), so patterns that denote the
+/// same query collapse even when their arenas (or predicate orders)
+/// differ — generators use this to guarantee that a "k-pattern" sweep
+/// point really exercises k distinct queries.
+pub fn dedup_suite(suite: Vec<Pattern>) -> Vec<Pattern> {
+    let mut seen = std::collections::HashSet::new();
+    suite.into_iter().filter(|q| seen.insert(q.to_string())).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,6 +282,26 @@ mod tests {
         let (set, goal) =
             not_implied_pred_star_family(&mut rng, &labels, 3, ConstraintKind::NoInsert);
         assert!(!xuc_core::implication::ptime::implies_pred_star(&set, &goal));
+    }
+
+    #[test]
+    fn dedup_suite_drops_equal_queries_only() {
+        let dup: Vec<Pattern> = ["/a[/b][/c]", "/a[/c][/b]", "/a[/b]", "//a"]
+            .iter()
+            .map(|s| xuc_xpath::parse(s).unwrap())
+            .collect();
+        let kept = dedup_suite(dup);
+        let strs: Vec<String> = kept.iter().map(Pattern::to_string).collect();
+        assert_eq!(strs, vec!["/a[/b][/c]", "/a[/b]", "//a"]);
+    }
+
+    #[test]
+    fn overlapping_prefix_suites_are_duplicate_free() {
+        let labels = ["a", "b", "c", "d", "e"];
+        for count in [8usize, 64, 256] {
+            let suite = overlapping_prefix_suite(&labels, count, 6);
+            assert_eq!(dedup_suite(suite).len(), count, "sweep point {count} must be distinct");
+        }
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! Stable canonical fingerprints for patterns and pattern suites.
+//!
+//! Two needs drive this module:
+//!
+//! * **memoization keys** — the service layer caches compiled
+//!   set-at-a-time automata per constraint suite, so it needs a cheap,
+//!   stable key for "the same suite again" (`xuc-service`'s `SuiteCache`);
+//! * **dedup** — workload generators produce pattern families where
+//!   accidental duplicates would silently skew sweep parameters
+//!   ([`xuc_workloads`'s `dedup_suite`]).
+//!
+//! The canonical serialization underneath is [`Pattern`]'s `Display`
+//! form: predicates print in sorted order and the output position is
+//! encoded by which steps render as spine vs brackets, so two `Pattern`
+//! values that denote the same query render identically no matter how
+//! their arenas were built. Fingerprints hash that rendering (FNV-1a
+//! with a final avalanche round), which makes them **content-stable**:
+//! independent of label interning order, arena layout, process, and run.
+//!
+//! [`xuc_workloads`'s `dedup_suite`]: Pattern#method.canonical_fingerprint
+
+use crate::pattern::Pattern;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A streaming FNV-1a fingerprint builder with a [SplitMix64-style]
+/// finalizer, for callers that need to mix pattern serializations with
+/// extra data (the service layer appends each constraint's update type to
+/// its range, for example).
+///
+/// [SplitMix64-style]: https://prng.di.unimi.it/splitmix64.c
+///
+/// ```
+/// use xuc_xpath::fingerprint::Fingerprinter;
+/// use xuc_xpath::parse;
+///
+/// let mut fp = Fingerprinter::new();
+/// fp.write_pattern(&parse("/a[/b]").unwrap());
+/// fp.write_str("↑");
+/// let tagged = fp.finish();
+/// assert_ne!(tagged, parse("/a[/b]").unwrap().canonical_fingerprint());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fingerprinter {
+    h: u64,
+}
+
+impl Fingerprinter {
+    pub fn new() -> Fingerprinter {
+        Fingerprinter { h: FNV_OFFSET }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.h ^= b as u64;
+            self.h = self.h.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a string **with a terminator** outside the UTF-8 value
+    /// space, so adjacent writes cannot collide by concatenation
+    /// (`"/a" + "/b"` vs `"/a/b"`).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+        self.write_bytes(&[0xFF]);
+    }
+
+    /// Absorbs an integer (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a pattern's canonical serialization.
+    pub fn write_pattern(&mut self, q: &Pattern) {
+        self.write_str(&q.to_string());
+    }
+
+    /// The 64-bit fingerprint of everything written so far. FNV's low
+    /// bits mix weakly, so a final avalanche round spreads them before
+    /// the value is used as a hash-map key.
+    pub fn finish(&self) -> u64 {
+        let mut z = self.h;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl Default for Fingerprinter {
+    fn default() -> Self {
+        Fingerprinter::new()
+    }
+}
+
+impl Pattern {
+    /// A stable content fingerprint of this pattern's canonical
+    /// serialization: equal for patterns denoting the same query (however
+    /// their arenas were built), stable across label interning order,
+    /// processes and runs.
+    ///
+    /// ```
+    /// use xuc_xpath::parse;
+    ///
+    /// // Predicate order is not part of the query.
+    /// let q1 = parse("/a[/b][/c]//d").unwrap();
+    /// let q2 = parse("/a[/c][/b]//d").unwrap();
+    /// assert_eq!(q1.canonical_fingerprint(), q2.canonical_fingerprint());
+    /// assert_ne!(
+    ///     q1.canonical_fingerprint(),
+    ///     parse("/a[/b]//d").unwrap().canonical_fingerprint()
+    /// );
+    /// ```
+    pub fn canonical_fingerprint(&self) -> u64 {
+        let mut fp = Fingerprinter::new();
+        fp.write_pattern(self);
+        fp.finish()
+    }
+}
+
+/// An **order-insensitive** fingerprint of a whole suite: the canonical
+/// serializations are sorted before hashing, so `{q1, q2}` and `{q2, q1}`
+/// fingerprint equally (a suite is semantically a set). Multiplicity is
+/// preserved — a duplicated pattern changes the fingerprint.
+///
+/// Note: consumers that key *positional* artifacts (like a compiled
+/// automaton whose acceptance-row bit `i` means "pattern `i`") must use a
+/// sequence-sensitive [`Fingerprinter`] instead; this function is for
+/// identity of the suite as a set.
+///
+/// ```
+/// use xuc_xpath::fingerprint::suite_fingerprint;
+/// use xuc_xpath::parse;
+///
+/// let a = parse("/a").unwrap();
+/// let b = parse("//b[/c]").unwrap();
+/// assert_eq!(suite_fingerprint([&a, &b]), suite_fingerprint([&b, &a]));
+/// assert_ne!(suite_fingerprint([&a, &b]), suite_fingerprint([&a]));
+/// ```
+pub fn suite_fingerprint<'a>(patterns: impl IntoIterator<Item = &'a Pattern>) -> u64 {
+    let mut keys: Vec<String> = patterns.into_iter().map(|q| q.to_string()).collect();
+    keys.sort();
+    let mut fp = Fingerprinter::new();
+    fp.write_u64(keys.len() as u64);
+    for k in &keys {
+        fp.write_str(k);
+    }
+    fp.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::pattern::{Axis, PatternBuilder};
+
+    #[test]
+    fn equal_queries_fingerprint_equally_across_build_orders() {
+        // /a//b[/c] built by the parser vs by the builder with the
+        // predicate added first: same query, same fingerprint.
+        let parsed = parse("/a//b[/c]").unwrap();
+        let mut b = PatternBuilder::new(Axis::Child, "a");
+        let nb = b.add(b.root(), Axis::Descendant, "b");
+        b.add(nb, Axis::Child, "c");
+        let built = b.finish(nb);
+        assert_eq!(parsed.canonical_fingerprint(), built.canonical_fingerprint());
+    }
+
+    #[test]
+    fn distinct_queries_fingerprint_distinctly() {
+        let qs = ["/a", "//a", "/a/b", "/a[/b]", "/a[/b]/c", "/a/b/c", "/*", "//*", "/a[/b][/c]"];
+        let fps: std::collections::BTreeSet<u64> =
+            qs.iter().map(|s| parse(s).unwrap().canonical_fingerprint()).collect();
+        assert_eq!(fps.len(), qs.len(), "no collisions among {qs:?}");
+    }
+
+    #[test]
+    fn output_position_is_part_of_the_fingerprint() {
+        // /a/b with output on `a` denotes the same query as /a[/b]; with
+        // output on `b` it is a different query.
+        let mut b = PatternBuilder::new(Axis::Child, "a");
+        let nb = b.add(b.root(), Axis::Child, "b");
+        let out_a = b.finish(0);
+        let pred_form = parse("/a[/b]").unwrap();
+        let chain_form = parse("/a/b").unwrap();
+        assert_eq!(out_a.canonical_fingerprint(), pred_form.canonical_fingerprint());
+        assert_ne!(out_a.canonical_fingerprint(), chain_form.canonical_fingerprint());
+        let _ = nb;
+    }
+
+    #[test]
+    fn suite_fingerprint_is_order_insensitive_but_multiplicity_sensitive() {
+        let a = parse("/a").unwrap();
+        let b = parse("/b").unwrap();
+        assert_eq!(suite_fingerprint([&a, &b]), suite_fingerprint([&b, &a]));
+        assert_ne!(suite_fingerprint([&a, &b]), suite_fingerprint([&a, &b, &b]));
+        assert_ne!(suite_fingerprint([]), suite_fingerprint([&a]));
+    }
+
+    #[test]
+    fn terminator_prevents_concatenation_collisions() {
+        let mut one = Fingerprinter::new();
+        one.write_str("/a");
+        one.write_str("/b");
+        let mut joined = Fingerprinter::new();
+        joined.write_str("/a/b");
+        assert_ne!(one.finish(), joined.finish());
+    }
+}

@@ -25,12 +25,15 @@
 //! * containment / equivalence via homomorphisms (sound, PTIME) and
 //!   canonical models (complete, coNP) ([`containment`], [`canonical`]),
 //! * intersection for `XP{/,[],*}` ([`intersect`]) as used by Theorem 4.4,
-//! * fragment classification ([`fragment`]).
+//! * fragment classification ([`fragment`]),
+//! * stable canonical fingerprints of patterns and suites
+//!   ([`fingerprint`]) — memoization keys and dedup.
 
 pub mod canonical;
 pub mod containment;
 pub mod engine;
 pub mod eval;
+pub mod fingerprint;
 pub mod fragment;
 pub mod intersect;
 pub mod naive;
@@ -40,6 +43,7 @@ pub mod pattern;
 pub use containment::{contains, equivalent, homomorphism_exists};
 pub use engine::{Evaluator, PatternSetAutomaton};
 pub use eval::{eval, eval_at};
+pub use fingerprint::{suite_fingerprint, Fingerprinter};
 pub use fragment::Features;
 pub use intersect::intersect_all;
 pub use parser::{parse, ParseError};

@@ -28,4 +28,6 @@ pub use label::Label;
 pub use node::NodeId;
 pub use term::{parse_term, to_term};
 pub use tree::{preorder_walk_count, DataTree, DetachToken, NodeRef, SpliceToken, TreeError};
-pub use update::{apply_undoable, apply_update, undo, EditScope, Undo, Update, UpdateError};
+pub use update::{
+    apply_all, apply_undoable, apply_update, undo, EditScope, Undo, Update, UpdateError,
+};

@@ -17,6 +17,7 @@
 //! | [`xic`] | `xuc-xic` | XML integrity constraints + chase (Section 3.3) |
 //! | [`regular`] | `xuc-regular` | DTDs + unary regular keys, Theorem 4.2 reduction |
 //! | [`sigstore`] | `xuc-sigstore` | simulated signature enforcement (Figure 1) |
+//! | [`service`] | `xuc-service` | the Figure 1 gateway as a service: store, sessions, suite cache, worker pool |
 //! | [`workloads`] | `xuc-workloads` | generators, 3CNF gadgets, paper figures |
 //!
 //! ## Quickstart
@@ -45,6 +46,7 @@
 pub use xuc_automata as automata;
 pub use xuc_core as core;
 pub use xuc_regular as regular;
+pub use xuc_service as service;
 pub use xuc_sigstore as sigstore;
 pub use xuc_workloads as workloads;
 pub use xuc_xic as xic;
@@ -53,11 +55,24 @@ pub use xuc_xtree as xtree;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use xuc_automata::{CompiledPatternSet, PatternSetCompiler};
+    pub use xuc_core::implication::search::{
+        find_counterexample, find_counterexample_sharded, find_counterexample_with_stats,
+        SearchStats,
+    };
     pub use xuc_core::{
         implies, implies_on, implies_on_with, implies_with, parse_constraint, Constraint,
         ConstraintKind, CounterExample, ImplicationConfig, InstanceCounterExample, Outcome,
         RelativeConstraint,
     };
-    pub use xuc_xpath::{eval::eval, eval::eval_at, parse as parse_query, Pattern};
-    pub use xuc_xtree::{parse_term, DataTree, Label, NodeId, NodeRef, Update};
+    pub use xuc_service::{
+        render_log, DocId, DocumentStore, Gateway, RejectReason, Request, Session, SuiteCache,
+        Verdict,
+    };
+    pub use xuc_sigstore::{Certificate, Signer};
+    pub use xuc_xpath::{eval::eval, eval::eval_at, parse as parse_query, Evaluator, Pattern};
+    pub use xuc_xtree::{
+        apply_all, apply_undoable, parse_term, undo, DataTree, EditScope, Label, NodeId, NodeRef,
+        Update,
+    };
 }
