@@ -17,10 +17,12 @@ use xuc_automata::PatternSetCompiler;
 use xuc_bench as wl;
 use xuc_core::implication::search::find_counterexample_sharded;
 use xuc_core::{implication, instance};
-use xuc_service::{admit, render_log, Gateway, SuiteCache};
+use xuc_service::{
+    admit, admit_delta, admit_delta_in_place, render_log, AdmissionMode, DocId, Gateway, SuiteCache,
+};
 use xuc_sigstore::Signer;
 use xuc_xpath::Evaluator;
-use xuc_xtree::{apply_undoable, undo, DataTree, Update};
+use xuc_xtree::{apply_undoable, undo, DataTree, DirtyRegion, Update};
 
 /// Collects every printed measurement so the run also emits
 /// `BENCH_results.json` (experiment id → measured µs / ratios), letting the
@@ -565,6 +567,132 @@ fn main() {
         rep.row("E-SVC", "stream_workers", 4, t4, "log byte-identical to 1 worker ✓");
         rep.metric("E-SVC", "stream_requests_per_s_1worker", throughput);
         println!("   determinism: {n_requests}-request gateway log identical at 1/4 workers ✓");
+    }
+
+    rep.header(
+        "E-DLT",
+        "delta vs full-pass commit admission (edit-proportional splice)",
+        "delta admission ≥ 5× full pass at 100k nodes, ≤ 8-update batches",
+    );
+    {
+        let runs = if rep.smoke { 5 } else { 9 };
+        let mut batch_rng = wl::rng();
+        for &nodes in rep.sweep(&[10_000usize, 100_000], 1) {
+            let (tree, suite) = wl::edlt_workload(nodes, 12);
+            let mut work = tree;
+            let cache = SuiteCache::new();
+            let compiled = cache.get_or_compile(&suite);
+            assert_eq!(compiled.fallback_count(), 0, "E-DLT suite must compile fully");
+            let mut ev = Evaluator::new(&work);
+            let mut base = ev.eval_set(&*compiled);
+            for (mix_name, mixed) in [("relabel", false), ("mixed", true)] {
+                for &bsize in &[1usize, 8] {
+                    let batch =
+                        xuc_workloads::trees::delta_batches(&mut batch_rng, &work, 1, bsize, mixed)
+                            .remove(0);
+                    // Apply the batch exactly as a session would: refresh
+                    // per edit, scopes folded into one dirty region.
+                    let mut region = DirtyRegion::new();
+                    let mut stack = Vec::new();
+                    for u in &batch {
+                        let (tok, scope) = apply_undoable(&mut work, u).expect("batch valid");
+                        ev.refresh_after(&work, &scope);
+                        region.record(&work, &scope);
+                        stack.push(tok);
+                    }
+                    // Exactness, point by point, at both layers: the
+                    // splice must equal the full set pass, and the delta
+                    // admission must reproduce the full admission's range
+                    // results — before either is timed.
+                    assert_eq!(
+                        ev.eval_set_delta(&*compiled, &region, &base),
+                        ev.eval_set(&*compiled),
+                        "eval_set_delta must equal eval_set"
+                    );
+                    assert_eq!(
+                        admit_delta(&mut ev, &compiled, &suite, &base, &region)
+                            .expect("batch admits"),
+                        admit(&mut ev, &compiled, &suite, &base).expect("batch admits"),
+                        "admit_delta must equal admit"
+                    );
+                    let full = wl::median_micros(runs, || {
+                        admit(&mut ev, &compiled, &suite, &base).expect("batch admits")
+                    });
+                    // The production commit path: in-place splice, judged
+                    // off the journal. Reverting inside the measured
+                    // closure keeps iterations identical (and makes the
+                    // reported delta cost an overestimate).
+                    let delta = wl::median_micros(runs, || {
+                        let journal =
+                            admit_delta_in_place(&mut ev, &compiled, &suite, &mut base, &region)
+                                .expect("batch admits")
+                                .expect("all-linear suite rides the splice");
+                        journal.revert(&mut base);
+                    });
+                    let ratio = full / delta;
+                    rep.row(
+                        "E-DLT",
+                        &format!("{mix_name}{bsize}_full"),
+                        nodes,
+                        full,
+                        "full-pass admission",
+                    );
+                    rep.row(
+                        "E-DLT",
+                        &format!("{mix_name}{bsize}_delta"),
+                        nodes,
+                        delta,
+                        &format!("delta splice ({ratio:.1}x)"),
+                    );
+                    rep.metric("E-DLT", &format!("speedup_{mix_name}{bsize}_{nodes}"), ratio);
+                    if bsize == 8 && (nodes == 100_000 || (rep.smoke && nodes == 10_000)) {
+                        rep.floor(
+                            "E-DLT",
+                            &format!("speedup_{mix_name}{bsize}_{nodes}"),
+                            ratio,
+                            5.0,
+                            true,
+                        );
+                    }
+                    while let Some(tok) = stack.pop() {
+                        let scope = undo(&mut work, tok).expect("undo own token");
+                        ev.refresh_after(&work, &scope);
+                    }
+                }
+            }
+        }
+
+        // Worker-pool determinism re-pinned on the delta admission path:
+        // byte-identical log at 1/2/8 workers, and identical to the
+        // full-pass reference arm.
+        let (tree, suite) = wl::edlt_workload(10_000, 12);
+        let doc = DocId::new("edlt");
+        let stream = xuc_service::workload::seeded_requests(
+            &[(doc, &tree)],
+            &["note", "visit"],
+            0x0E17_D317,
+            60,
+        );
+        let run_at = |mode: AdmissionMode, workers: usize| {
+            let gw = Gateway::with_admission(Signer::new(0xD317), mode);
+            gw.publish(doc, tree.clone(), suite.clone()).expect("fresh gateway");
+            let verdicts = gw.process(&stream, workers);
+            render_log(&stream, &verdicts)
+        };
+        let reference = run_at(AdmissionMode::Delta, 1);
+        for workers in [2usize, 8] {
+            assert_eq!(
+                run_at(AdmissionMode::Delta, workers),
+                reference,
+                "delta log diverged at {workers} workers"
+            );
+        }
+        assert_eq!(
+            run_at(AdmissionMode::FullPass, 2),
+            reference,
+            "delta and full-pass gateway logs must agree"
+        );
+        println!("   determinism: 60-request delta-path gateway log identical at 1/2/8 workers ✓");
     }
 
     rep.header(

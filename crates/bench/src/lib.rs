@@ -175,6 +175,44 @@ pub fn esvc_gateway_workload(
     (docs, stream)
 }
 
+/// E-DLT: the delta-admission workload — a [`trees::hospital_sized`]
+/// document of ≈`nodes` nodes and an **all-linear** admission suite of
+/// `k` constraints shaped like a real hospital policy: ↑-protection on
+/// the visit/report spine, ↓-protection on clinicalTrial/phone/patient,
+/// padded with overlapping-prefix ranges. All ranges compile (zero
+/// fallbacks), so delta admission takes the genuine splice path; the
+/// [`trees::delta_batches`] edit mixes (phone→note relabels, note leaf
+/// inserts, phone deletions) are accepted under this suite, so the
+/// measured admission is the production commit shape.
+pub fn edlt_workload(nodes: usize, k: usize) -> (xuc_xtree::DataTree, Vec<Constraint>) {
+    let tree = trees::hospital_sized(&mut rng(), nodes);
+    let core = [
+        "(/patient/visit, ↑)",
+        "(//report, ↑)",
+        "(/patient/visit/report, ↑)",
+        "(//visit, ↑)",
+        "(/patient/clinicalTrial, ↓)",
+        "(//phone, ↓)",
+        "(/patient/phone, ↓)",
+        "(/patient, ↓)",
+    ];
+    let mut suite: Vec<Constraint> =
+        core.iter().map(|s| xuc_core::parse_constraint(s).expect("static")).collect();
+    let seen: std::collections::HashSet<String> =
+        suite.iter().map(|c| c.range.to_string()).collect();
+    let padding = queries::overlapping_prefix_suite(&["visit", "report", "phone"], k, 3);
+    for q in padding {
+        if suite.len() >= k {
+            break;
+        }
+        if !seen.contains(&q.to_string()) {
+            suite.push(Constraint::new(q, ConstraintKind::NoInsert));
+        }
+    }
+    assert!(suite.iter().all(|c| c.range.is_linear()), "E-DLT suite must be all-linear");
+    (tree, suite)
+}
+
 /// E-PAR: a full-fragment (T1-d style) workload whose implication *holds*,
 /// so the counterexample search exhausts its entire budget — a pure
 /// candidate-throughput measurement for the shard sweep.

@@ -26,7 +26,7 @@
 //! per-document order is the *only* order the semantics needs.
 
 use crate::cache::SuiteCache;
-use crate::session::Session;
+use crate::session::{AdmissionMode, Session};
 use crate::store::{DocumentStore, PublishError};
 use crate::{DocId, RejectReason, Request, Verdict};
 use std::collections::HashMap;
@@ -43,11 +43,26 @@ pub struct Gateway {
     store: DocumentStore,
     cache: SuiteCache,
     signer: Signer,
+    admission: AdmissionMode,
 }
 
 impl Gateway {
+    /// A gateway on the production admission path
+    /// ([`AdmissionMode::Delta`]: edit-proportional commit validation).
     pub fn new(signer: Signer) -> Gateway {
-        Gateway { store: DocumentStore::new(), cache: SuiteCache::new(), signer }
+        Gateway::with_admission(signer, AdmissionMode::Delta)
+    }
+
+    /// A gateway with an explicit [`AdmissionMode`] —
+    /// [`AdmissionMode::FullPass`] is the reference arm the differential
+    /// harness and the E-DLT experiment compare the delta path against.
+    pub fn with_admission(signer: Signer, admission: AdmissionMode) -> Gateway {
+        Gateway { store: DocumentStore::new(), cache: SuiteCache::new(), signer, admission }
+    }
+
+    /// The admission mode every [`submit`](Self::submit) commit runs under.
+    pub fn admission_mode(&self) -> AdmissionMode {
+        self.admission
     }
 
     /// Publishes a document under its constraint suite (the Source side
@@ -103,7 +118,7 @@ impl Gateway {
                 });
             }
         }
-        match session.commit(&self.signer) {
+        match session.commit_with(&self.signer, self.admission) {
             Ok(receipt) => Verdict::Accepted { commit: receipt.commit },
             Err(r) => Verdict::Rejected(RejectReason::Violation {
                 constraint: r.constraint.to_string(),

@@ -18,7 +18,14 @@
 //! * [`Session`] — `begin / apply / commit / rollback` transactions built
 //!   on undo tokens: a rejected batch unwinds exactly (same child order,
 //!   [`xuc_xtree::undo`]'s position-restoration invariant) and the
-//!   evaluator is never left stale;
+//!   evaluator is never left stale. Commit admission is
+//!   **edit-proportional** ([`admit_delta_in_place`]): the batch's edit
+//!   scopes accumulate into a [`DirtyRegion`](xuc_xtree::DirtyRegion)
+//!   and the committed baseline range results are spliced in place
+//!   ([`eval_set_splice`](xuc_xpath::Evaluator::eval_set_splice)) — the
+//!   check costs what the batch touched, not what the document holds
+//!   (predicate suites degrade to the full pass; the differential
+//!   harness pins both arms identical);
 //! * [`SuiteCache`] — constraint suites fingerprinted by canonical
 //!   pattern serialization ([`xuc_xpath::fingerprint`]); compiled
 //!   automata are memoized so admission rides the
@@ -71,7 +78,9 @@ pub mod workload;
 
 pub use cache::SuiteCache;
 pub use gateway::{render_log, Gateway};
-pub use session::{admit, Commit, Rejection, Session};
+pub use session::{
+    admit, admit_delta, admit_delta_in_place, AdmissionMode, Commit, Rejection, Session,
+};
 pub use store::{Document, DocumentStore, PublishError};
 
 use std::fmt;

@@ -10,11 +10,17 @@
 //!   [`Evaluator::refresh_after`](xuc_xpath::Evaluator::refresh_after) and
 //!   the returned [`EditScope`](xuc_xtree::EditScope) — the evaluator is
 //!   never stale, at any point of the session;
-//! * [`Session::commit`] runs the admission check ([`admit`]): one
-//!   [`eval_set`](xuc_xpath::Evaluator::eval_set) pass over the suite's
-//!   compiled automaton, compared against the committed baseline under
-//!   Definition 2.3. Accepted batches re-certify the document from the
-//!   very sets the check computed
+//! * [`Session::commit`] runs the admission check **edit-proportionally**
+//!   ([`admit_delta_in_place`]): every applied scope is folded into a
+//!   [`DirtyRegion`], and
+//!   [`eval_set_delta`](xuc_xpath::Evaluator::eval_set_delta) re-drives
+//!   the suite's compiled automaton only below the batch's dirty subtrees,
+//!   splicing the fresh sub-results into the committed baseline — compared
+//!   under Definition 2.3. Predicate suites and poisoned regions degrade
+//!   to the full [`eval_set`](xuc_xpath::Evaluator::eval_set) pass
+//!   ([`admit`], still available via [`AdmissionMode::FullPass`]) with
+//!   identical verdicts and baselines. Accepted batches re-certify the
+//!   document from the very sets the check computed
 //!   ([`Signer::certify_precomputed`](xuc_sigstore::Signer::certify_precomputed));
 //!   rejected batches unwind;
 //! * [`Session::rollback`] (and `Drop`, for abandoned sessions) unwinds
@@ -27,10 +33,10 @@
 use crate::store::Document;
 use std::collections::BTreeSet;
 use xuc_automata::CompiledPatternSet;
-use xuc_core::Constraint;
+use xuc_core::{Constraint, ConstraintKind};
 use xuc_sigstore::Signer;
-use xuc_xpath::Evaluator;
-use xuc_xtree::{apply_undoable, undo, NodeRef, Undo, Update, UpdateError};
+use xuc_xpath::{Evaluator, SpliceJournal};
+use xuc_xtree::{apply_undoable, undo, DirtyRegion, NodeRef, Undo, Update, UpdateError};
 
 /// A committed batch's receipt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +75,90 @@ pub fn admit(
 ) -> Result<Vec<BTreeSet<NodeRef>>, Rejection> {
     debug_assert_eq!(suite.len(), base_sets.len(), "one baseline per constraint");
     let now_sets = ev.eval_set(compiled);
+    check_against_baseline(suite, base_sets, now_sets)
+}
+
+/// [`admit`]'s edit-proportional twin: instead of re-sweeping the whole
+/// document, the fresh range results are **spliced** out of the committed
+/// baselines via
+/// [`eval_set_delta`](Evaluator::eval_set_delta) — the compiled automaton
+/// is re-driven only below the batch's [`DirtyRegion`], so the check costs
+/// what the *batch* touched, not what the document holds. Suites with
+/// predicate fallbacks (membership not determined by the label path) and
+/// poisoned regions degrade to the full pass inside `eval_set_delta`; the
+/// verdict, the returned range results, and therefore the next baseline
+/// and certification snapshots are **identical** to [`admit`]'s on every
+/// input — asserted per sweep point by the E-DLT experiment (the in-place
+/// form the session actually commits through, [`admit_delta_in_place`],
+/// is pinned by the differential harness in `tests/differential.rs`).
+pub fn admit_delta(
+    ev: &mut Evaluator,
+    compiled: &CompiledPatternSet,
+    suite: &[Constraint],
+    base_sets: &[BTreeSet<NodeRef>],
+    region: &DirtyRegion,
+) -> Result<Vec<BTreeSet<NodeRef>>, Rejection> {
+    debug_assert_eq!(suite.len(), base_sets.len(), "one baseline per constraint");
+    let now_sets = ev.eval_set_delta(compiled, region, base_sets);
+    check_against_baseline(suite, base_sets, now_sets)
+}
+
+/// The commit hot path: [`admit_delta`]'s **in-place** form, built on
+/// [`eval_set_splice`](Evaluator::eval_set_splice). The committed
+/// baselines are spliced directly — targeted removals/patches/inserts
+/// proportional to the batch's dirty region, never a clone or re-sweep of
+/// the whole document — and Definition 2.3 is judged straight off the
+/// splice journal's net changes (`base \ now` per ↑ range, `now \ base`
+/// per ↓). On success `base_sets` **are** the admission pass's fresh
+/// range results (certify from them); on rejection the splice has been
+/// reverted and `base_sets` are byte-identical to the committed
+/// baselines. When the splice does not apply (predicate fallbacks,
+/// poisoned/stale region, or a dirty region so large the clean sweep is
+/// cheaper) the full pass runs instead and `base_sets` is replaced
+/// wholesale.
+///
+/// Returns `Ok(Some(journal))` on a spliced accept, `Ok(None)` on a
+/// full-pass accept. Verdicts, resulting baselines and rejection
+/// offenders are identical to [`admit`]'s on every input — pinned by the
+/// differential harness in `tests/differential.rs`.
+pub fn admit_delta_in_place(
+    ev: &mut Evaluator,
+    compiled: &CompiledPatternSet,
+    suite: &[Constraint],
+    base_sets: &mut Vec<BTreeSet<NodeRef>>,
+    region: &DirtyRegion,
+) -> Result<Option<SpliceJournal>, Rejection> {
+    debug_assert_eq!(suite.len(), base_sets.len(), "one baseline per constraint");
+    match ev.eval_set_splice(compiled, region, base_sets) {
+        None => {
+            let now_sets = ev.eval_set(compiled);
+            *base_sets = check_against_baseline(suite, base_sets, now_sets)?;
+            Ok(None)
+        }
+        Some(journal) => {
+            for (i, c) in suite.iter().enumerate() {
+                let (net_removed, net_added) = journal.net_changes(i);
+                let offenders = match c.kind {
+                    ConstraintKind::NoRemove => net_removed.len(),
+                    ConstraintKind::NoInsert => net_added.len(),
+                };
+                if offenders > 0 {
+                    journal.revert(base_sets);
+                    return Err(Rejection { constraint: c.clone(), offenders });
+                }
+            }
+            Ok(Some(journal))
+        }
+    }
+}
+
+/// Definition 2.3 on precomputed range results: first violation in suite
+/// order, or the fresh results for reuse as the next baseline.
+fn check_against_baseline(
+    suite: &[Constraint],
+    base_sets: &[BTreeSet<NodeRef>],
+    now_sets: Vec<BTreeSet<NodeRef>>,
+) -> Result<Vec<BTreeSet<NodeRef>>, Rejection> {
     for ((c, base), now) in suite.iter().zip(base_sets).zip(&now_sets) {
         if !c.kind.satisfied_on(base, now) {
             let offenders = c.kind.offenders_on(base, now).len();
@@ -78,10 +168,25 @@ pub fn admit(
     Ok(now_sets)
 }
 
+/// How a [`Session`] (and the [`Gateway`](crate::Gateway) above it) runs
+/// its admission check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionMode {
+    /// Edit-proportional splice ([`admit_delta`]): the production path.
+    #[default]
+    Delta,
+    /// Unconditional full `eval_set` pass ([`admit`]): the pre-delta
+    /// shape, kept as the differential-testing and benchmarking baseline.
+    FullPass,
+}
+
 /// An open transaction on one document. See the module docs.
 pub struct Session<'a> {
     doc: &'a mut Document,
     undo_stack: Vec<Undo>,
+    /// Union of the batch's edit scopes — what [`admit_delta`] splices
+    /// against at commit time. Reset (with the undo stack) on rollback.
+    region: DirtyRegion,
     open: bool,
 }
 
@@ -89,7 +194,7 @@ impl<'a> Session<'a> {
     /// Opens a transaction. Free: the baseline range results were cached
     /// by the last commit (or publish), so nothing is evaluated here.
     pub fn begin(doc: &'a mut Document) -> Session<'a> {
-        Session { doc, undo_stack: Vec::new(), open: true }
+        Session { doc, undo_stack: Vec::new(), region: DirtyRegion::new(), open: true }
     }
 
     /// Number of updates applied so far.
@@ -103,10 +208,29 @@ impl<'a> Session<'a> {
     /// stays usable — the caller decides whether to continue or roll
     /// back.
     pub fn apply(&mut self, update: &Update) -> Result<(), UpdateError> {
+        // Capture what a deletion is about to remove, before it happens
+        // (cost proportional to the doomed subtree, like the deletion
+        // itself): the commit-time splice evicts exactly these baseline
+        // entries instead of scanning for absentees.
+        let doomed = match update {
+            Update::DeleteSubtree { node } => self.doc.tree.subtree_nodes(*node).ok(),
+            Update::DeleteNode { node } => self.doc.tree.node(*node).ok().map(|r| vec![r]),
+            _ => None,
+        };
         let (token, scope) = apply_undoable(&mut self.doc.tree, update)?;
+        if let Some(refs) = doomed {
+            self.region.record_removals(&refs);
+        }
         self.doc.ev.refresh_after(&self.doc.tree, &scope);
+        self.region.record(&self.doc.tree, &scope);
         self.undo_stack.push(token);
         Ok(())
+    }
+
+    /// The accumulated dirty region of the batch so far (what a
+    /// [`AdmissionMode::Delta`] commit will splice against).
+    pub fn dirty_region(&self) -> &DirtyRegion {
+        &self.region
     }
 
     /// Commits the batch: admission check, then re-certification.
@@ -118,11 +242,39 @@ impl<'a> Session<'a> {
     /// * Rejected: the batch is unwound exactly ([`Session::rollback`])
     ///   before the [`Rejection`] is returned — the document is
     ///   byte-identical to its committed state.
-    pub fn commit(mut self, signer: &Signer) -> Result<Commit, Rejection> {
-        match admit(&mut self.doc.ev, &self.doc.compiled, &self.doc.suite, &self.doc.base_sets) {
-            Ok(now_sets) => {
-                self.doc.cert = signer.certify_precomputed(&self.doc.suite, &now_sets);
-                self.doc.base_sets = now_sets;
+    pub fn commit(self, signer: &Signer) -> Result<Commit, Rejection> {
+        self.commit_with(signer, AdmissionMode::Delta)
+    }
+
+    /// [`commit`](Self::commit) with an explicit [`AdmissionMode`] —
+    /// [`AdmissionMode::FullPass`] forces the pre-delta full `eval_set`
+    /// admission (the differential harness's reference arm).
+    pub fn commit_with(
+        mut self,
+        signer: &Signer,
+        mode: AdmissionMode,
+    ) -> Result<Commit, Rejection> {
+        let admitted = match mode {
+            // The delta path splices doc.base_sets in place: on success
+            // they already ARE the admission pass's fresh range results,
+            // on rejection they have been reverted to the committed
+            // baselines.
+            AdmissionMode::Delta => admit_delta_in_place(
+                &mut self.doc.ev,
+                &self.doc.compiled,
+                &self.doc.suite,
+                &mut self.doc.base_sets,
+                &self.region,
+            )
+            .map(|_journal| ()),
+            AdmissionMode::FullPass => {
+                admit(&mut self.doc.ev, &self.doc.compiled, &self.doc.suite, &self.doc.base_sets)
+                    .map(|now_sets| self.doc.base_sets = now_sets)
+            }
+        };
+        match admitted {
+            Ok(()) => {
+                self.doc.cert = signer.certify_precomputed(&self.doc.suite, &self.doc.base_sets);
                 self.doc.commits += 1;
                 self.open = false;
                 Ok(Commit { commit: self.doc.commits })
@@ -166,6 +318,8 @@ impl<'a> Session<'a> {
                 self.doc.ev.refresh_after(&self.doc.tree, scope);
             }
         }
+        // The tree is back to the committed state: nothing is dirty.
+        self.region.clear();
         self.open = false;
     }
 }

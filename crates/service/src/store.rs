@@ -89,6 +89,15 @@ impl Document {
         &self.cert
     }
 
+    /// The committed baseline: `suite()[i].range`'s evaluation on the last
+    /// committed tree — what the next admission check compares (and, on
+    /// the delta path, splices) against. Exposed so differential tests can
+    /// assert the delta and full-pass admission arms maintain identical
+    /// baselines.
+    pub fn baseline(&self) -> &[BTreeSet<NodeRef>] {
+        &self.base_sets
+    }
+
     /// Number of committed update batches since publish.
     pub fn commits(&self) -> u64 {
         self.commits

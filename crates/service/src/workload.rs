@@ -23,12 +23,18 @@ use xuc_xtree::{DataTree, Label, NodeId, Update};
 /// starts identical).
 pub type Deployment = Vec<(DocId, DataTree, Vec<Constraint>)>;
 
-/// A tiny SplitMix64 — self-contained so the stream only depends on the
-/// seed, never on another crate's RNG evolution.
-struct SplitMix(u64);
+/// A tiny SplitMix64 — self-contained so a stream only depends on the
+/// seed, never on another crate's RNG evolution. Public so differential
+/// and fuzz harnesses draw from the exact same generator instead of
+/// copying it.
+pub struct SplitMix(u64);
 
 impl SplitMix {
-    fn next_u64(&mut self) -> u64 {
+    pub fn new(seed: u64) -> SplitMix {
+        SplitMix(seed)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
         let mut z = self.0;
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -37,7 +43,7 @@ impl SplitMix {
     }
 
     /// Near-uniform draw from `0..n` (widening multiply, one draw).
-    fn below(&mut self, n: usize) -> usize {
+    pub fn below(&mut self, n: usize) -> usize {
         (((self.next_u64() as u128) * (n.max(1) as u128)) >> 64) as usize
     }
 }

@@ -1,0 +1,106 @@
+//! Property tests for the [`SuiteCache`]'s keying discipline.
+//!
+//! Delta admission leans on per-suite baselines harder than ever: every
+//! document's committed range results are indexed positionally against
+//! its compiled automaton, so two documents may share a
+//! `CompiledPatternSet` **only** when their suites are positionally
+//! identical — same ranges, same order, same update types. These
+//! properties pin both directions over randomly drawn suites from a pool
+//! of near-identical patterns (shared prefixes, predicate variants) with
+//! random kinds: distinct suites never share a cache entry, identical
+//! suites always hit the same `Arc`, and the entry-string collision guard
+//! keeps a 64-bit fingerprint clash from ever aliasing two suites.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use xuc_core::{Constraint, ConstraintKind};
+use xuc_service::SuiteCache;
+
+/// Near-identical patterns: long shared prefixes, wildcard and predicate
+/// variants — the worst case for any keying that digests too little.
+const POOL: &[&str] =
+    &["/a", "/a/b", "/a/b/c", "//a", "//a/b", "/a[/b]", "/b", "/a/*", "/*/b", "/a/b[/c]"];
+
+fn suite_strategy() -> impl Strategy<Value = Vec<Constraint>> {
+    proptest::collection::vec((0..POOL.len(), any::<bool>()), 1..6).prop_map(|entries| {
+        entries
+            .into_iter()
+            .map(|(i, up)| {
+                let kind = if up { ConstraintKind::NoRemove } else { ConstraintKind::NoInsert };
+                Constraint::new(xuc_xpath::parse(POOL[i]).unwrap(), kind)
+            })
+            .collect()
+    })
+}
+
+/// The positional canonical key two suites must share to alias.
+fn key(suite: &[Constraint]) -> Vec<String> {
+    suite.iter().map(Constraint::to_string).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Identical suites always hit the same `Arc`; positionally distinct
+    /// suites (different ranges, order, or kinds) never share an entry.
+    #[test]
+    fn distinct_suites_never_alias_identical_suites_always_hit(
+        a in suite_strategy(),
+        b in suite_strategy(),
+    ) {
+        let cache = SuiteCache::new();
+        let ca = cache.get_or_compile(&a);
+        let ca_again = cache.get_or_compile(&a);
+        prop_assert!(Arc::ptr_eq(&ca, &ca_again), "identical suite must hit");
+        let cb = cache.get_or_compile(&b);
+        if key(&a) == key(&b) {
+            prop_assert!(Arc::ptr_eq(&ca, &cb), "equal suites must share one automaton");
+            prop_assert_eq!(cache.len(), 1);
+            prop_assert_eq!((cache.misses(), cache.hits()), (1, 2));
+        } else {
+            prop_assert!(!Arc::ptr_eq(&ca, &cb), "distinct suites must never alias");
+            prop_assert_eq!(cache.len(), 2);
+            prop_assert_eq!((cache.misses(), cache.hits()), (2, 1));
+        }
+    }
+
+    /// Flipping one constraint's update type — everything else identical —
+    /// always produces a fresh entry (acceptance bit `i` means "range of
+    /// constraint `i` *under its kind*" to the admission check).
+    #[test]
+    fn permuted_kinds_get_distinct_entries(
+        a in suite_strategy(),
+        flip in 0..8usize,
+    ) {
+        let mut b = a.clone();
+        let i = flip % b.len();
+        b[i].kind = match b[i].kind {
+            ConstraintKind::NoRemove => ConstraintKind::NoInsert,
+            ConstraintKind::NoInsert => ConstraintKind::NoRemove,
+        };
+        let cache = SuiteCache::new();
+        let ca = cache.get_or_compile(&a);
+        let cb = cache.get_or_compile(&b);
+        prop_assert!(!Arc::ptr_eq(&ca, &cb));
+        prop_assert_eq!((cache.misses(), cache.hits(), cache.len()), (2, 0, 2));
+    }
+
+    /// Reordering a suite with at least two distinct entries produces a
+    /// fresh entry: the key is positional, because baselines and
+    /// acceptance rows are.
+    #[test]
+    fn reordered_suites_get_distinct_entries(a in suite_strategy(), rot in 1..5usize) {
+        let mut b = a.clone();
+        let len = b.len().max(1);
+        b.rotate_left(rot % len);
+        let cache = SuiteCache::new();
+        let ca = cache.get_or_compile(&a);
+        let cb = cache.get_or_compile(&b);
+        if key(&a) == key(&b) {
+            prop_assert!(Arc::ptr_eq(&ca, &cb));
+        } else {
+            prop_assert!(!Arc::ptr_eq(&ca, &cb));
+            prop_assert_eq!(cache.len(), 2);
+        }
+    }
+}

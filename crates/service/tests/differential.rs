@@ -1,0 +1,276 @@
+//! The differential fuzz harness pinning delta admission to full-pass
+//! admission.
+//!
+//! Two gateways are published from identical deployments — one on
+//! [`AdmissionMode::Delta`] (edit-proportional splice commit validation),
+//! one on [`AdmissionMode::FullPass`] (the pre-delta full `eval_set`
+//! admission) — and driven with byte-identical seeded session streams
+//! mixing relabels, id swaps (including duplicate-id and id-recycling
+//! traffic), structural edits, commits, explicit rollbacks and malformed
+//! updates. After every step the two arms must agree **observably and
+//! internally**: verdict for verdict, committed trees render-identical,
+//! baseline range-result sets equal, certificates equal entry-for-entry
+//! and verifying identically — and the delta gateway's accept/reject log
+//! must stay byte-identical at 1, 2 and 8 workers (and to the full-pass
+//! log).
+
+use std::collections::BTreeSet;
+use xuc_core::{parse_constraint, Constraint, ConstraintKind};
+use xuc_service::workload::SplitMix;
+use xuc_service::{render_log, AdmissionMode, DocId, Gateway, Request, Session, Verdict};
+use xuc_sigstore::Signer;
+use xuc_xtree::{DataTree, Label, NodeId, NodeRef, Update};
+
+const LABELS: &[&str] = &["a", "b", "c", "visit", "w"];
+
+/// One random update against a document's initial id population, plus a
+/// small **reserved id pool** shared by inserts and id swaps — so streams
+/// recycle ids across requests (delete then re-insert, swap away then swap
+/// back), and regularly produce duplicate-id and dead-node rejections.
+fn random_update(rng: &mut SplitMix, ids: &[NodeId], reserved: &[NodeId]) -> Update {
+    let pick = |rng: &mut SplitMix, pool: &[NodeId]| pool[rng.below(pool.len())];
+    match rng.below(8) {
+        0 | 1 => Update::Relabel {
+            node: pick(rng, ids),
+            label: Label::new(LABELS[rng.below(LABELS.len())]),
+        },
+        2 => Update::ReplaceId { node: pick(rng, ids), new_id: pick(rng, reserved) },
+        // Swaps among the reserved pool chain/cancel and collide.
+        3 => Update::ReplaceId { node: pick(rng, reserved), new_id: pick(rng, reserved) },
+        4 => Update::InsertLeaf {
+            parent: pick(rng, ids),
+            id: if rng.below(2) == 0 { NodeId::fresh() } else { pick(rng, reserved) },
+            label: Label::new(LABELS[rng.below(LABELS.len())]),
+        },
+        5 => Update::DeleteSubtree { node: pick(rng, ids) },
+        6 => Update::DeleteNode { node: pick(rng, ids) },
+        _ => Update::Move { node: pick(rng, ids), new_parent: pick(rng, ids) },
+    }
+}
+
+/// The fixed two-document deployment: a wide **all-linear** suite (the
+/// genuine splice path) and a mixed suite with predicate fallbacks (the
+/// degradation path).
+fn deployment() -> Vec<(DocId, DataTree, Vec<Constraint>)> {
+    let c = |s: &str| parse_constraint(s).unwrap();
+    let mut wide_tree = DataTree::new("root");
+    let root = wide_tree.root_id();
+    for i in 0..8 {
+        let mid = wide_tree.add(root, LABELS[i % 3]).unwrap();
+        for j in 0..5 {
+            let leaf = wide_tree.add(mid, LABELS[(i + j) % LABELS.len()]).unwrap();
+            if (i + j) % 3 == 0 {
+                wide_tree.add(leaf, LABELS[j % 3]).unwrap();
+            }
+        }
+    }
+    let wide_suite: Vec<Constraint> =
+        xuc_workloads::queries::overlapping_prefix_suite(&["a", "b", "c"], 20, 4)
+            .into_iter()
+            .enumerate()
+            .map(|(i, q)| {
+                let kind =
+                    if i % 2 == 0 { ConstraintKind::NoRemove } else { ConstraintKind::NoInsert };
+                Constraint::new(q, kind)
+            })
+            .collect();
+    assert!(wide_suite.iter().all(|x| x.range.is_linear()), "splice arm must be all-linear");
+
+    let mixed_tree = xuc_xtree::parse_term(
+        "hospital#1(patient#2(visit#3,visit#4),patient#5(clinicalTrial#6),patient#7(visit#8(report#9)))",
+    )
+    .unwrap();
+    let mixed_suite = vec![
+        c("(/patient/visit, ↑)"),
+        c("(/patient[/clinicalTrial], ↓)"),
+        c("(//report, ↑)"),
+        c("(/patient, ↓)"),
+    ];
+    vec![
+        (DocId::new("wide"), wide_tree, wide_suite),
+        (DocId::new("mixed"), mixed_tree, mixed_suite),
+    ]
+}
+
+/// A seeded stream of requests over the deployment. Fresh insert ids are
+/// minted at generation time, so replaying the same stream into both arms
+/// (and at every worker count) presents byte-identical inputs.
+fn seeded_stream(
+    docs: &[(DocId, DataTree, Vec<Constraint>)],
+    seed: u64,
+    count: usize,
+) -> Vec<Request> {
+    let reserved: Vec<NodeId> = (0..6).map(|i| NodeId::from_raw(9_000 + seed % 7 + i)).collect();
+    let pools: Vec<(DocId, Vec<NodeId>)> =
+        docs.iter().map(|(id, tree, _)| (*id, tree.node_ids())).collect();
+    let mut rng = SplitMix::new(seed);
+    (0..count)
+        .map(|_| {
+            let (doc, ids) = &pools[rng.below(pools.len())];
+            let updates =
+                (0..1 + rng.below(4)).map(|_| random_update(&mut rng, ids, &reserved)).collect();
+            Request { doc: *doc, updates }
+        })
+        .collect()
+}
+
+fn publish_into(gw: &Gateway, docs: &[(DocId, DataTree, Vec<Constraint>)]) {
+    for (id, tree, suite) in docs {
+        gw.publish(*id, tree.clone(), suite.clone()).unwrap();
+    }
+}
+
+/// Certificates must be equal entry-for-entry: same constraints, same
+/// signed snapshots, same MACs (the keyed MAC is a function of the set,
+/// so equal tags ⟺ equal signed sets under one key).
+fn assert_certs_identical(gw_a: &Gateway, gw_b: &Gateway, id: DocId, ctx: &str) {
+    let a = gw_a.certificate(id).unwrap();
+    let b = gw_b.certificate(id).unwrap();
+    assert_eq!(a.entries.len(), b.entries.len(), "{ctx}: {id} entry count");
+    for (i, (ea, eb)) in a.entries.iter().zip(&b.entries).enumerate() {
+        assert_eq!(ea.constraint.to_string(), eb.constraint.to_string(), "{ctx}: {id} entry {i}");
+        assert_eq!(ea.snapshot, eb.snapshot, "{ctx}: {id} entry {i} signed set");
+        assert_eq!(ea.tag, eb.tag, "{ctx}: {id} entry {i} MAC");
+    }
+}
+
+/// Both arms' internal state must coincide: committed tree (exact child
+/// order), baseline range results, certificate — and the certificates of
+/// each arm must verify against the *other* arm's snapshot.
+fn assert_arms_converged(
+    delta: &Gateway,
+    full: &Gateway,
+    docs: &[(DocId, DataTree, Vec<Constraint>)],
+    key: u64,
+    ctx: &str,
+) {
+    for (id, ..) in docs {
+        let snap_d = delta.snapshot(*id).unwrap();
+        let snap_f = full.snapshot(*id).unwrap();
+        assert_eq!(snap_d.render(), snap_f.render(), "{ctx}: {id} trees diverged");
+        let doc_d = delta.store().document(*id).unwrap();
+        let doc_f = full.store().document(*id).unwrap();
+        let base_d: Vec<BTreeSet<NodeRef>> = doc_d.lock().baseline().to_vec();
+        let base_f: Vec<BTreeSet<NodeRef>> = doc_f.lock().baseline().to_vec();
+        assert_eq!(base_d, base_f, "{ctx}: {id} baselines diverged");
+        assert_certs_identical(delta, full, *id, ctx);
+        assert!(delta.certificate(*id).unwrap().verify(key, &snap_f).is_ok(), "{ctx}: {id}");
+        assert!(full.certificate(*id).unwrap().verify(key, &snap_d).is_ok(), "{ctx}: {id}");
+    }
+}
+
+/// The core differential loop: submit the stream request by request into
+/// both arms, interleaving explicit rollback sessions, comparing verdicts
+/// and state at every step.
+#[test]
+fn delta_admission_is_equivalent_to_full_admission() {
+    let key = 0xD1FF;
+    for seed in [0x5eed_0001u64, 0x5eed_0002, 0xfeed_f00d] {
+        let docs = deployment();
+        let delta = Gateway::with_admission(Signer::new(key), AdmissionMode::Delta);
+        let full = Gateway::with_admission(Signer::new(key), AdmissionMode::FullPass);
+        assert_eq!(delta.admission_mode(), AdmissionMode::Delta);
+        assert_eq!(full.admission_mode(), AdmissionMode::FullPass);
+        publish_into(&delta, &docs);
+        publish_into(&full, &docs);
+
+        let requests = seeded_stream(&docs, seed, 120);
+        let mut accepts = 0usize;
+        let mut rejects = 0usize;
+        for (i, req) in requests.iter().enumerate() {
+            if i % 7 == 3 {
+                // An abandoned batch: apply the request's updates in a
+                // manual session and roll back — on BOTH arms — before
+                // resubmitting. Rollback must leave no trace in either.
+                for gw in [&delta, &full] {
+                    let doc = gw.store().document(req.doc).unwrap();
+                    let mut doc = doc.lock();
+                    let mut session = Session::begin(&mut doc);
+                    for u in &req.updates {
+                        let _ = session.apply(u);
+                    }
+                    session.rollback();
+                }
+                assert_arms_converged(
+                    &delta,
+                    &full,
+                    &docs,
+                    key,
+                    &format!("seed {seed:#x} rollback before #{i}"),
+                );
+            }
+            let vd = delta.submit(req);
+            let vf = full.submit(req);
+            assert_eq!(vd, vf, "seed {seed:#x} request #{i}: verdicts diverged");
+            match vd {
+                Verdict::Accepted { .. } => accepts += 1,
+                Verdict::Rejected(_) => rejects += 1,
+            }
+            assert_arms_converged(&delta, &full, &docs, key, &format!("seed {seed:#x} after #{i}"));
+        }
+        // The stream must genuinely exercise both outcomes.
+        assert!(accepts > 5, "seed {seed:#x}: only {accepts} accepts");
+        assert!(rejects > 5, "seed {seed:#x}: only {rejects} rejects");
+    }
+}
+
+/// Worker-count determinism re-pinned on the delta path: the log of one
+/// seeded stream is byte-identical at 1, 2 and 8 workers — and identical
+/// to the full-pass arm's log.
+#[test]
+fn delta_logs_byte_identical_at_1_2_8_workers_and_to_full_pass() {
+    let docs = deployment();
+    let requests = seeded_stream(&docs, 0x00D1_5EA5, 200);
+    let run = |mode: AdmissionMode, workers: usize| {
+        let gw = Gateway::with_admission(Signer::new(0xF1E1D), mode);
+        publish_into(&gw, &docs);
+        let verdicts = gw.process(&requests, workers);
+        render_log(&requests, &verdicts)
+    };
+    let reference = run(AdmissionMode::Delta, 1);
+    assert!(reference.contains("ACCEPT") && reference.contains("REJECT"));
+    for workers in [2usize, 8] {
+        assert_eq!(
+            run(AdmissionMode::Delta, workers),
+            reference,
+            "delta log diverged at {workers} workers"
+        );
+    }
+    assert_eq!(run(AdmissionMode::FullPass, 4), reference, "full-pass log diverged from delta");
+}
+
+/// Relabel-only batches are the paper's motivating case: admission must
+/// complete with **zero** pre-order walks — the evaluator patches in
+/// O(1) per relabel and the splice re-drives only the relabeled
+/// subtrees, never snapshotting the document.
+#[test]
+fn relabel_only_batches_admit_with_zero_walks() {
+    let docs = deployment();
+    let gw = Gateway::new(Signer::new(0xAB1E));
+    publish_into(&gw, &docs);
+    let id = DocId::new("wide");
+    let targets: Vec<NodeId> = docs[0].1.node_ids().into_iter().skip(1).take(3).collect();
+    let walks = xuc_xtree::preorder_walk_count();
+    let req = Request {
+        doc: id,
+        updates: targets
+            .iter()
+            .map(|&node| Update::Relabel { node, label: Label::new("b") })
+            .collect(),
+    };
+    let verdict = gw.submit(&req);
+    assert_eq!(
+        xuc_xtree::preorder_walk_count(),
+        walks,
+        "relabel-only admission must not walk the document (verdict {verdict:?})"
+    );
+    // And the admission was real: a second, constraint-violating relabel
+    // batch is still caught (also walk-free).
+    let walks = xuc_xtree::preorder_walk_count();
+    let sabotage = Request {
+        doc: DocId::new("mixed"),
+        updates: vec![Update::Relabel { node: NodeId::from_raw(3), label: Label::new("w") }],
+    };
+    assert!(matches!(gw.submit(&sabotage), Verdict::Rejected(_)), "stripping a visit must reject");
+    assert_eq!(xuc_xtree::preorder_walk_count(), walks, "rejection path must also be walk-free");
+}

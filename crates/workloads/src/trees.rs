@@ -61,6 +61,102 @@ pub fn hospital(rng: &mut impl Rng, patients: usize, max_visits: usize) -> DataT
     t
 }
 
+/// A synthetic hospital document grown to **at least** `target_nodes`
+/// nodes (stopping at the first patient that crosses the target, so the
+/// overshoot is a handful of nodes). This is the large-document generator
+/// of the E-DLT delta-admission experiment: 10k/100k-node instances of
+/// the same patient/visit/report/clinicalTrial/phone shape as
+/// [`hospital`], where a small update batch touches a vanishing fraction
+/// of the document.
+pub fn hospital_sized(rng: &mut impl Rng, target_nodes: usize) -> DataTree {
+    let mut t = DataTree::new("hospital");
+    let root = t.root_id();
+    while t.len() < target_nodes {
+        let p = t.add(root, "patient").expect("fresh");
+        for _ in 0..rng.random_range(0..=3) {
+            let v = t.add(p, "visit").expect("fresh");
+            if rng.random_bool(0.3) {
+                t.add(v, "report").expect("fresh");
+            }
+        }
+        if rng.random_bool(0.5) {
+            t.add(p, "clinicalTrial").expect("fresh");
+        }
+        if rng.random_bool(0.2) {
+            t.add(p, "phone").expect("fresh");
+        }
+    }
+    t
+}
+
+/// Small, **localized** update batches against a [`hospital_sized`]
+/// document for the E-DLT experiment: every update's edit scope stays a
+/// small subtree deep in the document (never the hospital root), so delta
+/// admission has something proportional to splice.
+///
+/// * `mixed = false` — pure relabels: `phone` leaves cycle to the
+///   unprotected label `note` (within one batch every target is
+///   distinct). Admission under the E-DLT suite accepts these, and the
+///   whole apply→admit→commit path does **zero** pre-order walks.
+/// * `mixed = true` — one third relabels, one third `note` leaf inserts
+///   under patients (fresh ids minted here, so batches replay
+///   deterministically), one third deletions of `phone` leaves. Every
+///   dirty scope is a patient-sized subtree.
+///
+/// Batches are generated against `tree`'s **initial** population and are
+/// meant to be applied one at a time (apply → measure → undo), sharing
+/// targets across batches but never within one.
+pub fn delta_batches(
+    rng: &mut impl Rng,
+    tree: &DataTree,
+    batches: usize,
+    size: usize,
+    mixed: bool,
+) -> Vec<Vec<xuc_xtree::Update>> {
+    use xuc_xtree::Update;
+    fn pick_distinct(
+        rng: &mut impl Rng,
+        pool: &[NodeId],
+        used: &mut std::collections::HashSet<NodeId>,
+    ) -> NodeId {
+        loop {
+            let id = pool[rng.random_range(0..pool.len())];
+            if used.insert(id) {
+                return id;
+            }
+        }
+    }
+    let by_label = |want: &str| -> Vec<NodeId> {
+        tree.nodes().iter().filter(|n| n.label == Label::new(want)).map(|n| n.id).collect()
+    };
+    let phones = by_label("phone");
+    let patients = by_label("patient");
+    assert!(phones.len() > 2 * size, "document too small for {size}-update batches");
+    let mut out = Vec::with_capacity(batches);
+    for _ in 0..batches {
+        let mut used = std::collections::HashSet::new();
+        let mut batch = Vec::with_capacity(size);
+        for i in 0..size {
+            batch.push(if !mixed || i % 3 == 0 {
+                Update::Relabel {
+                    node: pick_distinct(rng, &phones, &mut used),
+                    label: Label::new("note"),
+                }
+            } else if i % 3 == 1 {
+                Update::InsertLeaf {
+                    parent: patients[rng.random_range(0..patients.len())],
+                    id: NodeId::fresh(),
+                    label: Label::new("note"),
+                }
+            } else {
+                Update::DeleteSubtree { node: pick_distinct(rng, &phones, &mut used) }
+            });
+        }
+        out.push(batch);
+    }
+    out
+}
+
 /// A uniformly random tree with `n` non-root nodes over the label pool.
 pub fn random_tree(rng: &mut impl Rng, labels: &[&str], n: usize) -> DataTree {
     let mut tree = DataTree::new("root");
@@ -126,6 +222,30 @@ mod tests {
         assert!(t.len() > 50);
         let q = xuc_xpath::parse("/patient").unwrap();
         assert_eq!(xuc_xpath::eval::eval(&q, &t).len(), 50);
+    }
+
+    #[test]
+    fn hospital_sized_hits_target_and_batches_stay_local() {
+        let mut rng = rand::rng();
+        let t = hospital_sized(&mut rng, 2_000);
+        assert!(t.len() >= 2_000 && t.len() < 2_010, "n = {}", t.len());
+        for mixed in [false, true] {
+            let batches = delta_batches(&mut rng, &t, 3, 8, mixed);
+            assert_eq!(batches.len(), 3);
+            for batch in &batches {
+                assert_eq!(batch.len(), 8);
+                // Valid against the initial tree, and every edit scope is a
+                // patient-or-deeper subtree — never the hospital root.
+                let mut work = t.clone();
+                for u in batch {
+                    let (_tok, scope) = xuc_xtree::apply_undoable(&mut work, u).unwrap();
+                    if let xuc_xtree::EditScope::Structural { root } = scope {
+                        let r = root.expect("local scopes are known");
+                        assert_ne!(r, work.root_id(), "{u} must not dirty the root");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

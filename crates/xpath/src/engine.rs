@@ -36,7 +36,7 @@
 
 use crate::pattern::{Axis, NodeTest, Pattern};
 use std::collections::{BTreeSet, HashMap};
-use xuc_xtree::{DataTree, EditScope, Label, NodeId, NodeRef};
+use xuc_xtree::{DataTree, DirtyRegion, EditScope, Label, NodeId, NodeRef};
 
 const NO_PARENT: u32 = u32::MAX;
 
@@ -70,6 +70,17 @@ fn and_assign(dst: &mut [u64], src: &[u64]) {
 #[inline]
 fn is_zero(row: &[u64]) -> bool {
     row.iter().all(|&w| w == 0)
+}
+
+/// Membership test over sorted, disjoint `(start, end)` pre-order ranges
+/// (the dirty-subtree ranges of the delta/splice passes): binary search,
+/// so per-member checks stay O(log ranges) however many baseline members
+/// are scanned.
+fn in_ranges_fn(ranges: &[(usize, usize)]) -> impl Fn(usize) -> bool + '_ {
+    move |idx: usize| {
+        let p = ranges.partition_point(|&(s, _)| s <= idx);
+        p > 0 && idx < ranges[p - 1].1
+    }
 }
 
 /// Calls `f(i)` for every set bit, skipping zero words.
@@ -121,6 +132,58 @@ pub trait PatternSetAutomaton {
     /// predicates), as `(batch index, pattern)` pairs;
     /// [`Evaluator::eval_set`] routes these through the per-pattern path.
     fn fallbacks(&self) -> &[(usize, Pattern)];
+}
+
+/// The record of one in-place splice
+/// ([`Evaluator::eval_set_splice`]): per-pattern add/remove events, in
+/// application order. Because the splice removes before it inserts, the
+/// journal both *judges* the splice (net changes per pattern are exactly
+/// the baseline/now set differences) and *undoes* it
+/// ([`revert`](Self::revert)) — no second copy of either set ever exists.
+#[derive(Debug, Default)]
+pub struct SpliceJournal {
+    /// `events[i]`: `(ref, added)` mutations actually performed on set
+    /// `i` (a `false` entry was removed, a `true` entry inserted).
+    events: Vec<Vec<(NodeRef, bool)>>,
+}
+
+impl SpliceJournal {
+    /// The net changes of pattern `i` as `(net_removed, net_added)` —
+    /// precisely `baseᵢ \ nowᵢ` and `nowᵢ \ baseᵢ`: a ref removed and
+    /// later re-inserted (an unchanged member inside a dirty subtree)
+    /// cancels out.
+    pub fn net_changes(&self, i: usize) -> (Vec<NodeRef>, Vec<NodeRef>) {
+        let (mut removed, mut added) = (BTreeSet::new(), BTreeSet::new());
+        for &(r, was_added) in &self.events[i] {
+            if was_added {
+                added.insert(r);
+            } else {
+                removed.insert(r);
+            }
+        }
+        let net_removed = removed.difference(&added).copied().collect();
+        let net_added = added.difference(&removed).copied().collect();
+        (net_removed, net_added)
+    }
+
+    /// Did the splice change nothing at all?
+    pub fn is_empty(&self) -> bool {
+        self.events.iter().all(Vec::is_empty)
+    }
+
+    /// Undoes the splice exactly: replays every event backwards (reverse
+    /// order matters — a removed-then-reinserted ref must end present).
+    pub fn revert(&self, sets: &mut [BTreeSet<NodeRef>]) {
+        for (row, events) in sets.iter_mut().zip(&self.events) {
+            for &(r, added) in events.iter().rev() {
+                if added {
+                    row.remove(&r);
+                } else {
+                    row.insert(r);
+                }
+            }
+        }
+    }
 }
 
 /// A reusable tree-pattern evaluator bound to one snapshot of a tree.
@@ -586,6 +649,336 @@ impl Evaluator {
         out
     }
 
+    /// The dirty subtree roots of `region` as sorted, deduplicated
+    /// snapshot indices — structural roots plus relabeled nodes (a
+    /// relabel dirties its whole subtree: every descendant's label path
+    /// runs through it). `None` when the region names a node this
+    /// snapshot cannot account for (stale region → callers fall back to
+    /// the full pass). Relabeled nodes that the region knows were deleted
+    /// are skipped: the deletion's structural root covers their former
+    /// subtree.
+    fn dirty_root_indices(&self, region: &DirtyRegion) -> Option<Vec<usize>> {
+        let mut roots: Vec<usize> =
+            Vec::with_capacity(region.structural_roots().len() + region.relabels().len());
+        for id in region.structural_roots() {
+            roots.push(*self.index_of.get(id)? as usize);
+        }
+        for (id, _) in region.relabels() {
+            match self.index_of.get(id) {
+                Some(&i) => roots.push(i as usize),
+                None if region.removed().iter().any(|r| r.id == *id) => {}
+                None => return None,
+            }
+        }
+        roots.sort_unstable();
+        roots.dedup();
+        Some(roots)
+    }
+
+    /// Edit-proportional batch evaluation: produces exactly
+    /// [`eval_set`](Self::eval_set)'s answer by **splicing** a previously
+    /// computed baseline instead of re-sweeping the whole snapshot. `base`
+    /// must be `eval_set(set)`'s result on some earlier state of the tree,
+    /// and `region` the [`DirtyRegion`] accumulated over every edit (and
+    /// undo) separating that state from the current snapshot.
+    ///
+    /// Soundness rests on the automaton contract: a compiled (linear)
+    /// pattern's membership at a node depends **only on the node's
+    /// root-to-node label path**. Every path change is confined to the
+    /// region — structural edits to their recorded subtree, relabels to
+    /// the relabeled node's subtree (each descendant's path runs through
+    /// it), id swaps to nothing (paths are label strings) — so:
+    ///
+    /// 1. the automaton is re-driven only **below each dirty root**, whose
+    ///    own state is replayed along its ancestor path (`O(depth)`), via
+    ///    the same sentinel machinery as [`eval_set_at`](Self::eval_set_at);
+    /// 2. baseline members that were deleted, sit inside a dirty subtree,
+    ///    or received their id from a swap are dropped; everything else
+    ///    provably kept its membership and is retained as-is;
+    /// 3. pinpoint id swaps patch `(from, label)` entries to `(to, label)`
+    ///    — same membership, new identity;
+    /// 4. the fresh sub-results are spliced in.
+    ///
+    /// Total cost: `O(Σ dirty-subtree sizes + Σ |base|)` — independent of
+    /// how much *clean* document lies outside the region. Batches whose
+    /// automaton carries predicate [`fallbacks`](PatternSetAutomaton::fallbacks)
+    /// (whose membership is not path-determined), poisoned regions
+    /// ([`DirtyRegion::is_full`]), a stale region (naming nodes not in the
+    /// snapshot), or a mismatched baseline fall back to the full
+    /// [`eval_set`](Self::eval_set) pass — the answer is always exact.
+    ///
+    /// ```
+    /// use xuc_automata::PatternSetCompiler;
+    /// use xuc_xpath::{parse, Evaluator};
+    /// use xuc_xtree::{apply_undoable, parse_term, DirtyRegion, NodeId, Update};
+    ///
+    /// let mut tree = parse_term("root(a#1(b#2(c#3)),a#4(b#5))").unwrap();
+    /// let suite: Vec<_> = ["/a/b", "//c"].iter().map(|s| parse(s).unwrap()).collect();
+    /// let compiled = PatternSetCompiler::compile(&suite);
+    /// let mut ev = Evaluator::new(&tree);
+    /// let base = ev.eval_set(&compiled);
+    ///
+    /// // A batch: relabel b#5 and delete c#3, accumulated into one region.
+    /// let mut region = DirtyRegion::new();
+    /// for op in [
+    ///     Update::Relabel { node: NodeId::from_raw(5), label: "c".into() },
+    ///     Update::DeleteSubtree { node: NodeId::from_raw(3) },
+    /// ] {
+    ///     let (_token, scope) = apply_undoable(&mut tree, &op).unwrap();
+    ///     ev.refresh_after(&tree, &scope);
+    ///     region.record(&tree, &scope);
+    /// }
+    /// let spliced = ev.eval_set_delta(&compiled, &region, &base);
+    /// assert_eq!(spliced, ev.eval_set(&compiled)); // ≡ the full pass
+    /// assert_eq!(spliced[0].len(), 1); // b#5 left /a/b…
+    /// assert_eq!(spliced[1].len(), 1); // …and became the only //c
+    /// ```
+    pub fn eval_set_delta<A: PatternSetAutomaton + ?Sized>(
+        &mut self,
+        set: &A,
+        region: &DirtyRegion,
+        base: &[BTreeSet<NodeRef>],
+    ) -> Vec<BTreeSet<NodeRef>> {
+        assert!(
+            !self.stale,
+            "Evaluator used after invalidate(): call refresh(&tree) after mutating the tree"
+        );
+        if region.is_full() || !set.fallbacks().is_empty() || base.len() != set.pattern_count() {
+            return self.eval_set(set);
+        }
+        if region.is_clean() {
+            return base.to_vec();
+        }
+        let k = set.pattern_count();
+
+        // Dirty roots as snapshot indices. Structural roots are live by
+        // the region's algebra; a relabeled node may since have been
+        // deleted (its subtree is then covered by the deletion's
+        // structural root — skip it when the region can vouch for the
+        // death, otherwise hand the stale region to the full pass).
+        let Some(roots) = self.dirty_root_indices(region) else {
+            return self.eval_set(set);
+        };
+
+        let mut fresh_idx: Vec<Vec<usize>> = vec![Vec::new(); k];
+        let ranges = self.sweep_dirty_roots(set, &roots, |_| {}, |q, v| fresh_idx[q].push(v));
+
+        // Splice. A baseline member keeps its membership iff it still
+        // exists, sits outside every dirty subtree, and did not *receive*
+        // its id from a swap (ids only enter a tree through inserts —
+        // covered by a dirty subtree — or swaps; anything else is the same
+        // node on the same label path). The per-member tests are O(log)
+        // — ranges are sorted and disjoint — so the scan really is the
+        // advertised O(Σ |base|).
+        let in_ranges = in_ranges_fn(&ranges);
+        let swap_targets: BTreeSet<NodeId> = region.id_swaps().iter().map(|sw| sw.to).collect();
+        let mut out: Vec<BTreeSet<NodeRef>> = base.to_vec();
+        for row in &mut out {
+            row.retain(|nr| match self.index_of.get(&nr.id) {
+                None => false,
+                Some(&ix) => !in_ranges(ix as usize) && !swap_targets.contains(&nr.id),
+            });
+        }
+        // Pinpoint id swaps outside the dirty subtrees: same membership,
+        // new identity. (Swapped nodes that were also relabeled or moved
+        // sit inside a dirty subtree — or forced the full-pass fallback
+        // above — so `label` here is still the baseline label.)
+        for sw in region.id_swaps() {
+            let Some(&ix) = self.index_of.get(&sw.to) else { continue };
+            if in_ranges(ix as usize) {
+                continue;
+            }
+            debug_assert_eq!(self.labels[ix as usize], sw.label, "swap label drifted");
+            let old = NodeRef { id: sw.from, label: sw.label };
+            let new = NodeRef { id: sw.to, label: sw.label };
+            for (b, row) in base.iter().zip(&mut out) {
+                if b.contains(&old) {
+                    row.insert(new);
+                }
+            }
+        }
+        for (row, idxs) in out.iter_mut().zip(&fresh_idx) {
+            row.extend(idxs.iter().map(|&v| NodeRef { id: self.ids[v], label: self.labels[v] }));
+        }
+        out
+    }
+
+    /// Re-drives `set` below each dirty root (`roots`: sorted snapshot
+    /// indices), reporting every swept node's index through `on_node`
+    /// (dirty roots included, the tree root excluded) and every accepted
+    /// `(pattern, node index)` through `on_accept`. Returns the swept
+    /// pre-order ranges. Each root's state is replayed along its ancestor
+    /// path (`O(depth)`); roots nested inside an earlier range are
+    /// skipped. Distinct surviving subtrees are disjoint, so the sentinel
+    /// array needs no clearing between sweeps: a parent state written by
+    /// an earlier sweep always belongs to the same subtree.
+    fn sweep_dirty_roots<A: PatternSetAutomaton + ?Sized>(
+        &mut self,
+        set: &A,
+        roots: &[usize],
+        mut on_node: impl FnMut(usize),
+        mut on_accept: impl FnMut(usize, usize),
+    ) -> Vec<(usize, usize)> {
+        const NO_STATE: u32 = u32::MAX;
+        let mut states = std::mem::take(&mut self.scratch_states);
+        states.clear();
+        states.resize(self.n, NO_STATE);
+        let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(roots.len());
+        for &ri in roots {
+            if let Some(&(_, end)) = ranges.last() {
+                if ri < end {
+                    continue;
+                }
+            }
+            // Replay the root's state along its ancestor path (the root's
+            // own label is consumed: states are root-anchored, exactly as
+            // in eval_set's sweep from the tree root).
+            let mut s = set.start_state();
+            let mut path = Vec::new();
+            let mut v = ri;
+            while v != 0 {
+                path.push(v);
+                v = self.parent[v] as usize;
+            }
+            for &w in path.iter().rev() {
+                s = set.step(s, self.labels[w]);
+            }
+            states[ri] = s;
+            if ri != 0 {
+                // The dirty root's own membership (the tree root is never
+                // a member — patterns match strictly below it).
+                on_node(ri);
+                for_each_set_bit(set.accept_row(s), |q| on_accept(q, ri));
+            }
+            let mut end = self.n;
+            for v in ri + 1..self.n {
+                let ps = states[self.parent[v] as usize];
+                if ps == NO_STATE {
+                    end = v;
+                    break;
+                }
+                let s = set.step(ps, self.labels[v]);
+                states[v] = s;
+                on_node(v);
+                for_each_set_bit(set.accept_row(s), |q| on_accept(q, v));
+            }
+            ranges.push((ri, end));
+        }
+        self.scratch_states = states;
+        ranges
+    }
+
+    /// [`eval_set_delta`](Self::eval_set_delta)'s **in-place** twin: the
+    /// commit hot path. Instead of materializing a fresh result vector
+    /// (which costs a full baseline clone however small the edit), the
+    /// splice mutates `sets` — the cached committed baselines — directly:
+    /// targeted removals of the baseline entries inside the dirty
+    /// subtrees (located under their **pre-batch** labels through the
+    /// region's relabel history), eviction of the region's
+    /// [`removed`](DirtyRegion::removed) refs, pinpoint id-swap patches,
+    /// and insertion of the freshly re-derived sub-results. Total cost is
+    /// proportional to the dirty region — zero work per clean document
+    /// node and zero work per untouched baseline member.
+    ///
+    /// Every individual mutation is recorded in the returned
+    /// [`SpliceJournal`], whose net changes per pattern are exactly
+    /// `base \ now` and `now \ base` — enough to judge growth/shrink
+    /// admission conditions without ever materializing both sets — and
+    /// which [`SpliceJournal::revert`] replays backwards to restore the
+    /// baselines exactly (the reject path).
+    ///
+    /// Returns `None` — with `sets` untouched — when the splice argument
+    /// does not apply (predicate fallbacks, poisoned or stale region,
+    /// width mismatch) or when the dirty region is so large that the full
+    /// pass is cheaper; callers then run [`eval_set`](Self::eval_set).
+    /// The differential harness in `xuc-service` pins this function
+    /// against full-pass admission verdict-for-verdict and
+    /// baseline-for-baseline.
+    pub fn eval_set_splice<A: PatternSetAutomaton + ?Sized>(
+        &mut self,
+        set: &A,
+        region: &DirtyRegion,
+        sets: &mut [BTreeSet<NodeRef>],
+    ) -> Option<SpliceJournal> {
+        assert!(
+            !self.stale,
+            "Evaluator used after invalidate(): call refresh(&tree) after mutating the tree"
+        );
+        if region.is_full() || !set.fallbacks().is_empty() || sets.len() != set.pattern_count() {
+            return None;
+        }
+        let k = set.pattern_count();
+        let mut journal = SpliceJournal { events: vec![Vec::new(); k] };
+        if region.is_clean() {
+            return Some(journal);
+        }
+        let roots = self.dirty_root_indices(region)?;
+        let mut touched: Vec<usize> = Vec::new();
+        let mut fresh_idx: Vec<Vec<usize>> = vec![Vec::new(); k];
+        let ranges =
+            self.sweep_dirty_roots(set, &roots, |v| touched.push(v), |q, v| fresh_idx[q].push(v));
+        // A dirty region covering most of the document (a root-level move
+        // in a small tree) makes targeted splicing slower than one clean
+        // sweep: hand it back before any mutation.
+        if touched.len().saturating_mul(k.max(1)) > 4 * self.n {
+            return None;
+        }
+
+        // 1. Targeted removals: every baseline entry inside a dirty
+        //    subtree, under its pre-batch label, plus every deleted ref.
+        for &v in &touched {
+            let id = self.ids[v];
+            let old = NodeRef { id, label: region.original_label(id).unwrap_or(self.labels[v]) };
+            for (i, row) in sets.iter_mut().enumerate() {
+                if row.remove(&old) {
+                    journal.events[i].push((old, false));
+                }
+            }
+        }
+        for r in region.removed() {
+            for (i, row) in sets.iter_mut().enumerate() {
+                if row.remove(r) {
+                    journal.events[i].push((*r, false));
+                }
+            }
+        }
+        // 2. Pinpoint id swaps: a target alive outside the dirty subtrees
+        //    carries its membership to the new id; a dead or re-derived
+        //    target only evicts the pre-batch entry.
+        let in_ranges = in_ranges_fn(&ranges);
+        for sw in region.id_swaps() {
+            let old = NodeRef { id: sw.from, label: sw.label };
+            let alive_outside = match self.index_of.get(&sw.to) {
+                Some(&ix) if !in_ranges(ix as usize) => {
+                    debug_assert_eq!(self.labels[ix as usize], sw.label, "swap label drifted");
+                    true
+                }
+                _ => false,
+            };
+            for (i, row) in sets.iter_mut().enumerate() {
+                if row.remove(&old) {
+                    journal.events[i].push((old, false));
+                    if alive_outside {
+                        let new = NodeRef { id: sw.to, label: sw.label };
+                        if row.insert(new) {
+                            journal.events[i].push((new, true));
+                        }
+                    }
+                }
+            }
+        }
+        // 3. Fresh membership below the dirty roots.
+        for (i, idxs) in fresh_idx.iter().enumerate() {
+            for &v in idxs {
+                let r = NodeRef { id: self.ids[v], label: self.labels[v] };
+                if sets[i].insert(r) {
+                    journal.events[i].push((r, true));
+                }
+            }
+        }
+        Some(journal)
+    }
+
     /// The id set of `q(I)` (constraints compare ranges by id).
     pub fn eval_ids(&mut self, q: &Pattern) -> BTreeSet<NodeId> {
         let frontier = self.frontier_of(q, 0);
@@ -876,6 +1269,115 @@ mod tests {
         let below = ev.eval_set_at(&set, NodeId::from_raw(1));
         assert_eq!(below, vec![ev.eval_at(&batch[0], NodeId::from_raw(1)), BTreeSet::new()]);
         assert_eq!(ids(&below[0]), vec![2]);
+    }
+
+    #[test]
+    fn eval_set_delta_splices_relabels_structural_and_swaps() {
+        use xuc_xtree::DirtyRegion;
+        let mut t = parse_term("root(a#1(a#2,b#3),x#4(b#5),a#6)").unwrap();
+        let set = DepthOneA { fallback: Vec::new() };
+        let mut ev = Evaluator::new(&t);
+        let base = ev.eval_set(&set);
+        assert_eq!(ids(&base[0]), vec![1, 6]);
+
+        // A batch mixing every scope class: a structural delete inside
+        // a#1, a pinpoint relabel turning x#4 into a depth-1 `a`, and an
+        // id swap of a#6 outside every dirty subtree.
+        let fresh = NodeId::fresh();
+        let mut region = DirtyRegion::new();
+        let mut stack = Vec::new();
+        for op in [
+            Update::DeleteSubtree { node: NodeId::from_raw(2) },
+            Update::Relabel { node: NodeId::from_raw(4), label: Label::new("a") },
+            Update::ReplaceId { node: NodeId::from_raw(6), new_id: fresh },
+        ] {
+            let (token, scope) = apply_undoable(&mut t, &op).unwrap();
+            ev.refresh_after(&t, &scope);
+            region.record(&t, &scope);
+            stack.push(token);
+        }
+        assert_eq!(region.structural_roots(), [NodeId::from_raw(1)]);
+        assert_eq!(region.relabels(), [(NodeId::from_raw(4), Label::new("x"))]);
+        assert_eq!(region.id_swaps().len(), 1);
+
+        let spliced = ev.eval_set_delta(&set, &region, &base);
+        assert_eq!(spliced, ev.eval_set(&set), "delta must equal the full pass");
+        assert_eq!(ids(&spliced[0]), vec![1, 4, fresh.raw()]);
+
+        // Unwinding through the same region (undo scopes recorded too)
+        // splices straight back to the baseline.
+        while let Some(token) = stack.pop() {
+            let scope = undo(&mut t, token).unwrap();
+            ev.refresh_after(&t, &scope);
+            region.record(&t, &scope);
+        }
+        assert!(region.id_swaps().is_empty(), "swap-back cancels the patch");
+        assert_eq!(ev.eval_set_delta(&set, &region, &base), base);
+    }
+
+    #[test]
+    fn eval_set_splice_patches_in_place_and_reverts() {
+        use xuc_xtree::DirtyRegion;
+        let mut t = parse_term("root(a#1(a#2,b#3),x#4(b#5),a#6)").unwrap();
+        let set = DepthOneA { fallback: Vec::new() };
+        let mut ev = Evaluator::new(&t);
+        let base = ev.eval_set(&set);
+
+        let mut region = DirtyRegion::new();
+        let mut live = base.clone();
+        // Deletion bookkeeping mirrors the session: doomed refs first.
+        region.record_removals(&t.subtree_nodes(NodeId::from_raw(1)).unwrap());
+        let (_tok, scope) =
+            apply_undoable(&mut t, &Update::DeleteSubtree { node: NodeId::from_raw(1) }).unwrap();
+        ev.refresh_after(&t, &scope);
+        region.record(&t, &scope);
+        let (_tok, scope) = apply_undoable(
+            &mut t,
+            &Update::Relabel { node: NodeId::from_raw(4), label: Label::new("a") },
+        )
+        .unwrap();
+        ev.refresh_after(&t, &scope);
+        region.record(&t, &scope);
+
+        let journal = ev.eval_set_splice(&set, &region, &mut live).expect("splice applies");
+        assert_eq!(live, ev.eval_set(&set), "in-place splice must equal the full pass");
+        assert_eq!(ids(&live[0]), vec![4, 6]);
+        // Net changes are exactly base \ now and now \ base: a#1 left the
+        // depth-1 `a` set, x#4 (now `a`) joined it; a#6 is untouched.
+        let (net_removed, net_added) = journal.net_changes(0);
+        assert_eq!(net_removed, vec![NodeRef { id: NodeId::from_raw(1), label: Label::new("a") }]);
+        assert_eq!(net_added, vec![NodeRef { id: NodeId::from_raw(4), label: Label::new("a") }]);
+        assert!(!journal.is_empty());
+        // Revert restores the pre-splice baselines exactly.
+        journal.revert(&mut live);
+        assert_eq!(live, base);
+        // A clean region splices to an empty journal.
+        assert!(ev
+            .eval_set_splice(&set, &DirtyRegion::new(), &mut live)
+            .expect("clean region")
+            .is_empty());
+        assert_eq!(live, base);
+    }
+
+    #[test]
+    fn eval_set_delta_degenerate_regions() {
+        use xuc_xtree::{DirtyRegion, EditScope};
+        let t = parse_term("root(a#1(a#2),x#3)").unwrap();
+        let set = DepthOneA { fallback: Vec::new() };
+        let mut ev = Evaluator::new(&t);
+        let base = ev.eval_set(&set);
+        // Clean region: the baseline is the answer.
+        assert_eq!(ev.eval_set_delta(&set, &DirtyRegion::new(), &base), base);
+        // Poisoned region: falls back to (and equals) the full pass.
+        let mut full = DirtyRegion::new();
+        full.record(&t, &EditScope::Structural { root: None });
+        assert_eq!(ev.eval_set_delta(&set, &full, &base), base);
+        // Whole-tree dirty root: recompute-everything still equals it.
+        let mut rooted = DirtyRegion::new();
+        rooted.record(&t, &EditScope::Structural { root: Some(t.root_id()) });
+        assert_eq!(ev.eval_set_delta(&set, &rooted, &base), base);
+        // Mismatched baseline width: full-pass fallback, exact answer.
+        assert_eq!(ev.eval_set_delta(&set, &rooted, &[]), base);
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod parser;
 pub mod pattern;
 
 pub use containment::{contains, equivalent, homomorphism_exists};
-pub use engine::{Evaluator, PatternSetAutomaton};
+pub use engine::{Evaluator, PatternSetAutomaton, SpliceJournal};
 pub use eval::{eval, eval_at};
 pub use fingerprint::{suite_fingerprint, Fingerprinter};
 pub use fragment::Features;

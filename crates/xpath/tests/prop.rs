@@ -5,12 +5,16 @@
 //! their undos. The set-at-a-time path (`eval_set` over a
 //! [`xuc_automata::PatternSetCompiler`] batch) is pinned against the
 //! per-pattern path and the naive oracle over random trees, random mixed
-//! pattern batches, and post-edit/undo refresh sequences.
+//! pattern batches, and post-edit/undo refresh sequences. The
+//! edit-proportional splice (`eval_set_delta` over an accumulated
+//! [`xuc_xtree::DirtyRegion`]) is pinned against all three on the same
+//! sequences, including regions that merge into ancestor scopes and the
+//! predicate-pattern fallback path.
 
 use proptest::prelude::*;
 use xuc_automata::PatternSetCompiler;
 use xuc_xpath::{canonical, containment, eval, naive, Axis, Evaluator, Pattern, PatternBuilder};
-use xuc_xtree::{apply_undoable, undo, DataTree, Label, NodeId, Update};
+use xuc_xtree::{apply_undoable, undo, DataTree, DirtyRegion, Label, NodeId, Update};
 
 const LABELS: &[&str] = &["a", "b", "c", "d"];
 
@@ -340,6 +344,91 @@ proptest! {
             prop_assert_eq!(&rows, &Evaluator::new(&work).eval_all(&batch));
         }
         prop_assert!(work.identified_eq(&tree), "full unwind must restore the seed");
+    }
+
+    #[test]
+    fn eval_set_delta_matches_eval_set_eval_all_and_naive(
+        tree in tree_strategy(12),
+        q1 in pattern_strategy(5),
+        q2 in pattern_strategy(5),
+        q3 in pattern_strategy(4),
+        q4 in pattern_strategy(4),
+        ops in proptest::collection::vec((0..6usize, 0..64usize, 0..64usize), 1..9),
+    ) {
+        // The delta-admission contract: one baseline eval_set, then an
+        // arbitrary edit/undo sequence accumulated into ONE DirtyRegion —
+        // after every step the spliced answer must equal the full set
+        // pass, the per-pattern pass, and the naive oracle. Random mixed
+        // batches exercise both the genuine splice path (all-linear) and
+        // the predicate-fallback full pass; deep edit sequences produce
+        // regions whose scopes merge into ancestor scopes (moves/deletes
+        // above earlier dirty roots).
+        let batch = vec![q1, q2, q3, q4];
+        let compiled = PatternSetCompiler::compile(&batch);
+        let mut work = tree.clone();
+        let mut inc = Evaluator::new(&work);
+        let base = inc.eval_set(&compiled);
+        let mut region = DirtyRegion::new();
+        let mut stack = Vec::new();
+        for (op_choice, pick_a, pick_b) in ops {
+            let ids = work.node_ids();
+            let target = if ids.len() > 1 { ids[1 + pick_a % (ids.len() - 1)] } else { ids[0] };
+            let other = ids[pick_b % ids.len()];
+            let op = match op_choice {
+                0 => Update::Relabel {
+                    node: target,
+                    label: Label::new(LABELS[pick_b % LABELS.len()]),
+                },
+                1 => Update::DeleteSubtree { node: target },
+                2 => Update::DeleteNode { node: target },
+                3 => Update::Move { node: target, new_parent: other },
+                4 => Update::InsertLeaf {
+                    parent: other,
+                    id: NodeId::fresh(),
+                    label: Label::new(LABELS[pick_a % LABELS.len()]),
+                },
+                _ => Update::ReplaceId { node: target, new_id: NodeId::fresh() },
+            };
+            // Mirror the session's bookkeeping: a deletion's doomed refs
+            // are captured before it applies, for the in-place splice.
+            let doomed = match &op {
+                Update::DeleteSubtree { node } => work.subtree_nodes(*node).ok(),
+                Update::DeleteNode { node } => work.node(*node).ok().map(|r| vec![r]),
+                _ => None,
+            };
+            let Ok((token, scope)) = apply_undoable(&mut work, &op) else { continue };
+            stack.push(token);
+            if let Some(refs) = doomed {
+                region.record_removals(&refs);
+            }
+            inc.refresh_after(&work, &scope);
+            region.record(&work, &scope);
+            let full_rows = inc.eval_set(&compiled);
+            let delta = inc.eval_set_delta(&compiled, &region, &base);
+            prop_assert_eq!(&delta, &full_rows, "apply {}", &op);
+            prop_assert_eq!(&delta, &Evaluator::new(&work).eval_all(&batch), "apply {}", &op);
+            for (q, r) in batch.iter().zip(&delta) {
+                prop_assert_eq!(r, &naive::eval(q, &work), "apply {} / {}", &op, q);
+            }
+            // The in-place splice must agree wherever it applies — and its
+            // journal must revert the baselines exactly.
+            let mut spliced = base.clone();
+            if let Some(journal) = inc.eval_set_splice(&compiled, &region, &mut spliced) {
+                prop_assert_eq!(&spliced, &full_rows, "splice after {}", &op);
+                journal.revert(&mut spliced);
+                prop_assert_eq!(&spliced, &base, "revert after {}", &op);
+            }
+        }
+        // Undos feed the SAME region: the splice must track back down.
+        while let Some(token) = stack.pop() {
+            let scope = undo(&mut work, token).unwrap();
+            inc.refresh_after(&work, &scope);
+            region.record(&work, &scope);
+            let delta = inc.eval_set_delta(&compiled, &region, &base);
+            prop_assert_eq!(&delta, &inc.eval_set(&compiled));
+        }
+        prop_assert!(work.identified_eq(&tree), "full unwind must restore the seed");
+        prop_assert_eq!(inc.eval_set_delta(&compiled, &region, &base), base);
     }
 
     #[test]

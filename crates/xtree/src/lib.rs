@@ -15,15 +15,20 @@
 //! * [`Update`] — the update operations of Tatarinov et al. (insert, delete,
 //!   move, relabel) used by the paper to abstract document evolution
 //!   ([`update`]),
+//! * [`DirtyRegion`] — the union of a batch's edit scopes as disjoint dirty
+//!   subtrees plus pinpoint relabel/id-swap patches, for edit-proportional
+//!   delta evaluation ([`dirty`]),
 //! * a compact term syntax for building trees in tests and examples
 //!   ([`term`]).
 
+pub mod dirty;
 pub mod label;
 pub mod node;
 pub mod term;
 pub mod tree;
 pub mod update;
 
+pub use dirty::{DirtyRegion, IdSwap};
 pub use label::Label;
 pub use node::NodeId;
 pub use term::{parse_term, to_term};

@@ -599,6 +599,23 @@ impl DataTree {
         rec(self, parent, other, src_slot, fresh)
     }
 
+    /// The refs of the subtree rooted at `id` (inclusive), in pre-order.
+    /// Cost proportional to the subtree — this is how a session captures
+    /// what a pending deletion is about to remove (for
+    /// [`DirtyRegion::record_removals`](crate::DirtyRegion::record_removals))
+    /// without snapshotting the document.
+    pub fn subtree_nodes(&self, id: NodeId) -> Result<Vec<NodeRef>, TreeError> {
+        let slot = self.slot(id)?;
+        let mut out = Vec::new();
+        let mut stack = vec![slot];
+        while let Some(s) = stack.pop() {
+            let d = self.data(s);
+            out.push(NodeRef { id: d.id, label: d.label });
+            stack.extend(d.children.iter().rev());
+        }
+        Ok(out)
+    }
+
     /// Extracts the subtree rooted at `id` as a standalone tree
     /// (ids preserved).
     pub fn subtree(&self, id: NodeId) -> Result<DataTree, TreeError> {

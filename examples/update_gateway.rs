@@ -84,6 +84,37 @@ fn main() {
         Ok(()) => unreachable!("tampering must be caught"),
     }
 
+    // ---- Delta admission: edit-proportional commit validation ----------
+    // Under an all-linear policy, commits ride the in-place splice
+    // (`AdmissionMode::Delta`, the default): the admission check re-derives
+    // results only below the batch's dirty subtrees and patches the cached
+    // baselines — a relabel-only batch commits without a single pre-order
+    // walk of the document, however large it is.
+    let records = DocId::new("records");
+    let records_tree =
+        parse_term("hospital#50(patient#51(visit#52,phone#53),patient#54(phone#55))").unwrap();
+    let records_policy = vec![
+        parse_constraint("(/patient/visit, ↑)").unwrap(),
+        parse_constraint("(//phone, ↓)").unwrap(),
+    ];
+    gateway.publish(records, records_tree, records_policy).unwrap();
+    let walks_before = xuc_xtree::preorder_walk_count();
+    let relabels = Request {
+        doc: records,
+        updates: vec![
+            Update::Relabel { node: NodeId::from_raw(53), label: "note".into() },
+            Update::Relabel { node: NodeId::from_raw(55), label: "note".into() },
+        ],
+    };
+    let verdict = gateway.submit(&relabels);
+    assert!(verdict.is_accepted(), "shrinking a ↓ range is allowed");
+    assert_eq!(
+        xuc_xtree::preorder_walk_count(),
+        walks_before,
+        "delta admission must not re-walk the document"
+    );
+    println!("\ndelta admission: relabel-only batch committed with zero document walks ✓");
+
     // ---- Heavy traffic: a seeded stream over the worker pool -----------
     // The accept/reject log is a pure function of the stream — identical
     // at every worker count (here: 1 vs 4).

@@ -66,13 +66,15 @@ pub mod prelude {
         RelativeConstraint,
     };
     pub use xuc_service::{
-        render_log, DocId, DocumentStore, Gateway, RejectReason, Request, Session, SuiteCache,
-        Verdict,
+        admit, admit_delta, admit_delta_in_place, render_log, AdmissionMode, DocId, DocumentStore,
+        Gateway, RejectReason, Request, Session, SuiteCache, Verdict,
     };
     pub use xuc_sigstore::{Certificate, Signer};
-    pub use xuc_xpath::{eval::eval, eval::eval_at, parse as parse_query, Evaluator, Pattern};
+    pub use xuc_xpath::{
+        eval::eval, eval::eval_at, parse as parse_query, Evaluator, Pattern, SpliceJournal,
+    };
     pub use xuc_xtree::{
-        apply_all, apply_undoable, parse_term, undo, DataTree, EditScope, Label, NodeId, NodeRef,
-        Update,
+        apply_all, apply_undoable, parse_term, undo, DataTree, DirtyRegion, EditScope, IdSwap,
+        Label, NodeId, NodeRef, Update,
     };
 }
