@@ -1,0 +1,521 @@
+//! The write-ahead log: length-prefixed, checksummed frames with group
+//! commit and a torn-tail recovery policy.
+//!
+//! # Frame format
+//!
+//! The file opens with the 8-byte magic `XUCWAL01`; every frame after it is
+//!
+//! ```text
+//! [u32 payload length, LE][u64 FNV-1a-64 checksum of payload, LE][payload]
+//! ```
+//!
+//! where the payload is one [`WalRecord`] in the [`crate::codec`] encoding.
+//!
+//! # Torn-tail policy
+//!
+//! A crash can leave the file ending in a half-written frame (torn write)
+//! or a frame whose bytes never reached the platter (checksum mismatch).
+//! [`read_wal`] scans frames in order and **stops at the first bad one**:
+//! everything before it is the durable prefix, everything after is
+//! discarded — recovery truncates the file there and starts serving
+//! ([`WalWriter::open`] does the truncation). Refusing to start would turn
+//! every unclean shutdown into an outage; trailing garbage after a bad
+//! frame is unreachable anyway because frames are only ever appended.
+//!
+//! # Group commit
+//!
+//! [`WalWriter::append`] buffers encoded frames in memory and writes +
+//! syncs once every `group_commit` frames (and on [`WalWriter::sync`] /
+//! drop). A crash between syncs loses at most the buffered suffix — which
+//! is exactly the [`WriteFault::LoseBuffered`] fault the kill/restart
+//! differential harness injects.
+
+use crate::codec::{checksum64, Decoder, Encoder};
+use crate::{
+    decode_certificate, decode_suite, decode_tree, decode_updates, encode_certificate,
+    encode_suite, encode_tree, encode_updates, DecodeError,
+};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::Path;
+use xuc_core::Constraint;
+use xuc_sigstore::Certificate;
+use xuc_xtree::{DataTree, Update};
+
+const WAL_MAGIC: &[u8; 8] = b"XUCWAL01";
+const FRAME_HEADER: u64 = 4 + 8;
+
+/// One logged event. The WAL records *accepted* state transitions only —
+/// rejected batches leave no trace (they changed nothing).
+#[derive(Debug, Clone)]
+pub enum WalRecord {
+    /// A document entered the store under `doc` with its initial tree and
+    /// constraint suite. The initial certificate is recomputed on replay
+    /// (publish is deterministic), so it is not logged.
+    Publish { doc: String, tree: DataTree, suite: Vec<Constraint> },
+    /// Commit number `commit` of `doc`: the accepted update batch and the
+    /// certificate the gateway signed for the post-batch state. Replay
+    /// re-admits the batch through the live admission path and checks it
+    /// reproduces exactly this certificate.
+    Commit { doc: String, commit: u64, updates: Vec<Update>, cert: Certificate },
+}
+
+/// Record equality is *exact*: trees compare by preorder snapshot (ids,
+/// labels **and** sibling order), certificates field-for-field.
+impl PartialEq for WalRecord {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (
+                WalRecord::Publish { doc: a, tree: ta, suite: sa },
+                WalRecord::Publish { doc: b, tree: tb, suite: sb },
+            ) => a == b && ta.preorder_snapshot() == tb.preorder_snapshot() && sa == sb,
+            (
+                WalRecord::Commit { doc: a, commit: ca, updates: ua, cert: xa },
+                WalRecord::Commit { doc: b, commit: cb, updates: ub, cert: xb },
+            ) => a == b && ca == cb && ua == ub && xa == xb,
+            _ => false,
+        }
+    }
+}
+
+impl WalRecord {
+    /// The document this record concerns.
+    pub fn doc(&self) -> &str {
+        match self {
+            WalRecord::Publish { doc, .. } | WalRecord::Commit { doc, .. } => doc,
+        }
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        match self {
+            WalRecord::Publish { doc, tree, suite } => {
+                e.u8(1);
+                e.str(doc);
+                encode_tree(&mut e, tree);
+                encode_suite(&mut e, suite);
+            }
+            WalRecord::Commit { doc, commit, updates, cert } => {
+                e.u8(2);
+                e.str(doc);
+                e.u64(*commit);
+                encode_updates(&mut e, updates);
+                encode_certificate(&mut e, cert);
+            }
+        }
+        e.into_bytes()
+    }
+
+    pub fn decode(payload: &[u8]) -> Result<WalRecord, DecodeError> {
+        let mut d = Decoder::new(payload);
+        let rec = match d.u8()? {
+            1 => {
+                let doc = d.str()?.to_owned();
+                let tree = decode_tree(&mut d)?;
+                let suite = decode_suite(&mut d)?;
+                WalRecord::Publish { doc, tree, suite }
+            }
+            2 => {
+                let doc = d.str()?.to_owned();
+                let commit = d.u64()?;
+                let updates = decode_updates(&mut d)?;
+                let cert = decode_certificate(&mut d)?;
+                WalRecord::Commit { doc, commit, updates, cert }
+            }
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        d.finish()?;
+        Ok(rec)
+    }
+}
+
+/// The result of scanning a WAL file: the durable records, how many bytes
+/// of the file they cover, and whether a bad tail was found after them.
+#[derive(Debug)]
+pub struct WalScan {
+    pub records: Vec<WalRecord>,
+    /// Length of the valid prefix (magic + whole good frames). Recovery
+    /// truncates the file to this length before appending.
+    pub valid_len: u64,
+    /// True when bytes existed past `valid_len` — a torn or corrupted
+    /// tail that the torn-tail policy discards.
+    pub torn: bool,
+}
+
+/// Scans `path` frame by frame, stopping at the first torn or corrupted
+/// frame (see the module docs). A missing file is an empty log.
+pub fn read_wal(path: &Path) -> io::Result<WalScan> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            return Ok(WalScan { records: Vec::new(), valid_len: 0, torn: false })
+        }
+        Err(e) => return Err(e),
+    };
+    if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        // No intact header: treat the whole file as a torn tail.
+        return Ok(WalScan { records: Vec::new(), valid_len: 0, torn: !bytes.is_empty() });
+    }
+    let mut records = Vec::new();
+    let mut pos = WAL_MAGIC.len();
+    loop {
+        let rest = &bytes[pos..];
+        if rest.is_empty() {
+            return Ok(WalScan { records, valid_len: pos as u64, torn: false });
+        }
+        let torn = |records: Vec<WalRecord>| WalScan { records, valid_len: pos as u64, torn: true };
+        if rest.len() < FRAME_HEADER as usize {
+            return Ok(torn(records));
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+        let sum = u64::from_le_bytes(rest[4..12].try_into().expect("8 bytes"));
+        let Some(payload) = rest.get(FRAME_HEADER as usize..FRAME_HEADER as usize + len) else {
+            return Ok(torn(records));
+        };
+        if checksum64(payload) != sum {
+            return Ok(torn(records));
+        }
+        let Ok(rec) = WalRecord::decode(payload) else {
+            return Ok(torn(records));
+        };
+        records.push(rec);
+        pos += FRAME_HEADER as usize + len;
+    }
+}
+
+/// A simulated storage fault, applied while "crashing" a writer
+/// ([`WalWriter::simulate_crash`]). Models what a real power loss can do
+/// to the tail of an append-only file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// The in-memory group-commit buffer never reached the file: every
+    /// frame since the last sync is gone.
+    LoseBuffered,
+    /// The last durable frame vanishes whole (its sectors never hit the
+    /// platter despite the write returning).
+    DropLastFrame,
+    /// The last durable frame is cut mid-bytes — a torn write the
+    /// checksum scan must detect and discard.
+    TearLastFrame,
+}
+
+/// Append handle on a WAL file. See the module docs for the frame format
+/// and the group-commit discipline.
+pub struct WalWriter {
+    file: File,
+    /// Durable file length (bytes actually written through).
+    len: u64,
+    /// Offset of the most recently written frame — where the fault
+    /// injector cuts.
+    last_frame_start: u64,
+    pending: Vec<u8>,
+    pending_frames: usize,
+    group_commit: usize,
+    /// Set by [`simulate_crash`](Self::simulate_crash): suppresses the
+    /// drop-time sync so "crashed" state stays crashed.
+    dead: bool,
+}
+
+impl WalWriter {
+    /// Opens (creating if absent) the log at `path`, scans it, truncates
+    /// any torn tail, and positions for appending. Returns the writer and
+    /// the durable records for replay.
+    pub fn open(path: &Path, group_commit: usize) -> io::Result<(WalWriter, WalScan)> {
+        let scan = read_wal(path)?;
+        // truncate(false): the valid prefix must survive reopening — only
+        // a torn tail is cut, via the explicit set_len below.
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        let mut len = scan.valid_len;
+        if len == 0 {
+            file.set_len(0)?;
+            file.write_all(WAL_MAGIC)?;
+            len = WAL_MAGIC.len() as u64;
+        } else if scan.torn {
+            file.set_len(len)?;
+        }
+        file.seek(SeekFrom::Start(len))?;
+        file.sync_all()?;
+        let writer = WalWriter {
+            file,
+            len,
+            last_frame_start: len,
+            pending: Vec::new(),
+            pending_frames: 0,
+            group_commit: group_commit.max(1),
+            dead: false,
+        };
+        Ok((writer, scan))
+    }
+
+    /// Frames `record` into the group-commit buffer; writes and syncs the
+    /// buffer once it holds `group_commit` frames.
+    pub fn append(&mut self, record: &WalRecord) -> io::Result<()> {
+        let payload = record.encode();
+        self.last_frame_start = self.len + self.pending.len() as u64;
+        self.pending.extend_from_slice(
+            &u32::try_from(payload.len()).expect("payload fits u32").to_le_bytes(),
+        );
+        self.pending.extend_from_slice(&checksum64(&payload).to_le_bytes());
+        self.pending.extend_from_slice(&payload);
+        self.pending_frames += 1;
+        if self.pending_frames >= self.group_commit {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Writes and syncs any buffered frames.
+    pub fn sync(&mut self) -> io::Result<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        self.file.write_all(&self.pending)?;
+        self.file.sync_all()?;
+        self.len += self.pending.len() as u64;
+        self.pending.clear();
+        self.pending_frames = 0;
+        Ok(())
+    }
+
+    /// Durable bytes (what a crash without faults preserves).
+    pub fn durable_len(&self) -> u64 {
+        self.len
+    }
+
+    /// Number of frames waiting in the group-commit buffer.
+    pub fn pending_frames(&self) -> usize {
+        self.pending_frames
+    }
+
+    /// Empties the log back to just its magic header (all records are
+    /// covered by snapshots). The caller's bookkeeping of what was logged
+    /// must be reset alongside.
+    pub fn truncate_all(&mut self) -> io::Result<()> {
+        self.pending.clear();
+        self.pending_frames = 0;
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.write_all(WAL_MAGIC)?;
+        self.file.sync_all()?;
+        self.len = WAL_MAGIC.len() as u64;
+        self.last_frame_start = self.len;
+        Ok(())
+    }
+
+    /// Kills the writer as a crash would, optionally mangling the tail of
+    /// the file first. After this the writer performs no further IO (the
+    /// drop-time sync is suppressed).
+    pub fn simulate_crash(mut self, fault: WriteFault) -> io::Result<()> {
+        match fault {
+            WriteFault::LoseBuffered => {
+                // The buffered frames simply never existed.
+                self.pending.clear();
+                self.pending_frames = 0;
+            }
+            WriteFault::DropLastFrame => {
+                // Make everything durable first, then drop the final
+                // frame whole — models a write acknowledged but lost.
+                self.sync()?;
+                if self.last_frame_start < self.len {
+                    self.file.set_len(self.last_frame_start)?;
+                    self.file.sync_all()?;
+                }
+            }
+            WriteFault::TearLastFrame => {
+                // Make everything durable, then cut the final frame
+                // mid-bytes — the torn tail read_wal must discard.
+                self.sync()?;
+                if self.last_frame_start < self.len {
+                    let frame = self.len - self.last_frame_start;
+                    let keep = self.last_frame_start + 1 + (frame - 1) / 2;
+                    self.file.set_len(keep)?;
+                    self.file.sync_all()?;
+                }
+            }
+        }
+        self.dead = true;
+        Ok(())
+    }
+}
+
+impl Drop for WalWriter {
+    /// A clean shutdown flushes the group-commit buffer; a simulated
+    /// crash does not.
+    fn drop(&mut self) {
+        if !self.dead {
+            let _ = self.sync();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xuc_core::parse_constraint;
+    use xuc_sigstore::Signer;
+    use xuc_xtree::{parse_term, Label, NodeId};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("xuc-wal-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.log")
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        let tree = parse_term("h(patient#2(visit#3))").unwrap();
+        let suite = vec![parse_constraint("(/patient/visit, ↑)").unwrap()];
+        let cert = Signer::new(7).certify(&tree, &suite);
+        vec![
+            WalRecord::Publish { doc: "h".into(), tree, suite },
+            WalRecord::Commit {
+                doc: "h".into(),
+                commit: 1,
+                updates: vec![Update::Relabel {
+                    node: NodeId::from_raw(3),
+                    label: Label::new("note"),
+                }],
+                cert,
+            },
+        ]
+    }
+
+    #[test]
+    fn append_sync_read_round_trip() {
+        let path = tmp("roundtrip");
+        let records = sample_records();
+        {
+            let (mut w, scan) = WalWriter::open(&path, 1).unwrap();
+            assert!(scan.records.is_empty() && !scan.torn);
+            for r in &records {
+                w.append(r).unwrap();
+            }
+        }
+        let scan = read_wal(&path).unwrap();
+        assert!(!scan.torn);
+        assert_eq!(scan.records, records);
+        // Reopening appends after the existing tail.
+        {
+            let (mut w, scan) = WalWriter::open(&path, 1).unwrap();
+            assert_eq!(scan.records.len(), 2);
+            w.append(&records[1]).unwrap();
+        }
+        assert_eq!(read_wal(&path).unwrap().records.len(), 3);
+    }
+
+    #[test]
+    fn group_commit_buffers_until_threshold() {
+        let path = tmp("group");
+        let records = sample_records();
+        let (mut w, _) = WalWriter::open(&path, 3).unwrap();
+        w.append(&records[0]).unwrap();
+        w.append(&records[1]).unwrap();
+        assert_eq!(w.pending_frames(), 2);
+        // Nothing durable yet beyond the magic.
+        assert_eq!(w.durable_len(), WAL_MAGIC.len() as u64);
+        w.append(&records[1]).unwrap();
+        assert_eq!(w.pending_frames(), 0, "third frame triggers the group sync");
+        assert!(w.durable_len() > WAL_MAGIC.len() as u64);
+    }
+
+    #[test]
+    fn lose_buffered_drops_exactly_the_unsynced_suffix() {
+        let path = tmp("lose");
+        let records = sample_records();
+        let (mut w, _) = WalWriter::open(&path, 10).unwrap();
+        w.append(&records[0]).unwrap();
+        w.sync().unwrap();
+        w.append(&records[1]).unwrap();
+        w.simulate_crash(WriteFault::LoseBuffered).unwrap();
+        let scan = read_wal(&path).unwrap();
+        assert!(!scan.torn, "lost buffer leaves a clean file");
+        assert_eq!(scan.records, records[..1]);
+    }
+
+    #[test]
+    fn drop_last_frame_is_clean_truncation() {
+        let path = tmp("drop");
+        let records = sample_records();
+        let (mut w, _) = WalWriter::open(&path, 1).unwrap();
+        for r in &records {
+            w.append(r).unwrap();
+        }
+        w.simulate_crash(WriteFault::DropLastFrame).unwrap();
+        let scan = read_wal(&path).unwrap();
+        assert!(!scan.torn);
+        assert_eq!(scan.records, records[..1]);
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_truncated_on_reopen() {
+        let path = tmp("tear");
+        let records = sample_records();
+        let (mut w, _) = WalWriter::open(&path, 1).unwrap();
+        for r in &records {
+            w.append(r).unwrap();
+        }
+        let full = std::fs::metadata(&path).unwrap().len();
+        w.simulate_crash(WriteFault::TearLastFrame).unwrap();
+        let cut = std::fs::metadata(&path).unwrap().len();
+        assert!(cut < full, "the tear must remove bytes");
+        let scan = read_wal(&path).unwrap();
+        assert!(scan.torn, "half a frame is a torn tail");
+        assert_eq!(scan.records, records[..1]);
+        // Reopening truncates the tail and serves appends again.
+        let (mut w, scan) = WalWriter::open(&path, 1).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        w.append(&records[1]).unwrap();
+        drop(w);
+        let scan = read_wal(&path).unwrap();
+        assert!(!scan.torn);
+        assert_eq!(scan.records, records);
+    }
+
+    #[test]
+    fn bit_flip_invalidates_the_frame() {
+        let path = tmp("flip");
+        let records = sample_records();
+        {
+            let (mut w, _) = WalWriter::open(&path, 1).unwrap();
+            for r in &records {
+                w.append(r).unwrap();
+            }
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 3;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let scan = read_wal(&path).unwrap();
+        assert!(scan.torn, "checksum must catch the flip");
+        assert_eq!(scan.records, records[..1]);
+    }
+
+    #[test]
+    fn missing_and_headerless_files_are_empty_logs() {
+        let path = tmp("empty");
+        let scan = read_wal(&path).unwrap();
+        assert!(scan.records.is_empty() && !scan.torn && scan.valid_len == 0);
+        std::fs::write(&path, b"garbage").unwrap();
+        let scan = read_wal(&path).unwrap();
+        assert!(scan.records.is_empty() && scan.torn);
+        let (w, scan) = WalWriter::open(&path, 1).unwrap();
+        assert!(scan.records.is_empty());
+        assert_eq!(w.durable_len(), WAL_MAGIC.len() as u64);
+    }
+
+    #[test]
+    fn truncate_all_resets_to_empty() {
+        let path = tmp("trunc");
+        let records = sample_records();
+        let (mut w, _) = WalWriter::open(&path, 1).unwrap();
+        for r in &records {
+            w.append(r).unwrap();
+        }
+        w.truncate_all().unwrap();
+        w.append(&records[0]).unwrap();
+        drop(w);
+        let scan = read_wal(&path).unwrap();
+        assert_eq!(scan.records, records[..1]);
+    }
+}

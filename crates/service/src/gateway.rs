@@ -26,12 +26,17 @@
 //! per-document order is the *only* order the semantics needs.
 
 use crate::cache::SuiteCache;
+use crate::persist::{DurableOptions, Journal, JournalFatal, RecoverError, RecoveredState};
 use crate::session::{AdmissionMode, Session};
-use crate::store::{DocumentStore, PublishError};
+use crate::store::{Document, DocumentStore, PublishError};
 use crate::{DocId, RejectReason, Request, Verdict};
+use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use xuc_core::Constraint;
+use xuc_persist::WriteFault;
 use xuc_sigstore::{Certificate, Signer};
 use xuc_xtree::DataTree;
 
@@ -39,11 +44,35 @@ use xuc_xtree::DataTree;
 /// an admission loop, with a [`SuiteCache`] so admission never recompiles
 /// a suite, and a [`Signer`] re-certifying every accepted state. See the
 /// crate docs for a walkthrough.
+///
+/// # Durability
+///
+/// A gateway opened with [`recover`](Self::recover) (or
+/// [`recover_with`](Self::recover_with)) journals every publish and every
+/// accepted commit to a write-ahead log and snapshots documents on a
+/// cadence; re-opening the same directory replays the journal through the
+/// live admission path and resumes byte-identical — same verdict history,
+/// same baselines, same hash-linked certificates. See [`crate::persist`]
+/// for the policy and `xuc-persist` for the file formats.
+///
+/// # Panic containment
+///
+/// [`submit`](Self::submit) catches panics at the request boundary: a
+/// panicking handler unwinds its session (rollback-on-drop), the verdict
+/// degrades to [`RejectReason::Internal`], and the document keeps
+/// serving — one poisoned request cannot wedge a worker pool. The single
+/// exception is a journal IO failure, which is re-raised: a gateway that
+/// cannot persist commits must stop, not keep acknowledging them.
 pub struct Gateway {
     store: DocumentStore,
     cache: SuiteCache,
     signer: Signer,
     admission: AdmissionMode,
+    /// `Some` on durable gateways ([`Gateway::recover`]).
+    journal: Option<Journal>,
+    /// Test hook: documents whose next N sessions panic mid-request
+    /// ([`Gateway::inject_session_panic`]).
+    panic_injections: Mutex<HashMap<DocId, usize>>,
 }
 
 impl Gateway {
@@ -57,7 +86,81 @@ impl Gateway {
     /// [`AdmissionMode::FullPass`] is the reference arm the differential
     /// harness and the E-DLT experiment compare the delta path against.
     pub fn with_admission(signer: Signer, admission: AdmissionMode) -> Gateway {
-        Gateway { store: DocumentStore::new(), cache: SuiteCache::new(), signer, admission }
+        Gateway {
+            store: DocumentStore::new(),
+            cache: SuiteCache::new(),
+            signer,
+            admission,
+            journal: None,
+            panic_injections: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Opens a **durable** gateway on `dir` (created if absent): loads
+    /// snapshots, replays the WAL tail through the live admission path,
+    /// and journals everything the recovered gateway accepts from here
+    /// on. An empty directory recovers to an empty gateway, so this is
+    /// also how a durable gateway is *started*.
+    pub fn recover(signer: Signer, dir: impl AsRef<Path>) -> Result<Gateway, RecoverError> {
+        Gateway::recover_with(signer, AdmissionMode::Delta, dir, DurableOptions::default())
+    }
+
+    /// [`recover`](Self::recover) with explicit [`AdmissionMode`] and
+    /// [`DurableOptions`] (group-commit batch size, snapshot cadence).
+    pub fn recover_with(
+        signer: Signer,
+        admission: AdmissionMode,
+        dir: impl AsRef<Path>,
+        opts: DurableOptions,
+    ) -> Result<Gateway, RecoverError> {
+        let RecoveredState { store, cache, journal } =
+            crate::persist::recover(&signer, admission, dir.as_ref(), opts)?;
+        Ok(Gateway {
+            store,
+            cache,
+            signer,
+            admission,
+            journal: Some(journal),
+            panic_injections: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Whether this gateway journals its commits.
+    pub fn is_durable(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Tears the gateway down as a simulated crash: pending group-commit
+    /// frames and the WAL tail suffer `fault` instead of the orderly
+    /// drop-time sync. Only meaningful on durable gateways (a no-op
+    /// otherwise); the crash-injection arm of the differential harness
+    /// is built on this.
+    pub fn simulate_crash(self, fault: WriteFault) -> std::io::Result<()> {
+        match self.journal {
+            Some(journal) => journal.into_writer().simulate_crash(fault),
+            None => Ok(()),
+        }
+    }
+
+    /// Test hook: the next `count` sessions against `doc` panic after
+    /// applying their updates, exercising the panic containment path
+    /// without a buggy handler.
+    pub fn inject_session_panic(&self, doc: DocId, count: usize) {
+        *self.panic_injections.lock().entry(doc).or_insert(0) += count;
+    }
+
+    fn fire_injected_panic(&self, doc: DocId) {
+        let mut map = self.panic_injections.lock();
+        if let Some(n) = map.get_mut(&doc) {
+            if *n > 0 {
+                *n -= 1;
+                if *n == 0 {
+                    map.remove(&doc);
+                }
+                drop(map);
+                panic!("injected session panic");
+            }
+        }
     }
 
     /// The admission mode every [`submit`](Self::submit) commit runs under.
@@ -74,7 +177,16 @@ impl Gateway {
         tree: DataTree,
         suite: Vec<Constraint>,
     ) -> Result<(), PublishError> {
-        self.store.publish(id, tree, suite, &self.cache, &self.signer)
+        let Some(journal) = &self.journal else {
+            return self.store.publish(id, tree, suite, &self.cache, &self.signer);
+        };
+        // Store first (it rejects duplicates), then journal — synced
+        // before we return, so an acknowledged publish is never lost to
+        // group-commit buffering and every logged commit has its publish
+        // earlier in the log.
+        self.store.publish(id, tree.clone(), suite.clone(), &self.cache, &self.signer)?;
+        journal.log_publish(id, tree, suite);
+        Ok(())
     }
 
     /// The underlying store (lock a document directly to run a manual
@@ -101,14 +213,41 @@ impl Gateway {
     }
 
     /// Admits or rejects one request: locks the document, applies the
-    /// batch in a [`Session`], and commits (re-certifying) or rolls back.
-    /// Atomic either way — a failed update unwinds the applied prefix.
+    /// batch in a [`Session`], and commits (re-certifying and, on durable
+    /// gateways, journaling) or rolls back. Atomic either way — a failed
+    /// update unwinds the applied prefix.
+    ///
+    /// Panics inside the request are contained here, at the unit
+    /// boundary: the session's rollback-on-drop has already restored the
+    /// document by the time the unwind reaches us, so the panic degrades
+    /// to a [`RejectReason::Internal`] verdict, the per-document mutex is
+    /// released cleanly (no poisoning — `parking_lot` locks), and both
+    /// this document and the worker pool keep serving. Journal IO
+    /// failures are the deliberate exception and re-raise (fail-stop; see
+    /// [`crate::persist`]).
     pub fn submit(&self, request: &Request) -> Verdict {
         let Some(doc) = self.store.document(request.doc) else {
             return Verdict::Rejected(RejectReason::UnknownDocument);
         };
         let mut doc = doc.lock();
-        let mut session = Session::begin(&mut doc);
+        match panic::catch_unwind(AssertUnwindSafe(|| self.submit_locked(&mut doc, request))) {
+            Ok(verdict) => verdict,
+            Err(payload) => {
+                if payload.is::<JournalFatal>() {
+                    panic::resume_unwind(payload);
+                }
+                let error = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "request handler panicked".to_owned());
+                Verdict::Rejected(RejectReason::Internal { error })
+            }
+        }
+    }
+
+    fn submit_locked(&self, doc: &mut Document, request: &Request) -> Verdict {
+        let mut session = Session::begin(doc);
         for (index, update) in request.updates.iter().enumerate() {
             if let Err(e) = session.apply(update) {
                 // Dropping the session rolls the applied prefix back.
@@ -118,8 +257,22 @@ impl Gateway {
                 });
             }
         }
+        self.fire_injected_panic(request.doc);
         match session.commit_with(&self.signer, self.admission) {
-            Ok(receipt) => Verdict::Accepted { commit: receipt.commit },
+            Ok(receipt) => {
+                if let Some(journal) = &self.journal {
+                    // Still under the document mutex: the log's
+                    // per-document order is the commit order.
+                    journal.log_commit(
+                        request.doc,
+                        receipt.commit,
+                        &request.updates,
+                        doc.certificate(),
+                    );
+                    journal.maybe_snapshot(doc);
+                }
+                Verdict::Accepted { commit: receipt.commit }
+            }
             Err(r) => Verdict::Rejected(RejectReason::Violation {
                 constraint: r.constraint.to_string(),
                 offenders: r.offenders,
@@ -293,6 +446,124 @@ mod tests {
         let req = Request { doc: id, updates: Vec::new() };
         assert_eq!(gw.submit(&req), Verdict::Accepted { commit: 1 });
         assert_eq!(gw.submit(&req), Verdict::Accepted { commit: 2 });
+    }
+
+    /// Runs `f` with panic backtraces suppressed (for tests that
+    /// intentionally panic inside the containment boundary). Serialized:
+    /// the panic hook is process-global.
+    fn quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+        use std::sync::Mutex as StdMutex;
+        static HOOK: StdMutex<()> = StdMutex::new(());
+        let _guard = HOOK.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(prev);
+        out
+    }
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("xuc-gw-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn injected_panic_is_contained() {
+        let (gw, id) = gateway_with_doc();
+        let before = gw.snapshot(id).unwrap().render();
+        let req = Request {
+            doc: id,
+            updates: vec![Update::InsertLeaf {
+                parent: NodeId::from_raw(2),
+                id: NodeId::fresh(),
+                label: "visit".into(),
+            }],
+        };
+        gw.inject_session_panic(id, 1);
+        match quiet_panics(|| gw.submit(&req)) {
+            Verdict::Rejected(RejectReason::Internal { error }) => {
+                assert!(error.contains("injected session panic"), "got: {error}");
+            }
+            other => panic!("expected internal rejection, got {other:?}"),
+        }
+        // The session's rollback-on-drop restored the document: no trace
+        // of the applied update, no commit, lock not wedged.
+        assert_eq!(gw.snapshot(id).unwrap().render(), before);
+        assert_eq!(gw.store().document(id).unwrap().lock().commits(), 0);
+        // The same request now commits normally.
+        assert_eq!(gw.submit(&req), Verdict::Accepted { commit: 1 });
+    }
+
+    #[test]
+    fn panicking_requests_do_not_wedge_the_pool() {
+        let (gw, id) = gateway_with_doc();
+        gw.inject_session_panic(id, 2);
+        // Six trivially-committable requests; the first two sessions
+        // panic. The pool must keep serving and the survivors must
+        // commit in arrival order.
+        let reqs: Vec<Request> = (0..6).map(|_| Request { doc: id, updates: Vec::new() }).collect();
+        let verdicts = quiet_panics(|| gw.process(&reqs, 2));
+        for v in &verdicts[..2] {
+            assert!(
+                matches!(v, Verdict::Rejected(RejectReason::Internal { .. })),
+                "expected containment, got {v:?}"
+            );
+        }
+        for (k, v) in verdicts[2..].iter().enumerate() {
+            assert_eq!(*v, Verdict::Accepted { commit: k as u64 + 1 });
+        }
+    }
+
+    #[test]
+    fn durable_gateway_round_trips_state() {
+        let dir = tmp_dir("roundtrip");
+        let key = 0xD0C5;
+        let id = DocId::new("h");
+        let req_ok = |parent: u64| Request {
+            doc: id,
+            updates: vec![Update::InsertLeaf {
+                parent: NodeId::from_raw(parent),
+                id: NodeId::fresh(),
+                label: "visit".into(),
+            }],
+        };
+        let (render, cert) = {
+            let gw = Gateway::recover(Signer::new(key), &dir).unwrap();
+            assert!(gw.is_durable());
+            let tree =
+                parse_term("hospital#1(patient#2(visit#3),patient#4(clinicalTrial#5))").unwrap();
+            let suite = vec![
+                parse_constraint("(/patient/visit, ↑)").unwrap(),
+                parse_constraint("(/patient[/clinicalTrial], ↓)").unwrap(),
+            ];
+            gw.publish(id, tree, suite).unwrap();
+            assert_eq!(gw.submit(&req_ok(2)), Verdict::Accepted { commit: 1 });
+            assert!(matches!(
+                gw.submit(&Request {
+                    doc: id,
+                    updates: vec![Update::DeleteSubtree { node: NodeId::from_raw(3) }],
+                }),
+                Verdict::Rejected(RejectReason::Violation { .. })
+            ));
+            assert_eq!(gw.submit(&req_ok(4)), Verdict::Accepted { commit: 2 });
+            (gw.snapshot(id).unwrap().render(), gw.certificate(id).unwrap())
+            // Orderly drop: pending frames sync.
+        };
+
+        let rec = Gateway::recover(Signer::new(key), &dir).unwrap();
+        let snap = rec.snapshot(id).unwrap();
+        assert_eq!(snap.render(), render);
+        assert_eq!(rec.certificate(id).unwrap(), cert, "recovered certificate differs");
+        assert_eq!(rec.store().document(id).unwrap().lock().commits(), 2);
+        assert!(cert.verify(key, &snap).is_ok());
+        // The recovered gateway continues the hash chain where the
+        // pre-crash one left off.
+        let prev = cert.digest();
+        assert_eq!(rec.submit(&req_ok(2)), Verdict::Accepted { commit: 3 });
+        let next = rec.certificate(id).unwrap();
+        assert!(next.verify_chained(key, &rec.snapshot(id).unwrap(), prev).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -72,16 +72,19 @@
 
 pub mod cache;
 pub mod gateway;
+pub mod persist;
 pub mod session;
 pub mod store;
 pub mod workload;
 
 pub use cache::SuiteCache;
 pub use gateway::{render_log, Gateway};
+pub use persist::{DurableOptions, RecoverError};
 pub use session::{
     admit, admit_delta, admit_delta_in_place, AdmissionMode, Commit, Rejection, Session,
 };
 pub use store::{Document, DocumentStore, PublishError};
+pub use xuc_persist::WriteFault;
 
 use std::fmt;
 use xuc_xtree::{Label, Update};
@@ -151,6 +154,11 @@ pub enum RejectReason {
     /// The batch applied but violates the document's suite; the whole
     /// batch was unwound.
     Violation { constraint: String, offenders: usize },
+    /// The request handler panicked mid-session. The session's
+    /// rollback-on-drop unwound the batch and the gateway kept serving —
+    /// see the panic-containment discipline on
+    /// [`Gateway::submit`](crate::Gateway::submit).
+    Internal { error: String },
 }
 
 impl fmt::Display for Verdict {
@@ -165,6 +173,9 @@ impl fmt::Display for Verdict {
             }
             Verdict::Rejected(RejectReason::Violation { constraint, offenders }) => {
                 write!(f, "REJECT violates {constraint} ({offenders} offending nodes)")
+            }
+            Verdict::Rejected(RejectReason::Internal { error }) => {
+                write!(f, "REJECT internal error: {error}")
             }
         }
     }

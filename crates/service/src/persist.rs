@@ -1,0 +1,402 @@
+//! Durability for the gateway: the commit journal and crash recovery.
+//!
+//! A durable gateway ([`Gateway::recover`](crate::Gateway::recover)) owns
+//! a `Journal`: a write-ahead log of every publish and every *accepted*
+//! commit (rejected batches change nothing, so they are never logged),
+//! plus periodic per-document snapshots. The mechanisms — frame format,
+//! checksums, group commit, torn-tail truncation, atomic snapshot
+//! install — live in [`xuc_persist`]; this module owns the *policy*:
+//!
+//! * **Write-ahead ordering.** A publish is appended (and synced) before
+//!   `publish` returns; a commit is appended while the document's mutex
+//!   is still held, so the log's per-document commit order is exactly the
+//!   store's. With `group_commit > 1` frames buffer in memory and a crash
+//!   can lose a suffix of *acknowledged* commits — the classic durability
+//!   window, bounded by the batch size and closed by `group_commit = 1`.
+//! * **Snapshots and truncation.** Every `snapshot_every` commits a
+//!   document's full admission state is written (atomic rename); once
+//!   every document logged in the WAL is covered by a snapshot at least
+//!   as new, the whole log is truncated. Recovery cost is therefore
+//!   bounded by the snapshot cadence, not by history length (measured by
+//!   the E-REC experiment).
+//! * **Recovery = snapshots + replay.** `recover` loads snapshots,
+//!   re-runs the WAL tail through the *live* admission path
+//!   ([`Session`]), and cross-checks every replayed certificate against
+//!   the logged one — recovery that diverges from the original run is an
+//!   error, never a silent wrong state. The kill/restart differential
+//!   harness (`tests/differential.rs`) asserts byte-identical recovery
+//!   under injected write faults at several worker counts.
+//! * **Fail-stop journal.** A *real* IO error while journaling panics
+//!   with a `JournalFatal` payload that
+//!   [`Gateway::submit`](crate::Gateway::submit)'s panic containment
+//!   deliberately re-raises: a gateway that can no longer guarantee
+//!   durability stops, it does not keep acknowledging commits it cannot
+//!   persist.
+
+use crate::cache::SuiteCache;
+use crate::session::{AdmissionMode, Session};
+use crate::store::{Document, DocumentStore};
+use crate::DocId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::MutexGuard;
+use xuc_core::Constraint;
+use xuc_persist::{
+    read_snapshots, write_snapshot, DocSnapshot, PersistError, WalRecord, WalWriter,
+};
+use xuc_sigstore::{Certificate, Signer};
+use xuc_xtree::{DataTree, NodeId, Update};
+
+/// File name of the write-ahead log inside a gateway's durability
+/// directory (snapshots sit alongside it as `*.snap`).
+pub const WAL_FILE: &str = "wal.log";
+
+/// The WAL path inside `dir` — exposed so offline auditors (see
+/// `examples/audit_past.rs`) can read a gateway's journal without a
+/// gateway.
+pub fn wal_path(dir: &Path) -> PathBuf {
+    dir.join(WAL_FILE)
+}
+
+/// Tuning knobs of a durable gateway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurableOptions {
+    /// Commits per fsync batch: `1` syncs every commit (no durability
+    /// window), `n` buffers up to `n` frames in memory and a crash can
+    /// lose that suffix of acknowledged commits.
+    pub group_commit: usize,
+    /// Snapshot a document every this-many commits (`None`: never —
+    /// recovery replays the document's whole history from the log).
+    pub snapshot_every: Option<u64>,
+}
+
+impl Default for DurableOptions {
+    fn default() -> DurableOptions {
+        DurableOptions { group_commit: 1, snapshot_every: Some(256) }
+    }
+}
+
+/// Panic payload of a journal IO failure. [`Gateway`](crate::Gateway)'s
+/// panic containment re-raises it instead of converting it to a verdict:
+/// journal failure is fail-stop (see the module docs).
+pub(crate) struct JournalFatal(pub String);
+
+impl fmt::Display for JournalFatal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+fn journal_fatal(what: &str, e: io::Error) -> ! {
+    std::panic::panic_any(JournalFatal(format!("journal {what} failed: {e}")))
+}
+
+/// The gateway's durability arm: WAL writer plus the bookkeeping that
+/// decides when the log can be truncated. One mutex serializes appends —
+/// held strictly *inside* a document mutex (commit logging) or alone
+/// (publish logging), never around one, so the store's lock order
+/// discipline is preserved.
+pub(crate) struct Journal {
+    dir: PathBuf,
+    opts: DurableOptions,
+    inner: Mutex<JournalInner>,
+}
+
+pub(crate) struct JournalInner {
+    writer: WalWriter,
+    /// Highest commit number in the WAL per document (`0`: publish
+    /// record only).
+    logged: HashMap<DocId, u64>,
+    /// Commit counter covered by each document's installed snapshot.
+    snapshotted: HashMap<DocId, u64>,
+}
+
+impl JournalInner {
+    /// Truncates the whole log iff every logged document has a snapshot
+    /// at least as new as its last logged commit (publish-only documents
+    /// — logged `0`, no snapshot — keep the log alive).
+    fn try_truncate(&mut self) {
+        if self.logged.is_empty() {
+            return;
+        }
+        let covered =
+            self.logged.iter().all(|(d, c)| self.snapshotted.get(d).is_some_and(|s| s >= c));
+        if covered {
+            if let Err(e) = self.writer.truncate_all() {
+                journal_fatal("truncate", e);
+            }
+            self.logged.clear();
+        }
+    }
+}
+
+impl Journal {
+    fn lock(&self) -> MutexGuard<'_, JournalInner> {
+        self.inner.lock()
+    }
+
+    /// Appends (and syncs — publishes are rare and must never sit in the
+    /// group-commit buffer while their commits land) a publish record.
+    /// Caller holds no document mutex.
+    pub(crate) fn log_publish(&self, id: DocId, tree: DataTree, suite: Vec<Constraint>) {
+        let mut inner = self.lock();
+        let rec = WalRecord::Publish { doc: id.as_str().to_owned(), tree, suite };
+        if let Err(e) = inner.writer.append(&rec).and_then(|()| inner.writer.sync()) {
+            journal_fatal("publish append", e);
+        }
+        inner.logged.entry(id).or_insert(0);
+    }
+
+    /// Appends an accepted commit. Caller holds the document's mutex, so
+    /// per-document log order equals store commit order.
+    pub(crate) fn log_commit(
+        &self,
+        id: DocId,
+        commit: u64,
+        updates: &[Update],
+        cert: &Certificate,
+    ) {
+        let mut inner = self.lock();
+        let rec = WalRecord::Commit {
+            doc: id.as_str().to_owned(),
+            commit,
+            updates: updates.to_vec(),
+            cert: cert.clone(),
+        };
+        if let Err(e) = inner.writer.append(&rec) {
+            journal_fatal("commit append", e);
+        }
+        inner.logged.insert(id, commit);
+    }
+
+    /// Snapshots `doc` if its commit counter hits the cadence. Caller
+    /// holds the document's mutex (so the state written is exactly the
+    /// state just committed).
+    pub(crate) fn maybe_snapshot(&self, doc: &Document) {
+        let Some(every) = self.opts.snapshot_every else { return };
+        if every == 0 || doc.commits() == 0 || !doc.commits().is_multiple_of(every) {
+            return;
+        }
+        self.snapshot(doc);
+    }
+
+    /// Unconditionally snapshots `doc` (atomic install), then truncates
+    /// the WAL if snapshots now cover everything logged.
+    pub(crate) fn snapshot(&self, doc: &Document) {
+        let snap = DocSnapshot {
+            doc: doc.id().as_str().to_owned(),
+            commits: doc.commits(),
+            tree: doc.tree().clone(),
+            suite: doc.suite().to_vec(),
+            base_sets: doc.baseline().to_vec(),
+            cert: doc.certificate().clone(),
+        };
+        if let Err(e) = write_snapshot(&self.dir, &snap) {
+            journal_fatal("snapshot write", e);
+        }
+        let mut inner = self.lock();
+        inner.snapshotted.insert(doc.id(), doc.commits());
+        inner.try_truncate();
+    }
+
+    /// Consumes the journal for crash injection
+    /// ([`Gateway::simulate_crash`](crate::Gateway::simulate_crash)).
+    pub(crate) fn into_writer(self) -> WalWriter {
+        self.inner.into_inner().writer
+    }
+}
+
+/// Why [`Gateway::recover`](crate::Gateway::recover) refused to come up.
+/// Recovery is all-or-nothing: a journal that cannot be replayed exactly
+/// is surfaced, never partially applied.
+#[derive(Debug)]
+pub enum RecoverError {
+    /// The journal or a snapshot could not be read (IO or corruption
+    /// past the torn tail the WAL scan already tolerates).
+    Persist(PersistError),
+    /// A logged commit references a document that is neither snapshotted
+    /// nor published earlier in the log.
+    UnknownDocument { doc: String },
+    /// Replaying a logged commit failed or was rejected — the log and
+    /// the live admission path disagree on an *accepted* batch.
+    ReplayFailed { doc: String, commit: u64, error: String },
+    /// Replay ran but did not reproduce the logged commit number or the
+    /// logged certificate (hash chain included).
+    Diverged { doc: String, commit: u64 },
+}
+
+impl fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoverError::Persist(e) => write!(f, "recovery failed: {e}"),
+            RecoverError::UnknownDocument { doc } => {
+                write!(f, "recovery failed: WAL commit for unknown document {doc}")
+            }
+            RecoverError::ReplayFailed { doc, commit, error } => {
+                write!(f, "recovery failed: replaying {doc} commit {commit}: {error}")
+            }
+            RecoverError::Diverged { doc, commit } => write!(
+                f,
+                "recovery failed: replay of {doc} commit {commit} diverged from the journal"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecoverError::Persist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PersistError> for RecoverError {
+    fn from(e: PersistError) -> Self {
+        RecoverError::Persist(e)
+    }
+}
+
+impl From<io::Error> for RecoverError {
+    fn from(e: io::Error) -> Self {
+        RecoverError::Persist(PersistError::Io(e))
+    }
+}
+
+/// Store, cache and journal rebuilt from a durability directory — what
+/// [`Gateway::recover_with`](crate::Gateway::recover_with) wraps into a
+/// serving gateway.
+pub(crate) struct RecoveredState {
+    pub(crate) store: DocumentStore,
+    pub(crate) cache: SuiteCache,
+    pub(crate) journal: Journal,
+}
+
+fn tree_max_id(tree: &DataTree) -> u64 {
+    tree.preorder_snapshot().iter().map(|(id, _, _)| id.raw()).max().unwrap_or(0)
+}
+
+fn update_max_id(u: &Update) -> u64 {
+    match u {
+        Update::InsertLeaf { parent, id, .. } => parent.raw().max(id.raw()),
+        Update::DeleteSubtree { node }
+        | Update::DeleteNode { node }
+        | Update::Relabel { node, .. } => node.raw(),
+        Update::Move { node, new_parent } => node.raw().max(new_parent.raw()),
+        Update::ReplaceId { node, new_id } => node.raw().max(new_id.raw()),
+    }
+}
+
+/// Rebuilds gateway state from `dir` (created if absent — an empty
+/// directory recovers to an empty, durable gateway):
+///
+/// 1. install every snapshot (trusted committed state, fresh evaluator,
+///    cache-shared automata);
+/// 2. replay the WAL's durable prefix through the live admission path,
+///    skipping records a snapshot already covers (replay is idempotent),
+///    and cross-checking each replayed certificate — field for field,
+///    hash chain included — against the logged one;
+/// 3. advance the node-id allocator past every persisted id, so
+///    post-recovery `NodeId::fresh()` never collides with history.
+pub(crate) fn recover(
+    signer: &Signer,
+    admission: AdmissionMode,
+    dir: &Path,
+    opts: DurableOptions,
+) -> Result<RecoveredState, RecoverError> {
+    std::fs::create_dir_all(dir).map_err(PersistError::Io)?;
+    let store = DocumentStore::new();
+    let cache = SuiteCache::new();
+    let mut max_id: u64 = 0;
+    let mut logged: HashMap<DocId, u64> = HashMap::new();
+    let mut snapshotted: HashMap<DocId, u64> = HashMap::new();
+
+    for snap in read_snapshots(dir)? {
+        let id = DocId::new(&snap.doc);
+        max_id = max_id.max(tree_max_id(&snap.tree));
+        let compiled = cache.get_or_compile(&snap.suite);
+        let doc = Document::restore(
+            id,
+            snap.tree,
+            snap.suite,
+            compiled,
+            snap.base_sets,
+            snap.cert,
+            snap.commits,
+        );
+        store.install(doc).expect("snapshot file names are unique per document");
+        snapshotted.insert(id, snap.commits);
+    }
+
+    let (writer, scan) = WalWriter::open(&wal_path(dir), opts.group_commit)?;
+    for rec in scan.records {
+        match rec {
+            WalRecord::Publish { doc, tree, suite } => {
+                let id = DocId::new(&doc);
+                max_id = max_id.max(tree_max_id(&tree));
+                logged.entry(id).or_insert(0);
+                if store.document(id).is_some() {
+                    // A snapshot already installed this document.
+                    continue;
+                }
+                store
+                    .publish(id, tree, suite, &cache, signer)
+                    .expect("a document is published at most once per journal");
+            }
+            WalRecord::Commit { doc, commit, updates, cert } => {
+                let id = DocId::new(&doc);
+                for u in &updates {
+                    max_id = max_id.max(update_max_id(u));
+                }
+                logged.insert(id, commit);
+                let Some(arc) = store.document(id) else {
+                    return Err(RecoverError::UnknownDocument { doc });
+                };
+                let mut d = arc.lock();
+                if commit <= d.commits() {
+                    // Covered by the snapshot; the WAL just has not been
+                    // truncated yet.
+                    continue;
+                }
+                if commit != d.commits() + 1 {
+                    return Err(RecoverError::Diverged { doc, commit });
+                }
+                let mut session = Session::begin(&mut d);
+                for u in &updates {
+                    if let Err(e) = session.apply(u) {
+                        return Err(RecoverError::ReplayFailed {
+                            doc,
+                            commit,
+                            error: e.to_string(),
+                        });
+                    }
+                }
+                match session.commit_with(signer, admission) {
+                    Ok(receipt) => debug_assert_eq!(receipt.commit, commit),
+                    Err(r) => {
+                        return Err(RecoverError::ReplayFailed {
+                            doc,
+                            commit,
+                            error: r.to_string(),
+                        });
+                    }
+                }
+                if d.certificate() != &cert {
+                    return Err(RecoverError::Diverged { doc, commit });
+                }
+            }
+        }
+    }
+
+    NodeId::ensure_fresh_above(max_id);
+    let journal = Journal {
+        dir: dir.to_owned(),
+        opts,
+        inner: Mutex::new(JournalInner { writer, logged, snapshotted }),
+    };
+    Ok(RecoveredState { store, cache, journal })
+}

@@ -56,6 +56,14 @@ pub struct Rejection {
     pub offenders: usize,
 }
 
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "batch violates {} ({} offending nodes)", self.constraint, self.offenders)
+    }
+}
+
+impl std::error::Error for Rejection {}
+
 /// The admission check: evaluates the whole suite in **one**
 /// [`eval_set`](Evaluator::eval_set) pass over `compiled` and compares
 /// each range against the committed baseline under Definition 2.3
@@ -274,7 +282,12 @@ impl<'a> Session<'a> {
         };
         match admitted {
             Ok(()) => {
-                self.doc.cert = signer.certify_precomputed(&self.doc.suite, &self.doc.base_sets);
+                // Chain onto the outgoing certificate: its digest becomes
+                // the new certificate's `prev_digest`, making the
+                // document's certificate history a hash-linked chain
+                // auditable from the journal alone (see `xuc-persist`).
+                let prev = self.doc.cert.digest();
+                self.doc.cert = signer.certify_chained(&self.doc.suite, &self.doc.base_sets, prev);
                 self.doc.commits += 1;
                 self.open = false;
                 Ok(Commit { commit: self.doc.commits })

@@ -69,6 +69,24 @@ impl Document {
         Document { id, tree, ev, suite, compiled, base_sets, cert, commits: 0 }
     }
 
+    /// Reassembles a document from persisted state (the recovery path).
+    /// The snapshot's baselines, certificate and commit counter are
+    /// trusted as the committed state — only the warm evaluator is
+    /// rebuilt, and the suite's automaton comes back through the cache
+    /// (recovered documents under one policy still share one compile).
+    pub(crate) fn restore(
+        id: DocId,
+        tree: DataTree,
+        suite: Vec<Constraint>,
+        compiled: Arc<CompiledPatternSet>,
+        base_sets: Vec<BTreeSet<NodeRef>>,
+        cert: Certificate,
+        commits: u64,
+    ) -> Document {
+        let ev = Evaluator::new(&tree);
+        Document { id, tree, ev, suite, compiled, base_sets, cert, commits }
+    }
+
     pub fn id(&self) -> DocId {
         self.id
     }
@@ -166,6 +184,18 @@ impl DocumentStore {
         }
         let compiled = cache.get_or_compile(&suite);
         let doc = Document::open(id, tree, suite, compiled, signer);
+        let mut shard = self.shards[shard_of(id)].write();
+        if shard.contains_key(&id) {
+            return Err(PublishError::Duplicate(id));
+        }
+        shard.insert(id, Arc::new(Mutex::new(doc)));
+        Ok(())
+    }
+
+    /// Inserts an already-assembled document (the recovery path). Same
+    /// duplicate discipline as [`publish`](Self::publish).
+    pub(crate) fn install(&self, doc: Document) -> Result<(), PublishError> {
+        let id = doc.id();
         let mut shard = self.shards[shard_of(id)].write();
         if shard.contains_key(&id) {
             return Err(PublishError::Duplicate(id));

@@ -14,10 +14,13 @@
 //! must stay byte-identical at 1, 2 and 8 workers (and to the full-pass
 //! log).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use xuc_core::{parse_constraint, Constraint, ConstraintKind};
 use xuc_service::workload::SplitMix;
-use xuc_service::{render_log, AdmissionMode, DocId, Gateway, Request, Session, Verdict};
+use xuc_service::{
+    render_log, AdmissionMode, DocId, DurableOptions, Gateway, Request, Session, Verdict,
+    WriteFault,
+};
 use xuc_sigstore::Signer;
 use xuc_xtree::{DataTree, Label, NodeId, NodeRef, Update};
 
@@ -237,6 +240,136 @@ fn delta_logs_byte_identical_at_1_2_8_workers_and_to_full_pass() {
         );
     }
     assert_eq!(run(AdmissionMode::FullPass, 4), reference, "full-pass log diverged from delta");
+}
+
+/// The kill/restart arm: a durable gateway is cut down at a request
+/// index — including mid-group-commit, via a write fault that drops or
+/// tears the last WAL frame — recovered from disk, driven through the
+/// lost and remaining requests, and must end **byte-identical** to an
+/// uninterrupted in-memory reference: verdict for verdict on everything
+/// it replays, tree renders, baselines, commit counters, and
+/// certificates field-for-field *including* the hash-chain linkage
+/// (`Certificate` equality covers `prev_digest` and `chain_tag`).
+#[test]
+fn kill_restart_recovers_byte_identical() {
+    let key = 0xC4A5;
+    let docs = deployment();
+    let requests = seeded_stream(&docs, 0xDEAD_5EED, 160);
+
+    // The uninterrupted reference, plus each document's accepted-count
+    // prefix (how many commits doc d has after request i) — that is what
+    // decides which pre-cut requests a recovered gateway must see again.
+    let reference = Gateway::new(Signer::new(key));
+    publish_into(&reference, &docs);
+    let mut acc: HashMap<DocId, u64> = HashMap::new();
+    let mut ref_verdicts = Vec::new();
+    let mut acc_after: Vec<u64> = Vec::new();
+    for req in &requests {
+        let v = reference.submit(req);
+        if v.is_accepted() {
+            *acc.entry(req.doc).or_insert(0) += 1;
+        }
+        acc_after.push(acc.get(&req.doc).copied().unwrap_or(0));
+        ref_verdicts.push(v);
+    }
+    assert!(ref_verdicts.iter().any(|v| v.is_accepted()));
+    assert!(ref_verdicts.iter().any(|v| !v.is_accepted()));
+
+    // (cut index, fault, workers, group_commit, snapshot cadence) —
+    // covering every fault kind, 1/2/8 workers, sync-per-commit and
+    // buffered group commit, and no/short/long snapshot cadences.
+    let cases: &[(usize, WriteFault, usize, usize, Option<u64>)] = &[
+        (40, WriteFault::LoseBuffered, 1, 4, None),
+        (40, WriteFault::DropLastFrame, 2, 1, Some(10)),
+        (80, WriteFault::TearLastFrame, 8, 4, None),
+        (80, WriteFault::TearLastFrame, 2, 1, Some(5)),
+        (120, WriteFault::LoseBuffered, 8, 8, Some(25)),
+        (120, WriteFault::DropLastFrame, 1, 1, None),
+        (160, WriteFault::LoseBuffered, 8, 16, Some(10)),
+        (16, WriteFault::DropLastFrame, 2, 4, None),
+    ];
+
+    let mut frames_lost_somewhere = false;
+    for (case, &(cut, fault, workers, group_commit, snapshot_every)) in cases.iter().enumerate() {
+        let dir =
+            std::env::temp_dir().join(format!("xuc-diff-crash-{}-{case}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ctx = format!("case {case} (cut {cut}, {fault:?}, {workers}w, gc {group_commit})");
+        let opts = DurableOptions { group_commit, snapshot_every };
+
+        let gw = Gateway::recover_with(Signer::new(key), AdmissionMode::Delta, &dir, opts).unwrap();
+        publish_into(&gw, &docs);
+        let pre = gw.process(&requests[..cut], workers);
+        assert_eq!(pre, ref_verdicts[..cut], "{ctx}: pre-crash verdicts diverged");
+        gw.simulate_crash(fault).unwrap();
+
+        let rec =
+            Gateway::recover_with(Signer::new(key), AdmissionMode::Delta, &dir, opts).unwrap();
+        // A fault can eat a publish record (only when that document had
+        // no durable commits after it); the operator re-publishes, as
+        // the source would on discovering the loss.
+        for (id, tree, suite) in &docs {
+            if rec.store().document(*id).is_none() {
+                rec.publish(*id, tree.clone(), suite.clone()).unwrap();
+            }
+        }
+        let recovered: HashMap<DocId, u64> = docs
+            .iter()
+            .map(|(id, ..)| (*id, rec.store().document(*id).unwrap().lock().commits()))
+            .collect();
+
+        // Replay: a pre-cut request must be seen again iff it was an
+        // accepted commit the durable state no longer holds; everything
+        // from the cut onward runs as normal traffic. Verdicts must
+        // reproduce the reference exactly — same commit numbers too.
+        let mut lost = 0usize;
+        for (i, req) in requests.iter().enumerate() {
+            let replay = if i < cut {
+                ref_verdicts[i].is_accepted() && acc_after[i] > recovered[&req.doc]
+            } else {
+                true
+            };
+            if !replay {
+                continue;
+            }
+            if i < cut {
+                lost += 1;
+            }
+            assert_eq!(rec.submit(req), ref_verdicts[i], "{ctx}: request #{i} diverged");
+        }
+        frames_lost_somewhere |= lost > 0;
+
+        // Final state: byte-identical to the uninterrupted arm.
+        for (id, ..) in &docs {
+            let snap_rec = rec.snapshot(*id).unwrap();
+            let snap_ref = reference.snapshot(*id).unwrap();
+            assert_eq!(snap_rec.render(), snap_ref.render(), "{ctx}: {id} trees diverged");
+            let doc_rec = rec.store().document(*id).unwrap();
+            let doc_ref = reference.store().document(*id).unwrap();
+            assert_eq!(
+                doc_rec.lock().baseline().to_vec(),
+                doc_ref.lock().baseline().to_vec(),
+                "{ctx}: {id} baselines diverged"
+            );
+            assert_eq!(
+                doc_rec.lock().commits(),
+                doc_ref.lock().commits(),
+                "{ctx}: {id} commit counters diverged"
+            );
+            // Full equality: entries, MACs, prev_digest, chain_tag.
+            assert_eq!(
+                rec.certificate(*id).unwrap(),
+                reference.certificate(*id).unwrap(),
+                "{ctx}: {id} certificates diverged"
+            );
+            assert!(rec.certificate(*id).unwrap().verify(key, &snap_ref).is_ok(), "{ctx}: {id}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert!(
+        frames_lost_somewhere,
+        "the fault matrix never actually lost a durable frame — the injection is dead code"
+    );
 }
 
 /// Relabel-only batches are the paper's motivating case: admission must

@@ -52,17 +52,31 @@ fn serialize_set(set: &BTreeSet<NodeRef>) -> Vec<u8> {
 }
 
 /// One certified range: the constraint, the signed node set and its MAC.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CertEntry {
     pub constraint: Constraint,
     pub snapshot: BTreeSet<NodeRef>,
     pub tag: u64,
 }
 
-/// A certificate over a document: what the Source vouches for.
-#[derive(Debug, Clone, Default)]
+/// A certificate over a document: what the Source vouches for. Successive
+/// certificates of one document are **hash-linked**: each carries the
+/// [`digest`](Certificate::digest) of its predecessor, and a keyed
+/// [`chain_tag`](Certificate::chain_tag) binds that link into the signed
+/// payload — so a full update history can be audited offline
+/// ([`verify_chained`](Certificate::verify_chained)), and no certificate
+/// can be spliced out of or re-ordered within its chain without breaking
+/// a MAC.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Certificate {
     pub entries: Vec<CertEntry>,
+    /// [`digest`](Certificate::digest) of this document's previous
+    /// certificate; `0` marks the origin of a chain (the publish-time
+    /// certificate).
+    pub prev_digest: u64,
+    /// MAC over `prev_digest` and every entry's tag — the hash-link,
+    /// signed so the chain structure itself is tamper-evident.
+    pub chain_tag: u64,
 }
 
 /// Verification failures.
@@ -70,6 +84,12 @@ pub struct Certificate {
 pub enum VerifyError {
     /// A signed set's MAC does not check out (tampered certificate).
     BadSignature { index: usize },
+    /// The certificate's chain link MAC does not check out (the link to
+    /// the predecessor was tampered with).
+    BadChainTag,
+    /// The certificate's predecessor link names a different certificate
+    /// than expected (chain re-ordered, spliced, or forked).
+    ChainBroken { expected: u64, found: u64 },
     /// The document violates a certified constraint.
     Violated { constraint: String, offenders: usize },
 }
@@ -79,6 +99,14 @@ impl fmt::Display for VerifyError {
         match self {
             VerifyError::BadSignature { index } => {
                 write!(f, "certificate entry {index} failed authentication")
+            }
+            VerifyError::BadChainTag => write!(f, "certificate chain link failed authentication"),
+            VerifyError::ChainBroken { expected, found } => {
+                write!(
+                    f,
+                    "certificate chain broken: expected predecessor {expected:#018x}, \
+                     found {found:#018x}"
+                )
             }
             VerifyError::Violated { constraint, offenders } => {
                 write!(f, "document violates {constraint} ({offenders} offending nodes)")
@@ -115,6 +143,9 @@ impl Signer {
     /// on the document being certified. The service layer's commit path
     /// uses this to sign the exact sets its admission check just computed
     /// (one `eval_set` pass), instead of re-evaluating the whole suite.
+    /// The result is a chain **origin** (`prev_digest = 0`); commits use
+    /// [`certify_chained`](Self::certify_chained) to link onto the
+    /// document's previous certificate.
     ///
     /// # Panics
     /// Panics if the lengths differ.
@@ -123,8 +154,27 @@ impl Signer {
         constraints: &[Constraint],
         snapshots: &[BTreeSet<NodeRef>],
     ) -> Certificate {
+        self.certify_chained(constraints, snapshots, 0)
+    }
+
+    /// [`certify_precomputed`](Self::certify_precomputed) linked onto a
+    /// predecessor: `prev_digest` must be the previous certificate's
+    /// [`digest`](Certificate::digest) (`0` for the first certificate of
+    /// a document). The link is folded into the signed payload via the
+    /// keyed [`chain_tag`](Certificate::chain_tag), so an auditor holding
+    /// the chain can prove each certificate is the authentic successor of
+    /// the one before it.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn certify_chained(
+        &self,
+        constraints: &[Constraint],
+        snapshots: &[BTreeSet<NodeRef>],
+        prev_digest: u64,
+    ) -> Certificate {
         assert_eq!(constraints.len(), snapshots.len(), "one snapshot per constraint");
-        let entries = constraints
+        let entries: Vec<CertEntry> = constraints
             .iter()
             .zip(snapshots)
             .map(|(c, snapshot)| {
@@ -132,15 +182,58 @@ impl Signer {
                 CertEntry { constraint: c.clone(), snapshot: snapshot.clone(), tag }
             })
             .collect();
-        Certificate { entries }
+        let chain_tag = mac(self.key, &chain_payload(prev_digest, &entries));
+        Certificate { entries, prev_digest, chain_tag }
     }
 }
 
+/// The bytes the chain MAC covers: the predecessor link plus every
+/// entry's constraint text and tag (the tags already authenticate the
+/// signed sets, so covering them covers the whole certificate content).
+fn chain_payload(prev_digest: u64, entries: &[CertEntry]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + entries.len() * 24);
+    out.extend_from_slice(&prev_digest.to_le_bytes());
+    for e in entries {
+        let c = e.constraint.to_string();
+        out.extend_from_slice(&(c.len() as u64).to_le_bytes());
+        out.extend_from_slice(c.as_bytes());
+        out.extend_from_slice(&e.tag.to_le_bytes());
+    }
+    out
+}
+
 impl Certificate {
-    /// The User-side check: authenticate every entry, then compare the
-    /// signed snapshot against the received document's evaluation (one
-    /// shared snapshot of the received document for all entries).
+    /// An **unkeyed** content digest of this certificate — what the
+    /// successor certificate stores as its `prev_digest`. Covers the
+    /// predecessor link, every constraint, every signed set and every
+    /// MAC, so two certificates digest equal iff their entire content
+    /// (including chain position) is equal.
+    pub fn digest(&self) -> u64 {
+        let mut data = Vec::new();
+        data.extend_from_slice(&self.prev_digest.to_le_bytes());
+        data.extend_from_slice(&self.chain_tag.to_le_bytes());
+        for e in &self.entries {
+            let c = e.constraint.to_string();
+            data.extend_from_slice(&(c.len() as u64).to_le_bytes());
+            data.extend_from_slice(c.as_bytes());
+            data.extend_from_slice(&serialize_set(&e.snapshot));
+            data.extend_from_slice(&e.tag.to_le_bytes());
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in &data {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+    /// The User-side check: authenticate every entry and the chain link,
+    /// then compare the signed snapshot against the received document's
+    /// evaluation (one shared snapshot of the received document for all
+    /// entries).
     pub fn verify(&self, key: u64, received: &DataTree) -> Result<(), VerifyError> {
+        if mac(key, &chain_payload(self.prev_digest, &self.entries)) != self.chain_tag {
+            return Err(VerifyError::BadChainTag);
+        }
         let mut ev = Evaluator::new(received);
         for (index, e) in self.entries.iter().enumerate() {
             if mac(key, &serialize_set(&e.snapshot)) != e.tag {
@@ -161,6 +254,26 @@ impl Certificate {
             }
         }
         Ok(())
+    }
+
+    /// [`verify`](Self::verify) plus the chain-position check: the
+    /// certificate must name `expected_prev` as its predecessor. Walking
+    /// a document's certificates oldest-first and threading each
+    /// [`digest`](Self::digest) into the next call proves the whole
+    /// history is one unbroken, authentic chain.
+    pub fn verify_chained(
+        &self,
+        key: u64,
+        received: &DataTree,
+        expected_prev: u64,
+    ) -> Result<(), VerifyError> {
+        if self.prev_digest != expected_prev {
+            return Err(VerifyError::ChainBroken {
+                expected: expected_prev,
+                found: self.prev_digest,
+            });
+        }
+        self.verify(key, received)
     }
 }
 
@@ -246,10 +359,47 @@ mod tests {
     }
 
     #[test]
+    fn chained_certificates_link_and_audit() {
+        let key = 0xC4A1;
+        let signer = Signer::new(key);
+        let i0 = parse_term("h(patient#2(visit#6))").unwrap();
+        let constraints = vec![c("(/patient/visit, ↑)"), c("(/patient, ↓)")];
+        let cert0 = signer.certify(&i0, &constraints);
+        assert_eq!(cert0.prev_digest, 0, "certify produces a chain origin");
+        assert!(cert0.verify_chained(key, &i0, 0).is_ok());
+
+        // The document evolves; the new certificate links onto the old.
+        let mut i1 = i0.clone();
+        i1.add(xuc_xtree::NodeId::from_raw(2), "visit").unwrap();
+        let mut ev = Evaluator::new(&i1);
+        let sets: Vec<_> = constraints.iter().map(|x| ev.eval(&x.range)).collect();
+        let cert1 = signer.certify_chained(&constraints, &sets, cert0.digest());
+        assert!(cert1.verify_chained(key, &i1, cert0.digest()).is_ok());
+        assert_ne!(cert0.digest(), cert1.digest());
+
+        // Naming the wrong predecessor is a broken chain…
+        assert!(matches!(
+            cert1.verify_chained(key, &i1, 0xdead),
+            Err(VerifyError::ChainBroken { .. })
+        ));
+        // …and rewriting the link breaks the signed chain tag.
+        let mut forged = cert1.clone();
+        forged.prev_digest = 0;
+        assert_eq!(forged.verify(key, &i1), Err(VerifyError::BadChainTag));
+    }
+
+    #[test]
     fn wrong_key_rejected() {
         let i = parse_term("r(a#1)").unwrap();
         let cert = Signer::new(1).certify(&i, &[c("(//a, ↑)")]);
-        assert!(matches!(cert.verify(2, &i), Err(VerifyError::BadSignature { .. })));
+        // The chain link is the first MAC checked, so a wrong key fails
+        // there before any entry is examined.
+        assert!(matches!(cert.verify(2, &i), Err(VerifyError::BadChainTag)));
+        // A wrong key with a forged-but-self-consistent chain tag still
+        // fails on the entry MACs.
+        let mut reforged = cert.clone();
+        reforged.chain_tag = mac(2, &chain_payload(reforged.prev_digest, &reforged.entries));
+        assert!(matches!(reforged.verify(2, &i), Err(VerifyError::BadSignature { .. })));
     }
 
     #[test]

@@ -36,6 +36,14 @@ impl NodeId {
     pub fn raw(self) -> u64 {
         self.0
     }
+
+    /// Advances the fresh-id counter past `raw` if it is not already
+    /// there. Recovery paths call this after reloading persisted trees
+    /// and update logs, so ids minted by [`NodeId::fresh`] after a
+    /// restart never collide with ids recovered from disk.
+    pub fn ensure_fresh_above(raw: u64) {
+        NEXT_ID.fetch_max(raw + 1, Ordering::Relaxed);
+    }
 }
 
 impl fmt::Debug for NodeId {
@@ -61,6 +69,16 @@ mod tests {
         assert_ne!(a, b);
         assert!(b.raw() > a.raw());
         assert!(a.raw() > u32::MAX as u64);
+    }
+
+    #[test]
+    fn ensure_fresh_above_prevents_collisions() {
+        let high = NodeId::fresh().raw() + 1000;
+        NodeId::ensure_fresh_above(high);
+        assert!(NodeId::fresh().raw() > high);
+        // Lower watermarks never move the counter backwards.
+        NodeId::ensure_fresh_above(5);
+        assert!(NodeId::fresh().raw() > high);
     }
 
     #[test]

@@ -16,8 +16,9 @@
 //! | [`core`] | `xuc-core` | constraints, validity, implication deciders |
 //! | [`xic`] | `xuc-xic` | XML integrity constraints + chase (Section 3.3) |
 //! | [`regular`] | `xuc-regular` | DTDs + unary regular keys, Theorem 4.2 reduction |
-//! | [`sigstore`] | `xuc-sigstore` | simulated signature enforcement (Figure 1) |
-//! | [`service`] | `xuc-service` | the Figure 1 gateway as a service: store, sessions, suite cache, worker pool |
+//! | [`sigstore`] | `xuc-sigstore` | simulated signature enforcement (Figure 1), hash-linked certificate chains |
+//! | [`service`] | `xuc-service` | the Figure 1 gateway as a service: store, sessions, suite cache, worker pool, journal + crash recovery |
+//! | [`persist`] | `xuc-persist` | durability mechanisms: WAL framing, snapshots, binary codec |
 //! | [`workloads`] | `xuc-workloads` | generators, 3CNF gadgets, paper figures |
 //!
 //! ## Quickstart
@@ -45,6 +46,7 @@
 
 pub use xuc_automata as automata;
 pub use xuc_core as core;
+pub use xuc_persist as persist;
 pub use xuc_regular as regular;
 pub use xuc_service as service;
 pub use xuc_sigstore as sigstore;
@@ -67,7 +69,8 @@ pub mod prelude {
     };
     pub use xuc_service::{
         admit, admit_delta, admit_delta_in_place, render_log, AdmissionMode, DocId, DocumentStore,
-        Gateway, RejectReason, Request, Session, SuiteCache, Verdict,
+        DurableOptions, Gateway, RecoverError, RejectReason, Request, Session, SuiteCache, Verdict,
+        WriteFault,
     };
     pub use xuc_sigstore::{Certificate, Signer};
     pub use xuc_xpath::{
