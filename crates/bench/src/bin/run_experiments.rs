@@ -17,9 +17,10 @@ use xuc_automata::PatternSetCompiler;
 use xuc_bench as wl;
 use xuc_core::implication::search::find_counterexample_sharded;
 use xuc_core::{implication, instance};
+use xuc_service::workload::seeded_arrivals;
 use xuc_service::{
-    admit, admit_delta, admit_delta_in_place, render_log, AdmissionMode, DocId, DurableOptions,
-    Gateway, Request, SuiteCache,
+    admit, admit_delta, admit_delta_in_place, render_arrival_log, render_log, AdmissionMode, DocId,
+    DurableOptions, Gateway, LoadOptions, Request, SuiteCache, Verdict,
 };
 use xuc_sigstore::Signer;
 use xuc_xpath::Evaluator;
@@ -774,7 +775,8 @@ fn main() {
         for &(name, cadence) in cadences {
             let dir = std::env::temp_dir().join(format!("xuc-erec-{}-{name}", std::process::id()));
             let _ = std::fs::remove_dir_all(&dir);
-            let opts = DurableOptions { group_commit: 8, snapshot_every: cadence };
+            let opts =
+                DurableOptions { group_commit: 8, snapshot_every: cadence, ..Default::default() };
             let gw = Gateway::recover_with(Signer::new(key), AdmissionMode::Delta, &dir, opts)
                 .expect("fresh durability dir");
             gw.publish(doc, tree.clone(), suite.clone()).expect("fresh gateway");
@@ -831,6 +833,145 @@ fn main() {
         rep.metric("E-REC", "cold_over_snap100", speedup);
         rep.floor("E-REC", "cold_over_snap100", speedup, 2.0, true);
         println!("   snapshot cadence 100 recovers {speedup:.1}x faster than cold replay");
+    }
+
+    rep.header(
+        "E-CHAOS",
+        "overload availability under bounded admission queues (capacity sweep)",
+        "load shedding is deterministic, prefers commits over reads, and vanishes off overload",
+    );
+    {
+        // Six small documents under one ↑-guarded suite, driven by a timed
+        // open-loop arrival stream far above the per-shard service rate —
+        // overload by construction, no fault injection (the injected-fault
+        // arms live in the release-mode chaos suite, tests/chaos.rs).
+        let key = 0xCA05;
+        let count = if rep.smoke { 600usize } else { 6_000 };
+        let docs: Vec<(DocId, DataTree)> = (0..6)
+            .map(|k| {
+                let mut tree = DataTree::new("hospital");
+                let patient = tree.add(tree.root_id(), "patient").expect("fresh tree");
+                tree.add(patient, "visit").expect("fresh tree");
+                (DocId::new(&format!("chaos-{k}")), tree)
+            })
+            .collect();
+        let suite = vec![xuc_core::parse_constraint("(/patient/visit, ↑)").expect("suite")];
+        let fresh = || {
+            let gw = Gateway::new(Signer::new(key));
+            for (id, tree) in &docs {
+                gw.publish(*id, tree.clone(), suite.clone()).expect("fresh gateway");
+            }
+            gw
+        };
+        let doc_refs: Vec<(DocId, &DataTree)> = docs.iter().map(|(id, t)| (*id, t)).collect();
+        let arrivals = seeded_arrivals(&doc_refs, &["visit"], 0xC4A0_5EED, count, 8, 40, None);
+
+        // Capacity sweep: availability must rise with the waiting room and
+        // commits must out-survive reads wherever shedding fires.
+        let mut last_avail = -1.0f64;
+        for &capacity in rep.sweep(&[1usize, 4, 16, usize::MAX], 3) {
+            let opts = LoadOptions { queue_capacity: capacity, service_ticks: 2 };
+            let gw = fresh();
+            let start = std::time::Instant::now();
+            let (_, load) = gw.process_open_loop(&arrivals, 4, &opts);
+            let micros = start.elapsed().as_micros() as f64;
+            let label = if capacity == usize::MAX { 0 } else { capacity };
+            let name =
+                if capacity == usize::MAX { "unbounded".into() } else { capacity.to_string() };
+            rep.row(
+                "E-CHAOS",
+                "capacity",
+                label,
+                micros,
+                &format!(
+                    "availability {:.3} (reads {:.3}, commits {:.3})",
+                    load.availability(),
+                    load.read_availability(),
+                    load.commit_availability()
+                ),
+            );
+            rep.metric("E-CHAOS", &format!("availability_cap{name}"), load.availability());
+            rep.metric(
+                "E-CHAOS",
+                &format!("read_availability_cap{name}"),
+                load.read_availability(),
+            );
+            rep.metric(
+                "E-CHAOS",
+                &format!("commit_availability_cap{name}"),
+                load.commit_availability(),
+            );
+            assert!(
+                load.availability() + 1e-9 >= last_avail,
+                "availability must not fall as capacity grows"
+            );
+            last_avail = load.availability();
+            if capacity == usize::MAX {
+                assert_eq!(load.availability(), 1.0, "nothing sheds without bounds or deadlines");
+            } else {
+                assert!(load.shed_queue_full + load.shed_for_commit > 0, "sweep must overload");
+                assert!(
+                    load.commit_availability() >= load.read_availability(),
+                    "the shed policy must prefer dropping reads over commits"
+                );
+            }
+        }
+
+        // Deadline arm: a tight start-by deadline sheds the backlog before
+        // evaluation even with unbounded queues.
+        let with_deadlines =
+            seeded_arrivals(&doc_refs, &["visit"], 0xC4A0_5EED, count, 8, 40, Some(4));
+        let (_, load) = fresh().process_open_loop(
+            &with_deadlines,
+            4,
+            &LoadOptions { queue_capacity: usize::MAX, service_ticks: 2 },
+        );
+        assert!(load.shed_deadline > 0, "the deadline arm must expire requests");
+        rep.metric("E-CHAOS", "availability_deadline4", load.availability());
+        println!(
+            "   deadline slack 4: availability {:.3} ({} expired before evaluation)",
+            load.availability(),
+            load.shed_deadline
+        );
+
+        // Shedding decisions are a deterministic pre-pass: the full verdict
+        // log is byte-identical at 1, 2 and 8 workers even while shedding.
+        let opts = LoadOptions { queue_capacity: 2, service_ticks: 2 };
+        let reference = {
+            let (v, load) = fresh().process_open_loop(&arrivals, 1, &opts);
+            assert!(load.served < load.offered, "determinism arm must shed");
+            render_arrival_log(&arrivals, &v)
+        };
+        for workers in [2usize, 8] {
+            let (v, _) = fresh().process_open_loop(&arrivals, workers, &opts);
+            assert_eq!(
+                render_arrival_log(&arrivals, &v),
+                reference,
+                "open-loop log diverged at {workers} workers"
+            );
+        }
+        println!("   determinism: shedding log byte-identical at 1/2/8 workers ✓");
+
+        // Off overload the queue layer is invisible: unbounded open-loop
+        // verdicts on a commit-only stream equal the plain closed-loop run.
+        let commits: Vec<Request> =
+            arrivals.iter().filter(|a| !a.read).map(|a| a.request.clone()).collect();
+        let open: Vec<Verdict> = {
+            let gw = fresh();
+            let timed: Vec<xuc_service::Arrival> = commits
+                .iter()
+                .cloned()
+                .enumerate()
+                .map(|(i, r)| xuc_service::Arrival::commit(r, i as u64))
+                .collect();
+            gw.process_open_loop(&timed, 4, &LoadOptions::default()).0
+        };
+        let closed = fresh().process(&commits, 4);
+        assert_eq!(open, closed, "unbounded open loop must equal the closed loop");
+        println!(
+            "   equivalence: unbounded open loop ≡ closed loop on {} commits ✓",
+            commits.len()
+        );
     }
 
     println!();

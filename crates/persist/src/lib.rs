@@ -17,8 +17,16 @@
 //!   [`WriteFault`] hook for crash-injection tests.
 //! * [`snapshot`] — one checksummed file per document, written to a
 //!   `.tmp` sibling and installed by atomic rename.
+//! * [`retry`] — transient-vs-fatal IO error classification and a
+//!   bounded, deterministically backed-off retry loop with an injectable
+//!   clock; the policy half of the gateway's survive-the-fault story.
+//!
+//! The `test-hooks` cargo feature additionally compiles write-time fault
+//! injection into [`WalWriter`] (`wal::WalWriter::inject_fault`) for
+//! the chaos harness; release builds carry no injection state.
 
 pub mod codec;
+pub mod retry;
 pub mod snapshot;
 pub mod wal;
 
@@ -26,6 +34,10 @@ pub use codec::{
     checksum64, decode_certificate, decode_constraint, decode_node_set, decode_suite, decode_tree,
     decode_update, decode_updates, encode_certificate, encode_constraint, encode_node_set,
     encode_suite, encode_tree, encode_update, encode_updates, DecodeError, Decoder, Encoder,
+};
+pub use retry::{
+    classify, retry_io, Clock, FaultClass, IoFailure, RetryOutcome, RetryPolicy, SystemClock,
+    VirtualClock,
 };
 pub use snapshot::{read_snapshot, read_snapshots, snapshot_path, write_snapshot, DocSnapshot};
 pub use wal::{read_wal, WalRecord, WalScan, WalWriter, WriteFault};

@@ -183,9 +183,14 @@ pub fn read_wal(path: &Path) -> io::Result<WalScan> {
     }
 }
 
-/// A simulated storage fault, applied while "crashing" a writer
-/// ([`WalWriter::simulate_crash`]). Models what a real power loss can do
-/// to the tail of an append-only file.
+/// A simulated storage fault. The first three are **crash-time** faults,
+/// applied while tearing a writer down ([`WalWriter::simulate_crash`]):
+/// they model what a real power loss can do to the tail of an
+/// append-only file. The rest are **write-time** faults, armed on a live
+/// writer (`WalWriter::inject_fault`, behind the `test-hooks` feature):
+/// they surface as IO errors or latency out of [`WalWriter::sync`], which
+/// is how the chaos harness exercises the retry/degrade machinery above
+/// the log.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WriteFault {
     /// The in-memory group-commit buffer never reached the file: every
@@ -197,6 +202,27 @@ pub enum WriteFault {
     /// The last durable frame is cut mid-bytes — a torn write the
     /// checksum scan must detect and discard.
     TearLastFrame,
+    /// The next `n` syncs fail with an `EINTR`-class transient error
+    /// (nothing reaches the file); the sync after that succeeds. The
+    /// retry loop above the log must absorb these invisibly.
+    TransientOnce { n: u32 },
+    /// Every sync from now on fails with `StorageFull` — the canonical
+    /// fatal, non-retryable fault. Escalation (seal + degrade) is the
+    /// only correct response.
+    DiskFull,
+    /// Every sync is charged `micros` of virtual latency (accumulated in
+    /// `WalWriter::injected_latency_micros`, never actually slept)
+    /// before succeeding — for modeling slow disks without slow tests.
+    Latency { micros: u64 },
+}
+
+/// Live-writer fault state (`test-hooks` builds only; release builds
+/// carry no injection fields).
+#[cfg(any(test, feature = "test-hooks"))]
+#[derive(Debug, Default)]
+struct Injection {
+    armed: Option<WriteFault>,
+    latency_micros: u64,
 }
 
 /// Append handle on a WAL file. See the module docs for the frame format
@@ -211,9 +237,11 @@ pub struct WalWriter {
     pending: Vec<u8>,
     pending_frames: usize,
     group_commit: usize,
-    /// Set by [`simulate_crash`](Self::simulate_crash): suppresses the
-    /// drop-time sync so "crashed" state stays crashed.
+    /// Set by [`simulate_crash`](Self::simulate_crash) and [`seal`](Self::seal):
+    /// suppresses the drop-time sync so crashed/sealed state stays put.
     dead: bool,
+    #[cfg(any(test, feature = "test-hooks"))]
+    injection: Injection,
 }
 
 impl WalWriter {
@@ -244,6 +272,8 @@ impl WalWriter {
             pending_frames: 0,
             group_commit: group_commit.max(1),
             dead: false,
+            #[cfg(any(test, feature = "test-hooks"))]
+            injection: Injection::default(),
         };
         Ok((writer, scan))
     }
@@ -266,16 +296,89 @@ impl WalWriter {
     }
 
     /// Writes and syncs any buffered frames.
+    ///
+    /// Failure leaves the buffer **intact** and the call **idempotent**:
+    /// every attempt re-seeks to the durable length first, so a retry
+    /// overwrites whatever partial tail an earlier failed attempt may
+    /// have left instead of appending after it. That is what lets the
+    /// journal's bounded-retry loop simply call `sync` again on a
+    /// transient fault.
     pub fn sync(&mut self) -> io::Result<()> {
         if self.pending.is_empty() {
             return Ok(());
         }
+        if let Some(e) = self.injected_sync_error() {
+            return Err(e);
+        }
+        self.file.seek(SeekFrom::Start(self.len))?;
         self.file.write_all(&self.pending)?;
         self.file.sync_all()?;
         self.len += self.pending.len() as u64;
         self.pending.clear();
         self.pending_frames = 0;
         Ok(())
+    }
+
+    /// Surfaces (and steps) any armed write-time fault. Compiled to a
+    /// no-op without `test-hooks`.
+    #[allow(unused_mut, clippy::needless_return)]
+    fn injected_sync_error(&mut self) -> Option<io::Error> {
+        #[cfg(any(test, feature = "test-hooks"))]
+        {
+            match self.injection.armed {
+                Some(WriteFault::TransientOnce { n }) if n > 0 => {
+                    self.injection.armed =
+                        (n > 1).then_some(WriteFault::TransientOnce { n: n - 1 });
+                    return Some(io::Error::new(
+                        io::ErrorKind::Interrupted,
+                        "injected transient IO fault",
+                    ));
+                }
+                Some(WriteFault::TransientOnce { .. }) => self.injection.armed = None,
+                Some(WriteFault::DiskFull) => {
+                    return Some(io::Error::new(
+                        io::ErrorKind::StorageFull,
+                        "injected disk-full fault",
+                    ));
+                }
+                Some(WriteFault::Latency { micros }) => {
+                    self.injection.latency_micros += micros;
+                }
+                Some(_) | None => {}
+            }
+        }
+        None
+    }
+
+    /// Arms a write-time fault on this writer; the next syncs observe it
+    /// (see the [`WriteFault`] variants). Re-arming replaces the previous
+    /// fault; crash-time variants armed here are inert until
+    /// [`simulate_crash`](Self::simulate_crash).
+    #[cfg(any(test, feature = "test-hooks"))]
+    pub fn inject_fault(&mut self, fault: WriteFault) {
+        self.injection.armed = Some(fault);
+    }
+
+    /// Virtual latency accumulated by [`WriteFault::Latency`] syncs.
+    #[cfg(any(test, feature = "test-hooks"))]
+    pub fn injected_latency_micros(&self) -> u64 {
+        self.injection.latency_micros
+    }
+
+    /// Seals the writer: discards buffered frames and suppresses all
+    /// further IO including the drop-time sync. The on-disk log stays
+    /// exactly as the last successful sync left it — this is how a
+    /// degraded gateway stops journaling without risking further damage.
+    pub fn seal(&mut self) {
+        self.pending.clear();
+        self.pending_frames = 0;
+        self.dead = true;
+    }
+
+    /// Whether [`seal`](Self::seal) (or a simulated crash) has shut this
+    /// writer down.
+    pub fn is_sealed(&self) -> bool {
+        self.dead
     }
 
     /// Durable bytes (what a crash without faults preserves).
@@ -332,6 +435,15 @@ impl WalWriter {
                     self.file.set_len(keep)?;
                     self.file.sync_all()?;
                 }
+            }
+            WriteFault::TransientOnce { .. }
+            | WriteFault::DiskFull
+            | WriteFault::Latency { .. } => {
+                // Write-time faults (armed via `inject_fault`): at crash
+                // time they reduce to losing whatever the failing sync
+                // never wrote — the buffered suffix.
+                self.pending.clear();
+                self.pending_frames = 0;
             }
         }
         self.dead = true;
@@ -502,6 +614,71 @@ mod tests {
         let (w, scan) = WalWriter::open(&path, 1).unwrap();
         assert!(scan.records.is_empty());
         assert_eq!(w.durable_len(), WAL_MAGIC.len() as u64);
+    }
+
+    #[test]
+    fn transient_injection_fails_then_succeeds_idempotently() {
+        let path = tmp("transient");
+        let records = sample_records();
+        let (mut w, _) = WalWriter::open(&path, 10).unwrap();
+        for r in &records {
+            w.append(r).unwrap();
+        }
+        w.inject_fault(WriteFault::TransientOnce { n: 2 });
+        for _ in 0..2 {
+            let e = w.sync().unwrap_err();
+            assert_eq!(e.kind(), io::ErrorKind::Interrupted);
+            assert_eq!(w.pending_frames(), 2, "failure must leave the buffer intact");
+        }
+        // Third attempt goes through; nothing duplicated, nothing lost.
+        w.sync().unwrap();
+        assert_eq!(w.pending_frames(), 0);
+        drop(w);
+        assert_eq!(read_wal(&path).unwrap().records, records);
+    }
+
+    #[test]
+    fn disk_full_injection_is_persistent_and_fatal_kind() {
+        let path = tmp("full");
+        let records = sample_records();
+        let (mut w, _) = WalWriter::open(&path, 10).unwrap();
+        w.append(&records[0]).unwrap();
+        w.inject_fault(WriteFault::DiskFull);
+        for _ in 0..3 {
+            assert_eq!(w.sync().unwrap_err().kind(), io::ErrorKind::StorageFull);
+        }
+        // Sealing abandons the buffered frame; the file keeps only what
+        // was durable before the fault (just the magic here).
+        w.seal();
+        assert!(w.is_sealed());
+        drop(w);
+        assert!(read_wal(&path).unwrap().records.is_empty());
+    }
+
+    #[test]
+    fn latency_injection_accumulates_without_failing() {
+        let path = tmp("latency");
+        let records = sample_records();
+        let (mut w, _) = WalWriter::open(&path, 1).unwrap();
+        w.inject_fault(WriteFault::Latency { micros: 250 });
+        for r in &records {
+            w.append(r).unwrap();
+        }
+        assert_eq!(w.injected_latency_micros(), 500, "one charge per sync");
+        drop(w);
+        assert_eq!(read_wal(&path).unwrap().records, records);
+    }
+
+    #[test]
+    fn write_time_faults_at_crash_time_lose_the_buffer() {
+        let path = tmp("crashwrite");
+        let records = sample_records();
+        let (mut w, _) = WalWriter::open(&path, 10).unwrap();
+        w.append(&records[0]).unwrap();
+        w.sync().unwrap();
+        w.append(&records[1]).unwrap();
+        w.simulate_crash(WriteFault::DiskFull).unwrap();
+        assert_eq!(read_wal(&path).unwrap().records, records[..1]);
     }
 
     #[test]

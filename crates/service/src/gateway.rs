@@ -26,19 +26,63 @@
 //! per-document order is the *only* order the semantics needs.
 
 use crate::cache::SuiteCache;
-use crate::persist::{DurableOptions, Journal, JournalFatal, RecoverError, RecoveredState};
+use crate::persist::{
+    DurableOptions, Journal, JournalError, RecoverError, RecoveredState, ResumeError,
+};
 use crate::session::{AdmissionMode, Session};
 use crate::store::{Document, DocumentStore, PublishError};
-use crate::{DocId, RejectReason, Request, Verdict};
+use crate::{DegradedReason, DocId, RejectReason, Request, Verdict};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::panic::{self, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU8, AtomicUsize, Ordering};
 use xuc_core::Constraint;
-use xuc_persist::WriteFault;
+use xuc_persist::{Clock, SystemClock, WriteFault};
 use xuc_sigstore::{Certificate, Signer};
 use xuc_xtree::DataTree;
+
+/// Serving health of a [`Gateway`] — the degraded-mode state machine
+/// (DESIGN.md §9). Transitions: `Serving → ReadOnly` on a fatal journal
+/// fault (the WAL seals, commits start rejecting with
+/// [`RejectReason::Degraded`], reads and publishes-to-memory keep
+/// serving); `ReadOnly → Serving` through [`Gateway::try_resume`];
+/// any state `→ Halted` through [`Gateway::halt`] or an unreconcilable
+/// resume — `Halted` is terminal for the process (restart and recover).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GatewayState {
+    /// Full service: commits, reads, publishes, journaling.
+    Serving,
+    /// The journal is sealed; commits are refused, reads and
+    /// in-memory publishes still serve.
+    ReadOnly,
+    /// Nothing serves. Terminal.
+    Halted,
+}
+
+const STATE_SERVING: u8 = 0;
+const STATE_READ_ONLY: u8 = 1;
+const STATE_HALTED: u8 = 2;
+
+/// Cap on a [`RejectReason::Internal`] message: panic payloads can be
+/// arbitrarily large, and one poisoned request must not bloat every
+/// verdict log that records it.
+const INTERNAL_ERROR_MAX: usize = 160;
+
+/// Truncates a panic message to [`INTERNAL_ERROR_MAX`] bytes on a char
+/// boundary, marking the cut with an ellipsis.
+pub(crate) fn bounded_internal_error(mut error: String) -> String {
+    if error.len() <= INTERNAL_ERROR_MAX {
+        return error;
+    }
+    let mut cut = INTERNAL_ERROR_MAX;
+    while !error.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    error.truncate(cut);
+    error.push('…');
+    error
+}
 
 /// The update-validation gateway of Figure 1: a [`DocumentStore`] behind
 /// an admission loop, with a [`SuiteCache`] so admission never recompiles
@@ -55,14 +99,28 @@ use xuc_xtree::DataTree;
 /// same baselines, same hash-linked certificates. See [`crate::persist`]
 /// for the policy and `xuc-persist` for the file formats.
 ///
-/// # Panic containment
+/// # Panic containment and quarantine
 ///
 /// [`submit`](Self::submit) catches panics at the request boundary: a
 /// panicking handler unwinds its session (rollback-on-drop), the verdict
-/// degrades to [`RejectReason::Internal`], and the document keeps
-/// serving — one poisoned request cannot wedge a worker pool. The single
-/// exception is a journal IO failure, which is re-raised: a gateway that
-/// cannot persist commits must stop, not keep acknowledging them.
+/// degrades to [`RejectReason::Internal`] (message bounded), and the
+/// document keeps serving — one poisoned request cannot wedge a worker
+/// pool. A document that keeps panicking is **quarantined** after
+/// [`quarantine_threshold`](Self::quarantine_threshold) contained panics:
+/// its commits reject with [`RejectReason::Degraded`] until
+/// [`lift_quarantine`](Self::lift_quarantine), its reads still serve,
+/// and sibling documents are unaffected.
+///
+/// # Degraded modes
+///
+/// A fatal journal fault no longer stops the process: the WAL seals and
+/// the gateway drops to [`GatewayState::ReadOnly`] — commits reject with
+/// [`RejectReason::Degraded`], reads/certificates/snapshots and
+/// in-memory publishes keep serving, and [`try_resume`](Self::try_resume)
+/// re-opens the journal once the fault clears. Every *accepted* commit
+/// is journaled-or-the-gateway-is-degraded; the degraded window's
+/// unjournaled suffix is reconciled by resume (fresh snapshots) or
+/// re-driven by recovery, exactly like a lost group-commit buffer.
 pub struct Gateway {
     store: DocumentStore,
     cache: SuiteCache,
@@ -70,10 +128,26 @@ pub struct Gateway {
     admission: AdmissionMode,
     /// `Some` on durable gateways ([`Gateway::recover`]).
     journal: Option<Journal>,
+    /// The degraded-mode state machine ([`GatewayState`]).
+    state: AtomicU8,
+    /// The fault that degraded/halted the gateway (first one wins —
+    /// later faults of a degraded gateway add no information).
+    last_fault: Mutex<Option<String>>,
+    /// Contained panics per document, for the quarantine policy.
+    panic_counts: Mutex<HashMap<DocId, u32>>,
+    /// Contained panics before a document is quarantined (`0` disables).
+    quarantine_after: AtomicU32,
+    /// Serializes [`try_resume`](Self::try_resume) runs.
+    resume_lock: Mutex<()>,
     /// Test hook: documents whose next N sessions panic mid-request
     /// ([`Gateway::inject_session_panic`]).
+    #[cfg(any(test, feature = "test-hooks"))]
     panic_injections: Mutex<HashMap<DocId, usize>>,
 }
+
+/// Contained panics before quarantine, unless overridden
+/// ([`Gateway::set_quarantine_threshold`]).
+const DEFAULT_QUARANTINE_AFTER: u32 = 3;
 
 impl Gateway {
     /// A gateway on the production admission path
@@ -86,12 +160,28 @@ impl Gateway {
     /// [`AdmissionMode::FullPass`] is the reference arm the differential
     /// harness and the E-DLT experiment compare the delta path against.
     pub fn with_admission(signer: Signer, admission: AdmissionMode) -> Gateway {
+        Gateway::assemble(DocumentStore::new(), SuiteCache::new(), signer, admission, None)
+    }
+
+    fn assemble(
+        store: DocumentStore,
+        cache: SuiteCache,
+        signer: Signer,
+        admission: AdmissionMode,
+        journal: Option<Journal>,
+    ) -> Gateway {
         Gateway {
-            store: DocumentStore::new(),
-            cache: SuiteCache::new(),
+            store,
+            cache,
             signer,
             admission,
-            journal: None,
+            journal,
+            state: AtomicU8::new(STATE_SERVING),
+            last_fault: Mutex::new(None),
+            panic_counts: Mutex::new(HashMap::new()),
+            quarantine_after: AtomicU32::new(DEFAULT_QUARANTINE_AFTER),
+            resume_lock: Mutex::new(()),
+            #[cfg(any(test, feature = "test-hooks"))]
             panic_injections: Mutex::new(HashMap::new()),
         }
     }
@@ -113,21 +203,178 @@ impl Gateway {
         dir: impl AsRef<Path>,
         opts: DurableOptions,
     ) -> Result<Gateway, RecoverError> {
+        Gateway::recover_with_clock(signer, admission, dir, opts, Box::new(SystemClock))
+    }
+
+    /// [`recover_with`](Self::recover_with) with an injectable retry
+    /// [`Clock`] — chaos tests pass a virtual clock so the production
+    /// backoff loop runs (and is asserted) without real sleeping.
+    pub fn recover_with_clock(
+        signer: Signer,
+        admission: AdmissionMode,
+        dir: impl AsRef<Path>,
+        opts: DurableOptions,
+        clock: Box<dyn Clock + Send + Sync>,
+    ) -> Result<Gateway, RecoverError> {
         let RecoveredState { store, cache, journal } =
-            crate::persist::recover(&signer, admission, dir.as_ref(), opts)?;
-        Ok(Gateway {
-            store,
-            cache,
-            signer,
-            admission,
-            journal: Some(journal),
-            panic_injections: Mutex::new(HashMap::new()),
-        })
+            crate::persist::recover(&signer, admission, dir.as_ref(), opts, clock)?;
+        Ok(Gateway::assemble(store, cache, signer, admission, Some(journal)))
     }
 
     /// Whether this gateway journals its commits.
     pub fn is_durable(&self) -> bool {
         self.journal.is_some()
+    }
+
+    /// The gateway's serving health — see [`GatewayState`].
+    pub fn state(&self) -> GatewayState {
+        match self.state.load(Ordering::Acquire) {
+            STATE_SERVING => GatewayState::Serving,
+            STATE_READ_ONLY => GatewayState::ReadOnly,
+            _ => GatewayState::Halted,
+        }
+    }
+
+    /// The fault message that degraded (or halted) the gateway, if any.
+    pub fn last_fault(&self) -> Option<String> {
+        self.last_fault.lock().clone()
+    }
+
+    /// Transient journal IO failures absorbed by the retry loop (0 on
+    /// non-durable gateways). A rising counter under a steady `Serving`
+    /// state is the retry layer doing its job.
+    pub fn journal_transient_retries(&self) -> u64 {
+        self.journal.as_ref().map_or(0, Journal::transient_retries)
+    }
+
+    /// Whether the journal is sealed (true exactly while a durable
+    /// gateway is degraded; always false for in-memory gateways).
+    pub fn journal_sealed(&self) -> bool {
+        self.journal.as_ref().is_some_and(Journal::is_sealed)
+    }
+
+    /// Drops `Serving → ReadOnly` and records the fault. A gateway that
+    /// is already degraded or halted stays where it is.
+    fn degrade(&self, fault: String) {
+        let mut slot = self.last_fault.lock();
+        if self
+            .state
+            .compare_exchange(STATE_SERVING, STATE_READ_ONLY, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            *slot = Some(fault);
+        }
+    }
+
+    /// Routes a journal failure: `Fatal` degrades (the writer already
+    /// sealed itself); `Sealed` means a racing commit slipped past the
+    /// state check after another thread degraded — the gateway is
+    /// already read-only, nothing more to record.
+    fn note_journal_error(&self, e: JournalError) {
+        if let JournalError::Fatal { .. } = &e {
+            self.degrade(e.to_string());
+        }
+    }
+
+    /// Stops the gateway entirely: seals the journal, refuses commits
+    /// *and* reads. Terminal — [`try_resume`](Self::try_resume) refuses
+    /// halted gateways; restart the process and recover instead.
+    pub fn halt(&self, reason: &str) {
+        let mut slot = self.last_fault.lock();
+        let prev = self.state.swap(STATE_HALTED, Ordering::AcqRel);
+        if prev != STATE_HALTED {
+            *slot = Some(format!("halted: {reason}"));
+        }
+        drop(slot);
+        if let Some(journal) = &self.journal {
+            journal.seal();
+        }
+    }
+
+    /// Attempts `ReadOnly → Serving`: re-opens the WAL (truncating any
+    /// torn tail), rebuilds the durable bookkeeping from what is
+    /// actually on disk, and snapshots every document whose memory ran
+    /// ahead of the durable prefix — including the commit whose
+    /// journaling failure caused the degradation. On success the gateway
+    /// serves commits again and a subsequent crash recovers to exactly
+    /// the live state. On IO failure the gateway stays `ReadOnly` (call
+    /// again later); on a state mismatch it halts.
+    pub fn try_resume(&self) -> Result<(), ResumeError> {
+        let _guard = self.resume_lock.lock();
+        match self.state() {
+            GatewayState::Serving => return Err(ResumeError::NotDegraded),
+            GatewayState::Halted => return Err(ResumeError::Halted),
+            GatewayState::ReadOnly => {}
+        }
+        let Some(journal) = &self.journal else {
+            // Only journal faults degrade, so a read-only gateway is
+            // always durable; tolerate the impossible anyway.
+            self.state.store(STATE_SERVING, Ordering::Release);
+            return Ok(());
+        };
+        match journal.resume(&self.store) {
+            Ok(()) => {
+                self.state.store(STATE_SERVING, Ordering::Release);
+                Ok(())
+            }
+            Err(e) => {
+                if let ResumeError::StateMismatch { doc } = &e {
+                    self.halt(&format!("resume found document {doc} behind its durable log"));
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Contained panics before a document is quarantined; `0` disables
+    /// quarantining.
+    pub fn quarantine_threshold(&self) -> u32 {
+        self.quarantine_after.load(Ordering::Relaxed)
+    }
+
+    /// Sets the quarantine threshold (takes effect on the next request;
+    /// already-quarantined documents stay quarantined until lifted).
+    pub fn set_quarantine_threshold(&self, after: u32) {
+        self.quarantine_after.store(after, Ordering::Relaxed);
+    }
+
+    /// Contained panics recorded against `doc`.
+    pub fn contained_panics(&self, doc: DocId) -> u32 {
+        self.panic_counts.lock().get(&doc).copied().unwrap_or(0)
+    }
+
+    /// Whether `doc`'s commits are currently refused for repeated
+    /// contained panics. Reads are unaffected: quarantine isolates
+    /// *sessions*, and reads touch only committed state.
+    pub fn is_quarantined(&self, doc: DocId) -> bool {
+        let after = self.quarantine_threshold();
+        after > 0 && self.contained_panics(doc) >= after
+    }
+
+    /// Clears `doc`'s panic record, letting its commits serve again.
+    pub fn lift_quarantine(&self, doc: DocId) {
+        self.panic_counts.lock().remove(&doc);
+    }
+
+    fn record_contained_panic(&self, doc: DocId) {
+        *self.panic_counts.lock().entry(doc).or_insert(0) += 1;
+    }
+
+    /// Serves a read-class request: confirms `doc` exists and the
+    /// gateway serves reads. Reads survive `ReadOnly` (that is the point
+    /// of the degraded mode) and quarantine; only `Halted` refuses them.
+    /// The actual payload is [`snapshot`](Self::snapshot) /
+    /// [`certificate`](Self::certificate) — this is the admission-path
+    /// verdict the load harness accounts.
+    pub fn read(&self, doc: DocId) -> Verdict {
+        if self.state() == GatewayState::Halted {
+            return Verdict::Rejected(RejectReason::Degraded { reason: DegradedReason::Halted });
+        }
+        if self.store.document(doc).is_some() {
+            Verdict::Served
+        } else {
+            Verdict::Rejected(RejectReason::UnknownDocument)
+        }
     }
 
     /// Tears the gateway down as a simulated crash: pending group-commit
@@ -142,13 +389,15 @@ impl Gateway {
         }
     }
 
-    /// Test hook: the next `count` sessions against `doc` panic after
-    /// applying their updates, exercising the panic containment path
-    /// without a buggy handler.
+    /// Test hook (`test-hooks` feature): the next `count` sessions
+    /// against `doc` panic after applying their updates, exercising the
+    /// panic containment and quarantine paths without a buggy handler.
+    #[cfg(any(test, feature = "test-hooks"))]
     pub fn inject_session_panic(&self, doc: DocId, count: usize) {
         *self.panic_injections.lock().entry(doc).or_insert(0) += count;
     }
 
+    #[cfg(any(test, feature = "test-hooks"))]
     fn fire_injected_panic(&self, doc: DocId) {
         let mut map = self.panic_injections.lock();
         if let Some(n) = map.get_mut(&doc) {
@@ -163,6 +412,21 @@ impl Gateway {
         }
     }
 
+    #[cfg(not(any(test, feature = "test-hooks")))]
+    #[inline(always)]
+    fn fire_injected_panic(&self, _doc: DocId) {}
+
+    /// Test hook (`test-hooks` feature): arms a write-time fault on the
+    /// journal's WAL writer — the next syncs observe it. No-op on
+    /// non-durable gateways. This is the chaos harness's lever for
+    /// driving the retry/degrade machinery.
+    #[cfg(feature = "test-hooks")]
+    pub fn inject_journal_fault(&self, fault: WriteFault) {
+        if let Some(journal) = &self.journal {
+            journal.inject_fault(fault);
+        }
+    }
+
     /// The admission mode every [`submit`](Self::submit) commit runs under.
     pub fn admission_mode(&self) -> AdmissionMode {
         self.admission
@@ -171,12 +435,20 @@ impl Gateway {
     /// Publishes a document under its constraint suite (the Source side
     /// of Figure 1): compiles or cache-hits the suite, certifies the
     /// initial state, and starts serving it.
+    ///
+    /// A `ReadOnly` gateway still publishes **to memory** (the sealed
+    /// journal is skipped; [`try_resume`](Self::try_resume) snapshots
+    /// the document before journaling restarts, so it is never silently
+    /// dropped on resume). A `Halted` gateway refuses.
     pub fn publish(
         &self,
         id: DocId,
         tree: DataTree,
         suite: Vec<Constraint>,
     ) -> Result<(), PublishError> {
+        if self.state() == GatewayState::Halted {
+            return Err(PublishError::Halted);
+        }
         let Some(journal) = &self.journal else {
             return self.store.publish(id, tree, suite, &self.cache, &self.signer);
         };
@@ -185,7 +457,11 @@ impl Gateway {
         // group-commit buffering and every logged commit has its publish
         // earlier in the log.
         self.store.publish(id, tree.clone(), suite.clone(), &self.cache, &self.signer)?;
-        journal.log_publish(id, tree, suite);
+        if self.state() == GatewayState::Serving {
+            if let Err(e) = journal.log_publish(id, tree, suite) {
+                self.note_journal_error(e);
+            }
+        }
         Ok(())
     }
 
@@ -220,12 +496,30 @@ impl Gateway {
     /// Panics inside the request are contained here, at the unit
     /// boundary: the session's rollback-on-drop has already restored the
     /// document by the time the unwind reaches us, so the panic degrades
-    /// to a [`RejectReason::Internal`] verdict, the per-document mutex is
-    /// released cleanly (no poisoning — `parking_lot` locks), and both
-    /// this document and the worker pool keep serving. Journal IO
-    /// failures are the deliberate exception and re-raise (fail-stop; see
-    /// [`crate::persist`]).
+    /// to a [`RejectReason::Internal`] verdict (message bounded to a
+    /// fixed length), the per-document mutex is released cleanly (no
+    /// poisoning — `parking_lot` locks), and both this document and the
+    /// worker pool keep serving. Each contained panic counts toward the
+    /// document's quarantine; a fatal journal IO failure degrades the
+    /// whole gateway to `ReadOnly` instead of stopping the process (see
+    /// [`crate::persist`] and [`GatewayState`]).
     pub fn submit(&self, request: &Request) -> Verdict {
+        match self.state() {
+            GatewayState::Serving => {}
+            GatewayState::ReadOnly => {
+                return Verdict::Rejected(RejectReason::Degraded {
+                    reason: DegradedReason::ReadOnly,
+                })
+            }
+            GatewayState::Halted => {
+                return Verdict::Rejected(RejectReason::Degraded { reason: DegradedReason::Halted })
+            }
+        }
+        if self.is_quarantined(request.doc) {
+            return Verdict::Rejected(RejectReason::Degraded {
+                reason: DegradedReason::Quarantined,
+            });
+        }
         let Some(doc) = self.store.document(request.doc) else {
             return Verdict::Rejected(RejectReason::UnknownDocument);
         };
@@ -233,15 +527,13 @@ impl Gateway {
         match panic::catch_unwind(AssertUnwindSafe(|| self.submit_locked(&mut doc, request))) {
             Ok(verdict) => verdict,
             Err(payload) => {
-                if payload.is::<JournalFatal>() {
-                    panic::resume_unwind(payload);
-                }
                 let error = payload
                     .downcast_ref::<&str>()
                     .map(|s| s.to_string())
                     .or_else(|| payload.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "request handler panicked".to_owned());
-                Verdict::Rejected(RejectReason::Internal { error })
+                self.record_contained_panic(request.doc);
+                Verdict::Rejected(RejectReason::Internal { error: bounded_internal_error(error) })
             }
         }
     }
@@ -262,14 +554,24 @@ impl Gateway {
             Ok(receipt) => {
                 if let Some(journal) = &self.journal {
                     // Still under the document mutex: the log's
-                    // per-document order is the commit order.
-                    journal.log_commit(
+                    // per-document order is the commit order. A journal
+                    // failure does NOT flip the verdict — the commit is
+                    // real in memory — it degrades the gateway, and the
+                    // unjournaled suffix is covered by resume/recovery
+                    // like a lost group-commit buffer.
+                    match journal.log_commit(
                         request.doc,
                         receipt.commit,
                         &request.updates,
                         doc.certificate(),
-                    );
-                    journal.maybe_snapshot(doc);
+                    ) {
+                        Ok(()) => {
+                            if let Err(e) = journal.maybe_snapshot(doc) {
+                                self.note_journal_error(e);
+                            }
+                        }
+                        Err(e) => self.note_journal_error(e),
+                    }
                 }
                 Verdict::Accepted { commit: receipt.commit }
             }
@@ -298,6 +600,8 @@ impl Gateway {
                 })
                 .push(i);
         }
+        // Invariant: `order` records exactly the keys inserted into
+        // `by_doc` above, so every removal hits.
         let units: Vec<Vec<usize>> =
             order.into_iter().map(|d| by_doc.remove(&d).expect("grouped")).collect();
 
@@ -329,6 +633,10 @@ impl Gateway {
                     .collect();
                 handles
                     .into_iter()
+                    // Invariant, not an IO-path unwrap: `submit` contains
+                    // every request panic at the unit boundary, so a
+                    // worker can only die of something non-unwindable
+                    // (abort), which join cannot observe anyway.
                     .flat_map(|h| h.join().expect("gateway worker panicked"))
                     .collect::<Vec<_>>()
             });
@@ -336,6 +644,8 @@ impl Gateway {
                 verdicts[i] = Some(v);
             }
         }
+        // Invariant: the units partition `0..requests.len()` and every
+        // unit was drained (serially or by a worker), so no slot is None.
         verdicts.into_iter().map(|v| v.expect("every request verdicted")).collect()
     }
 }
@@ -368,6 +678,21 @@ mod tests {
         ];
         gw.publish(id, tree, suite).unwrap();
         (gw, id)
+    }
+
+    #[test]
+    fn internal_error_messages_are_bounded() {
+        let short = bounded_internal_error("boom".into());
+        assert_eq!(short, "boom");
+        let long = bounded_internal_error("x".repeat(5 * INTERNAL_ERROR_MAX));
+        assert_eq!(long.chars().count(), INTERNAL_ERROR_MAX + 1);
+        assert!(long.ends_with('…'));
+        // The cut lands on a char boundary even when a multi-byte char
+        // straddles the byte limit.
+        let multi = bounded_internal_error("é".repeat(INTERNAL_ERROR_MAX));
+        assert!(multi.len() <= INTERNAL_ERROR_MAX + '…'.len_utf8());
+        assert!(multi.ends_with('…'));
+        assert!(multi.chars().rev().skip(1).all(|c| c == 'é'));
     }
 
     #[test]

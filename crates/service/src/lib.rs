@@ -73,18 +73,20 @@
 pub mod cache;
 pub mod gateway;
 pub mod persist;
+pub mod queue;
 pub mod session;
 pub mod store;
 pub mod workload;
 
 pub use cache::SuiteCache;
-pub use gateway::{render_log, Gateway};
-pub use persist::{DurableOptions, RecoverError};
+pub use gateway::{render_log, Gateway, GatewayState};
+pub use persist::{DurableOptions, RecoverError, ResumeError};
+pub use queue::{plan_admission, render_arrival_log, Arrival, LoadOptions, LoadReport, ShedCause};
 pub use session::{
     admit, admit_delta, admit_delta_in_place, AdmissionMode, Commit, Rejection, Session,
 };
 pub use store::{Document, DocumentStore, PublishError};
-pub use xuc_persist::WriteFault;
+pub use xuc_persist::{RetryPolicy, WriteFault};
 
 use std::fmt;
 use xuc_xtree::{Label, Update};
@@ -124,7 +126,7 @@ pub struct Request {
     pub updates: Vec<Update>,
 }
 
-/// The gateway's answer to one [`Request`].
+/// The gateway's answer to one [`Request`] (or read).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Verdict {
     /// The batch committed; `commit` is the document's new commit number
@@ -133,12 +135,49 @@ pub enum Verdict {
     Accepted {
         commit: u64,
     },
+    /// A read-class request was served ([`Gateway::read`]): the document
+    /// exists and the gateway is not halted. Reads carry no commit
+    /// number — they change nothing.
+    Served,
     Rejected(RejectReason),
 }
 
 impl Verdict {
     pub fn is_accepted(&self) -> bool {
         matches!(self, Verdict::Accepted { .. })
+    }
+
+    /// Accepted commit, served read — anything the gateway did not
+    /// refuse or shed.
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, Verdict::Rejected(_))
+    }
+}
+
+/// Which degraded condition refused a request (the payload of
+/// [`RejectReason::Degraded`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedReason {
+    /// The gateway's journal sealed after a fatal fault
+    /// ([`GatewayState::ReadOnly`]); commits are refused until
+    /// [`Gateway::try_resume`] succeeds.
+    ReadOnly,
+    /// The gateway was halted ([`GatewayState::Halted`]); nothing
+    /// serves.
+    Halted,
+    /// This document is quarantined after repeated contained panics;
+    /// sibling documents are unaffected
+    /// ([`Gateway::lift_quarantine`] clears it).
+    Quarantined,
+}
+
+impl fmt::Display for DegradedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradedReason::ReadOnly => write!(f, "read-only"),
+            DegradedReason::Halted => write!(f, "halted"),
+            DegradedReason::Quarantined => write!(f, "quarantined"),
+        }
     }
 }
 
@@ -157,8 +196,19 @@ pub enum RejectReason {
     /// The request handler panicked mid-session. The session's
     /// rollback-on-drop unwound the batch and the gateway kept serving —
     /// see the panic-containment discipline on
-    /// [`Gateway::submit`](crate::Gateway::submit).
+    /// [`Gateway::submit`](crate::Gateway::submit). The message is
+    /// truncated to a fixed length so a panicking payload cannot bloat
+    /// verdict logs unboundedly.
     Internal { error: String },
+    /// The gateway (read-only after a fatal journal fault, or halted) or
+    /// this document (quarantined) is degraded; the request was refused
+    /// before evaluation. Reads keep serving in `ReadOnly` — see
+    /// [`GatewayState`].
+    Degraded { reason: DegradedReason },
+    /// Admission control shed the request before evaluation: the
+    /// per-shard queue overflowed, the request's deadline expired while
+    /// queued, or a queued read was displaced to make room for a commit.
+    Overloaded { cause: ShedCause },
 }
 
 impl fmt::Display for Verdict {
@@ -177,6 +227,13 @@ impl fmt::Display for Verdict {
             Verdict::Rejected(RejectReason::Internal { error }) => {
                 write!(f, "REJECT internal error: {error}")
             }
+            Verdict::Rejected(RejectReason::Degraded { reason }) => {
+                write!(f, "REJECT degraded: {reason}")
+            }
+            Verdict::Rejected(RejectReason::Overloaded { cause }) => {
+                write!(f, "REJECT overloaded: {cause}")
+            }
+            Verdict::Served => write!(f, "READ ok"),
         }
     }
 }

@@ -26,12 +26,18 @@
 //!   error, never a silent wrong state. The kill/restart differential
 //!   harness (`tests/differential.rs`) asserts byte-identical recovery
 //!   under injected write faults at several worker counts.
-//! * **Fail-stop journal.** A *real* IO error while journaling panics
-//!   with a `JournalFatal` payload that
-//!   [`Gateway::submit`](crate::Gateway::submit)'s panic containment
-//!   deliberately re-raises: a gateway that can no longer guarantee
-//!   durability stops, it does not keep acknowledging commits it cannot
-//!   persist.
+//! * **Survive-the-fault journal.** A journal IO error is classified
+//!   ([`xuc_persist::classify`]): *transient* failures retry with
+//!   bounded exponential backoff through an injectable clock
+//!   ([`DurableOptions::retry`]) and, absorbed, leave no trace beyond a
+//!   counter; a *fatal* failure (or an exhausted retry budget) **seals**
+//!   the WAL writer and surfaces a fatal `JournalError`, which the
+//!   gateway answers by degrading to read-only — not by dying. The
+//!   failed commit itself was already accepted in memory; it is covered
+//!   by the same contract as a group-commit buffer loss (recovery
+//!   re-drives the window) and [`Gateway::try_resume`](crate::Gateway::try_resume)
+//!   closes the gap with fresh snapshots before journaling restarts.
+//!   See DESIGN.md §9 for the full failure matrix.
 
 use crate::cache::SuiteCache;
 use crate::session::{AdmissionMode, Session};
@@ -42,10 +48,12 @@ use std::collections::HashMap;
 use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::MutexGuard;
 use xuc_core::Constraint;
 use xuc_persist::{
-    read_snapshots, write_snapshot, DocSnapshot, PersistError, WalRecord, WalWriter,
+    read_snapshots, retry_io, write_snapshot, Clock, DocSnapshot, IoFailure, PersistError,
+    RetryPolicy, WalRecord, WalWriter,
 };
 use xuc_sigstore::{Certificate, Signer};
 use xuc_xtree::{DataTree, NodeId, Update};
@@ -71,27 +79,78 @@ pub struct DurableOptions {
     /// Snapshot a document every this-many commits (`None`: never —
     /// recovery replays the document's whole history from the log).
     pub snapshot_every: Option<u64>,
+    /// Transient-fault retry bounds for every journal write (appends,
+    /// syncs, snapshots, truncation). [`RetryPolicy::none`] escalates on
+    /// the first error of any class.
+    pub retry: RetryPolicy,
 }
 
 impl Default for DurableOptions {
     fn default() -> DurableOptions {
-        DurableOptions { group_commit: 1, snapshot_every: Some(256) }
+        DurableOptions { group_commit: 1, snapshot_every: Some(256), retry: RetryPolicy::default() }
     }
 }
 
-/// Panic payload of a journal IO failure. [`Gateway`](crate::Gateway)'s
-/// panic containment re-raises it instead of converting it to a verdict:
-/// journal failure is fail-stop (see the module docs).
-pub(crate) struct JournalFatal(pub String);
+/// Why a journal write was refused. By the time a caller sees
+/// [`JournalError::Fatal`] the writer is already sealed — the gateway's
+/// job is to degrade, not to decide.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum JournalError {
+    /// The journal was sealed by an earlier fatal fault (or an explicit
+    /// halt); nothing was written.
+    Sealed,
+    /// A fatal IO error — or a transient one that outlived the retry
+    /// budget — while performing `what`. The writer sealed itself.
+    Fatal { what: &'static str, error: String },
+}
 
-impl fmt::Display for JournalFatal {
+impl fmt::Display for JournalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.0)
+        match self {
+            JournalError::Sealed => write!(f, "journal sealed"),
+            JournalError::Fatal { what, error } => write!(f, "journal {what} failed: {error}"),
+        }
     }
 }
 
-fn journal_fatal(what: &str, e: io::Error) -> ! {
-    std::panic::panic_any(JournalFatal(format!("journal {what} failed: {e}")))
+/// Why [`Gateway::try_resume`](crate::Gateway::try_resume) could not
+/// bring a degraded gateway back to serving.
+#[derive(Debug)]
+pub enum ResumeError {
+    /// The gateway is `Serving` — there is nothing to resume.
+    NotDegraded,
+    /// The gateway is `Halted`; halts are terminal for this process
+    /// (restart and recover instead).
+    Halted,
+    /// Re-opening the WAL or re-snapshotting a document failed; the
+    /// gateway stays `ReadOnly` and resume can be retried.
+    Persist(PersistError),
+    /// A document's in-memory commit counter is *behind* the durable
+    /// log — memory lost state while serving. The gateway halts: its
+    /// memory can no longer be trusted as the reconciliation source.
+    StateMismatch { doc: String },
+}
+
+impl fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResumeError::NotDegraded => write!(f, "resume refused: gateway is serving"),
+            ResumeError::Halted => write!(f, "resume refused: gateway is halted"),
+            ResumeError::Persist(e) => write!(f, "resume failed: {e}"),
+            ResumeError::StateMismatch { doc } => {
+                write!(f, "resume refused: document {doc} is behind its own durable log")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ResumeError::Persist(e) => Some(e),
+            _ => None,
+        }
+    }
 }
 
 /// The gateway's durability arm: WAL writer plus the bookkeeping that
@@ -102,6 +161,13 @@ fn journal_fatal(what: &str, e: io::Error) -> ! {
 pub(crate) struct Journal {
     dir: PathBuf,
     opts: DurableOptions,
+    /// Time source for retry backoff. `SystemClock` in production;
+    /// chaos tests inject a `VirtualClock` so retried schedules run at
+    /// full speed and the slept-for backoff is assertable.
+    clock: Box<dyn Clock + Send + Sync>,
+    /// Transient failures absorbed by the retry loop (journal-lifetime
+    /// total, surfaced as `Gateway::journal_transient_retries`).
+    retries: AtomicU64,
     inner: Mutex<JournalInner>,
 }
 
@@ -114,52 +180,104 @@ pub(crate) struct JournalInner {
     snapshotted: HashMap<DocId, u64>,
 }
 
-impl JournalInner {
-    /// Truncates the whole log iff every logged document has a snapshot
-    /// at least as new as its last logged commit (publish-only documents
-    /// — logged `0`, no snapshot — keep the log alive).
-    fn try_truncate(&mut self) {
-        if self.logged.is_empty() {
-            return;
-        }
-        let covered =
-            self.logged.iter().all(|(d, c)| self.snapshotted.get(d).is_some_and(|s| s >= c));
-        if covered {
-            if let Err(e) = self.writer.truncate_all() {
-                journal_fatal("truncate", e);
-            }
-            self.logged.clear();
-        }
-    }
-}
-
 impl Journal {
     fn lock(&self) -> MutexGuard<'_, JournalInner> {
         self.inner.lock()
     }
 
+    /// Whether a fatal fault (or [`seal`](Self::seal)) has shut the
+    /// writer down.
+    pub(crate) fn is_sealed(&self) -> bool {
+        self.lock().writer.is_sealed()
+    }
+
+    /// Seals the writer without a fault (explicit halt): buffered frames
+    /// are dropped, the on-disk log keeps its last-synced prefix.
+    pub(crate) fn seal(&self) {
+        self.lock().writer.seal();
+    }
+
+    /// Transient retries absorbed so far.
+    pub(crate) fn transient_retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Syncs the writer's buffer under the retry policy. `first_error`
+    /// (from an append whose auto-sync tripped) counts as the first
+    /// attempt — the frame is already buffered, so retrying means
+    /// re-syncing, never re-appending. On escalation the writer seals.
+    fn flush_with_retry(
+        &self,
+        inner: &mut JournalInner,
+        first_error: Option<io::Error>,
+        what: &'static str,
+    ) -> Result<(), JournalError> {
+        let mut first = first_error;
+        let outcome = retry_io(self.opts.retry, &*self.clock, || match first.take() {
+            Some(e) => Err(e),
+            None => inner.writer.sync(),
+        });
+        self.settle(inner, outcome.map(|o| o.retries), what)
+    }
+
+    /// Books retries and converts an escalated failure into a sealed
+    /// writer + [`JournalError::Fatal`].
+    fn settle(
+        &self,
+        inner: &mut JournalInner,
+        outcome: Result<u32, IoFailure>,
+        what: &'static str,
+    ) -> Result<(), JournalError> {
+        match outcome {
+            Ok(retries) => {
+                self.retries.fetch_add(retries as u64, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(fail) => {
+                self.retries.fetch_add(fail.retries as u64, Ordering::Relaxed);
+                inner.writer.seal();
+                // `IoFailure`'s rendering keeps the classification (and
+                // any exhausted-retry count) in the recorded fault line.
+                Err(JournalError::Fatal { what, error: fail.to_string() })
+            }
+        }
+    }
+
     /// Appends (and syncs — publishes are rare and must never sit in the
     /// group-commit buffer while their commits land) a publish record.
     /// Caller holds no document mutex.
-    pub(crate) fn log_publish(&self, id: DocId, tree: DataTree, suite: Vec<Constraint>) {
+    pub(crate) fn log_publish(
+        &self,
+        id: DocId,
+        tree: DataTree,
+        suite: Vec<Constraint>,
+    ) -> Result<(), JournalError> {
         let mut inner = self.lock();
-        let rec = WalRecord::Publish { doc: id.as_str().to_owned(), tree, suite };
-        if let Err(e) = inner.writer.append(&rec).and_then(|()| inner.writer.sync()) {
-            journal_fatal("publish append", e);
+        if inner.writer.is_sealed() {
+            return Err(JournalError::Sealed);
         }
+        let rec = WalRecord::Publish { doc: id.as_str().to_owned(), tree, suite };
+        let first = inner.writer.append(&rec).err();
+        self.flush_with_retry(&mut inner, first, "publish append")?;
         inner.logged.entry(id).or_insert(0);
+        Ok(())
     }
 
     /// Appends an accepted commit. Caller holds the document's mutex, so
-    /// per-document log order equals store commit order.
+    /// per-document log order equals store commit order. An `Err` means
+    /// the commit is in memory but **not** durable — the gateway must
+    /// degrade (the journaled-or-degraded invariant).
     pub(crate) fn log_commit(
         &self,
         id: DocId,
         commit: u64,
         updates: &[Update],
         cert: &Certificate,
-    ) {
+    ) -> Result<(), JournalError> {
         let mut inner = self.lock();
+        if inner.writer.is_sealed() {
+            return Err(JournalError::Sealed);
+        }
         let rec = WalRecord::Commit {
             doc: id.as_str().to_owned(),
             commit,
@@ -167,25 +285,32 @@ impl Journal {
             cert: cert.clone(),
         };
         if let Err(e) = inner.writer.append(&rec) {
-            journal_fatal("commit append", e);
+            // The frame made it into the buffer; only the auto-sync at
+            // the group-commit threshold failed.
+            self.flush_with_retry(&mut inner, Some(e), "commit append")?;
         }
         inner.logged.insert(id, commit);
+        Ok(())
     }
 
     /// Snapshots `doc` if its commit counter hits the cadence. Caller
     /// holds the document's mutex (so the state written is exactly the
     /// state just committed).
-    pub(crate) fn maybe_snapshot(&self, doc: &Document) {
-        let Some(every) = self.opts.snapshot_every else { return };
+    pub(crate) fn maybe_snapshot(&self, doc: &Document) -> Result<(), JournalError> {
+        let Some(every) = self.opts.snapshot_every else { return Ok(()) };
         if every == 0 || doc.commits() == 0 || !doc.commits().is_multiple_of(every) {
-            return;
+            return Ok(());
         }
-        self.snapshot(doc);
+        self.snapshot(doc)
     }
 
-    /// Unconditionally snapshots `doc` (atomic install), then truncates
-    /// the WAL if snapshots now cover everything logged.
-    pub(crate) fn snapshot(&self, doc: &Document) {
+    /// Unconditionally snapshots `doc` (atomic install, retried under
+    /// the policy), then truncates the WAL if snapshots now cover
+    /// everything logged. A fatal snapshot failure seals the journal:
+    /// nothing acknowledged is lost (the WAL still covers it), but a
+    /// disk that cannot take snapshots can never truncate its log — the
+    /// gateway must degrade before the log grows without bound.
+    pub(crate) fn snapshot(&self, doc: &Document) -> Result<(), JournalError> {
         let snap = DocSnapshot {
             doc: doc.id().as_str().to_owned(),
             commits: doc.commits(),
@@ -194,12 +319,114 @@ impl Journal {
             base_sets: doc.baseline().to_vec(),
             cert: doc.certificate().clone(),
         };
-        if let Err(e) = write_snapshot(&self.dir, &snap) {
-            journal_fatal("snapshot write", e);
-        }
+        let outcome = retry_io(self.opts.retry, &*self.clock, || write_snapshot(&self.dir, &snap));
         let mut inner = self.lock();
+        self.settle(&mut inner, outcome.map(|o| o.retries), "snapshot write")?;
         inner.snapshotted.insert(doc.id(), doc.commits());
-        inner.try_truncate();
+        self.try_truncate(&mut inner)
+    }
+
+    /// Truncates the whole log iff every logged document has a snapshot
+    /// at least as new as its last logged commit (publish-only documents
+    /// — logged `0`, no snapshot — keep the log alive). `truncate_all`
+    /// is idempotent, so the whole operation retries as one unit.
+    fn try_truncate(&self, inner: &mut JournalInner) -> Result<(), JournalError> {
+        if inner.logged.is_empty() {
+            return Ok(());
+        }
+        let covered =
+            inner.logged.iter().all(|(d, c)| inner.snapshotted.get(d).is_some_and(|s| s >= c));
+        if !covered {
+            return Ok(());
+        }
+        let outcome = retry_io(self.opts.retry, &*self.clock, || inner.writer.truncate_all());
+        self.settle(inner, outcome.map(|o| o.retries), "truncate")?;
+        inner.logged.clear();
+        Ok(())
+    }
+
+    /// Arms a write-time fault on the WAL writer (chaos tests).
+    #[cfg(feature = "test-hooks")]
+    pub(crate) fn inject_fault(&self, fault: xuc_persist::WriteFault) {
+        self.lock().writer.inject_fault(fault);
+    }
+
+    /// Re-opens the WAL after a degraded seal and reconciles disk with
+    /// memory, in three phases chosen so the journal lock is never held
+    /// around a document mutex (the store's lock order):
+    ///
+    /// 1. **Re-scan** (no locks): open a fresh writer on the log —
+    ///    truncating any torn tail — and rebuild the `logged` map from
+    ///    what is *actually on disk*. The in-memory map cannot be
+    ///    trusted after a seal: a failed sync may have lost buffered
+    ///    frames the map already counted.
+    /// 2. **Reconcile** (document mutexes only): any document whose
+    ///    in-memory commit counter ran ahead of its durable coverage —
+    ///    including the very commit whose journaling failed — gets a
+    ///    fresh snapshot, so nothing acknowledged depends on the lost
+    ///    suffix. A document *behind* its durable log is a
+    ///    [`ResumeError::StateMismatch`]: memory is corrupt, the caller
+    ///    halts.
+    /// 3. **Swap** (journal lock): install the fresh writer and rebuilt
+    ///    bookkeeping, then truncate if snapshots now cover the log.
+    pub(crate) fn resume(&self, store: &DocumentStore) -> Result<(), ResumeError> {
+        let (writer, scan) = WalWriter::open(&wal_path(&self.dir), self.opts.group_commit)
+            .map_err(|e| ResumeError::Persist(PersistError::Io(e)))?;
+        let mut logged: HashMap<DocId, u64> = HashMap::new();
+        for rec in &scan.records {
+            match rec {
+                WalRecord::Publish { doc, .. } => {
+                    logged.entry(DocId::new(doc)).or_insert(0);
+                }
+                WalRecord::Commit { doc, commit, .. } => {
+                    logged.insert(DocId::new(doc), *commit);
+                }
+            }
+        }
+        // Snapshots are atomic installs recorded only after success, so
+        // the in-memory map *is* trustworthy — unlike `logged`.
+        let snapshotted: HashMap<DocId, u64> = self.lock().snapshotted.clone();
+
+        let mut resnapshotted: Vec<(DocId, u64)> = Vec::new();
+        for id in store.doc_ids() {
+            // Documents are never removed, so the listing stays valid.
+            let Some(arc) = store.document(id) else { continue };
+            let doc = arc.lock();
+            let covered = logged.contains_key(&id) || snapshotted.contains_key(&id);
+            let durable = logged
+                .get(&id)
+                .copied()
+                .unwrap_or(0)
+                .max(snapshotted.get(&id).copied().unwrap_or(0));
+            if doc.commits() < durable {
+                return Err(ResumeError::StateMismatch { doc: id.as_str().to_owned() });
+            }
+            if covered && doc.commits() == durable {
+                continue;
+            }
+            let snap = DocSnapshot {
+                doc: id.as_str().to_owned(),
+                commits: doc.commits(),
+                tree: doc.tree().clone(),
+                suite: doc.suite().to_vec(),
+                base_sets: doc.baseline().to_vec(),
+                cert: doc.certificate().clone(),
+            };
+            retry_io(self.opts.retry, &*self.clock, || write_snapshot(&self.dir, &snap))
+                .map_err(|f| ResumeError::Persist(PersistError::Io(f.error)))?;
+            resnapshotted.push((id, doc.commits()));
+        }
+
+        let mut inner = self.lock();
+        inner.writer = writer;
+        inner.logged = logged;
+        for (id, commits) in resnapshotted {
+            inner.snapshotted.insert(id, commits);
+        }
+        if let Err(JournalError::Fatal { error, .. }) = self.try_truncate(&mut inner) {
+            return Err(ResumeError::Persist(PersistError::Io(io::Error::other(error))));
+        }
+        Ok(())
     }
 
     /// Consumes the journal for crash injection
@@ -226,6 +453,12 @@ pub enum RecoverError {
     /// Replay ran but did not reproduce the logged commit number or the
     /// logged certificate (hash chain included).
     Diverged { doc: String, commit: u64 },
+    /// The durability directory contradicts itself: two snapshots, or a
+    /// snapshot-plus-publish race, claim the same document id. Snapshot
+    /// file names derive from document names, so this only happens to a
+    /// tampered or corrupted directory — recovery refuses to pick a
+    /// winner.
+    Conflict { doc: String },
 }
 
 impl fmt::Display for RecoverError {
@@ -242,6 +475,9 @@ impl fmt::Display for RecoverError {
                 f,
                 "recovery failed: replay of {doc} commit {commit} diverged from the journal"
             ),
+            RecoverError::Conflict { doc } => {
+                write!(f, "recovery failed: conflicting persisted copies of document {doc}")
+            }
         }
     }
 }
@@ -307,6 +543,7 @@ pub(crate) fn recover(
     admission: AdmissionMode,
     dir: &Path,
     opts: DurableOptions,
+    clock: Box<dyn Clock + Send + Sync>,
 ) -> Result<RecoveredState, RecoverError> {
     std::fs::create_dir_all(dir).map_err(PersistError::Io)?;
     let store = DocumentStore::new();
@@ -328,7 +565,11 @@ pub(crate) fn recover(
             snap.cert,
             snap.commits,
         );
-        store.install(doc).expect("snapshot file names are unique per document");
+        if store.install(doc).is_err() {
+            // Snapshot file names derive from document names, so a
+            // duplicate means the directory contradicts itself.
+            return Err(RecoverError::Conflict { doc: snap.doc });
+        }
         snapshotted.insert(id, snap.commits);
     }
 
@@ -343,9 +584,12 @@ pub(crate) fn recover(
                     // A snapshot already installed this document.
                     continue;
                 }
-                store
-                    .publish(id, tree, suite, &cache, signer)
-                    .expect("a document is published at most once per journal");
+                if store.publish(id, tree, suite, &cache, signer).is_err() {
+                    // The journal can only hold one publish per id (the
+                    // live gateway rejects duplicates), so a second one
+                    // means the log was tampered with.
+                    return Err(RecoverError::Conflict { doc });
+                }
             }
             WalRecord::Commit { doc, commit, updates, cert } => {
                 let id = DocId::new(&doc);
@@ -396,6 +640,8 @@ pub(crate) fn recover(
     let journal = Journal {
         dir: dir.to_owned(),
         opts,
+        clock,
+        retries: AtomicU64::new(0),
         inner: Mutex::new(JournalInner { writer, logged, snapshotted }),
     };
     Ok(RecoveredState { store, cache, journal })

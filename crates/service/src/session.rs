@@ -311,6 +311,9 @@ impl<'a> Session<'a> {
         let mut structural = false;
         let mut patches = Vec::new();
         while let Some(token) = self.undo_stack.pop() {
+            // Invariant, not fallible IO: every token on the stack was
+            // minted by applying an update to exactly this tree, and
+            // LIFO replay restores the positions each token assumes.
             let scope =
                 undo(&mut self.doc.tree, token).expect("undo token applies to its own tree");
             if scope.is_structural() {

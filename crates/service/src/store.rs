@@ -36,7 +36,9 @@ use xuc_xtree::{DataTree, NodeRef};
 
 /// Number of store shards. Sixteen is plenty for the shard lock to stop
 /// mattering: it is only held for map lookups, never across evaluation.
-const STORE_SHARDS: usize = 16;
+/// The admission queues of [`crate::queue`] are per-shard too, so the
+/// overload unit matches the contention unit.
+pub(crate) const STORE_SHARDS: usize = 16;
 
 /// One served document: its tree, the warm evaluator bound to it, its
 /// constraint suite (with the suite's compiled automaton shared through
@@ -135,12 +137,17 @@ impl Document {
 pub enum PublishError {
     /// The id is already taken.
     Duplicate(DocId),
+    /// The gateway is halted; nothing is accepted. (A merely `ReadOnly`
+    /// gateway still publishes to memory — see
+    /// [`Gateway::publish`](crate::Gateway::publish).)
+    Halted,
 }
 
 impl fmt::Display for PublishError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PublishError::Duplicate(id) => write!(f, "document {id} already published"),
+            PublishError::Halted => write!(f, "gateway halted"),
         }
     }
 }
@@ -148,8 +155,9 @@ impl fmt::Display for PublishError {
 impl std::error::Error for PublishError {}
 
 /// Hash of the id's *name* ([`xuc_xpath::Fingerprinter`]): shard choice
-/// is content-stable, not tied to label interning order.
-fn shard_of(id: DocId) -> usize {
+/// is content-stable, not tied to label interning order. Shared with the
+/// admission queues so load planning sees the same shards as locking.
+pub(crate) fn shard_of(id: DocId) -> usize {
     let mut fp = xuc_xpath::Fingerprinter::new();
     fp.write_str(id.as_str());
     (fp.finish() % STORE_SHARDS as u64) as usize

@@ -13,6 +13,7 @@
 //! exactly the malformed traffic a real gateway sees, and determinism
 //! must (and does) hold for those rejection paths too.
 
+use crate::queue::Arrival;
 use crate::{DocId, Request};
 use xuc_core::Constraint;
 use xuc_xtree::{DataTree, Label, NodeId, Update};
@@ -103,6 +104,40 @@ pub fn seeded_requests(
         .collect()
 }
 
+/// A timed open-loop arrival stream for the admission queues
+/// ([`Gateway::process_open_loop`](crate::Gateway::process_open_loop)):
+/// `per_tick` arrivals share each virtual tick (so `per_tick` above a
+/// shard's service rate is overload by construction), `read_pct` percent
+/// of them are read-class, and — when `deadline_slack` is set — every
+/// arrival must start service within that many ticks or be shed. Same
+/// inputs ⇒ byte-identical stream, like [`seeded_requests`].
+pub fn seeded_arrivals(
+    docs: &[(DocId, &DataTree)],
+    extra_labels: &[&str],
+    seed: u64,
+    count: usize,
+    per_tick: usize,
+    read_pct: usize,
+    deadline_slack: Option<u64>,
+) -> Vec<Arrival> {
+    let requests = seeded_requests(docs, extra_labels, seed, count);
+    let mut rng = SplitMix(seed ^ 0xA11_1FA1);
+    requests
+        .into_iter()
+        .enumerate()
+        .map(|(i, request)| {
+            let at = (i / per_tick.max(1)) as u64;
+            let read = rng.below(100) < read_pct.min(100);
+            let mut a =
+                if read { Arrival::read_of(request.doc, at) } else { Arrival::commit(request, at) };
+            if let Some(slack) = deadline_slack {
+                a = a.with_deadline(at + slack);
+            }
+            a
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +171,31 @@ mod tests {
             a.iter().zip(&c).any(|(x, y)| x.doc != y.doc || x.updates.len() != y.updates.len()),
             "different seeds must differ"
         );
+    }
+
+    #[test]
+    fn arrival_streams_mix_classes_deterministically() {
+        let t = parse_term("r(a#1(b#2),c#3)").unwrap();
+        let docs = vec![(DocId::new("one"), &t), (DocId::new("two"), &t)];
+        let a = seeded_arrivals(&docs, &[], 11, 120, 4, 30, Some(2));
+        let b = seeded_arrivals(&docs, &[], 11, 120, 4, 30, Some(2));
+        assert_eq!(a.len(), 120);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                (x.read, x.at, x.deadline, x.request.doc),
+                (y.read, y.at, y.deadline, y.request.doc)
+            );
+        }
+        // Ticks are nondecreasing, four arrivals share each one, both
+        // classes occur, deadlines carry the slack.
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
+        assert_eq!(a[3].at, 0);
+        assert_eq!(a[4].at, 1);
+        assert!(a.iter().any(|x| x.read) && a.iter().any(|x| !x.read));
+        assert!(a.iter().all(|x| x.deadline == Some(x.at + 2)));
+        assert!(a.iter().filter(|x| x.read).all(|x| x.request.updates.is_empty()));
+        let c = seeded_arrivals(&docs, &[], 11, 120, 4, 30, None);
+        assert!(c.iter().all(|x| x.deadline.is_none()));
     }
 
     #[test]

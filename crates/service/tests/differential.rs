@@ -208,6 +208,7 @@ fn delta_admission_is_equivalent_to_full_admission() {
             match vd {
                 Verdict::Accepted { .. } => accepts += 1,
                 Verdict::Rejected(_) => rejects += 1,
+                Verdict::Served => unreachable!("submit never returns a read verdict"),
             }
             assert_arms_converged(&delta, &full, &docs, key, &format!("seed {seed:#x} after #{i}"));
         }
@@ -295,7 +296,7 @@ fn kill_restart_recovers_byte_identical() {
             std::env::temp_dir().join(format!("xuc-diff-crash-{}-{case}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let ctx = format!("case {case} (cut {cut}, {fault:?}, {workers}w, gc {group_commit})");
-        let opts = DurableOptions { group_commit, snapshot_every };
+        let opts = DurableOptions { group_commit, snapshot_every, ..DurableOptions::default() };
 
         let gw = Gateway::recover_with(Signer::new(key), AdmissionMode::Delta, &dir, opts).unwrap();
         publish_into(&gw, &docs);

@@ -17,8 +17,8 @@
 //! | [`xic`] | `xuc-xic` | XML integrity constraints + chase (Section 3.3) |
 //! | [`regular`] | `xuc-regular` | DTDs + unary regular keys, Theorem 4.2 reduction |
 //! | [`sigstore`] | `xuc-sigstore` | simulated signature enforcement (Figure 1), hash-linked certificate chains |
-//! | [`service`] | `xuc-service` | the Figure 1 gateway as a service: store, sessions, suite cache, worker pool, journal + crash recovery |
-//! | [`persist`] | `xuc-persist` | durability mechanisms: WAL framing, snapshots, binary codec |
+//! | [`service`] | `xuc-service` | the Figure 1 gateway as a service: store, sessions, suite cache, worker pool, journal + crash recovery, degraded modes, admission queues |
+//! | [`persist`] | `xuc-persist` | durability mechanisms: WAL framing, snapshots, binary codec, transient-IO retry |
 //! | [`workloads`] | `xuc-workloads` | generators, 3CNF gadgets, paper figures |
 //!
 //! ## Quickstart
@@ -68,9 +68,10 @@ pub mod prelude {
         RelativeConstraint,
     };
     pub use xuc_service::{
-        admit, admit_delta, admit_delta_in_place, render_log, AdmissionMode, DocId, DocumentStore,
-        DurableOptions, Gateway, RecoverError, RejectReason, Request, Session, SuiteCache, Verdict,
-        WriteFault,
+        admit, admit_delta, admit_delta_in_place, plan_admission, render_arrival_log, render_log,
+        AdmissionMode, Arrival, DegradedReason, DocId, DocumentStore, DurableOptions, Gateway,
+        GatewayState, LoadOptions, LoadReport, RecoverError, RejectReason, Request, ResumeError,
+        RetryPolicy, Session, ShedCause, SuiteCache, Verdict, WriteFault,
     };
     pub use xuc_sigstore::{Certificate, Signer};
     pub use xuc_xpath::{
