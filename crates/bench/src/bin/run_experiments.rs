@@ -15,12 +15,13 @@
 
 use xuc_automata::PatternSetCompiler;
 use xuc_bench as wl;
+use xuc_bench::load::{saturation_throughput, simulate, SimConfig};
 use xuc_core::implication::search::find_counterexample_sharded;
 use xuc_core::{implication, instance};
-use xuc_service::workload::seeded_arrivals;
+use xuc_service::workload::{seeded_arrivals, seeded_zipf_requests};
 use xuc_service::{
     admit, admit_delta, admit_delta_in_place, render_arrival_log, render_log, AdmissionMode, DocId,
-    DurableOptions, Gateway, LoadOptions, Request, SuiteCache, Verdict,
+    DurableOptions, Gateway, LoadOptions, Request, SuiteCache, ThroughputOptions, Verdict,
 };
 use xuc_sigstore::Signer;
 use xuc_xpath::Evaluator;
@@ -972,6 +973,202 @@ fn main() {
             "   equivalence: unbounded open loop ≡ closed loop on {} commits ✓",
             commits.len()
         );
+    }
+
+    rep.header(
+        "E-LOAD",
+        "open-loop latency vs offered load (per-shard work queues + commit coalescing)",
+        "saturation at 8 workers ≥ 2× 1 worker under hot-document skew (virtual-time model)",
+    );
+    {
+        // The container pins this harness to one core, so worker scaling
+        // is measured on the deterministic virtual-time queue model
+        // (`xuc_bench::load`, the E-PAR precedent): same config ⇒
+        // bit-identical histograms, so the ratios below are structural
+        // properties of the queue topology. The real gateway is pinned to
+        // the model's contract by the load-differential suite
+        // (crates/service/tests/load.rs) and the determinism arm below.
+        let count = if rep.smoke { 2_000usize } else { 12_000 };
+        let base = SimConfig {
+            workers: 1,
+            max_coalesce: 8,
+            base_cost: 8,
+            marginal_cost: 1,
+            docs: 64,
+            skew_centi: 99,
+            offered_per_kilotick: 200,
+            count,
+            seed: 0xE10AD,
+        };
+
+        // Saturation sweep: skew × worker count. The hot document at
+        // skew 0.99 serializes on one worker, but coalescing keeps its
+        // amortized per-batch cost near `marginal`, so the cold shards'
+        // parallelism still pays.
+        let mut sat = std::collections::HashMap::new();
+        for &skew in &[0u32, 90, 99] {
+            for &workers in &[1usize, 2, 8] {
+                let s = saturation_throughput(&SimConfig { workers, skew_centi: skew, ..base });
+                sat.insert((skew, workers), s);
+                rep.metric("E-LOAD", &format!("sat_s{skew}_w{workers}"), s);
+                println!(
+                    "   saturation  skew 0.{skew:02} workers {workers}: {s:>7.1} req/kilotick"
+                );
+            }
+        }
+        let scaling = sat[&(99, 8)] / sat[&(99, 1)];
+        rep.metric("E-LOAD", "sat_scaling_s99_w8_over_w1", scaling);
+        rep.floor("E-LOAD", "sat_scaling_s99_w8_over_w1", scaling, 2.0, true);
+        println!("   8-worker saturation is {scaling:.2}x the 1-worker figure at skew 0.99");
+
+        // Latency vs offered load at 8 workers: p50/p99/p999 as the
+        // offered rate climbs through 30/60/90/120% of saturation — the
+        // open-loop latency cliff past 100%.
+        for &skew in &[0u32, 99] {
+            let cap = sat[&(skew, 8)];
+            let mut tail_at_30 = 0u64;
+            for &pct in &[30u64, 60, 90, 120] {
+                let offered = ((cap * pct as f64 / 100.0) as u64).max(1);
+                let result = simulate(&SimConfig {
+                    workers: 8,
+                    skew_centi: skew,
+                    offered_per_kilotick: offered,
+                    ..base
+                });
+                let (p50, p99, p999) = (
+                    result.hist.quantile(0.50),
+                    result.hist.quantile(0.99),
+                    result.hist.quantile(0.999),
+                );
+                for (name, v) in [("p50", p50), ("p99", p99), ("p999", p999)] {
+                    rep.metric("E-LOAD", &format!("{name}_s{skew}_load{pct}"), v as f64);
+                }
+                println!(
+                    "   latency     skew 0.{skew:02} offered {pct:>3}%: p50 {p50:>6} p99 \
+                     {p99:>6} p999 {p999:>6} ticks"
+                );
+                if pct == 30 {
+                    tail_at_30 = p99;
+                }
+                if pct == 120 {
+                    assert!(
+                        p99 > tail_at_30,
+                        "overload must show in the tail: p99 {tail_at_30} → {p99}"
+                    );
+                }
+            }
+        }
+
+        // Real-execution arm: the throughput gateway's verdict log must
+        // be byte-identical to the reference arm on a hot-document
+        // Zipfian stream at every worker count — and the coalescer must
+        // genuinely fire on an engineered disjoint-subtree stream, where
+        // its merged passes beat batch-at-a-time admission even on one
+        // core.
+        // 64 children: a coalesced run of 8 dirties ⅛ of the document,
+        // safely under the splice's targeted-vs-full-sweep size guard
+        // even with the 17-pattern suite below.
+        let mut term = String::from("h(");
+        for i in 0..64u64 {
+            term.push_str(&format!("p#{}(v#{}),", 1 + 2 * i, 2 + 2 * i));
+        }
+        term.pop();
+        term.push(')');
+        let tree = xuc_xtree::parse_term(&term).expect("static");
+        // A wide all-linear ↑-suite: additions are always admissible, so
+        // the engineered insert stream below is all-accept, while every
+        // batch pays the realistic per-pattern splice bookkeeping that
+        // coalescing amortizes.
+        let mut suite = vec![xuc_core::parse_constraint("(/p/v, ↑)").expect("static")];
+        suite.extend(
+            xuc_workloads::queries::overlapping_prefix_suite(&["p", "v"], 16, 4)
+                .into_iter()
+                .map(xuc_core::Constraint::no_remove),
+        );
+        assert!(suite.iter().all(|c| c.range.is_linear()), "E-LOAD suite must be all-linear");
+        let docs: Vec<(DocId, DataTree)> =
+            (0..8).map(|i| (DocId::new(&format!("load-{i}")), tree.clone())).collect();
+        let fresh = || {
+            let gw = Gateway::new(Signer::new(0xE10A));
+            for (id, t) in &docs {
+                gw.publish(*id, t.clone(), suite.clone()).expect("fresh gateway");
+            }
+            gw
+        };
+        let doc_refs: Vec<(DocId, &DataTree)> = docs.iter().map(|(id, t)| (*id, t)).collect();
+        let stream_len = if rep.smoke { 120usize } else { 360 };
+        let stream = seeded_zipf_requests(&doc_refs, &["v", "w"], 0xE10A_5EED, stream_len, 99);
+        let reference = render_log(&stream, &fresh().process(&stream, 1));
+        for workers in [1usize, 2, 8] {
+            let gw = fresh();
+            let verdicts = gw.process_throughput(&stream, workers, &ThroughputOptions::default());
+            assert_eq!(
+                render_log(&stream, &verdicts),
+                reference,
+                "throughput-mode log diverged at {workers} workers"
+            );
+        }
+        println!("   determinism: throughput-mode log byte-identical at 1/2/8 workers ✓");
+
+        // Engineered hot-document runs (each request edits its own child
+        // subtree of one document): the merged fast path must fire, and
+        // its wall-clock against max_coalesce = 1 is recorded — as a
+        // trajectory metric, not a floor (single-core timer noise).
+        let hot = DocId::new("load-0");
+        let hot_stream: Vec<Request> = (0..stream_len as u64)
+            .map(|i| Request {
+                doc: hot,
+                updates: vec![xuc_xtree::Update::InsertLeaf {
+                    parent: xuc_xtree::NodeId::from_raw(1 + 2 * (i % 64)),
+                    id: xuc_xtree::NodeId::fresh(),
+                    label: "v".into(),
+                }],
+            })
+            .collect();
+        let timed = |max_coalesce: usize| {
+            // Publish outside the timed region: only the drain is the
+            // subject (each sample gets its own fresh gateway so every
+            // iteration processes an identical document).
+            let runs = if rep.smoke { 3 } else { 7 };
+            let mut samples: Vec<f64> = (0..runs)
+                .map(|_| {
+                    let gw = fresh();
+                    let t = std::time::Instant::now();
+                    let verdicts =
+                        gw.process_throughput(&hot_stream, 1, &ThroughputOptions { max_coalesce });
+                    let micros = t.elapsed().as_secs_f64() * 1e6;
+                    assert!(verdicts.iter().all(Verdict::is_accepted));
+                    micros
+                })
+                .collect();
+            samples.sort_by(|a, b| a.total_cmp(b));
+            samples[samples.len() / 2]
+        };
+        let sequential = timed(1);
+        let gw = fresh();
+        let verdicts = gw.process_throughput(&hot_stream, 1, &ThroughputOptions::default());
+        assert!(verdicts.iter().all(Verdict::is_accepted));
+        let stats = gw.coalesce_stats();
+        assert!(stats.commits > 0, "the engineered stream must take the merged path: {stats:?}");
+        let coalesced = timed(8);
+        // Trajectory metric, no floor: per-batch certification (required
+        // in both arms — every batch keeps its own chained certificate)
+        // dominates this document scale, so the merged pass's saved
+        // admission sweeps land near wall-clock parity here; the queue
+        // model above is where the structural effect is measured.
+        rep.row("E-LOAD", "max_coalesce", 1, sequential, "batch-at-a-time admission");
+        rep.row(
+            "E-LOAD",
+            "max_coalesce",
+            8,
+            coalesced,
+            &format!(
+                "merged runs ({:.2}x, {} batches coalesced; certification-bound)",
+                sequential / coalesced,
+                stats.batches
+            ),
+        );
+        rep.metric("E-LOAD", "coalesce_wallclock_ratio", sequential / coalesced);
     }
 
     println!();

@@ -4,6 +4,9 @@
 //! Every experiment id (T1-a … T2-g, F2, E33, E41) maps to one function
 //! here; DESIGN.md §3 is the index.
 
+pub mod latency;
+pub mod load;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;

@@ -1,0 +1,263 @@
+//! Commit coalescing: several consecutive queued batches for one
+//! document, **one** admission pass.
+//!
+//! Under sustained load a hot document accumulates a run of queued
+//! batches. Admitting them one by one pays one
+//! [`eval_set_splice`](xuc_xpath::Evaluator::eval_set_splice) walk per
+//! batch, even when the batches touch disjoint parts of the tree. The
+//! coalescer applies the whole run, folds the per-batch
+//! [`DirtyRegion`]s into one merged region
+//! ([`DirtyRegion::merge`]), splices **once**, and recovers every
+//! batch's own verdict and certificate from the merged journal.
+//!
+//! # Soundness
+//!
+//! The fast path is taken only when it provably equals the sequential
+//! path; everything else falls back to batch-at-a-time admission
+//! ([`CoalesceOutcome::Sequential`]). Three gates enforce that:
+//!
+//! 1. **Pairwise non-interference** — before each update applies, its
+//!    footprint (the subtrees and nodes it can affect) is probed against
+//!    the merged region of all *earlier* batches
+//!    ([`DirtyRegion::overlaps`]). A hit means an earlier batch may have
+//!    changed what this update sees (or this update may change what an
+//!    earlier batch's admission depends on): the batches do not commute
+//!    and the run is re-admitted sequentially. This is what rules out
+//!    the classic masking hazard — an insert in batch *j* and a delete
+//!    of the same region in batch *k* net to **zero** in a merged
+//!    journal, hiding a violation either batch would show alone.
+//! 2. **Unique attribution** — every update also claims the node ids
+//!    whose pattern membership it can change (a deletion claims the
+//!    doomed subtree, a relabel its subtree at claim time, an insert its
+//!    fresh leaf). Claims are per-batch; a cross-batch double claim, or
+//!    a journal net change owned by **no** batch, aborts to sequential.
+//!    Gate 1 makes cross-batch claims disjoint, so this is a safety
+//!    net — but it is the property the reconstruction below actually
+//!    consumes, so it is checked, not assumed.
+//! 3. **All-accept or bust** — if any batch's attributed net changes
+//!    violate its constraint suite, the merged journal is reverted
+//!    (restoring the committed baselines byte-identically), every
+//!    applied update is unwound LIFO, and the run falls back: a mid-run
+//!    reject poisons every later batch (they applied against a tree
+//!    containing the rejected edits), so only the sequential path can
+//!    produce its verdicts.
+//!
+//! On the fast path, per-batch baselines are reconstructed by replaying
+//! each batch's attributed net changes onto the pre-run sets — by
+//! disjointness this equals the sequential sets — and certificates are
+//! hash-chained per batch ([`Signer::certify_chained`]), so the
+//! certificate history is indistinguishable from sequential admission.
+//! The load-differential suite (`tests/load.rs`) and the coalescing
+//! proptests (`tests/coalesce.rs`) pin exactly that.
+
+use crate::session::{unwind_batch, Commit};
+use crate::store::Document;
+use crate::Request;
+use std::collections::{BTreeSet, HashMap};
+use xuc_core::ConstraintKind;
+use xuc_sigstore::{Certificate, Signer};
+use xuc_xtree::{apply_undoable, DirtyRegion, NodeId, NodeRef, Undo, Update};
+
+/// What [`try_coalesce`] did with a run of batches.
+pub(crate) enum CoalesceOutcome {
+    /// The whole run committed through one merged admission pass:
+    /// one `(receipt, certificate)` per batch, in run order. The
+    /// document's tree, baselines, certificate and commit counter have
+    /// advanced exactly as sequential admission would have left them.
+    Committed(Vec<(Commit, Certificate)>),
+    /// The fast path declined (interference, a failed update, a
+    /// predicate/poison/size fallback, or a mid-run violation). The
+    /// document is byte-identical to its state before the attempt —
+    /// tree, evaluator, baselines, certificate, commit counter — and the
+    /// caller must admit the batches one at a time.
+    Sequential,
+}
+
+/// The pre-apply probe footprint of one update: `(anchors, points)` for
+/// [`DirtyRegion::overlaps`]. `None` means the update references nodes
+/// the current tree does not hold — it will fail to apply, which the
+/// sequential path reports per batch.
+fn probe_footprint(doc: &Document, update: &Update) -> Option<(Vec<NodeId>, Vec<NodeId>)> {
+    match update {
+        // The fresh leaf id is probed *post*-apply (it is not live yet);
+        // the parent point catches every subtree relation the leaf can
+        // enter, because the leaf's path runs through it.
+        Update::InsertLeaf { parent, .. } => Some((Vec::new(), vec![*parent])),
+        Update::DeleteSubtree { node } | Update::DeleteNode { node } => {
+            let parent = doc.tree.parent(*node).ok()??;
+            Some((vec![*node], vec![parent]))
+        }
+        Update::Move { node, new_parent } => {
+            let old_parent = doc.tree.parent(*node).ok()??;
+            Some((vec![*node], vec![old_parent, *new_parent]))
+        }
+        Update::Relabel { node, .. } => Some((vec![*node], Vec::new())),
+        Update::ReplaceId { node, .. } => Some((Vec::new(), vec![*node])),
+    }
+}
+
+/// The node ids whose pattern membership `update` can change, computed
+/// against the tree *as the update sees it*. Net journal changes are
+/// attributed to batches through these claims; gate 1 keeps claims of
+/// different batches disjoint (a relabeled subtree cannot grow or
+/// shrink across batches without the probe firing first).
+fn claimed_ids(doc: &Document, update: &Update) -> Option<Vec<NodeId>> {
+    match update {
+        Update::InsertLeaf { id, .. } => Some(vec![*id]),
+        Update::DeleteSubtree { node }
+        | Update::DeleteNode { node }
+        | Update::Move { node, .. }
+        | Update::Relabel { node, .. } => {
+            Some(doc.tree.subtree_nodes(*node).ok()?.iter().map(|r| r.id).collect())
+        }
+        Update::ReplaceId { node, new_id } => Some(vec![*node, *new_id]),
+    }
+}
+
+/// Attempts to admit `batches` (all against `doc`, in order) through one
+/// merged splice. See the [module docs](self) for the protocol; the
+/// caller holds the document mutex and must run the batches
+/// sequentially on [`CoalesceOutcome::Sequential`].
+pub(crate) fn try_coalesce(
+    doc: &mut Document,
+    signer: &Signer,
+    batches: &[&Request],
+) -> CoalesceOutcome {
+    debug_assert!(batches.len() >= 2, "a run of one is just submit");
+    let mut undo_stack: Vec<Undo> = Vec::new();
+    let mut merged = DirtyRegion::new();
+    let mut owner: HashMap<NodeId, usize> = HashMap::new();
+
+    let bail = |doc: &mut Document, undo_stack: &mut Vec<Undo>| {
+        unwind_batch(doc, undo_stack);
+        CoalesceOutcome::Sequential
+    };
+
+    // Gate 1+2: apply every batch, probing each update against the
+    // merged region of earlier batches and claiming its footprint.
+    for (k, request) in batches.iter().enumerate() {
+        let mut region = DirtyRegion::new();
+        for update in &request.updates {
+            let Some((anchors, points)) = probe_footprint(doc, update) else {
+                return bail(doc, &mut undo_stack);
+            };
+            if merged.overlaps(&doc.tree, &anchors, &points) {
+                return bail(doc, &mut undo_stack);
+            }
+            let Some(claims) = claimed_ids(doc, update) else {
+                return bail(doc, &mut undo_stack);
+            };
+            for id in claims {
+                if *owner.entry(id).or_insert(k) != k {
+                    return bail(doc, &mut undo_stack);
+                }
+            }
+            // Mirror Session::apply: capture what a deletion removes
+            // before it happens, so the merged splice can evict exactly
+            // those baseline entries.
+            let doomed = match update {
+                Update::DeleteSubtree { node } => doc.tree.subtree_nodes(*node).ok(),
+                Update::DeleteNode { node } => doc.tree.node(*node).ok().map(|r| vec![r]),
+                _ => None,
+            };
+            let Ok((token, scope)) = apply_undoable(&mut doc.tree, update) else {
+                return bail(doc, &mut undo_stack);
+            };
+            if let Some(refs) = doomed {
+                region.record_removals(&refs);
+            }
+            doc.ev.refresh_after(&doc.tree, &scope);
+            region.record(&doc.tree, &scope);
+            undo_stack.push(token);
+            // The id an insert or swap minted is live now — close the
+            // id-collision window the pre-apply probe could not check.
+            let fresh = match update {
+                Update::InsertLeaf { id, .. } => Some(*id),
+                Update::ReplaceId { new_id, .. } => Some(*new_id),
+                _ => None,
+            };
+            if let Some(id) = fresh {
+                if merged.overlaps(&doc.tree, &[], &[id]) {
+                    return bail(doc, &mut undo_stack);
+                }
+            }
+        }
+        merged.merge(&doc.tree, &region);
+    }
+    if merged.is_full() {
+        return bail(doc, &mut undo_stack);
+    }
+
+    // One admission pass over the merged region. `None` (predicate
+    // fallback, stale, or dirty-region-too-large) leaves the baselines
+    // untouched — the sequential path will run its own full passes.
+    let compiled = doc.compiled.clone();
+    let Some(journal) = doc.ev.eval_set_splice(&*compiled, &merged, &mut doc.base_sets) else {
+        return bail(doc, &mut undo_stack);
+    };
+
+    // Gate 2+3: attribute every net change to its owning batch and
+    // judge each batch's constraints on its own attributed delta.
+    let patterns = doc.suite.len();
+    let mut removed_by: Vec<Vec<Vec<NodeRef>>> = vec![vec![Vec::new(); patterns]; batches.len()];
+    let mut added_by: Vec<Vec<Vec<NodeRef>>> = vec![vec![Vec::new(); patterns]; batches.len()];
+    for i in 0..patterns {
+        let (net_removed, net_added) = journal.net_changes(i);
+        for (refs, by) in [(net_removed, &mut removed_by), (net_added, &mut added_by)] {
+            for r in refs {
+                let Some(&k) = owner.get(&r.id) else {
+                    journal.revert(&mut doc.base_sets);
+                    return bail(doc, &mut undo_stack);
+                };
+                by[k][i].push(r);
+            }
+        }
+    }
+    let violates = |k: usize| {
+        doc.suite.iter().enumerate().any(|(i, c)| match c.kind {
+            ConstraintKind::NoRemove => !removed_by[k][i].is_empty(),
+            ConstraintKind::NoInsert => !added_by[k][i].is_empty(),
+        })
+    };
+    if (0..batches.len()).any(violates) {
+        journal.revert(&mut doc.base_sets);
+        return bail(doc, &mut undo_stack);
+    }
+
+    // All accepted. Rewind the final sets to the pre-run baselines, then
+    // replay each batch's attributed delta to recover its own admission
+    // snapshot and chain its certificate — by claim disjointness this is
+    // exactly the sequence sequential admission certifies.
+    let mut sets: Vec<BTreeSet<NodeRef>> = doc.base_sets.clone();
+    for (i, set) in sets.iter_mut().enumerate().take(patterns) {
+        let (net_removed, net_added) = journal.net_changes(i);
+        for r in net_added {
+            set.remove(&r);
+        }
+        for r in net_removed {
+            set.insert(r);
+        }
+    }
+    let mut out = Vec::with_capacity(batches.len());
+    let mut prev = doc.cert.digest();
+    for k in 0..batches.len() {
+        for i in 0..patterns {
+            for r in &removed_by[k][i] {
+                sets[i].remove(r);
+            }
+            for r in &added_by[k][i] {
+                sets[i].insert(*r);
+            }
+        }
+        let cert = signer.certify_chained(&doc.suite, &sets, prev);
+        prev = cert.digest();
+        doc.commits += 1;
+        out.push((Commit { commit: doc.commits }, cert));
+    }
+    debug_assert_eq!(
+        sets, doc.base_sets,
+        "replaying every batch's attributed delta must land on the spliced sets"
+    );
+    doc.cert = out.last().expect("at least two batches").1.clone();
+    CoalesceOutcome::Committed(out)
+}

@@ -71,6 +71,7 @@
 //! ```
 
 pub mod cache;
+pub(crate) mod coalesce;
 pub mod gateway;
 pub mod persist;
 pub mod queue;
@@ -79,7 +80,7 @@ pub mod store;
 pub mod workload;
 
 pub use cache::SuiteCache;
-pub use gateway::{render_log, Gateway, GatewayState};
+pub use gateway::{render_log, CoalesceStats, Gateway, GatewayState, ThroughputOptions};
 pub use persist::{DurableOptions, RecoverError, ResumeError};
 pub use queue::{plan_admission, render_arrival_log, Arrival, LoadOptions, LoadReport, ShedCause};
 pub use session::{

@@ -141,8 +141,17 @@ pub fn plan_admission(arrivals: &[Arrival], opts: &LoadOptions) -> Vec<Option<Sh
         // Everything whose service started by now has left the waiting
         // room (it is in service or done — either way, not sheddable).
         shard.waiting.retain(|slot| slot.start > a.at);
-        // Deadline first: an expired request must never occupy a slot.
-        let start = a.at.max(shard.next_free);
+        // Deadline first: an expired request must never occupy a slot —
+        // and must never displace a read it cannot make use of. The
+        // start tick judged here is the one this request would actually
+        // dequeue at: a commit arriving to a full room with a queued
+        // read starts one service slot *earlier* (the displacement
+        // below shifts everything up), so checking the pre-displacement
+        // start would shed commits whose service still starts in time.
+        let displaces =
+            shard.waiting.len() >= capacity && !a.read && shard.waiting.iter().any(|s| s.read);
+        let earliest = if displaces { shard.next_free - service } else { shard.next_free };
+        let start = a.at.max(earliest);
         if a.deadline.is_some_and(|d| d < start) {
             plan[i] = Some(ShedCause::DeadlineExpired);
             continue;
@@ -434,6 +443,52 @@ mod tests {
             "commit numbers skip shed requests"
         );
         assert_eq!(report.shed_deadline, 1);
+    }
+
+    #[test]
+    fn deadline_is_judged_at_the_true_dequeue_tick() {
+        // One document (one shard), server busy 0..4, waiting room of 1
+        // holding a read: the next commit would dequeue at tick 8 — but
+        // displacing the read makes its true start tick 4.
+        let (gw, id) = gateway_with_doc("deadline-dequeue");
+        let opts = LoadOptions { queue_capacity: 1, service_ticks: 4 };
+        let mk = |deadline| {
+            vec![
+                Arrival::commit(insert_req(id), 0), // in service 0..4
+                Arrival::read_of(id, 0),            // queued, would start at 4
+                Arrival::commit(insert_req(id), 0).with_deadline(deadline),
+            ]
+        };
+        // Deadline 5 ≥ the post-displacement start 4: the commit must be
+        // admitted (the regression was shedding it against the stale
+        // pre-displacement start 8) and the read displaced.
+        let (verdicts, report) = gw.process_open_loop(&mk(5), 1, &opts);
+        assert_eq!(
+            verdicts[1],
+            Verdict::Rejected(RejectReason::Overloaded { cause: ShedCause::ShedForCommit })
+        );
+        assert!(verdicts[2].is_accepted(), "starts at tick 4, before its deadline");
+        assert_eq!(report.shed_deadline, 0);
+        // Deadline 3 < even the post-displacement start: the commit is
+        // shed — and must NOT displace the read it cannot make use of.
+        let (gw, id) = gateway_with_doc("deadline-dequeue-2");
+        let (verdicts, report) = gw.process_open_loop(
+            &{
+                let mut a = mk(3);
+                for x in &mut a {
+                    x.request.doc = id;
+                }
+                a
+            },
+            1,
+            &opts,
+        );
+        assert_eq!(
+            verdicts[2],
+            Verdict::Rejected(RejectReason::Overloaded { cause: ShedCause::DeadlineExpired })
+        );
+        assert_eq!(verdicts[1], Verdict::Served, "a doomed commit must not displace the read");
+        assert_eq!((report.shed_deadline, report.shed_for_commit), (1, 0));
     }
 
     #[test]

@@ -69,19 +69,13 @@ fn random_update(rng: &mut SplitMix, ids: &[NodeId], labels: &[Label]) -> Update
     }
 }
 
-/// A deterministic stream of `count` requests spread round-robin-ish over
-/// `docs` (each draw picks a document uniformly), each carrying 1–3
-/// updates over that document's initial node population plus `extra`
-/// labels. Same `(docs, extra, seed, count)` ⇒ byte-identical stream.
-pub fn seeded_requests(
+/// Per-document draw pools: `(id, initial node ids, label palette)`.
+fn draw_pools(
     docs: &[(DocId, &DataTree)],
     extra_labels: &[&str],
-    seed: u64,
-    count: usize,
-) -> Vec<Request> {
+) -> Vec<(DocId, Vec<NodeId>, Vec<Label>)> {
     assert!(!docs.is_empty(), "need at least one document");
-    let pools: Vec<(DocId, Vec<NodeId>, Vec<Label>)> = docs
-        .iter()
+    docs.iter()
         .map(|(id, tree)| {
             let mut labels = tree.labels();
             labels.extend(extra_labels.iter().map(|l| Label::new(l)));
@@ -92,11 +86,65 @@ pub fn seeded_requests(
             labels.dedup();
             (*id, tree.node_ids(), labels)
         })
-        .collect();
+        .collect()
+}
+
+/// A deterministic stream of `count` requests spread round-robin-ish over
+/// `docs` (each draw picks a document uniformly), each carrying 1–3
+/// updates over that document's initial node population plus `extra`
+/// labels. Same `(docs, extra, seed, count)` ⇒ byte-identical stream.
+pub fn seeded_requests(
+    docs: &[(DocId, &DataTree)],
+    extra_labels: &[&str],
+    seed: u64,
+    count: usize,
+) -> Vec<Request> {
+    let pools = draw_pools(docs, extra_labels);
     let mut rng = SplitMix(seed);
     (0..count)
         .map(|_| {
             let (doc, ids, labels) = &pools[rng.below(pools.len())];
+            let updates =
+                (0..1 + rng.below(3)).map(|_| random_update(&mut rng, ids, labels)).collect();
+            Request { doc: *doc, updates }
+        })
+        .collect()
+}
+
+/// [`seeded_requests`] with **Zipfian document skew**: draw `i` (0-based
+/// position in `docs`) gets weight `1/(i+1)^s`, with `s` given in
+/// hundredths (`skew_centi = 99` ⇒ s = 0.99 — the classic hot-document
+/// workload where the first document soaks up a fifth of the traffic).
+/// `skew_centi = 0` degrades to a uniform draw (though not the same
+/// stream as [`seeded_requests`]: the selection consumes the RNG
+/// differently). Same inputs ⇒ byte-identical stream, so differential
+/// arms can replay one stream into gateways under comparison.
+pub fn seeded_zipf_requests(
+    docs: &[(DocId, &DataTree)],
+    extra_labels: &[&str],
+    seed: u64,
+    count: usize,
+    skew_centi: u32,
+) -> Vec<Request> {
+    let pools = draw_pools(docs, extra_labels);
+    let s = skew_centi as f64 / 100.0;
+    let weights: Vec<f64> = (0..pools.len()).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut rng = SplitMix(seed);
+    (0..count)
+        .map(|_| {
+            // A 53-bit fraction of the total weight, walked cumulatively.
+            let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * total;
+            let mut acc = 0.0;
+            let mut pick = pools.len() - 1;
+            for (i, w) in weights.iter().enumerate() {
+                acc += w;
+                if u < acc {
+                    pick = i;
+                    break;
+                }
+            }
+            let (doc, ids, labels) = &pools[pick];
             let updates =
                 (0..1 + rng.below(3)).map(|_| random_update(&mut rng, ids, labels)).collect();
             Request { doc: *doc, updates }
@@ -196,6 +244,32 @@ mod tests {
         assert!(a.iter().filter(|x| x.read).all(|x| x.request.updates.is_empty()));
         let c = seeded_arrivals(&docs, &[], 11, 120, 4, 30, None);
         assert!(c.iter().all(|x| x.deadline.is_none()));
+    }
+
+    #[test]
+    fn zipf_streams_skew_deterministically() {
+        let t = parse_term("r(a#1(b#2),c#3)").unwrap();
+        let docs: Vec<(DocId, &DataTree)> =
+            (0..8).map(|i| (DocId::new(&format!("z{i}")), &t)).collect();
+        let hot = seeded_zipf_requests(&docs, &[], 99, 800, 99);
+        let again = seeded_zipf_requests(&docs, &[], 99, 800, 99);
+        assert_eq!(hot.len(), 800);
+        for (a, b) in hot.iter().zip(&again) {
+            assert_eq!((a.doc, a.updates.len()), (b.doc, b.updates.len()));
+        }
+        let count = |reqs: &[Request], d: DocId| reqs.iter().filter(|r| r.doc == d).count();
+        // s = 0.99 over 8 docs: the hot document takes roughly 28% of the
+        // traffic and strictly dominates the coldest.
+        let hottest = count(&hot, docs[0].0);
+        let coldest = count(&hot, docs[7].0);
+        assert!(hottest > 2 * coldest, "skew must concentrate: {hottest} vs {coldest}");
+        assert!(hottest > 800 / 5, "hot doc well above the uniform share: {hottest}");
+        // s = 0 degrades to a uniform draw: every doc near 100 ± slack.
+        let flat = seeded_zipf_requests(&docs, &[], 99, 800, 0);
+        for (d, _) in &docs {
+            let c = count(&flat, *d);
+            assert!((60..=140).contains(&c), "uniform draw strayed: {d} got {c}");
+        }
     }
 
     #[test]

@@ -1,0 +1,253 @@
+//! Coalescing correctness: a merged admission pass over `k` consecutive
+//! batches must be indistinguishable from admitting them one at a time.
+//!
+//! The property tests drive random k-batch runs — including duplicate-id
+//! traffic, id recycling, dead-node references and cycle-creating moves —
+//! through [`Gateway::submit_coalesced`] against a sequential `submit`
+//! loop on a second gateway: verdict for verdict (which covers per-batch
+//! offender counts), committed trees, baseline range results and the
+//! certificate chain must all coincide, whether the merged fast path
+//! fired or the coalescer fell back. The engineered tests pin the
+//! reject-mid-run contract: a violation discovered in the merged journal
+//! reverts the baselines **exactly** to their pre-coalesce values before
+//! the sequential fallback re-admits the run.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use xuc_core::{parse_constraint, Constraint, ConstraintKind};
+use xuc_service::workload::SplitMix;
+use xuc_service::{render_log, DocId, Gateway, RejectReason, Request, Verdict};
+use xuc_sigstore::Signer;
+use xuc_xtree::{DataTree, Label, NodeId, NodeRef, Update};
+
+const KEY: u64 = 0xC0A7;
+const LABELS: &[&str] = &["a", "b", "c", "w"];
+
+/// One wide all-linear document — the shape whose disjoint subtree edits
+/// the merged fast path can actually admit (predicate suites always fall
+/// back, which the load suite covers separately).
+fn fixture() -> (DocId, DataTree, Vec<Constraint>) {
+    let mut tree = DataTree::new("root");
+    let root = tree.root_id();
+    for i in 0..8 {
+        let mid = tree.add(root, LABELS[i % 3]).unwrap();
+        for j in 0..4 {
+            tree.add(mid, LABELS[(i + j) % 3]).unwrap();
+        }
+    }
+    let suite: Vec<Constraint> =
+        xuc_workloads::queries::overlapping_prefix_suite(&["a", "b", "c"], 8, 3)
+            .into_iter()
+            .enumerate()
+            .map(|(i, q)| {
+                let kind =
+                    if i % 2 == 0 { ConstraintKind::NoRemove } else { ConstraintKind::NoInsert };
+                Constraint::new(q, kind)
+            })
+            .collect();
+    assert!(suite.iter().all(|c| c.range.is_linear()));
+    (DocId::new("coalesce-prop"), tree, suite)
+}
+
+/// One random update over the document's initial id population plus a
+/// reserved id pool, so runs recycle ids (delete-then-reinsert, swap
+/// away and back) and regularly reference dead nodes — the traffic whose
+/// interference gates must force the sequential fallback.
+fn random_update(rng: &mut SplitMix, ids: &[NodeId], reserved: &[NodeId]) -> Update {
+    let pick = |rng: &mut SplitMix, pool: &[NodeId]| pool[rng.below(pool.len())];
+    match rng.below(8) {
+        0 | 1 => Update::Relabel {
+            node: pick(rng, ids),
+            label: Label::new(LABELS[rng.below(LABELS.len())]),
+        },
+        2 => Update::ReplaceId { node: pick(rng, ids), new_id: pick(rng, reserved) },
+        3 => Update::ReplaceId { node: pick(rng, reserved), new_id: pick(rng, reserved) },
+        4 => Update::InsertLeaf {
+            parent: pick(rng, ids),
+            id: if rng.below(2) == 0 { NodeId::fresh() } else { pick(rng, reserved) },
+            label: Label::new(LABELS[rng.below(LABELS.len())]),
+        },
+        5 => Update::DeleteSubtree { node: pick(rng, ids) },
+        6 => Update::DeleteNode { node: pick(rng, ids) },
+        _ => Update::Move { node: pick(rng, ids), new_parent: pick(rng, ids) },
+    }
+}
+
+fn seeded_run(doc: DocId, ids: &[NodeId], rng: &mut SplitMix, k: usize) -> Vec<Request> {
+    let reserved: Vec<NodeId> = (0..5).map(|i| NodeId::from_raw(9_100 + i)).collect();
+    (0..k)
+        .map(|_| Request {
+            doc,
+            updates: (0..1 + rng.below(2)).map(|_| random_update(rng, ids, &reserved)).collect(),
+        })
+        .collect()
+}
+
+/// Everything observable about both arms must coincide after a run.
+fn assert_arms_equal(co: &Gateway, seq: &Gateway, id: DocId, ctx: &str) {
+    let snap_c = co.snapshot(id).unwrap();
+    let snap_s = seq.snapshot(id).unwrap();
+    assert_eq!(snap_c.render(), snap_s.render(), "{ctx}: trees diverged");
+    let doc_c = co.store().document(id).unwrap();
+    let doc_s = seq.store().document(id).unwrap();
+    let base_c: Vec<BTreeSet<NodeRef>> = doc_c.lock().baseline().to_vec();
+    let base_s: Vec<BTreeSet<NodeRef>> = doc_s.lock().baseline().to_vec();
+    assert_eq!(base_c, base_s, "{ctx}: baselines diverged");
+    assert_eq!(doc_c.lock().commits(), doc_s.lock().commits(), "{ctx}: commit counters diverged");
+    // Full certificate equality covers entries, MACs and the hash-chain
+    // linkage (`prev_digest`, `chain_tag`): a coalesced history must be
+    // indistinguishable from the sequential one, link for link.
+    assert_eq!(co.certificate(id).unwrap(), seq.certificate(id).unwrap(), "{ctx}: certificates");
+    assert!(co.certificate(id).unwrap().verify(KEY, &snap_s).is_ok(), "{ctx}: cross-verify");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(72))]
+
+    /// Random k-batch runs, two rounds per case (the second run chains
+    /// off whatever state — coalesced or fallback — the first left).
+    #[test]
+    fn merged_admission_is_equivalent_to_sequential(
+        seed in 0..1_000_000usize,
+        k in 2..=6usize,
+    ) {
+        let (id, tree, suite) = fixture();
+        let ids = tree.node_ids();
+        let co = Gateway::new(Signer::new(KEY));
+        let seq = Gateway::new(Signer::new(KEY));
+        co.publish(id, tree.clone(), suite.clone()).unwrap();
+        seq.publish(id, tree, suite).unwrap();
+        let mut rng = SplitMix::new(seed as u64 ^ 0xC0A1E5CE);
+        for round in 0..2 {
+            let run = seeded_run(id, &ids, &mut rng, k);
+            let verdicts = co.submit_coalesced(&run);
+            let reference: Vec<Verdict> = run.iter().map(|r| seq.submit(r)).collect();
+            // Verdict-for-verdict equality — the rendered log includes
+            // per-batch commit numbers and offender counts.
+            prop_assert_eq!(
+                render_log(&run, &verdicts),
+                render_log(&run, &reference),
+                "seed {} round {}", seed, round
+            );
+            assert_arms_equal(&co, &seq, id, &format!("seed {seed} round {round}"));
+        }
+    }
+}
+
+/// The reject-mid-run contract, isolated: a run the probes admit whose
+/// every batch violates the suite reaches the merged splice, fails, and
+/// the journal revert + LIFO unwind must restore the document —
+/// baselines, tree, certificate, commit counter — **exactly** to its
+/// pre-coalesce state before the sequential fallback re-judges it.
+#[test]
+fn reject_mid_run_revert_restores_the_pre_coalesce_baseline_exactly() {
+    let id = DocId::new("revert");
+    let tree = xuc_xtree::parse_term("h(p#1(v#2),p#3(v#4),p#5(v#6))").unwrap();
+    let suite = vec![parse_constraint("(/p/v, ↑)").unwrap()];
+    let gw = Gateway::new(Signer::new(KEY));
+    gw.publish(id, tree, suite).unwrap();
+
+    let doc = gw.store().document(id).unwrap();
+    let base0: Vec<BTreeSet<NodeRef>> = doc.lock().baseline().to_vec();
+    let render0 = gw.snapshot(id).unwrap().render();
+    let cert0 = gw.certificate(id).unwrap();
+    assert!(!base0.iter().all(BTreeSet::is_empty), "the range must start populated");
+
+    // Three disjoint sibling deletions: every interference gate passes,
+    // the merged splice runs — and every batch strips a `v` from the
+    // NoRemove range, so the whole run is rejected after the fact.
+    let run: Vec<Request> = [2u64, 4, 6]
+        .iter()
+        .map(|&n| Request {
+            doc: id,
+            updates: vec![Update::DeleteSubtree { node: NodeId::from_raw(n) }],
+        })
+        .collect();
+    let verdicts = gw.submit_coalesced(&run);
+    assert!(
+        verdicts.iter().all(|v| matches!(v, Verdict::Rejected(RejectReason::Violation { .. }))),
+        "every batch must be rejected: {verdicts:?}"
+    );
+    let stats = gw.coalesce_stats();
+    assert_eq!((stats.attempts, stats.commits), (1, 0), "the run must reach and fail the splice");
+
+    // Byte-exact restoration, not merely eventual equivalence: the
+    // fallback admitted nothing, so nothing may have moved.
+    assert_eq!(doc.lock().baseline().to_vec(), base0, "baselines must revert exactly");
+    assert_eq!(gw.snapshot(id).unwrap().render(), render0, "tree must unwind exactly");
+    assert_eq!(gw.certificate(id).unwrap(), cert0, "certificate must be untouched");
+    assert_eq!(doc.lock().commits(), 0, "no commit may be minted");
+}
+
+/// A partially-accepting run through the same fallback: the revert must
+/// hand the sequential path a clean slate, from which it accepts the
+/// compliant batches with the same commit numbers a plain submit loop
+/// mints.
+#[test]
+fn reject_mid_run_falls_back_to_per_batch_verdicts() {
+    let id = DocId::new("mixed-run");
+    let tree = xuc_xtree::parse_term("h(p#1(v#2),p#3(v#4),p#5(v#6))").unwrap();
+    let suite = vec![parse_constraint("(/p/v, ↑)").unwrap()];
+    let co = Gateway::new(Signer::new(KEY));
+    let seq = Gateway::new(Signer::new(KEY));
+    co.publish(id, tree.clone(), suite.clone()).unwrap();
+    seq.publish(id, tree, suite).unwrap();
+
+    let insert = |parent: u64| Request {
+        doc: id,
+        updates: vec![Update::InsertLeaf {
+            parent: NodeId::from_raw(parent),
+            id: NodeId::fresh(),
+            label: Label::new("v"),
+        }],
+    };
+    let run = vec![
+        insert(1),
+        Request { doc: id, updates: vec![Update::DeleteSubtree { node: NodeId::from_raw(4) }] },
+        insert(5),
+    ];
+    let verdicts = co.submit_coalesced(&run);
+    let reference: Vec<Verdict> = run.iter().map(|r| seq.submit(r)).collect();
+    assert_eq!(verdicts, reference);
+    assert_eq!(verdicts[0], Verdict::Accepted { commit: 1 });
+    assert!(matches!(&verdicts[1], Verdict::Rejected(RejectReason::Violation { .. })));
+    assert_eq!(verdicts[2], Verdict::Accepted { commit: 2 });
+    let stats = co.coalesce_stats();
+    assert_eq!((stats.attempts, stats.commits), (1, 0));
+    assert_arms_equal(&co, &seq, id, "mixed run");
+}
+
+/// The merged fast path itself, pinned end to end: disjoint sibling
+/// edits coalesce into one splice whose per-batch certificates chain
+/// exactly as sequential admission chains them.
+#[test]
+fn merged_fast_path_chains_certificates_per_batch() {
+    let id = DocId::new("chain");
+    let tree = xuc_xtree::parse_term("h(p#1(v#2),p#3(v#4),p#5(v#6),p#7(v#8))").unwrap();
+    let suite = vec![parse_constraint("(/p/v, ↑)").unwrap()];
+    let co = Gateway::new(Signer::new(KEY));
+    let seq = Gateway::new(Signer::new(KEY));
+    co.publish(id, tree.clone(), suite.clone()).unwrap();
+    seq.publish(id, tree, suite).unwrap();
+
+    let insert = |parent: u64| Request {
+        doc: id,
+        updates: vec![Update::InsertLeaf {
+            parent: NodeId::from_raw(parent),
+            id: NodeId::fresh(),
+            label: Label::new("v"),
+        }],
+    };
+    let run = vec![insert(1), insert(3), insert(5), insert(7)];
+    let verdicts = co.submit_coalesced(&run);
+    let reference: Vec<Verdict> = run.iter().map(|r| seq.submit(r)).collect();
+    assert_eq!(verdicts, reference);
+    assert!(verdicts.iter().all(Verdict::is_accepted));
+    let stats = co.coalesce_stats();
+    assert_eq!((stats.attempts, stats.commits, stats.batches), (1, 1, 4));
+    assert_arms_equal(&co, &seq, id, "chained run");
+    // And the chain survives further sequential traffic on both arms.
+    let tail = insert(1);
+    assert_eq!(co.submit(&tail), seq.submit(&tail));
+    assert_arms_equal(&co, &seq, id, "after tail commit");
+}

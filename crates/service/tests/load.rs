@@ -1,0 +1,231 @@
+//! The load-differential suite: throughput mode pinned to the
+//! deterministic reference arm under sustained, skewed load.
+//!
+//! [`Gateway::process_throughput`] relaxes only *temporal* ordering —
+//! which worker serves which document's run, and how runs interleave in
+//! wall-clock time. Everything observable must stay byte-identical to
+//! the reference arm ([`Gateway::process`] at one worker): verdict for
+//! verdict by request id, committed trees render-identical, baseline
+//! range results equal, certificates equal entry-for-entry and
+//! cross-verifying. This suite drives seeded Zipfian streams (skew 0 and
+//! 0.99) through 1, 2 and 8 workers and several coalescing windows, and
+//! asserts the coalescer was genuinely exercised — a differential suite
+//! whose fast path silently never fires proves nothing.
+
+use std::collections::BTreeSet;
+use xuc_core::{parse_constraint, Constraint, ConstraintKind};
+use xuc_service::workload::seeded_zipf_requests;
+use xuc_service::{render_log, DocId, Gateway, Request, ThroughputOptions, Verdict};
+use xuc_sigstore::Signer;
+use xuc_xtree::{DataTree, Label, NodeId, NodeRef, Update};
+
+const KEY: u64 = 0x10AD;
+
+/// Six documents: five wide all-linear ones (the shapes whose disjoint
+/// per-subtree edits the coalescer can merge) and one mixed predicate
+/// document (whose suite forces the splice fallback — the degradation
+/// path must stay differential too). Zipf order makes `wide0` hottest.
+fn deployment() -> Vec<(DocId, DataTree, Vec<Constraint>)> {
+    let wide_suite: Vec<Constraint> =
+        xuc_workloads::queries::overlapping_prefix_suite(&["a", "b", "c"], 12, 3)
+            .into_iter()
+            .enumerate()
+            .map(|(i, q)| {
+                let kind =
+                    if i % 2 == 0 { ConstraintKind::NoRemove } else { ConstraintKind::NoInsert };
+                Constraint::new(q, kind)
+            })
+            .collect();
+    assert!(wide_suite.iter().all(|c| c.range.is_linear()), "splice arms must be all-linear");
+    let labels = ["a", "b", "c"];
+    let mut docs: Vec<(DocId, DataTree, Vec<Constraint>)> = (0..5)
+        .map(|d| {
+            let mut tree = DataTree::new("root");
+            let root = tree.root_id();
+            for i in 0..(6 + d) {
+                let mid = tree.add(root, labels[(i + d) % 3]).unwrap();
+                for j in 0..4 {
+                    tree.add(mid, labels[(i + j) % 3]).unwrap();
+                }
+            }
+            (DocId::new(&format!("wide{d}")), tree, wide_suite.clone())
+        })
+        .collect();
+    let mixed_tree = xuc_xtree::parse_term(
+        "hospital#1(patient#2(visit#3,visit#4),patient#5(clinicalTrial#6),patient#7(visit#8))",
+    )
+    .unwrap();
+    let mixed_suite = vec![
+        parse_constraint("(/patient/visit, ↑)").unwrap(),
+        parse_constraint("(/patient[/clinicalTrial], ↓)").unwrap(),
+        parse_constraint("(/patient, ↓)").unwrap(),
+    ];
+    docs.push((DocId::new("mixed"), mixed_tree, mixed_suite));
+    docs
+}
+
+fn publish_into(gw: &Gateway, docs: &[(DocId, DataTree, Vec<Constraint>)]) {
+    for (id, tree, suite) in docs {
+        gw.publish(*id, tree.clone(), suite.clone()).unwrap();
+    }
+}
+
+/// Both arms' final state must coincide: committed trees (exact child
+/// order), baseline range results, certificates entry-for-entry — and
+/// each arm's certificate must verify against the *other* arm's
+/// snapshot.
+fn assert_arms_converged(
+    throughput: &Gateway,
+    reference: &Gateway,
+    docs: &[(DocId, DataTree, Vec<Constraint>)],
+    ctx: &str,
+) {
+    for (id, ..) in docs {
+        let snap_t = throughput.snapshot(*id).unwrap();
+        let snap_r = reference.snapshot(*id).unwrap();
+        assert_eq!(snap_t.render(), snap_r.render(), "{ctx}: {id} trees diverged");
+        let doc_t = throughput.store().document(*id).unwrap();
+        let doc_r = reference.store().document(*id).unwrap();
+        let base_t: Vec<BTreeSet<NodeRef>> = doc_t.lock().baseline().to_vec();
+        let base_r: Vec<BTreeSet<NodeRef>> = doc_r.lock().baseline().to_vec();
+        assert_eq!(base_t, base_r, "{ctx}: {id} baselines diverged");
+        let cert_t = throughput.certificate(*id).unwrap();
+        let cert_r = reference.certificate(*id).unwrap();
+        assert_eq!(cert_t.entries.len(), cert_r.entries.len(), "{ctx}: {id} entry count");
+        for (i, (et, er)) in cert_t.entries.iter().zip(&cert_r.entries).enumerate() {
+            assert_eq!(et.constraint.to_string(), er.constraint.to_string(), "{ctx}: {id} #{i}");
+            assert_eq!(et.snapshot, er.snapshot, "{ctx}: {id} entry {i} signed set");
+            assert_eq!(et.tag, er.tag, "{ctx}: {id} entry {i} MAC");
+        }
+        assert!(cert_t.verify(KEY, &snap_r).is_ok(), "{ctx}: {id} cross-verify t→r");
+        assert!(cert_r.verify(KEY, &snap_t).is_ok(), "{ctx}: {id} cross-verify r→t");
+    }
+}
+
+/// The core load differential: seeded Zipfian streams at skew 0 and
+/// 0.99, drained at 1, 2 and 8 workers, must reproduce the reference
+/// arm's accept/reject log byte-for-byte (position in the log *is* the
+/// request id, so full equality subsumes order-insensitive matching)
+/// and converge to identical internal state.
+#[test]
+fn throughput_mode_is_differential_to_the_reference_arm() {
+    for (seed, skew_centi) in
+        [(0x10AD_0001u64, 0u32), (0x10AD_0002, 99), (0x10AD_0003, 99), (0x10AD_0004, 0)]
+    {
+        let docs = deployment();
+        let doc_refs: Vec<(DocId, &DataTree)> = docs.iter().map(|(d, t, _)| (*d, t)).collect();
+        let requests = seeded_zipf_requests(&doc_refs, &["w"], seed, 220, skew_centi);
+
+        let reference = Gateway::new(Signer::new(KEY));
+        publish_into(&reference, &docs);
+        let ref_verdicts = reference.process(&requests, 1);
+        let ref_log = render_log(&requests, &ref_verdicts);
+        assert!(ref_log.contains("ACCEPT") && ref_log.contains("REJECT"));
+
+        let mut attempts = 0u64;
+        for workers in [1usize, 2, 8] {
+            let ctx = format!("seed {seed:#x} skew {skew_centi} workers {workers}");
+            let gw = Gateway::new(Signer::new(KEY));
+            publish_into(&gw, &docs);
+            let verdicts = gw.process_throughput(&requests, workers, &ThroughputOptions::default());
+            assert_eq!(render_log(&requests, &verdicts), ref_log, "{ctx}: log diverged");
+            assert_arms_converged(&gw, &reference, &docs, &ctx);
+            attempts += gw.coalesce_stats().attempts;
+        }
+        assert!(attempts > 0, "seed {seed:#x}: the coalescer was never even offered a run");
+    }
+}
+
+/// The coalescing window must not be observable either: shrinking the
+/// run length to 1 (pure per-shard dispatch, no coalescer) or growing it
+/// to 32 changes nothing but wall-clock scheduling.
+#[test]
+fn coalescing_window_is_not_observable() {
+    let docs = deployment();
+    let doc_refs: Vec<(DocId, &DataTree)> = docs.iter().map(|(d, t, _)| (*d, t)).collect();
+    let requests = seeded_zipf_requests(&doc_refs, &["w"], 0x57ee1, 180, 99);
+    let reference = Gateway::new(Signer::new(KEY));
+    publish_into(&reference, &docs);
+    let ref_log = render_log(&requests, &reference.process(&requests, 1));
+    for max_coalesce in [1usize, 2, 8, 32] {
+        for workers in [1usize, 8] {
+            let gw = Gateway::new(Signer::new(KEY));
+            publish_into(&gw, &docs);
+            let verdicts =
+                gw.process_throughput(&requests, workers, &ThroughputOptions { max_coalesce });
+            assert_eq!(
+                render_log(&requests, &verdicts),
+                ref_log,
+                "window {max_coalesce} diverged at {workers} workers"
+            );
+            assert_arms_converged(&gw, &reference, &docs, &format!("window {max_coalesce}"));
+        }
+    }
+}
+
+/// An engineered hot-document stream whose runs the merged fast path can
+/// actually admit: every request touches its own child subtree of one
+/// wide document (insert a fresh `v`, or relabel that child's private
+/// `w` leaf), so consecutive runs of 8 are pairwise disjoint. The fast
+/// path must fire — and still be invisible next to the reference arm.
+#[test]
+fn hot_document_runs_take_the_merged_fast_path() {
+    const CHILDREN: u64 = 16;
+    let id = DocId::new("hot");
+    let mut term = String::from("h(");
+    for i in 0..CHILDREN {
+        let p = 1 + 3 * i;
+        term.push_str(&format!("p#{}(v#{},w#{}),", p, p + 1, p + 2));
+    }
+    term.pop();
+    term.push(')');
+    let tree = xuc_xtree::parse_term(&term).unwrap();
+    let suite = vec![parse_constraint("(/p/v, ↑)").unwrap()];
+    let mk = || {
+        let gw = Gateway::new(Signer::new(KEY));
+        gw.publish(id, tree.clone(), suite.clone()).unwrap();
+        gw
+    };
+
+    let relabels = ["w", "x", "y"];
+    let requests: Vec<Request> = (0..240u64)
+        .map(|i| {
+            let child = i % CHILDREN;
+            let update = if i % 2 == 0 {
+                Update::InsertLeaf {
+                    parent: NodeId::from_raw(1 + 3 * child),
+                    id: NodeId::fresh(),
+                    label: Label::new("v"),
+                }
+            } else {
+                Update::Relabel {
+                    node: NodeId::from_raw(3 + 3 * child),
+                    label: Label::new(relabels[(i as usize / 2) % relabels.len()]),
+                }
+            };
+            Request { doc: id, updates: vec![update] }
+        })
+        .collect();
+
+    let reference = mk();
+    let ref_verdicts = reference.process(&requests, 1);
+    assert!(ref_verdicts.iter().all(Verdict::is_accepted), "the engineered stream is compliant");
+
+    for workers in [1usize, 8] {
+        let gw = mk();
+        let verdicts = gw.process_throughput(&requests, workers, &ThroughputOptions::default());
+        assert_eq!(
+            render_log(&requests, &verdicts),
+            render_log(&requests, &ref_verdicts),
+            "hot-document log diverged at {workers} workers"
+        );
+        let stats = gw.coalesce_stats();
+        assert!(stats.commits > 0, "disjoint sibling runs must coalesce: {stats:?}");
+        assert_eq!(stats.attempts, stats.commits, "every offered run is mergeable: {stats:?}");
+        assert!(stats.batches >= 2 * stats.commits, "merged runs hold ≥ 2 batches: {stats:?}");
+        let snap = gw.snapshot(id).unwrap();
+        assert_eq!(snap.render(), reference.snapshot(id).unwrap().render());
+        assert_eq!(gw.certificate(id).unwrap(), reference.certificate(id).unwrap());
+        gw.certificate(id).unwrap().verify(KEY, &snap).unwrap();
+    }
+}
