@@ -13,6 +13,7 @@
 //! * `XUC_BENCH_JSON=<path>` — where to write the machine-readable results
 //!   (default `BENCH_results.json` in the working directory).
 
+use std::sync::Arc;
 use xuc_automata::PatternSetCompiler;
 use xuc_bench as wl;
 use xuc_bench::load::{saturation_throughput, simulate, SimConfig};
@@ -21,7 +22,8 @@ use xuc_core::{implication, instance};
 use xuc_service::workload::{seeded_arrivals, seeded_zipf_requests};
 use xuc_service::{
     admit, admit_delta, admit_delta_in_place, render_arrival_log, render_log, AdmissionMode, DocId,
-    DurableOptions, Gateway, LoadOptions, Request, SuiteCache, ThroughputOptions, Verdict,
+    DurableOptions, Gateway, LoadOptions, Request, SuiteCache, Telemetry, ThroughputOptions,
+    Verdict,
 };
 use xuc_sigstore::Signer;
 use xuc_xpath::Evaluator;
@@ -1169,6 +1171,170 @@ fn main() {
             ),
         );
         rep.metric("E-LOAD", "coalesce_wallclock_ratio", sequential / coalesced);
+    }
+
+    rep.header(
+        "E-OBS",
+        "telemetry: commit stage attribution and instrumentation overhead",
+        "observationally inert; instrumented throughput ≥ 0.95× uninstrumented",
+    );
+    {
+        // Stage-attribution arm: the E-LOAD deployment (64-child wide
+        // documents, 17-pattern all-linear suite) and its skew-0.99
+        // Zipfian stream, drained through *instrumented* gateways at
+        // coalescing windows 1 and 8. The attached telemetry must be
+        // inert (log byte-identical to the uninstrumented reference) and
+        // the per-stage breakdown shows where admission time goes and
+        // how the merged fast path moves it.
+        let mut term = String::from("h(");
+        for i in 0..64u64 {
+            term.push_str(&format!("p#{}(v#{}),", 1 + 2 * i, 2 + 2 * i));
+        }
+        term.pop();
+        term.push(')');
+        let tree = xuc_xtree::parse_term(&term).expect("static");
+        let mut suite = vec![xuc_core::parse_constraint("(/p/v, ↑)").expect("static")];
+        suite.extend(
+            xuc_workloads::queries::overlapping_prefix_suite(&["p", "v"], 16, 4)
+                .into_iter()
+                .map(xuc_core::Constraint::no_remove),
+        );
+        let docs: Vec<(DocId, DataTree)> =
+            (0..8).map(|i| (DocId::new(&format!("obs-{i}")), tree.clone())).collect();
+        let fresh = || {
+            let gw = Gateway::new(Signer::new(0x0B5E));
+            for (id, t) in &docs {
+                gw.publish(*id, t.clone(), suite.clone()).expect("fresh gateway");
+            }
+            gw
+        };
+        let doc_refs: Vec<(DocId, &DataTree)> = docs.iter().map(|(id, t)| (*id, t)).collect();
+        let stream_len = if rep.smoke { 120usize } else { 360 };
+        let stream = seeded_zipf_requests(&doc_refs, &["v", "w"], 0xE10A_5EED, stream_len, 99);
+        let reference = render_log(&stream, &fresh().process(&stream, 1));
+        for &max_coalesce in &[1usize, 8] {
+            let gw = fresh();
+            let tel = Arc::new(Telemetry::new());
+            gw.attach_telemetry(Arc::clone(&tel));
+            let verdicts = gw.process_throughput(&stream, 2, &ThroughputOptions { max_coalesce });
+            assert_eq!(
+                render_log(&stream, &verdicts),
+                reference,
+                "telemetry must be inert at window {max_coalesce}"
+            );
+            if max_coalesce > 1 {
+                assert!(
+                    gw.coalesce_stats().attempts > 0,
+                    "the hot-document stream must offer the coalescer runs"
+                );
+            }
+            gw.record_metrics();
+            let rows = tel.stages().rows();
+            let total_us = tel.stages().total_micros().max(1) as f64;
+            let spans: u64 = rows.iter().map(|r| r.count).sum();
+            assert!(spans > 0, "instrumented drain must record stage spans");
+            for r in &rows {
+                rep.row(
+                    "E-OBS",
+                    &format!("{}_us", r.stage.name()),
+                    max_coalesce,
+                    r.total_micros as f64,
+                    &format!(
+                        "{} spans ({:.1}%)",
+                        r.count,
+                        100.0 * r.total_micros as f64 / total_us
+                    ),
+                );
+                rep.metric(
+                    "E-OBS",
+                    &format!("stage_share_{}_mc{max_coalesce}", r.stage.name()),
+                    r.total_micros as f64 / total_us,
+                );
+            }
+            rep.metric("E-OBS", &format!("spans_total_mc{max_coalesce}"), spans as f64);
+            println!(
+                "   window {max_coalesce}: {spans} spans attributed, ring dropped {}",
+                tel.ring().dropped()
+            );
+        }
+
+        // Overhead arm: the E-SVC gateway stream drained with and
+        // without an attached telemetry bundle, samples interleaved so
+        // machine drift hits both arms equally. This floor is a HARD
+        // assertion even in smoke mode — telemetry cheap enough to leave
+        // on is the whole point, so a regression here fails the run
+        // everywhere.
+        let n_requests = if rep.smoke { 720usize } else { 1200 };
+        let (svc_docs, svc_requests) = wl::esvc_gateway_workload(n_requests);
+        let drain = |instrument: bool| -> f64 {
+            let gw = Gateway::new(Signer::new(0x0B5E));
+            if instrument {
+                gw.attach_telemetry(Arc::new(Telemetry::new()));
+            }
+            for (id, tree, suite) in &svc_docs {
+                gw.publish(*id, tree.clone(), suite.clone()).expect("fresh gateway");
+            }
+            let t0 = std::time::Instant::now();
+            let verdicts = gw.process_throughput(&svc_requests, 2, &ThroughputOptions::default());
+            let micros = t0.elapsed().as_secs_f64() * 1e6;
+            assert_eq!(verdicts.len(), svc_requests.len());
+            micros
+        };
+        let runs = if rep.smoke { 9 } else { 15 };
+        // Warm-up pair (discarded): faults in both arms' code paths and
+        // allocator arenas before anything is measured.
+        drain(false);
+        drain(true);
+        // One sampling round: `runs` paired measurements — both arms
+        // back-to-back per iteration, order alternating so cache and
+        // allocator warm-up cannot systematically favor one. The
+        // asserted statistic is **min over min**: each arm's fastest
+        // achievable drain. Sustained-throughput noise is one-sided
+        // (preemption, frequency dips, ring cold misses only ever ADD
+        // time), so the minimum estimates each arm's intrinsic cost and
+        // the ratio of minimums the intrinsic overhead — medians and
+        // means keep the scheduler's fat tail in the comparison.
+        let mut plain_samples = Vec::new();
+        let mut instr_samples = Vec::new();
+        let fastest = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
+        let round = |plain: &mut Vec<f64>, instr: &mut Vec<f64>| {
+            for i in 0..runs {
+                let first_instrumented = i % 2 == 0;
+                let a = drain(first_instrumented);
+                let b = drain(!first_instrumented);
+                let (p, q) = if first_instrumented { (b, a) } else { (a, b) };
+                plain.push(p);
+                instr.push(q);
+            }
+        };
+        // Up to three rounds; adding samples can only sharpen both
+        // minimums, so the loop stops at the first ratio clearing the
+        // floor. A genuine overhead regression fails *every* round,
+        // which is exactly the condition the floor exists to catch.
+        let mut ratio = 0.0f64;
+        for _ in 0..3 {
+            if ratio >= 0.95 {
+                break;
+            }
+            round(&mut plain_samples, &mut instr_samples);
+            ratio = fastest(&plain_samples) / fastest(&instr_samples);
+        }
+        let (plain_us, instr_us) = (fastest(&plain_samples), fastest(&instr_samples));
+        rep.row("E-OBS", "overhead_plain", n_requests, plain_us, "uninstrumented drain");
+        rep.row(
+            "E-OBS",
+            "overhead_instrumented",
+            n_requests,
+            instr_us,
+            &format!("telemetry attached ({ratio:.2}x throughput)"),
+        );
+        rep.metric("E-OBS", "overhead_throughput_ratio", ratio);
+        assert!(
+            ratio >= 0.95,
+            "instrumented throughput fell below the 0.95x floor: {ratio:.3} \
+             ({instr_us:.0} µs vs {plain_us:.0} µs)"
+        );
+        println!("   overhead: instrumented throughput {ratio:.2}x uninstrumented (floor 0.95) ✓");
     }
 
     println!();

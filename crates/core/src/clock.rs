@@ -1,0 +1,137 @@
+//! The workspace's one time abstraction.
+//!
+//! Every subsystem that touches time — persist's retry backoff, the
+//! bench harness, telemetry's stage tracer — injects a [`Clock`] instead
+//! of calling `std::time` directly, so tests swap in a [`VirtualClock`]
+//! and run the exact production code path at full speed while asserting
+//! the schedule that *would* have been slept. The trait lived in
+//! `xuc-persist` while retrying was its only customer; it is hoisted
+//! here so persist, bench, and telemetry share one abstraction
+//! (`xuc_persist::Clock` re-exports this type for compatibility).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// An injectable time source: a monotonic microsecond reading plus the
+/// ability to sleep. Implementations must keep `now_micros` monotonic
+/// non-decreasing; nothing requires it to track wall-clock time — the
+/// zero point is implementation-defined (process start for
+/// [`SystemClock`], construction for [`VirtualClock`]).
+pub trait Clock {
+    /// Microseconds since this clock's zero point. Monotonic.
+    fn now_micros(&self) -> u64;
+
+    fn sleep_micros(&self, micros: u64);
+}
+
+/// Shared clocks tick through the `Arc` — callers hand a gateway a
+/// `Box<Arc<VirtualClock>>` and keep a handle to read the schedule back.
+impl<C: Clock + ?Sized> Clock for std::sync::Arc<C> {
+    fn now_micros(&self) -> u64 {
+        (**self).now_micros()
+    }
+
+    fn sleep_micros(&self, micros: u64) {
+        (**self).sleep_micros(micros);
+    }
+}
+
+/// Process-wide monotonic anchor shared by every `SystemClock` value, so
+/// readings from independently-constructed clocks are comparable.
+fn process_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Wall-clock time — what production uses. `now_micros` reads a
+/// monotonic clock anchored at the first use in the process; sleeps
+/// really sleep.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now_micros(&self) -> u64 {
+        process_epoch().elapsed().as_micros() as u64
+    }
+
+    fn sleep_micros(&self, micros: u64) {
+        if micros > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(micros));
+        }
+    }
+}
+
+/// Records requested sleeps instead of performing them, and serves a
+/// virtual `now` that advances only through those sleeps and explicit
+/// [`advance_micros`](VirtualClock::advance_micros) calls. Tests assert
+/// backoff schedules from `slept_micros` and drive span timings by
+/// advancing between tracer calls — deterministically, at full speed.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    slept: AtomicU64,
+    advanced: AtomicU64,
+}
+
+impl VirtualClock {
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// Total microseconds callers asked to sleep.
+    pub fn slept_micros(&self) -> u64 {
+        self.slept.load(Ordering::Relaxed)
+    }
+
+    /// Moves virtual time forward without anyone sleeping — how tests
+    /// give successive `now_micros` readings a known separation.
+    pub fn advance_micros(&self, micros: u64) {
+        self.advanced.fetch_add(micros, Ordering::Relaxed);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_micros(&self) -> u64 {
+        // Sleeps advance virtual time too: a retry loop that sleeps
+        // 700µs observes 700µs elapsed, same as production.
+        self.slept.load(Ordering::Relaxed) + self.advanced.load(Ordering::Relaxed)
+    }
+
+    fn sleep_micros(&self, micros: u64) {
+        self.slept.fetch_add(micros, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotonic_and_shared_across_values() {
+        let a = SystemClock;
+        let b = SystemClock;
+        let t0 = a.now_micros();
+        let t1 = b.now_micros();
+        assert!(t1 >= t0, "independent SystemClock values share one epoch");
+    }
+
+    #[test]
+    fn virtual_clock_advances_by_sleeps_and_explicit_steps() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now_micros(), 0);
+        c.sleep_micros(250);
+        assert_eq!((c.now_micros(), c.slept_micros()), (250, 250));
+        c.advance_micros(50);
+        assert_eq!(c.now_micros(), 300, "advance moves now but not slept");
+        assert_eq!(c.slept_micros(), 250);
+    }
+
+    #[test]
+    fn arc_blanket_forwards_both_methods() {
+        let c = std::sync::Arc::new(VirtualClock::new());
+        let as_clock: &dyn Clock = &c;
+        as_clock.sleep_micros(10);
+        assert_eq!(as_clock.now_micros(), 10);
+        assert_eq!(c.slept_micros(), 10);
+    }
+}

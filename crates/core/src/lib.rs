@@ -26,6 +26,7 @@
 //! [`Outcome::Unknown`] rather than guessing; every `NotImplied` outcome
 //! carries a machine-checked counterexample.
 
+pub mod clock;
 pub mod constraint;
 pub mod construct;
 pub mod implication;
@@ -33,6 +34,7 @@ pub mod instance;
 pub mod outcome;
 pub mod relative;
 
+pub use clock::{Clock, SystemClock, VirtualClock};
 pub use constraint::{parse_constraint, Constraint, ConstraintKind, Violation};
 pub use implication::{implies, implies_with, ImplicationConfig};
 pub use instance::{implies_on, implies_on_with};

@@ -28,6 +28,7 @@
 pub mod codec;
 pub mod retry;
 pub mod snapshot;
+pub mod stats;
 pub mod wal;
 
 pub use codec::{
@@ -40,6 +41,7 @@ pub use retry::{
     VirtualClock,
 };
 pub use snapshot::{read_snapshot, read_snapshots, snapshot_path, write_snapshot, DocSnapshot};
+pub use stats::{persist_counters, PersistCounters};
 pub use wal::{read_wal, WalRecord, WalScan, WalWriter, WriteFault};
 
 use std::fmt;

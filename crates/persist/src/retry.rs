@@ -17,7 +17,12 @@
 //!   slept).
 
 use std::io;
-use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Re-exported from `xuc-core` (the clock abstraction was hoisted there
+/// once telemetry and bench became customers too); existing
+/// `xuc_persist::{Clock, SystemClock, VirtualClock}` imports keep
+/// working.
+pub use xuc_core::clock::{Clock, SystemClock, VirtualClock};
 
 /// How severe an IO error is for the caller's retry decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,56 +84,6 @@ impl Default for RetryPolicy {
     }
 }
 
-/// The retry loop's time source. Injectable so the loop is testable (and
-/// deterministic) without real sleeping.
-pub trait Clock {
-    fn sleep_micros(&self, micros: u64);
-}
-
-/// Shared clocks tick through the `Arc` — callers hand a gateway a
-/// `Box<Arc<VirtualClock>>` and keep a handle to read the schedule back.
-impl<C: Clock + ?Sized> Clock for std::sync::Arc<C> {
-    fn sleep_micros(&self, micros: u64) {
-        (**self).sleep_micros(micros);
-    }
-}
-
-/// Wall-clock sleeping — what production uses.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct SystemClock;
-
-impl Clock for SystemClock {
-    fn sleep_micros(&self, micros: u64) {
-        if micros > 0 {
-            std::thread::sleep(std::time::Duration::from_micros(micros));
-        }
-    }
-}
-
-/// Records requested sleeps instead of performing them. Tests assert the
-/// backoff schedule from `slept_micros` while running at full speed.
-#[derive(Debug, Default)]
-pub struct VirtualClock {
-    slept: AtomicU64,
-}
-
-impl VirtualClock {
-    pub fn new() -> VirtualClock {
-        VirtualClock::default()
-    }
-
-    /// Total microseconds the retry loop asked to sleep.
-    pub fn slept_micros(&self) -> u64 {
-        self.slept.load(Ordering::Relaxed)
-    }
-}
-
-impl Clock for VirtualClock {
-    fn sleep_micros(&self, micros: u64) {
-        self.slept.fetch_add(micros, Ordering::Relaxed);
-    }
-}
-
 /// A successful (possibly retried) operation: the value plus how many
 /// transient failures were absorbed on the way.
 #[derive(Debug)]
@@ -184,10 +139,14 @@ pub fn retry_io<T>(
             Err(error) => {
                 let class = classify(&error);
                 if class == FaultClass::Fatal || retries + 1 >= attempts {
+                    if class == FaultClass::Fatal {
+                        crate::stats::bump(&crate::stats::FAULTS_FATAL, 1);
+                    }
                     return Err(IoFailure { error, class, retries });
                 }
                 clock.sleep_micros(policy.backoff_micros(retries));
                 retries += 1;
+                crate::stats::bump(&crate::stats::RETRIES_TRANSIENT, 1);
             }
         }
     }

@@ -96,7 +96,9 @@ pub fn write_snapshot(dir: &Path, snap: &DocSnapshot) -> io::Result<()> {
         f.write_all(&bytes)?;
         f.sync_all()?;
     }
-    std::fs::rename(&tmp, &path)
+    std::fs::rename(&tmp, &path)?;
+    crate::stats::bump(&crate::stats::SNAPSHOT_INSTALLS, 1);
+    Ok(())
 }
 
 /// Reads one snapshot file, validating magic, length and checksum.

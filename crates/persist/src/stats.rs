@@ -1,0 +1,63 @@
+//! Process-global durability counters: WAL traffic, fsync/flush
+//! volume, retry absorption, snapshot installs and truncations.
+//!
+//! Same pattern as `xuc_xpath::stats`: this crate sits below telemetry
+//! in the dependency graph, so it bumps plain process-wide atomics and
+//! the service layer scrapes [`persist_counters`] into the
+//! `MetricsRegistry` at snapshot points. Frame and byte totals are pure
+//! functions of the committed stream (deterministic at any worker
+//! count); flush/fsync counts and retry totals depend on how appends
+//! from different documents interleave into group-commit buffers and
+//! on live-disk behaviour, so their scraped metrics are classified
+//! scheduling-dependent.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub(crate) static WAL_FRAMES: AtomicU64 = AtomicU64::new(0);
+pub(crate) static WAL_BYTES: AtomicU64 = AtomicU64::new(0);
+pub(crate) static WAL_FLUSHES: AtomicU64 = AtomicU64::new(0);
+pub(crate) static WAL_FSYNCS: AtomicU64 = AtomicU64::new(0);
+pub(crate) static WAL_TRUNCATIONS: AtomicU64 = AtomicU64::new(0);
+pub(crate) static SNAPSHOT_INSTALLS: AtomicU64 = AtomicU64::new(0);
+pub(crate) static RETRIES_TRANSIENT: AtomicU64 = AtomicU64::new(0);
+pub(crate) static FAULTS_FATAL: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) fn bump(counter: &AtomicU64, n: u64) {
+    counter.fetch_add(n, Ordering::Relaxed);
+}
+
+/// A point-in-time reading of the durability counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PersistCounters {
+    /// Frames appended to any WAL (publish + commit records).
+    pub wal_frames: u64,
+    /// Bytes appended (frame headers included).
+    pub wal_bytes: u64,
+    /// Group-commit buffer flushes that wrote at least one frame.
+    pub wal_flushes: u64,
+    /// Durability fsyncs (`sync_all` on the log: flushes + truncations).
+    pub wal_fsyncs: u64,
+    /// Whole-log truncations (every logged document snapshot-covered).
+    pub wal_truncations: u64,
+    /// Atomically installed document snapshots.
+    pub snapshot_installs: u64,
+    /// Transient IO failures absorbed by the retry loop.
+    pub retries_transient: u64,
+    /// Fatal IO faults surfaced to escalation.
+    pub faults_fatal: u64,
+}
+
+/// Reads all durability counters. Totals are process-lifetime; diff two
+/// readings to scope a measurement.
+pub fn persist_counters() -> PersistCounters {
+    PersistCounters {
+        wal_frames: WAL_FRAMES.load(Ordering::Relaxed),
+        wal_bytes: WAL_BYTES.load(Ordering::Relaxed),
+        wal_flushes: WAL_FLUSHES.load(Ordering::Relaxed),
+        wal_fsyncs: WAL_FSYNCS.load(Ordering::Relaxed),
+        wal_truncations: WAL_TRUNCATIONS.load(Ordering::Relaxed),
+        snapshot_installs: SNAPSHOT_INSTALLS.load(Ordering::Relaxed),
+        retries_transient: RETRIES_TRANSIENT.load(Ordering::Relaxed),
+        faults_fatal: FAULTS_FATAL.load(Ordering::Relaxed),
+    }
+}

@@ -282,6 +282,8 @@ impl WalWriter {
     /// buffer once it holds `group_commit` frames.
     pub fn append(&mut self, record: &WalRecord) -> io::Result<()> {
         let payload = record.encode();
+        crate::stats::bump(&crate::stats::WAL_FRAMES, 1);
+        crate::stats::bump(&crate::stats::WAL_BYTES, 12 + payload.len() as u64);
         self.last_frame_start = self.len + self.pending.len() as u64;
         self.pending.extend_from_slice(
             &u32::try_from(payload.len()).expect("payload fits u32").to_le_bytes(),
@@ -313,6 +315,8 @@ impl WalWriter {
         self.file.seek(SeekFrom::Start(self.len))?;
         self.file.write_all(&self.pending)?;
         self.file.sync_all()?;
+        crate::stats::bump(&crate::stats::WAL_FLUSHES, 1);
+        crate::stats::bump(&crate::stats::WAL_FSYNCS, 1);
         self.len += self.pending.len() as u64;
         self.pending.clear();
         self.pending_frames = 0;
@@ -401,6 +405,8 @@ impl WalWriter {
         self.file.seek(SeekFrom::Start(0))?;
         self.file.write_all(WAL_MAGIC)?;
         self.file.sync_all()?;
+        crate::stats::bump(&crate::stats::WAL_TRUNCATIONS, 1);
+        crate::stats::bump(&crate::stats::WAL_FSYNCS, 1);
         self.len = WAL_MAGIC.len() as u64;
         self.last_frame_start = self.len;
         Ok(())

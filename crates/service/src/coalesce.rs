@@ -56,6 +56,7 @@ use crate::Request;
 use std::collections::{BTreeSet, HashMap};
 use xuc_core::ConstraintKind;
 use xuc_sigstore::{Certificate, Signer};
+use xuc_telemetry::{Stage, Telemetry};
 use xuc_xtree::{apply_undoable, DirtyRegion, NodeId, NodeRef, Undo, Update};
 
 /// What [`try_coalesce`] did with a run of batches.
@@ -122,6 +123,8 @@ pub(crate) fn try_coalesce(
     doc: &mut Document,
     signer: &Signer,
     batches: &[&Request],
+    tel: Option<&Telemetry>,
+    tag: u16,
 ) -> CoalesceOutcome {
     debug_assert!(batches.len() >= 2, "a run of one is just submit");
     let mut undo_stack: Vec<Undo> = Vec::new();
@@ -132,6 +135,14 @@ pub(crate) fn try_coalesce(
         unwind_batch(doc, undo_stack);
         CoalesceOutcome::Sequential
     };
+
+    // Stage attribution (observationally inert, like the session path):
+    // one Apply span per batch (probe + edits + evaluator re-sync) and
+    // one DirtyAccumulate span per batch (the region merge) — splitting
+    // per update would put two clock reads inside the innermost loop.
+    // Spans open at a bail are simply dropped: a declined attempt's
+    // re-admission is attributed by the sequential path that follows.
+    let mut apply_started = tel.map(|t| t.now_micros());
 
     // Gate 1+2: apply every batch, probing each update against the
     // merged region of earlier batches and claiming its footprint.
@@ -182,7 +193,15 @@ pub(crate) fn try_coalesce(
                 }
             }
         }
-        merged.merge(&doc.tree, &region);
+        if let (Some(t), Some(started)) = (tel, apply_started) {
+            t.record_stage(Stage::Apply, tag, started);
+            let merge_started = t.now_micros();
+            merged.merge(&doc.tree, &region);
+            t.record_stage(Stage::DirtyAccumulate, tag, merge_started);
+            apply_started = Some(t.now_micros());
+        } else {
+            merged.merge(&doc.tree, &region);
+        }
     }
     if merged.is_full() {
         return bail(doc, &mut undo_stack);
@@ -192,12 +211,16 @@ pub(crate) fn try_coalesce(
     // fallback, stale, or dirty-region-too-large) leaves the baselines
     // untouched — the sequential path will run its own full passes.
     let compiled = doc.compiled.clone();
-    let Some(journal) = doc.ev.eval_set_splice(&*compiled, &merged, &mut doc.base_sets) else {
+    let splice = Telemetry::time(tel, Stage::Splice, tag, || {
+        doc.ev.eval_set_splice(&*compiled, &merged, &mut doc.base_sets)
+    });
+    let Some(journal) = splice else {
         return bail(doc, &mut undo_stack);
     };
 
     // Gate 2+3: attribute every net change to its owning batch and
     // judge each batch's constraints on its own attributed delta.
+    let verdict_started = tel.map(|t| t.now_micros());
     let patterns = doc.suite.len();
     let mut removed_by: Vec<Vec<Vec<NodeRef>>> = vec![vec![Vec::new(); patterns]; batches.len()];
     let mut added_by: Vec<Vec<Vec<NodeRef>>> = vec![vec![Vec::new(); patterns]; batches.len()];
@@ -223,6 +246,10 @@ pub(crate) fn try_coalesce(
         journal.revert(&mut doc.base_sets);
         return bail(doc, &mut undo_stack);
     }
+    if let (Some(t), Some(started)) = (tel, verdict_started) {
+        t.record_stage(Stage::Verdict, tag, started);
+    }
+    let certify_started = tel.map(|t| t.now_micros());
 
     // All accepted. Rewind the final sets to the pre-run baselines, then
     // replay each batch's attributed delta to recover its own admission
@@ -259,5 +286,8 @@ pub(crate) fn try_coalesce(
         "replaying every batch's attributed delta must land on the spliced sets"
     );
     doc.cert = out.last().expect("at least two batches").1.clone();
+    if let (Some(t), Some(started)) = (tel, certify_started) {
+        t.record_stage(Stage::Certify, tag, started);
+    }
     CoalesceOutcome::Committed(out)
 }

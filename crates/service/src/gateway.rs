@@ -18,7 +18,7 @@
 //! * commit numbers are per-document counters advanced in that fixed
 //!   order, so even the `commit=` fields of the log are scheduling-free;
 //! * fresh node ids are minted by the *client* (requests carry concrete
-//!   [`Update`](xuc_xtree::Update) values), not by workers — nothing
+//!   [`Update`] values), not by workers — nothing
 //!   about a verdict or a log line depends on which thread ran it.
 //!
 //! Cross-document interleaving is where the parallelism lives: documents
@@ -32,16 +32,19 @@ use crate::persist::{
 };
 use crate::session::{AdmissionMode, Session};
 use crate::store::{shard_of, Document, DocumentStore, PublishError, STORE_SHARDS};
+use crate::telemetry::ServiceMetrics;
 use crate::{DegradedReason, DocId, RejectReason, Request, Verdict};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{self, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use xuc_core::Constraint;
 use xuc_persist::{Clock, SystemClock, WriteFault};
 use xuc_sigstore::{Certificate, Signer};
-use xuc_xtree::DataTree;
+use xuc_telemetry::{RecordInto, Stage, Telemetry};
+use xuc_xtree::{DataTree, Update};
 
 /// Serving health of a [`Gateway`] — the degraded-mode state machine
 /// (DESIGN.md §9). Transitions: `Serving → ReadOnly` on a fatal journal
@@ -146,6 +149,12 @@ pub struct Gateway {
     coalesce_commits: AtomicU64,
     /// Batches those merged passes admitted.
     coalesce_batches: AtomicU64,
+    /// The attached observability bundle, if any
+    /// ([`Gateway::attach_telemetry`]): pre-registered metric handles
+    /// plus the shared registry / stage table / trace ring. Never
+    /// consulted for an admission decision — telemetry is
+    /// observationally inert by contract.
+    telemetry: OnceLock<ServiceMetrics>,
     /// Test hook: documents whose next N sessions panic mid-request
     /// ([`Gateway::inject_session_panic`]).
     #[cfg(any(test, feature = "test-hooks"))]
@@ -191,6 +200,7 @@ impl Gateway {
             coalesce_attempts: AtomicU64::new(0),
             coalesce_commits: AtomicU64::new(0),
             coalesce_batches: AtomicU64::new(0),
+            telemetry: OnceLock::new(),
             #[cfg(any(test, feature = "test-hooks"))]
             panic_injections: Mutex::new(HashMap::new()),
         }
@@ -236,6 +246,43 @@ impl Gateway {
         self.journal.is_some()
     }
 
+    /// Attaches an observability bundle: registers the gateway's metric
+    /// set in `tel`'s registry and starts attributing admission stages
+    /// to its stage table and trace ring. First attach wins (`true`);
+    /// later calls are ignored (`false`).
+    ///
+    /// Telemetry is **observationally inert**: verdict logs, trees,
+    /// baselines and certificate chains are byte-identical with and
+    /// without it, at every worker count — pinned by the differential
+    /// suites. The only side effects are relaxed atomic adds and clock
+    /// reads.
+    pub fn attach_telemetry(&self, tel: Arc<Telemetry>) -> bool {
+        self.telemetry.set(ServiceMetrics::new(tel)).is_ok()
+    }
+
+    /// The attached telemetry bundle, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.get().map(|m| &m.tel)
+    }
+
+    pub(crate) fn metrics(&self) -> Option<&ServiceMetrics> {
+        self.telemetry.get()
+    }
+
+    /// Folds everything that does not stream through the registry into
+    /// it: the coalesce counters plus the process-global XPath-engine
+    /// and durability counters ([`crate::telemetry::scrape_engine_metrics`],
+    /// [`crate::telemetry::scrape_persist_metrics`]). Call at snapshot
+    /// points (before [`xuc_telemetry::MetricsRegistry::snapshot`]); a
+    /// no-op without attached telemetry.
+    pub fn record_metrics(&self) {
+        let Some(m) = self.metrics() else { return };
+        let reg = m.tel.registry();
+        self.coalesce_stats().record_into(reg);
+        crate::telemetry::scrape_engine_metrics(reg);
+        crate::telemetry::scrape_persist_metrics(reg);
+    }
+
     /// The gateway's serving health — see [`GatewayState`].
     pub fn state(&self) -> GatewayState {
         match self.state.load(Ordering::Acquire) {
@@ -273,6 +320,9 @@ impl Gateway {
             .is_ok()
         {
             *slot = Some(fault);
+            if let Some(m) = self.metrics() {
+                m.note_degraded_transition();
+            }
         }
     }
 
@@ -294,6 +344,9 @@ impl Gateway {
         let prev = self.state.swap(STATE_HALTED, Ordering::AcqRel);
         if prev != STATE_HALTED {
             *slot = Some(format!("halted: {reason}"));
+            if let Some(m) = self.metrics() {
+                m.note_halt();
+            }
         }
         drop(slot);
         if let Some(journal) = &self.journal {
@@ -325,6 +378,9 @@ impl Gateway {
         match journal.resume(&self.store) {
             Ok(()) => {
                 self.state.store(STATE_SERVING, Ordering::Release);
+                if let Some(m) = self.metrics() {
+                    m.note_resume();
+                }
                 Ok(())
             }
             Err(e) => {
@@ -367,7 +423,16 @@ impl Gateway {
     }
 
     fn record_contained_panic(&self, doc: DocId) {
-        *self.panic_counts.lock().entry(doc).or_insert(0) += 1;
+        let count = {
+            let mut map = self.panic_counts.lock();
+            let c = map.entry(doc).or_insert(0);
+            *c += 1;
+            *c
+        };
+        if let Some(m) = self.metrics() {
+            let after = self.quarantine_threshold();
+            m.note_contained_panic(after > 0 && count == after);
+        }
     }
 
     /// Serves a read-class request: confirms `doc` exists and the
@@ -377,13 +442,23 @@ impl Gateway {
     /// [`certificate`](Self::certificate) — this is the admission-path
     /// verdict the load harness accounts.
     pub fn read(&self, doc: DocId) -> Verdict {
-        if self.state() == GatewayState::Halted {
-            return Verdict::Rejected(RejectReason::Degraded { reason: DegradedReason::Halted });
-        }
-        if self.store.document(doc).is_some() {
+        let v = if self.state() == GatewayState::Halted {
+            Verdict::Rejected(RejectReason::Degraded { reason: DegradedReason::Halted })
+        } else if self.store.document(doc).is_some() {
             Verdict::Served
         } else {
             Verdict::Rejected(RejectReason::UnknownDocument)
+        };
+        self.note_verdict(&v, doc);
+        v
+    }
+
+    /// Restates one verdict into the attached registry (no-op without
+    /// telemetry); striped by the document's shard so concurrent
+    /// workers stay off each other's counter lines.
+    pub(crate) fn note_verdict(&self, v: &Verdict, doc: DocId) {
+        if let Some(m) = self.metrics() {
+            m.note_verdict(v, shard_of(doc));
         }
     }
 
@@ -514,6 +589,15 @@ impl Gateway {
     /// whole gateway to `ReadOnly` instead of stopping the process (see
     /// [`crate::persist`] and [`GatewayState`]).
     pub fn submit(&self, request: &Request) -> Verdict {
+        let v = self.submit_uncounted(request);
+        self.note_verdict(&v, request.doc);
+        v
+    }
+
+    /// [`submit`](Self::submit) without the verdict-counter bump — the
+    /// counting happens exactly once per verdict, at whichever boundary
+    /// produced it.
+    fn submit_uncounted(&self, request: &Request) -> Verdict {
         if let Some(refused) = self.refusal(request.doc) {
             return refused;
         }
@@ -567,7 +651,10 @@ impl Gateway {
     }
 
     fn submit_locked(&self, doc: &mut Document, request: &Request) -> Verdict {
-        let mut session = Session::begin(doc);
+        let m = self.metrics();
+        let tel = m.map(|m| &*m.tel);
+        let tag = m.map_or(0, ServiceMetrics::next_tag);
+        let mut session = Session::begin_traced(doc, tel, tag);
         for (index, update) in request.updates.iter().enumerate() {
             if let Err(e) = session.apply(update) {
                 // Dropping the session rolls the applied prefix back.
@@ -587,11 +674,14 @@ impl Gateway {
                     // real in memory — it degrades the gateway, and the
                     // unjournaled suffix is covered by resume/recovery
                     // like a lost group-commit buffer.
-                    match journal.log_commit(
+                    match self.log_commit_traced(
+                        journal,
                         request.doc,
                         receipt.commit,
                         &request.updates,
                         doc.certificate(),
+                        tel,
+                        tag,
                     ) {
                         Ok(()) => {
                             if let Err(e) = journal.maybe_snapshot(doc) {
@@ -608,6 +698,36 @@ impl Gateway {
                 offenders: r.offenders,
             }),
         }
+    }
+
+    /// Journals one accepted commit, attributing the span to
+    /// [`Stage::Fsync`] when the append tripped a durability sync (the
+    /// process-global fsync counter moved — a heuristic that can
+    /// misattribute under concurrently-journaling gateways, acceptable
+    /// for an inherently scheduling-dependent stage) and
+    /// [`Stage::JournalAppend`] when it was buffered for group commit.
+    #[allow(clippy::too_many_arguments)]
+    fn log_commit_traced(
+        &self,
+        journal: &Journal,
+        doc: DocId,
+        commit: u64,
+        updates: &[Update],
+        cert: &Certificate,
+        tel: Option<&Telemetry>,
+        tag: u16,
+    ) -> Result<(), JournalError> {
+        let Some(t) = tel else { return journal.log_commit(doc, commit, updates, cert) };
+        let fsyncs_before = xuc_persist::persist_counters().wal_fsyncs;
+        let started = t.now_micros();
+        let out = journal.log_commit(doc, commit, updates, cert);
+        let stage = if xuc_persist::persist_counters().wal_fsyncs > fsyncs_before {
+            Stage::Fsync
+        } else {
+            Stage::JournalAppend
+        };
+        t.record_stage(stage, tag, started);
+        out
     }
 
     /// Drains `requests` over `workers` threads and returns one verdict
@@ -720,8 +840,11 @@ impl Gateway {
             if let Some(doc) = self.store.document(doc_id) {
                 let mut doc = doc.lock();
                 self.coalesce_attempts.fetch_add(1, Ordering::Relaxed);
+                let m = self.metrics();
+                let tel = m.map(|m| &*m.tel);
+                let tag = m.map_or(0, ServiceMetrics::next_tag);
                 if let CoalesceOutcome::Committed(receipts) =
-                    try_coalesce(&mut doc, &self.signer, run)
+                    try_coalesce(&mut doc, &self.signer, run, tel, tag)
                 {
                     self.coalesce_commits.fetch_add(1, Ordering::Relaxed);
                     self.coalesce_batches.fetch_add(run.len() as u64, Ordering::Relaxed);
@@ -733,9 +856,15 @@ impl Gateway {
                         // been admitted sequentially.
                         let mut logged = true;
                         for ((receipt, cert), request) in receipts.iter().zip(run) {
-                            if let Err(e) =
-                                journal.log_commit(doc_id, receipt.commit, &request.updates, cert)
-                            {
+                            if let Err(e) = self.log_commit_traced(
+                                journal,
+                                doc_id,
+                                receipt.commit,
+                                &request.updates,
+                                cert,
+                                tel,
+                                tag,
+                            ) {
                                 self.note_journal_error(e);
                                 logged = false;
                                 break;
@@ -749,15 +878,22 @@ impl Gateway {
                     }
                     return receipts
                         .into_iter()
-                        .map(|(receipt, _)| Verdict::Accepted { commit: receipt.commit })
+                        .map(|(receipt, _)| {
+                            let v = Verdict::Accepted { commit: receipt.commit };
+                            self.note_verdict(&v, doc_id);
+                            v
+                        })
                         .collect();
                 }
                 // Sequential fallback under the lock we already hold.
                 return run
                     .iter()
                     .map(|request| {
-                        self.refusal(doc_id)
-                            .unwrap_or_else(|| self.submit_locked_contained(&mut doc, request))
+                        let v = self
+                            .refusal(doc_id)
+                            .unwrap_or_else(|| self.submit_locked_contained(&mut doc, request));
+                        self.note_verdict(&v, doc_id);
+                        v
                     })
                     .collect();
             }
@@ -819,6 +955,12 @@ impl Gateway {
         for (u, d) in docs.iter().enumerate() {
             ready[shard_of(*d)].lock().push_back(u);
         }
+        let metrics = self.metrics();
+        if let Some(m) = metrics {
+            for q in &ready {
+                m.note_ready_depth(q.lock().len());
+            }
+        }
         let remaining = AtomicUsize::new(requests.len());
 
         let drain = |home: usize| -> Vec<(usize, Verdict)> {
@@ -828,6 +970,15 @@ impl Gateway {
                 for off in 0..STORE_SHARDS {
                     let s = (home + off) % STORE_SHARDS;
                     if let Some(u) = ready[s].lock().pop_front() {
+                        // A claim off the home shard is a steal — the
+                        // temporal freedom this mode trades for
+                        // throughput, counted so load tests can see the
+                        // stealing actually happen.
+                        if off != 0 {
+                            if let Some(m) = metrics {
+                                m.note_steal(home);
+                            }
+                        }
                         claimed = Some(u);
                         break;
                     }
@@ -853,7 +1004,11 @@ impl Gateway {
                 out.extend(run.into_iter().zip(verdicts));
                 remaining.fetch_sub(served, Ordering::AcqRel);
                 if !pending[u].lock().is_empty() {
-                    ready[shard_of(docs[u])].lock().push_back(u);
+                    let mut q = ready[shard_of(docs[u])].lock();
+                    q.push_back(u);
+                    if let Some(m) = metrics {
+                        m.note_ready_depth(q.len());
+                    }
                 }
             }
             out

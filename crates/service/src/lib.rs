@@ -77,6 +77,7 @@ pub mod persist;
 pub mod queue;
 pub mod session;
 pub mod store;
+pub mod telemetry;
 pub mod workload;
 
 pub use cache::SuiteCache;
@@ -87,7 +88,11 @@ pub use session::{
     admit, admit_delta, admit_delta_in_place, AdmissionMode, Commit, Rejection, Session,
 };
 pub use store::{Document, DocumentStore, PublishError};
+pub use telemetry::{scrape_engine_metrics, scrape_persist_metrics};
 pub use xuc_persist::{RetryPolicy, WriteFault};
+pub use xuc_telemetry::{
+    Determinism, MetricsRegistry, MetricsSnapshot, RecordInto, Stage, Telemetry, TraceRing,
+};
 
 use std::fmt;
 use xuc_xtree::{Label, Update};

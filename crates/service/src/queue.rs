@@ -237,6 +237,17 @@ impl Gateway {
     ) -> (Vec<Verdict>, LoadReport) {
         let workers = workers.max(1);
         let plan = plan_admission(arrivals, opts);
+        // Shed verdicts never reach `submit`/`read`, so their counters
+        // bump here; the plan is pure, so these counts are deterministic
+        // at every worker count.
+        if self.metrics().is_some() {
+            for (a, p) in arrivals.iter().zip(&plan) {
+                if let Some(cause) = p {
+                    let v = Verdict::Rejected(RejectReason::Overloaded { cause: *cause });
+                    self.note_verdict(&v, a.request.doc);
+                }
+            }
+        }
 
         // Units: each document's *admitted* arrival indices, in order —
         // the same grouping discipline as `Gateway::process`.

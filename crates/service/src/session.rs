@@ -35,6 +35,7 @@ use std::collections::BTreeSet;
 use xuc_automata::CompiledPatternSet;
 use xuc_core::{Constraint, ConstraintKind};
 use xuc_sigstore::Signer;
+use xuc_telemetry::{Stage, Telemetry};
 use xuc_xpath::{Evaluator, SpliceJournal};
 use xuc_xtree::{apply_undoable, undo, DirtyRegion, NodeRef, Undo, Update, UpdateError};
 
@@ -81,9 +82,43 @@ pub fn admit(
     suite: &[Constraint],
     base_sets: &[BTreeSet<NodeRef>],
 ) -> Result<Vec<BTreeSet<NodeRef>>, Rejection> {
+    admit_traced(ev, compiled, suite, base_sets, None, 0)
+}
+
+/// [`admit`] with optional stage tracing: the full `eval_set` sweep is
+/// attributed to [`Stage::Splice`] (the evaluation stage — splice or
+/// full pass), the Definition 2.3 comparison to [`Stage::Verdict`].
+/// Telemetry is observationally inert: verdicts and returned sets are
+/// those of [`admit`] on every input.
+pub(crate) fn admit_traced(
+    ev: &mut Evaluator,
+    compiled: &CompiledPatternSet,
+    suite: &[Constraint],
+    base_sets: &[BTreeSet<NodeRef>],
+    tel: Option<&Telemetry>,
+    tag: u16,
+) -> Result<Vec<BTreeSet<NodeRef>>, Rejection> {
     debug_assert_eq!(suite.len(), base_sets.len(), "one baseline per constraint");
+    let t0 = tel.map(Telemetry::now_micros);
     let now_sets = ev.eval_set(compiled);
-    check_against_baseline(suite, base_sets, now_sets)
+    // Splice closes and Verdict opens on one shared clock reading — the
+    // read, not the atomics, is the tracer's hot-path cost.
+    let boundary = splice_boundary(tel, tag, t0);
+    let out = check_against_baseline(suite, base_sets, now_sets);
+    if let (Some(t), Some(t1)) = (tel, boundary) {
+        t.record_stage(Stage::Verdict, tag, t1);
+    }
+    out
+}
+
+/// Closes a [`Stage::Splice`] span opened at `t0` and returns the shared
+/// boundary reading that opens the adjacent [`Stage::Verdict`] span.
+fn splice_boundary(tel: Option<&Telemetry>, tag: u16, t0: Option<u64>) -> Option<u64> {
+    tel.map(|t| {
+        let t1 = t.now_micros();
+        t.record_span(Stage::Splice, tag, t1.saturating_sub(t0.unwrap_or(t1)));
+        t1
+    })
 }
 
 /// [`admit`]'s edit-proportional twin: instead of re-sweeping the whole
@@ -136,26 +171,60 @@ pub fn admit_delta_in_place(
     base_sets: &mut Vec<BTreeSet<NodeRef>>,
     region: &DirtyRegion,
 ) -> Result<Option<SpliceJournal>, Rejection> {
+    admit_delta_in_place_traced(ev, compiled, suite, base_sets, region, None, 0)
+}
+
+/// [`admit_delta_in_place`] with optional stage tracing: the splice (or
+/// its full-pass degradation) is attributed to [`Stage::Splice`], the
+/// Definition 2.3 judgement off the journal's net changes (or against
+/// the baseline) to [`Stage::Verdict`]. Telemetry is observationally
+/// inert — verdicts, baselines and journals are those of the untraced
+/// form on every input.
+pub(crate) fn admit_delta_in_place_traced(
+    ev: &mut Evaluator,
+    compiled: &CompiledPatternSet,
+    suite: &[Constraint],
+    base_sets: &mut Vec<BTreeSet<NodeRef>>,
+    region: &DirtyRegion,
+    tel: Option<&Telemetry>,
+    tag: u16,
+) -> Result<Option<SpliceJournal>, Rejection> {
     debug_assert_eq!(suite.len(), base_sets.len(), "one baseline per constraint");
+    let t0 = tel.map(Telemetry::now_micros);
     match ev.eval_set_splice(compiled, region, base_sets) {
         None => {
+            // Degradation: the splice attempt *and* the full pass it
+            // fell back to are one Splice span — what the evaluation
+            // stage cost, not how it got there.
             let now_sets = ev.eval_set(compiled);
-            *base_sets = check_against_baseline(suite, base_sets, now_sets)?;
+            let boundary = splice_boundary(tel, tag, t0);
+            let checked = check_against_baseline(suite, base_sets, now_sets);
+            if let (Some(t), Some(t1)) = (tel, boundary) {
+                t.record_stage(Stage::Verdict, tag, t1);
+            }
+            *base_sets = checked?;
             Ok(None)
         }
         Some(journal) => {
-            for (i, c) in suite.iter().enumerate() {
-                let (net_removed, net_added) = journal.net_changes(i);
-                let offenders = match c.kind {
-                    ConstraintKind::NoRemove => net_removed.len(),
-                    ConstraintKind::NoInsert => net_added.len(),
-                };
-                if offenders > 0 {
-                    journal.revert(base_sets);
-                    return Err(Rejection { constraint: c.clone(), offenders });
+            let boundary = splice_boundary(tel, tag, t0);
+            let judged = (|| {
+                for (i, c) in suite.iter().enumerate() {
+                    let (net_removed, net_added) = journal.net_changes(i);
+                    let offenders = match c.kind {
+                        ConstraintKind::NoRemove => net_removed.len(),
+                        ConstraintKind::NoInsert => net_added.len(),
+                    };
+                    if offenders > 0 {
+                        journal.revert(base_sets);
+                        return Err(Rejection { constraint: c.clone(), offenders });
+                    }
                 }
+                Ok(())
+            })();
+            if let (Some(t), Some(t1)) = (tel, boundary) {
+                t.record_stage(Stage::Verdict, tag, t1);
             }
-            Ok(Some(journal))
+            judged.map(|()| Some(journal))
         }
     }
 }
@@ -196,13 +265,28 @@ pub struct Session<'a> {
     /// against at commit time. Reset (with the undo stack) on rollback.
     region: DirtyRegion,
     open: bool,
+    /// Stage tracer, when the owning gateway has telemetry attached.
+    /// Never consulted for any admission decision.
+    tel: Option<&'a Telemetry>,
+    /// Trace-ring tag correlating this session's spans.
+    tag: u16,
 }
 
 impl<'a> Session<'a> {
     /// Opens a transaction. Free: the baseline range results were cached
     /// by the last commit (or publish), so nothing is evaluated here.
     pub fn begin(doc: &'a mut Document) -> Session<'a> {
-        Session { doc, undo_stack: Vec::new(), region: DirtyRegion::new(), open: true }
+        Session::begin_traced(doc, None, 0)
+    }
+
+    /// [`begin`](Self::begin) with a stage tracer: `apply` and `commit`
+    /// attribute their phases to the [`Stage`] taxonomy under `tag`.
+    pub(crate) fn begin_traced(
+        doc: &'a mut Document,
+        tel: Option<&'a Telemetry>,
+        tag: u16,
+    ) -> Session<'a> {
+        Session { doc, undo_stack: Vec::new(), region: DirtyRegion::new(), open: true, tel, tag }
     }
 
     /// Number of updates applied so far.
@@ -216,21 +300,39 @@ impl<'a> Session<'a> {
     /// stays usable — the caller decides whether to continue or roll
     /// back.
     pub fn apply(&mut self, update: &Update) -> Result<(), UpdateError> {
-        // Capture what a deletion is about to remove, before it happens
-        // (cost proportional to the doomed subtree, like the deletion
-        // itself): the commit-time splice evicts exactly these baseline
-        // entries instead of scanning for absentees.
+        let (tel, tag) = (self.tel, self.tag);
+        let doc = &mut *self.doc;
+        // Stage::Apply covers the footprint probe, the edit and the
+        // evaluator re-sync — everything proportional to the edit;
+        // Stage::DirtyAccumulate the region bookkeeping. The two spans
+        // split on ONE shared boundary reading: the tracer's hot-path
+        // cost is the clock, so adjacent stages never read it twice at
+        // their seam. (A failing apply returns before the boundary and
+        // drops its open span — rejected updates carry no timing.)
+        let t0 = tel.map(Telemetry::now_micros);
+        // Capture what a deletion is about to remove, before it
+        // happens (cost proportional to the doomed subtree, like the
+        // deletion itself): the commit-time splice evicts exactly
+        // these baseline entries instead of scanning for absentees.
         let doomed = match update {
-            Update::DeleteSubtree { node } => self.doc.tree.subtree_nodes(*node).ok(),
-            Update::DeleteNode { node } => self.doc.tree.node(*node).ok().map(|r| vec![r]),
+            Update::DeleteSubtree { node } => doc.tree.subtree_nodes(*node).ok(),
+            Update::DeleteNode { node } => doc.tree.node(*node).ok().map(|r| vec![r]),
             _ => None,
         };
-        let (token, scope) = apply_undoable(&mut self.doc.tree, update)?;
+        let (token, scope) = apply_undoable(&mut doc.tree, update)?;
+        doc.ev.refresh_after(&doc.tree, &scope);
+        let boundary = tel.map(|t| {
+            let t1 = t.now_micros();
+            t.record_span(Stage::Apply, tag, t1.saturating_sub(t0.unwrap_or(t1)));
+            t1
+        });
         if let Some(refs) = doomed {
             self.region.record_removals(&refs);
         }
-        self.doc.ev.refresh_after(&self.doc.tree, &scope);
-        self.region.record(&self.doc.tree, &scope);
+        self.region.record(&doc.tree, &scope);
+        if let (Some(t), Some(t1)) = (tel, boundary) {
+            t.record_stage(Stage::DirtyAccumulate, tag, t1);
+        }
         self.undo_stack.push(token);
         Ok(())
     }
@@ -262,23 +364,31 @@ impl<'a> Session<'a> {
         signer: &Signer,
         mode: AdmissionMode,
     ) -> Result<Commit, Rejection> {
+        let (tel, tag) = (self.tel, self.tag);
         let admitted = match mode {
             // The delta path splices doc.base_sets in place: on success
             // they already ARE the admission pass's fresh range results,
             // on rejection they have been reverted to the committed
             // baselines.
-            AdmissionMode::Delta => admit_delta_in_place(
+            AdmissionMode::Delta => admit_delta_in_place_traced(
                 &mut self.doc.ev,
                 &self.doc.compiled,
                 &self.doc.suite,
                 &mut self.doc.base_sets,
                 &self.region,
+                tel,
+                tag,
             )
             .map(|_journal| ()),
-            AdmissionMode::FullPass => {
-                admit(&mut self.doc.ev, &self.doc.compiled, &self.doc.suite, &self.doc.base_sets)
-                    .map(|now_sets| self.doc.base_sets = now_sets)
-            }
+            AdmissionMode::FullPass => admit_traced(
+                &mut self.doc.ev,
+                &self.doc.compiled,
+                &self.doc.suite,
+                &self.doc.base_sets,
+                tel,
+                tag,
+            )
+            .map(|now_sets| self.doc.base_sets = now_sets),
         };
         match admitted {
             Ok(()) => {
@@ -287,7 +397,10 @@ impl<'a> Session<'a> {
                 // document's certificate history a hash-linked chain
                 // auditable from the journal alone (see `xuc-persist`).
                 let prev = self.doc.cert.digest();
-                self.doc.cert = signer.certify_chained(&self.doc.suite, &self.doc.base_sets, prev);
+                let doc = &mut *self.doc;
+                Telemetry::time(tel, Stage::Certify, tag, || {
+                    doc.cert = signer.certify_chained(&doc.suite, &doc.base_sets, prev);
+                });
                 self.doc.commits += 1;
                 self.open = false;
                 Ok(Commit { commit: self.doc.commits })

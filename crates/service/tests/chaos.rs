@@ -177,12 +177,24 @@ fn transient_fault_schedules_are_byte_identical_to_fault_free() {
     for workers in [1usize, 2, 8] {
         let clock = Arc::new(VirtualClock::new());
         let gw = durable(&format!("trans-{workers}w"), Arc::clone(&clock));
+        // The faulted arms run instrumented: telemetry must stay inert
+        // through the retry loop, and the accept counter must restate
+        // the (fault-free-identical) log.
+        let tel = Arc::new(xuc_service::Telemetry::new());
+        gw.attach_telemetry(Arc::clone(&tel));
         publish_into(&gw, &docs);
         let verdicts = run_with_schedule(&gw, &requests, workers, 8, schedule);
         assert_eq!(
             render_log(&requests, &verdicts),
             ref_log,
             "workers={workers}: log diverged under transient faults"
+        );
+        let accepted = verdicts.iter().filter(|v| v.is_accepted()).count() as u64;
+        let snap = tel.registry().snapshot();
+        assert_eq!(
+            snap.counter("xuc_gateway_commits_accepted_total"),
+            Some(accepted),
+            "workers={workers}: accept counter diverged from the log"
         );
         assert_eq!(gw.state(), GatewayState::Serving, "workers={workers}");
         assert!(!gw.journal_sealed(), "workers={workers}");

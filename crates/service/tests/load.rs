@@ -13,9 +13,10 @@
 //! whose fast path silently never fires proves nothing.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 use xuc_core::{parse_constraint, Constraint, ConstraintKind};
 use xuc_service::workload::seeded_zipf_requests;
-use xuc_service::{render_log, DocId, Gateway, Request, ThroughputOptions, Verdict};
+use xuc_service::{render_log, DocId, Gateway, Request, Telemetry, ThroughputOptions, Verdict};
 use xuc_sigstore::Signer;
 use xuc_xtree::{DataTree, Label, NodeId, NodeRef, Update};
 
@@ -122,15 +123,28 @@ fn throughput_mode_is_differential_to_the_reference_arm() {
         let ref_log = render_log(&requests, &ref_verdicts);
         assert!(ref_log.contains("ACCEPT") && ref_log.contains("REJECT"));
 
+        // Every throughput arm runs *instrumented*: telemetry must be
+        // observationally inert under sustained load, and the
+        // deterministic exposition must be byte-identical across worker
+        // counts just like the verdict log it restates.
         let mut attempts = 0u64;
+        let mut det_exposition: Option<String> = None;
         for workers in [1usize, 2, 8] {
             let ctx = format!("seed {seed:#x} skew {skew_centi} workers {workers}");
             let gw = Gateway::new(Signer::new(KEY));
+            let tel = Arc::new(Telemetry::new());
+            gw.attach_telemetry(Arc::clone(&tel));
             publish_into(&gw, &docs);
             let verdicts = gw.process_throughput(&requests, workers, &ThroughputOptions::default());
             assert_eq!(render_log(&requests, &verdicts), ref_log, "{ctx}: log diverged");
             assert_arms_converged(&gw, &reference, &docs, &ctx);
             attempts += gw.coalesce_stats().attempts;
+            gw.record_metrics();
+            let det = tel.registry().snapshot().exposition_deterministic();
+            match &det_exposition {
+                None => det_exposition = Some(det),
+                Some(first) => assert_eq!(&det, first, "{ctx}: deterministic exposition diverged"),
+            }
         }
         assert!(attempts > 0, "seed {seed:#x}: the coalescer was never even offered a run");
     }

@@ -1,0 +1,224 @@
+//! An HDR-style log-linear latency histogram — the workspace's shared
+//! histogram type.
+//!
+//! Born in `xuc-bench` for the open-loop load harness and promoted here
+//! when the metrics registry became its second customer (`xuc_bench`
+//! re-exports it, so bench-side imports are unchanged). Values
+//! (virtual-time ticks or microseconds) are binned into power-of-two
+//! groups, each split into `2^SUB_BITS = 32` linear sub-buckets, so
+//! every recorded value lands in a bucket whose width is at most `1/32`
+//! of its magnitude: any reported quantile is within ~3.1% relative
+//! error of the exact order statistic (values below 32 are exact).
+//! Recording is O(1), memory is a fixed ~2k-counter table regardless of
+//! range, and histograms [`merge`](LatencyHistogram::merge) by plain
+//! counter addition — which makes merging associative and commutative by
+//! construction (the unit tests pin both against a sorted-vector
+//! oracle).
+
+/// Sub-bucket resolution: 2^5 = 32 linear buckets per power of two.
+const SUB_BITS: u32 = 5;
+const SUB: u64 = 1 << SUB_BITS;
+/// Bucket count for the full `u64` range: the exact region `[0, 32)`
+/// plus `(64 - SUB_BITS)` groups of 32 sub-buckets.
+const BUCKETS: usize = (SUB as usize) * (64 - SUB_BITS as usize + 1);
+
+/// A fixed-size log-linear histogram; see the [module docs](self).
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram { counts: vec![0; BUCKETS], total: 0 }
+    }
+
+    fn index(value: u64) -> usize {
+        if value < SUB {
+            return value as usize;
+        }
+        let exp = 63 - value.leading_zeros() as u64; // ≥ SUB_BITS
+        let group = exp - SUB_BITS as u64;
+        let sub = (value >> group) - SUB; // 0..SUB
+        ((group + 1) * SUB + sub) as usize
+    }
+
+    /// The midpoint of bucket `i` — the value quantiles report. Within
+    /// `1/64` of every value the bucket holds (exact below 32).
+    fn midpoint(i: usize) -> u64 {
+        let i = i as u64;
+        if i < SUB {
+            return i;
+        }
+        let group = i / SUB - 1;
+        let low = (SUB + i % SUB) << group;
+        low + ((1u64 << group) >> 1)
+    }
+
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        self.counts[Self::index(value)] += n;
+        self.total += n;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The value at quantile `q ∈ [0, 1]` (0 on an empty histogram):
+    /// the midpoint of the bucket holding the `⌈q·n⌉`-th smallest
+    /// recorded value, so within ~3.1% relative error of the exact order
+    /// statistic.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::midpoint(i);
+            }
+        }
+        unreachable!("rank {rank} ≤ total {} must land in a bucket", self.total)
+    }
+
+    /// Counter-wise addition: `a.merge(b)` holds every value either
+    /// histogram recorded. Plain addition makes merging associative and
+    /// commutative, so shard-local histograms fold in any order.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Worst-case relative error of a bucket midpoint: half a bucket
+    /// width over the bucket's low edge, `(2^(g-1)) / (32 · 2^g) = 1/64`
+    /// — asserted with integer-rounding slack at `1/32`.
+    const MAX_REL_ERROR: f64 = 1.0 / 32.0;
+
+    fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    fn assert_quantiles_close(values: &[u64], ctx: &str) {
+        let mut hist = LatencyHistogram::new();
+        let mut sorted = values.to_vec();
+        for &v in values {
+            hist.record(v);
+        }
+        sorted.sort_unstable();
+        assert_eq!(hist.count(), values.len() as u64);
+        for q in [0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = oracle_quantile(&sorted, q);
+            let approx = hist.quantile(q);
+            let err = (approx as f64 - exact as f64).abs();
+            let bound = (exact as f64 * MAX_REL_ERROR).max(1.0);
+            assert!(
+                err <= bound,
+                "{ctx}: q{q} approx {approx} vs exact {exact} (err {err:.1} > {bound:.1})"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_track_the_oracle_on_adversarial_distributions() {
+        // Bimodal: a fast mode at ~10 and a slow mode three decades up —
+        // the shape that breaks mean-based summaries.
+        let bimodal: Vec<u64> = (0..2_000)
+            .map(|i| if i % 10 == 9 { 10_000 + (i as u64 % 77) } else { 8 + i as u64 % 5 })
+            .collect();
+        assert_quantiles_close(&bimodal, "bimodal");
+
+        // Heavy tail: latency ~ i^3 — the p999 sits far beyond the p50.
+        let heavy: Vec<u64> = (1..3_000u64).map(|i| (i * i * i) / 1_000 + 1).collect();
+        assert_quantiles_close(&heavy, "heavy-tail");
+
+        // All-equal: every quantile must be the (exactly representable
+        // or 1/32-close) common value.
+        let equal = vec![4_242u64; 1_500];
+        assert_quantiles_close(&equal, "all-equal");
+
+        // Exact region: values below 32 bin exactly.
+        let small: Vec<u64> = (0..640).map(|i| i as u64 % 32).collect();
+        let mut hist = LatencyHistogram::new();
+        for &v in &small {
+            hist.record(v);
+        }
+        assert_eq!(hist.quantile(0.5), 15);
+        assert_eq!(hist.quantile(1.0), 31);
+    }
+
+    #[test]
+    fn empty_histogram_is_inert() {
+        let hist = LatencyHistogram::new();
+        assert_eq!(hist.count(), 0);
+        assert_eq!(hist.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn merge_is_associative_and_equals_pooled_recording() {
+        let pools: [Vec<u64>; 3] = [
+            (0..500).map(|i| 3 + i % 40).collect(),
+            (0..700).map(|i| 1_000 + (i * i) % 9_000).collect(),
+            vec![77; 300],
+        ];
+        let hist_of = |vs: &[u64]| {
+            let mut h = LatencyHistogram::new();
+            for &v in vs {
+                h.record(v);
+            }
+            h
+        };
+        let [a, b, c] = [hist_of(&pools[0]), hist_of(&pools[1]), hist_of(&pools[2])];
+
+        // (a ⊔ b) ⊔ c ≡ a ⊔ (b ⊔ c) ≡ recording the concatenation.
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        let pooled = hist_of(&pools.concat());
+        for h in [&left, &right] {
+            assert_eq!(h.count(), pooled.count());
+            assert_eq!(h.counts, pooled.counts, "merged counter tables must be identical");
+        }
+        for q in [0.1, 0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(left.quantile(q), pooled.quantile(q));
+            assert_eq!(right.quantile(q), pooled.quantile(q));
+        }
+    }
+
+    #[test]
+    fn buckets_cover_the_u64_range() {
+        let mut hist = LatencyHistogram::new();
+        for v in [0u64, 1, 31, 32, 63, 64, 1 << 20, u64::MAX / 2, u64::MAX] {
+            hist.record(v); // must not panic at either extreme
+            let i = LatencyHistogram::index(v);
+            let mid = LatencyHistogram::midpoint(i);
+            let err = mid.abs_diff(v) as f64;
+            assert!(err <= (v as f64 / 32.0).max(1.0), "value {v}: midpoint {mid} too far");
+        }
+        assert_eq!(hist.count(), 9);
+    }
+}

@@ -613,6 +613,7 @@ impl Evaluator {
             !self.stale,
             "Evaluator used after invalidate(): call refresh(&tree) after mutating the tree"
         );
+        crate::stats::bump(&crate::stats::EVAL_SET_SWEEPS, 1);
         let start_idx =
             *self.index_of.get(&start).unwrap_or_else(|| panic!("start node {start} not in tree"))
                 as usize;
@@ -643,6 +644,7 @@ impl Evaluator {
         }
         self.scratch_states = states;
 
+        crate::stats::bump(&crate::stats::FALLBACK_PATTERN_EVALS, set.fallbacks().len() as u64);
         for (i, q) in set.fallbacks() {
             out[*i] = self.eval_at(q, start);
         }
@@ -900,6 +902,22 @@ impl Evaluator {
         region: &DirtyRegion,
         sets: &mut [BTreeSet<NodeRef>],
     ) -> Option<SpliceJournal> {
+        use crate::stats;
+        stats::bump(&stats::SPLICE_ATTEMPTS, 1);
+        let out = self.eval_set_splice_inner(set, region, sets);
+        match &out {
+            Some(_) => stats::bump(&stats::SPLICE_COMMITS, 1),
+            None => stats::bump(&stats::SPLICE_DECLINED, 1),
+        }
+        out
+    }
+
+    fn eval_set_splice_inner<A: PatternSetAutomaton + ?Sized>(
+        &mut self,
+        set: &A,
+        region: &DirtyRegion,
+        sets: &mut [BTreeSet<NodeRef>],
+    ) -> Option<SpliceJournal> {
         assert!(
             !self.stale,
             "Evaluator used after invalidate(): call refresh(&tree) after mutating the tree"
@@ -923,6 +941,8 @@ impl Evaluator {
         if touched.len().saturating_mul(k.max(1)) > 4 * self.n {
             return None;
         }
+        crate::stats::bump(&crate::stats::DIRTY_ROOTS_SWEPT, roots.len() as u64);
+        crate::stats::bump(&crate::stats::DIRTY_NODES_SWEPT, touched.len() as u64);
 
         // 1. Targeted removals: every baseline entry inside a dirty
         //    subtree, under its pre-batch label, plus every deleted ref.

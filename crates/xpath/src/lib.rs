@@ -39,6 +39,7 @@ pub mod intersect;
 pub mod naive;
 pub mod parser;
 pub mod pattern;
+pub mod stats;
 
 pub use containment::{contains, equivalent, homomorphism_exists};
 pub use engine::{Evaluator, PatternSetAutomaton, SpliceJournal};
@@ -48,3 +49,4 @@ pub use fragment::Features;
 pub use intersect::intersect_all;
 pub use parser::{parse, ParseError};
 pub use pattern::{Axis, NodeTest, PIdx, Pattern, PatternBuilder};
+pub use stats::{engine_counters, EngineCounters};

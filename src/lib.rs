@@ -19,6 +19,7 @@
 //! | [`sigstore`] | `xuc-sigstore` | simulated signature enforcement (Figure 1), hash-linked certificate chains |
 //! | [`service`] | `xuc-service` | the Figure 1 gateway as a service: store, sessions, suite cache, worker pool, journal + crash recovery, degraded modes, admission queues |
 //! | [`persist`] | `xuc-persist` | durability mechanisms: WAL framing, snapshots, binary codec, transient-IO retry |
+//! | [`telemetry`] | `xuc-telemetry` | deterministic metrics registry, bounded trace ring, commit stage attribution |
 //! | [`workloads`] | `xuc-workloads` | generators, 3CNF gadgets, paper figures |
 //!
 //! ## Quickstart
@@ -50,6 +51,7 @@ pub use xuc_persist as persist;
 pub use xuc_regular as regular;
 pub use xuc_service as service;
 pub use xuc_sigstore as sigstore;
+pub use xuc_telemetry as telemetry;
 pub use xuc_workloads as workloads;
 pub use xuc_xic as xic;
 pub use xuc_xpath as xpath;
@@ -71,9 +73,13 @@ pub mod prelude {
         admit, admit_delta, admit_delta_in_place, plan_admission, render_arrival_log, render_log,
         AdmissionMode, Arrival, DegradedReason, DocId, DocumentStore, DurableOptions, Gateway,
         GatewayState, LoadOptions, LoadReport, RecoverError, RejectReason, Request, ResumeError,
-        RetryPolicy, Session, ShedCause, SuiteCache, Verdict, WriteFault,
+        RetryPolicy, Session, ShedCause, SuiteCache, ThroughputOptions, Verdict, WriteFault,
     };
     pub use xuc_sigstore::{Certificate, Signer};
+    pub use xuc_telemetry::{
+        Determinism, MetricsRegistry, MetricsSnapshot, RecordInto, Stage, Telemetry, TraceEvent,
+        TraceRing,
+    };
     pub use xuc_xpath::{
         eval::eval, eval::eval_at, parse as parse_query, Evaluator, Pattern, SpliceJournal,
     };
