@@ -38,7 +38,7 @@ pub fn merge_and_swap(
         "Figure 3 swap requires equal labels"
     );
     let mut before = t.clone();
-    for child in t_prime.children(t_prime.root_id()).expect("root") {
+    for child in t_prime.children_iter(t_prime.root_id()).expect("root") {
         before.graft_subtree(before.root_id(), t_prime, child).expect("disjoint ids");
     }
     // Swap ids via a temporary placeholder.
@@ -94,7 +94,7 @@ pub fn two_branch_move(i: &DataTree, j: &DataTree, n: NodeId) -> CounterExample 
 
     // Modified J: duplicate n's subtree without n (children under parent).
     let mut j_mod = j.clone();
-    for child in j.children(n).expect("n in j") {
+    for child in j.children_iter(n).expect("n in j") {
         j_mod.graft_copy(j_parent, j, child).expect("copy child in j");
     }
 
@@ -106,7 +106,7 @@ pub fn two_branch_move(i: &DataTree, j: &DataTree, n: NodeId) -> CounterExample 
     // Graft I branch (ids preserved). Collide only if i and j share ids:
     // the J branch is grafted with *fresh* ids below, so first move J's
     // content in fresh form, tracking the copy of n's parent.
-    for child in i_mod.children(i_mod.root_id()).expect("root") {
+    for child in i_mod.children_iter(i_mod.root_id()).expect("root") {
         before.graft_subtree(root, &i_mod, child).expect("disjoint graft");
     }
     // Fresh-id copy of j_mod, tracking the image of j_parent.
@@ -143,7 +143,7 @@ fn graft_fresh_tracking(
         if node == track {
             *found = Some(fresh);
         }
-        for child in src.children(node).expect("live") {
+        for child in src.children_iter(node).expect("live") {
             rec(dst, fresh, src, child, track, found);
         }
     }

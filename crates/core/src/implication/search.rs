@@ -595,7 +595,7 @@ fn seed_trees(
                 z,
                 Label::new("side"),
             );
-            for child in side.tree.children(side.tree.root_id()).expect("root") {
+            for child in side.tree.children_iter(side.tree.root_id()).expect("root") {
                 let _ = enriched.graft_copy(enriched.root_id(), &side.tree, child);
             }
         }

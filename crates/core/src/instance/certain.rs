@@ -128,6 +128,7 @@ fn attach_pred_skeleton(f: &mut DataTree, parent: NodeId, q: &Pattern, node: PId
 /// Theorem 5.3: exact PTIME decision of `C ⊨_J (q, ↓)` for no-insert
 /// constraint sets in `XP{/,[],*}`. Returns the certain-facts tree as the
 /// counterexample `I` when the implication fails.
+#[allow(clippy::result_large_err)] // the Err *is* the result: a whole counterexample tree
 pub fn implies_no_insert_pred_star(
     set: &[Constraint],
     j: &DataTree,

@@ -117,6 +117,9 @@ struct PlaceCtx<'a> {
     budget_left: &'a mut usize,
 }
 
+// One short-lived value per search, immediately destructured — the tree
+// payload's size doesn't justify a heap indirection.
+#[allow(clippy::large_enum_variant)]
 enum PlaceResult {
     Found(DataTree),
     Exhausted,
@@ -216,11 +219,14 @@ fn place(
 }
 
 fn strict_descendants(tree: &DataTree, of: NodeId) -> Vec<NodeId> {
+    // Stack-pop order is load-bearing: `place` tries merge targets in this
+    // sequence and the first embedding found wins, so the traversal must
+    // stay byte-identical to the historical per-node-Vec version.
     let mut out = Vec::new();
-    let mut stack = tree.children(of).expect("live");
+    let mut stack: Vec<NodeId> = tree.children_iter(of).expect("live").collect();
     while let Some(n) = stack.pop() {
         out.push(n);
-        stack.extend(tree.children(n).expect("live"));
+        tree.for_each_child(n, |c| stack.push(c.id)).expect("live");
     }
     out
 }

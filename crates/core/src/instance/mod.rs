@@ -134,7 +134,7 @@ fn graft_goal_witness(j: &DataTree, goal: &Constraint) -> InstanceCounterExample
         xuc_xtree::Label::new("side"),
     );
     let mut before = j.clone();
-    for child in model.tree.children(model.tree.root_id()).expect("root") {
+    for child in model.tree.children_iter(model.tree.root_id()).expect("root") {
         before.graft_copy(before.root_id(), &model.tree, child).expect("fresh graft");
     }
     InstanceCounterExample { before }

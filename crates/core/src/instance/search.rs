@@ -101,7 +101,7 @@ pub fn find_instance_counterexample(
         );
         let mut d = j.clone();
         let mut ok = true;
-        for child in side.tree.children(side.tree.root_id()).expect("root") {
+        for child in side.tree.children_iter(side.tree.root_id()).expect("root") {
             if d.graft_copy(t.id, &side.tree, child).is_err() {
                 ok = false;
             }

@@ -38,15 +38,17 @@ impl CounterExample {
             out.push_str(t.label(id).expect("live node").as_str());
             out.push('#');
             out.push_str(&a.to_string());
-            let kids = t.children(id).expect("live node");
-            if !kids.is_empty() {
+            let mut keyed: Vec<(String, NodeId)> = t
+                .children_iter(id)
+                .expect("live node")
+                .map(|c| (t.canonical_form_of(c).expect("live node"), c))
+                .collect();
+            if !keyed.is_empty() {
                 // Sort children by their id-free shape (stable: structurally
                 // identical siblings keep their arrival order, which is
                 // itself deterministic — undo tokens restore exact child
                 // positions, so the search's working trees never depend on
                 // scheduling), then assign aliases in that order.
-                let mut keyed: Vec<(String, NodeId)> =
-                    kids.iter().map(|&c| (t.canonical_form_of(c).expect("live node"), c)).collect();
                 keyed.sort_by(|a, b| a.0.cmp(&b.0));
                 out.push('(');
                 for (i, (_, c)) in keyed.iter().enumerate() {

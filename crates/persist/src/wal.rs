@@ -47,6 +47,9 @@ const FRAME_HEADER: u64 = 4 + 8;
 
 /// One logged event. The WAL records *accepted* state transitions only —
 /// rejected batches leave no trace (they changed nothing).
+// Publish carries a whole document tree by design; records are built
+// once and consumed at the codec boundary, so boxing buys nothing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum WalRecord {
     /// A document entered the store under `doc` with its initial tree and

@@ -45,7 +45,7 @@ impl Dtd {
             let Some(allowed) = self.allowed_children.get(&n.label) else {
                 return false;
             };
-            for child in doc.children(n.id).expect("live") {
+            for child in doc.children_iter(n.id).expect("live") {
                 let cl = doc.label(child).expect("live");
                 if !allowed.contains(&cl) {
                     return false;
@@ -91,12 +91,12 @@ impl RegularPath {
         let doc = &enc.doc;
         let mut out = BTreeSet::new();
         let root = doc.root_id();
-        for b in doc.children(root).expect("root") {
+        for b in doc.children_iter(root).expect("root") {
             if doc.label(b).expect("live") != self.branch {
                 continue;
             }
             let mut stack: Vec<(NodeId, usize)> =
-                doc.children(b).expect("live").into_iter().map(|c| (c, self.dfa.start())).collect();
+                doc.children_iter(b).expect("live").map(|c| (c, self.dfa.start())).collect();
             while let Some((node, state)) = stack.pop() {
                 let l = doc.label(node).expect("live");
                 let sym = self
@@ -111,9 +111,7 @@ impl RegularPath {
                         out.insert(v);
                     }
                 }
-                for c in doc.children(node).expect("live") {
-                    stack.push((c, next));
-                }
+                doc.for_each_child(node, |c| stack.push((c.id, next))).expect("live");
             }
         }
         out
@@ -285,7 +283,7 @@ fn graft_encoded(
     alpha: &BTreeSet<Label>,
     z: Label,
 ) {
-    for child in src.children(src_node).expect("live") {
+    for child in src.children_iter(src_node).expect("live") {
         let l = src.label(child).expect("live");
         let mapped = if alpha.contains(&l) { l } else { z };
         let me = doc.add(under, mapped).expect("fresh");

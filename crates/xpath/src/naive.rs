@@ -13,25 +13,27 @@ fn matches_sub(q: &Pattern, p: PIdx, tree: &DataTree, v: NodeId) -> bool {
     if !q.test(p).accepts(tree.label(v).expect("live node")) {
         return false;
     }
-    q.children(p)
-        .iter()
-        .all(|&c| candidate_targets(q.axis(c), tree, v).iter().any(|&w| matches_sub(q, c, tree, w)))
+    q.children(p).iter().all(|&c| match q.axis(c) {
+        // The child axis walks the sibling chain directly — no per-node
+        // candidate Vec on the recursion's hot path.
+        Axis::Child => {
+            tree.children_iter(v).expect("live node").any(|w| matches_sub(q, c, tree, w))
+        }
+        Axis::Descendant => descendants(tree, v).iter().any(|&w| matches_sub(q, c, tree, w)),
+    })
 }
 
-/// Tree nodes reachable from `v` through `axis`.
-fn candidate_targets(axis: Axis, tree: &DataTree, v: NodeId) -> Vec<NodeId> {
-    match axis {
-        Axis::Child => tree.children(v).expect("live node"),
-        Axis::Descendant => {
-            let mut out = Vec::new();
-            let mut stack = tree.children(v).expect("live node");
-            while let Some(w) = stack.pop() {
-                out.push(w);
-                stack.extend(tree.children(w).expect("live node"));
-            }
-            out
-        }
+/// Strict descendants of `v` (one allocation for the result; the work
+/// stack reuses it implicitly by pushing children as they are emitted).
+fn descendants(tree: &DataTree, v: NodeId) -> Vec<NodeId> {
+    let mut out: Vec<NodeId> = tree.children_iter(v).expect("live node").collect();
+    let mut i = 0;
+    while i < out.len() {
+        let w = out[i];
+        i += 1;
+        tree.for_each_child(w, |n| out.push(n.id)).expect("live node");
     }
+    out
 }
 
 /// Naive evaluation of `q` on the subtree rooted at `start`.
@@ -41,13 +43,24 @@ pub fn eval_at(q: &Pattern, tree: &DataTree, start: NodeId) -> BTreeSet<NodeRef>
     for &p in &spine {
         let mut next = Vec::new();
         for &v in &frontier {
-            for w in candidate_targets(q.axis(p), tree, v) {
-                // The spine node must satisfy its own test and predicates
-                // *and* (for non-output spine nodes) the rest of the spine,
-                // which the next iterations check; here we check the full
-                // subpattern so interior failures prune early.
-                if matches_sub(q, p, tree, w) {
-                    next.push(w);
+            // The spine node must satisfy its own test and predicates
+            // *and* (for non-output spine nodes) the rest of the spine,
+            // which the next iterations check; here we check the full
+            // subpattern so interior failures prune early.
+            match q.axis(p) {
+                Axis::Child => {
+                    for w in tree.children_iter(v).expect("live node") {
+                        if matches_sub(q, p, tree, w) {
+                            next.push(w);
+                        }
+                    }
+                }
+                Axis::Descendant => {
+                    for w in descendants(tree, v) {
+                        if matches_sub(q, p, tree, w) {
+                            next.push(w);
+                        }
+                    }
                 }
             }
         }

@@ -32,7 +32,9 @@ pub use dirty::{DirtyRegion, IdSwap};
 pub use label::Label;
 pub use node::NodeId;
 pub use term::{parse_term, to_term};
-pub use tree::{preorder_walk_count, DataTree, DetachToken, NodeRef, SpliceToken, TreeError};
+pub use tree::{
+    preorder_walk_count, ChildIds, DataTree, DetachToken, NodeRef, SpliceToken, TreeError,
+};
 pub use update::{
     apply_all, apply_undoable, apply_update, undo, EditScope, Undo, Update, UpdateError,
 };

@@ -1,8 +1,24 @@
 //! The unordered data tree (Def. 2.1).
 //!
-//! A [`DataTree`] is an arena of nodes, each carrying a [`NodeId`] and a
-//! [`Label`]. Children are stored in a `Vec` but the tree is semantically
-//! *unordered*: structural comparison and hashing ignore sibling order.
+//! A [`DataTree`] is a slab arena of nodes in struct-of-arrays layout:
+//! parallel dense vectors hold each slot's id, label, generation tag and
+//! the four structural links (parent, first/last child, prev/next
+//! sibling). Children form an intrusive sibling chain — there is no
+//! per-node `Vec` — so traversal touches only dense arrays and inserting
+//! or unlinking a child is O(1). The tree is semantically *unordered*:
+//! structural comparison and hashing ignore sibling order, but all
+//! operations preserve deterministic child order (insertion order, with
+//! undo restoring exact positions) because deterministic consumers rely
+//! on it.
+//!
+//! Deleted slots go on a free list (threaded through `next_sibling`) and
+//! are reused by later insertions, so arena capacity is bounded by the
+//! peak number of live-or-parked nodes, not by the total ever inserted.
+//! Every reuse bumps the slot's **generation tag**; undo tokens record
+//! the generations of the slots they reference and are rejected with
+//! [`TreeError::StaleToken`] if any referenced slot has been recycled
+//! since (ABA safety). `NodeId`s themselves are never recycled, so the
+//! public id-keyed API needs no generation checks.
 //!
 //! The root is an ordinary node; the paper treats it specially only in the
 //! query language (no predicates on the root), not in the data model.
@@ -29,6 +45,9 @@ pub fn preorder_walk_count() -> u64 {
     PREORDER_WALKS.with(Cell::get)
 }
 
+/// Sentinel for "no slot" in the structural link arrays.
+const NIL: u32 = u32::MAX;
+
 /// Errors raised by tree manipulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TreeError {
@@ -41,6 +60,11 @@ pub enum TreeError {
     /// Moving `node` under `target` would create a cycle
     /// (`target` is a descendant of `node`).
     WouldCreateCycle { node: NodeId, target: NodeId },
+    /// An undo token referenced an arena slot that has been freed (and
+    /// possibly recycled for an unrelated node) since the token was
+    /// issued. Consuming it would alias the recycled slot, so it is
+    /// rejected instead; the tree is left untouched.
+    StaleToken,
 }
 
 impl fmt::Display for TreeError {
@@ -52,19 +76,14 @@ impl fmt::Display for TreeError {
             TreeError::WouldCreateCycle { node, target } => {
                 write!(f, "moving {node} under its descendant {target} would create a cycle")
             }
+            TreeError::StaleToken => {
+                write!(f, "undo token refers to an arena slot recycled since it was issued")
+            }
         }
     }
 }
 
 impl std::error::Error for TreeError {}
-
-#[derive(Debug, Clone)]
-struct NodeData {
-    id: NodeId,
-    label: Label,
-    parent: Option<usize>,
-    children: Vec<usize>,
-}
 
 /// A lightweight view of a node: its id and label, as in the paper where a
 /// node *is* the pair `(id, label)`.
@@ -76,51 +95,126 @@ pub struct NodeRef {
 
 /// Opaque restore token for [`DataTree::detach_subtree`]. Valid only on
 /// the issuing tree, consumed LIFO by [`DataTree::reattach_subtree`].
+///
+/// The token records the generation of every slot it references; if any
+/// has been recycled in the meantime the reattach is rejected with
+/// [`TreeError::StaleToken`] rather than corrupting the recycled node.
 #[derive(Debug)]
 pub struct DetachToken {
-    slot: usize,
-    parent_slot: usize,
+    slot: u32,
+    generation: u32,
+    parent_slot: u32,
+    parent_generation: u32,
     /// Position in the parent's child list, restored on reattach so that
     /// an apply/undo round trip reproduces the original child order (the
     /// tree is semantically unordered, but deterministic consumers — the
     /// sharded search — rely on undo being an *exact* inverse).
     child_index: usize,
-    slots: Vec<usize>,
 }
 
 /// Opaque restore token for [`DataTree::splice_node`]. Valid only on the
-/// issuing tree, consumed LIFO by [`DataTree::unsplice_node`].
+/// issuing tree, consumed LIFO by [`DataTree::unsplice_node`]; stale
+/// tokens are rejected (see [`DetachToken`]).
 #[derive(Debug)]
 pub struct SpliceToken {
-    slot: usize,
-    parent_slot: usize,
+    slot: u32,
+    generation: u32,
+    parent_slot: u32,
+    parent_generation: u32,
     /// Position in the parent's child list (see [`DetachToken`]).
     child_index: usize,
-    child_slots: Vec<usize>,
+    /// The promoted children with their generations at splice time, in
+    /// original child order.
+    child_slots: Vec<(u32, u32)>,
     id: NodeId,
 }
 
 impl DetachToken {
     /// The detached subtree's former parent (for edit-scope reporting).
     pub(crate) fn parent_id(&self, tree: &DataTree) -> NodeId {
-        tree.data(self.parent_slot).id
+        tree.ids[self.parent_slot as usize]
     }
 }
 
 impl SpliceToken {
     /// The spliced node's former parent (for edit-scope reporting).
     pub(crate) fn parent_id(&self, tree: &DataTree) -> NodeId {
-        tree.data(self.parent_slot).id
+        tree.ids[self.parent_slot as usize]
     }
 }
 
-/// An unordered data tree with uniquely identified nodes.
+/// Iterative pre-order walk over the sibling-chain arrays, confined to
+/// the subtree rooted at `start`. Free function (not a method) so callers
+/// holding disjoint `&mut` borrows of other `DataTree` fields — e.g. the
+/// id index during detach/reattach — can walk without allocating a slot
+/// buffer.
+fn chain_walk(
+    first_child: &[u32],
+    next_sibling: &[u32],
+    parent: &[u32],
+    start: u32,
+    f: &mut impl FnMut(u32),
+) {
+    let mut slot = start;
+    loop {
+        f(slot);
+        let fc = first_child[slot as usize];
+        if fc != NIL {
+            slot = fc;
+            continue;
+        }
+        loop {
+            if slot == start {
+                return;
+            }
+            let ns = next_sibling[slot as usize];
+            if ns != NIL {
+                slot = ns;
+                break;
+            }
+            slot = parent[slot as usize];
+        }
+    }
+}
+
+/// An unordered data tree with uniquely identified nodes, backed by a
+/// generation-tagged slab arena in struct-of-arrays layout.
 #[derive(Clone)]
 pub struct DataTree {
-    nodes: Vec<Option<NodeData>>,
-    root: usize,
-    by_id: HashMap<NodeId, usize>,
+    ids: Vec<NodeId>,
+    labels: Vec<Label>,
+    /// Generation tag per slot, bumped each time the slot is freed.
+    generation: Vec<u32>,
+    parent: Vec<u32>,
+    first_child: Vec<u32>,
+    last_child: Vec<u32>,
+    prev_sibling: Vec<u32>,
+    next_sibling: Vec<u32>,
+    /// Head of the free list, threaded through `next_sibling`.
+    free_head: u32,
+    free_len: usize,
+    root: u32,
+    by_id: HashMap<NodeId, u32>,
     live: usize,
+}
+
+/// Non-allocating iterator over a node's children (in child-list order),
+/// produced by [`DataTree::children_iter`].
+pub struct ChildIds<'a> {
+    tree: &'a DataTree,
+    cursor: u32,
+}
+
+impl Iterator for ChildIds<'_> {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let id = self.tree.ids[self.cursor as usize];
+        self.cursor = self.tree.next_sibling[self.cursor as usize];
+        Some(id)
+    }
 }
 
 impl DataTree {
@@ -131,32 +225,173 @@ impl DataTree {
 
     /// Creates a tree consisting of a single root node with the given id.
     pub fn with_root_id(id: NodeId, root_label: impl Into<Label>) -> Self {
-        let root = NodeData { id, label: root_label.into(), parent: None, children: Vec::new() };
         let mut by_id = HashMap::new();
         by_id.insert(id, 0);
-        DataTree { nodes: vec![Some(root)], root: 0, by_id, live: 1 }
+        DataTree {
+            ids: vec![id],
+            labels: vec![root_label.into()],
+            generation: vec![0],
+            parent: vec![NIL],
+            first_child: vec![NIL],
+            last_child: vec![NIL],
+            prev_sibling: vec![NIL],
+            next_sibling: vec![NIL],
+            free_head: NIL,
+            free_len: 0,
+            root: 0,
+            by_id,
+            live: 1,
+        }
     }
 
-    fn slot(&self, id: NodeId) -> Result<usize, TreeError> {
+    fn slot(&self, id: NodeId) -> Result<u32, TreeError> {
         self.by_id.get(&id).copied().ok_or(TreeError::NodeNotFound(id))
     }
 
-    fn data(&self, slot: usize) -> &NodeData {
-        self.nodes[slot].as_ref().expect("live slot")
+    fn ref_at(&self, slot: u32) -> NodeRef {
+        NodeRef { id: self.ids[slot as usize], label: self.labels[slot as usize] }
     }
 
-    fn data_mut(&mut self, slot: usize) -> &mut NodeData {
-        self.nodes[slot].as_mut().expect("live slot")
+    /// Takes a slot off the free list (or grows the arrays) and
+    /// initialises it as a childless node; the caller links it.
+    fn alloc(&mut self, id: NodeId, label: Label) -> u32 {
+        if self.free_head != NIL {
+            let slot = self.free_head;
+            let s = slot as usize;
+            self.free_head = self.next_sibling[s];
+            self.free_len -= 1;
+            self.ids[s] = id;
+            self.labels[s] = label;
+            self.parent[s] = NIL;
+            self.first_child[s] = NIL;
+            self.last_child[s] = NIL;
+            self.prev_sibling[s] = NIL;
+            self.next_sibling[s] = NIL;
+            slot
+        } else {
+            let slot = self.ids.len() as u32;
+            assert!(slot != NIL, "arena full (u32::MAX slots)");
+            self.ids.push(id);
+            self.labels.push(label);
+            self.generation.push(0);
+            self.parent.push(NIL);
+            self.first_child.push(NIL);
+            self.last_child.push(NIL);
+            self.prev_sibling.push(NIL);
+            self.next_sibling.push(NIL);
+            slot
+        }
+    }
+
+    /// Returns a slot to the free list, bumping its generation so any
+    /// outstanding token referencing it becomes stale.
+    fn free_slot(&mut self, slot: u32) {
+        let s = slot as usize;
+        self.generation[s] = self.generation[s].wrapping_add(1);
+        self.parent[s] = NIL;
+        self.first_child[s] = NIL;
+        self.last_child[s] = NIL;
+        self.prev_sibling[s] = NIL;
+        self.next_sibling[s] = self.free_head;
+        self.free_head = slot;
+        self.free_len += 1;
+    }
+
+    /// Appends `slot` at the end of `parent`'s child chain.
+    fn link_last(&mut self, parent: u32, slot: u32) {
+        let p = parent as usize;
+        let s = slot as usize;
+        let tail = self.last_child[p];
+        self.parent[s] = parent;
+        self.prev_sibling[s] = tail;
+        self.next_sibling[s] = NIL;
+        if tail == NIL {
+            self.first_child[p] = slot;
+        } else {
+            self.next_sibling[tail as usize] = slot;
+        }
+        self.last_child[p] = slot;
+    }
+
+    /// Inserts `slot` so it ends up at position `min(index, len)` in
+    /// `parent`'s child chain.
+    fn link_at(&mut self, parent: u32, slot: u32, index: usize) {
+        let mut cursor = self.first_child[parent as usize];
+        let mut i = 0;
+        while cursor != NIL && i < index {
+            cursor = self.next_sibling[cursor as usize];
+            i += 1;
+        }
+        if cursor == NIL {
+            self.link_last(parent, slot);
+            return;
+        }
+        let c = cursor as usize;
+        let s = slot as usize;
+        let before = self.prev_sibling[c];
+        self.parent[s] = parent;
+        self.prev_sibling[s] = before;
+        self.next_sibling[s] = cursor;
+        self.prev_sibling[c] = slot;
+        if before == NIL {
+            self.first_child[parent as usize] = slot;
+        } else {
+            self.next_sibling[before as usize] = slot;
+        }
+    }
+
+    /// Unlinks `slot` from its parent's child chain (parent pointer is
+    /// left as-is; the caller relinks or frees).
+    fn unlink(&mut self, slot: u32) {
+        let s = slot as usize;
+        let p = self.parent[s] as usize;
+        let prev = self.prev_sibling[s];
+        let next = self.next_sibling[s];
+        if prev == NIL {
+            self.first_child[p] = next;
+        } else {
+            self.next_sibling[prev as usize] = next;
+        }
+        if next == NIL {
+            self.last_child[p] = prev;
+        } else {
+            self.prev_sibling[next as usize] = prev;
+        }
+        self.prev_sibling[s] = NIL;
+        self.next_sibling[s] = NIL;
+    }
+
+    /// Position of `slot` in its parent's child chain.
+    fn position_in_parent(&self, slot: u32) -> usize {
+        let mut cursor = self.first_child[self.parent[slot as usize] as usize];
+        let mut i = 0;
+        while cursor != slot {
+            cursor = self.next_sibling[cursor as usize];
+            i += 1;
+        }
+        i
+    }
+
+    fn child_slot_iter(&self, slot: u32) -> impl Iterator<Item = u32> + '_ {
+        let first = self.first_child[slot as usize];
+        std::iter::successors((first != NIL).then_some(first), move |&c| {
+            let n = self.next_sibling[c as usize];
+            (n != NIL).then_some(n)
+        })
+    }
+
+    fn walk_slots(&self, start: u32, f: &mut impl FnMut(u32)) {
+        chain_walk(&self.first_child, &self.next_sibling, &self.parent, start, f);
     }
 
     /// The root node's id.
     pub fn root_id(&self) -> NodeId {
-        self.data(self.root).id
+        self.ids[self.root as usize]
     }
 
     /// The root node's label.
     pub fn root_label(&self) -> Label {
-        self.data(self.root).label
+        self.labels[self.root as usize]
     }
 
     /// Number of live nodes (including the root).
@@ -169,6 +404,18 @@ impl DataTree {
         self.live == 1
     }
 
+    /// Total arena slots allocated (live + parked + free-listed). Bounded
+    /// by the peak live-node count under churn — the free list reuses
+    /// deleted slots — which is what the leak-regression tests assert.
+    pub fn slot_capacity(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Slots currently on the free list, awaiting reuse.
+    pub fn free_slots(&self) -> usize {
+        self.free_len
+    }
+
     /// Does this tree contain a node with this id?
     pub fn contains(&self, id: NodeId) -> bool {
         self.by_id.contains_key(&id)
@@ -176,39 +423,60 @@ impl DataTree {
 
     /// The label of `id`.
     pub fn label(&self, id: NodeId) -> Result<Label, TreeError> {
-        Ok(self.data(self.slot(id)?).label)
+        Ok(self.labels[self.slot(id)? as usize])
     }
 
     /// The node view `(id, label)` of `id`.
     pub fn node(&self, id: NodeId) -> Result<NodeRef, TreeError> {
-        let d = self.data(self.slot(id)?);
-        Ok(NodeRef { id: d.id, label: d.label })
+        Ok(self.ref_at(self.slot(id)?))
     }
 
     /// The parent of `id`, or `None` for the root.
     pub fn parent(&self, id: NodeId) -> Result<Option<NodeId>, TreeError> {
-        let d = self.data(self.slot(id)?);
-        Ok(d.parent.map(|p| self.data(p).id))
+        let p = self.parent[self.slot(id)? as usize];
+        Ok((p != NIL).then(|| self.ids[p as usize]))
     }
 
     /// Child ids of `id` (order is incidental; the tree is unordered).
+    ///
+    /// Allocates a fresh `Vec` per call; hot paths should prefer
+    /// [`children_iter`](Self::children_iter) or
+    /// [`for_each_child`](Self::for_each_child).
     pub fn children(&self, id: NodeId) -> Result<Vec<NodeId>, TreeError> {
-        let d = self.data(self.slot(id)?);
-        Ok(d.children.iter().map(|&c| self.data(c).id).collect())
+        Ok(self.children_iter(id)?.collect())
+    }
+
+    /// Non-allocating iterator over the children of `id`, in child-list
+    /// order (the same order [`children`](Self::children) returns).
+    pub fn children_iter(&self, id: NodeId) -> Result<ChildIds<'_>, TreeError> {
+        let slot = self.slot(id)?;
+        Ok(ChildIds { tree: self, cursor: self.first_child[slot as usize] })
+    }
+
+    /// Calls `f` with each child's `(id, label)` view, in child-list
+    /// order, without allocating.
+    pub fn for_each_child(&self, id: NodeId, mut f: impl FnMut(NodeRef)) -> Result<(), TreeError> {
+        let slot = self.slot(id)?;
+        let mut c = self.first_child[slot as usize];
+        while c != NIL {
+            f(self.ref_at(c));
+            c = self.next_sibling[c as usize];
+        }
+        Ok(())
     }
 
     /// All node views, root first, in depth-first order.
     pub fn nodes(&self) -> Vec<NodeRef> {
         let mut out = Vec::with_capacity(self.live);
-        self.walk(self.root, &mut |d| {
-            out.push(NodeRef { id: d.id, label: d.label });
-        });
+        self.walk_slots(self.root, &mut |s| out.push(self.ref_at(s)));
         out
     }
 
     /// All node ids, root first, in depth-first order.
     pub fn node_ids(&self) -> Vec<NodeId> {
-        self.nodes().into_iter().map(|n| n.id).collect()
+        let mut out = Vec::with_capacity(self.live);
+        self.walk_slots(self.root, &mut |s| out.push(self.ids[s as usize]));
+        out
     }
 
     /// Pre-order traversal as `(id, label, parent_index)` triples, where
@@ -226,31 +494,72 @@ impl DataTree {
     /// caller-owned buffer (cleared first) so repeated snapshots — e.g. an
     /// evaluator refreshing after every candidate edit — reuse one heap
     /// allocation instead of allocating a fresh triple `Vec` per call.
+    ///
+    /// Implemented as an iterative sibling-chain walk over the dense
+    /// arrays: no recursion (stack-safe at any depth) and no per-node
+    /// heap traffic beyond the output buffer and an ancestor stack of
+    /// height-many indices.
     pub fn preorder_snapshot_into(&self, out: &mut Vec<(NodeId, Label, Option<usize>)>) {
-        fn rec(
-            t: &DataTree,
-            slot: usize,
-            parent_index: Option<usize>,
-            out: &mut Vec<(NodeId, Label, Option<usize>)>,
-        ) {
-            let d = t.data(slot);
-            let my_index = out.len();
-            out.push((d.id, d.label, parent_index));
-            for &c in &d.children {
-                rec(t, c, Some(my_index), out);
-            }
-        }
         PREORDER_WALKS.with(|c| c.set(c.get() + 1));
         out.clear();
         out.reserve(self.live);
-        rec(self, self.root, None, out);
+        // Output indices of the current root path; `last()` is the
+        // parent index for the node being emitted.
+        let mut ancestors: Vec<usize> = Vec::new();
+        let mut slot = self.root;
+        loop {
+            let my_index = out.len();
+            out.push((
+                self.ids[slot as usize],
+                self.labels[slot as usize],
+                ancestors.last().copied(),
+            ));
+            let fc = self.first_child[slot as usize];
+            if fc != NIL {
+                ancestors.push(my_index);
+                slot = fc;
+                continue;
+            }
+            loop {
+                if slot == self.root {
+                    return;
+                }
+                let ns = self.next_sibling[slot as usize];
+                if ns != NIL {
+                    slot = ns;
+                    break;
+                }
+                slot = self.parent[slot as usize];
+                ancestors.pop();
+            }
+        }
     }
 
-    fn walk(&self, slot: usize, f: &mut impl FnMut(&NodeData)) {
-        let d = self.data(slot);
-        f(d);
-        for &c in &d.children {
-            self.walk(c, f);
+    /// Iterative pre-order walk with depth, for depth-aware consumers
+    /// (height, rendering).
+    fn walk_depth(&self, f: &mut impl FnMut(u32, usize)) {
+        let mut slot = self.root;
+        let mut depth = 0usize;
+        loop {
+            f(slot, depth);
+            let fc = self.first_child[slot as usize];
+            if fc != NIL {
+                depth += 1;
+                slot = fc;
+                continue;
+            }
+            loop {
+                if slot == self.root {
+                    return;
+                }
+                let ns = self.next_sibling[slot as usize];
+                if ns != NIL {
+                    slot = ns;
+                    break;
+                }
+                slot = self.parent[slot as usize];
+                depth -= 1;
+            }
         }
     }
 
@@ -258,8 +567,8 @@ impl DataTree {
     pub fn depth(&self, id: NodeId) -> Result<usize, TreeError> {
         let mut slot = self.slot(id)?;
         let mut depth = 0;
-        while let Some(p) = self.data(slot).parent {
-            slot = p;
+        while self.parent[slot as usize] != NIL {
+            slot = self.parent[slot as usize];
             depth += 1;
         }
         Ok(depth)
@@ -267,22 +576,20 @@ impl DataTree {
 
     /// Maximum depth over all nodes.
     pub fn height(&self) -> usize {
-        fn rec(t: &DataTree, slot: usize) -> usize {
-            let d = t.data(slot);
-            d.children.iter().map(|&c| 1 + rec(t, c)).max().unwrap_or(0)
-        }
-        rec(self, self.root)
+        let mut max = 0;
+        self.walk_depth(&mut |_, d| max = max.max(d));
+        max
     }
 
     /// Is `anc` a proper ancestor of `desc`?
     pub fn is_proper_ancestor(&self, anc: NodeId, desc: NodeId) -> Result<bool, TreeError> {
         let anc_slot = self.slot(anc)?;
         let mut slot = self.slot(desc)?;
-        while let Some(p) = self.data(slot).parent {
-            if p == anc_slot {
+        while self.parent[slot as usize] != NIL {
+            slot = self.parent[slot as usize];
+            if slot == anc_slot {
                 return Ok(true);
             }
-            slot = p;
         }
         Ok(false)
     }
@@ -293,9 +600,9 @@ impl DataTree {
     pub fn label_path(&self, id: NodeId) -> Result<Vec<Label>, TreeError> {
         let mut slot = self.slot(id)?;
         let mut path = Vec::new();
-        while let Some(p) = self.data(slot).parent {
-            path.push(self.data(slot).label);
-            slot = p;
+        while self.parent[slot as usize] != NIL {
+            path.push(self.labels[slot as usize]);
+            slot = self.parent[slot as usize];
         }
         path.reverse();
         Ok(path)
@@ -304,10 +611,10 @@ impl DataTree {
     /// Ids on the path root → `id`, inclusive of both ends.
     pub fn id_path(&self, id: NodeId) -> Result<Vec<NodeId>, TreeError> {
         let mut slot = self.slot(id)?;
-        let mut path = vec![self.data(slot).id];
-        while let Some(p) = self.data(slot).parent {
-            slot = p;
-            path.push(self.data(slot).id);
+        let mut path = vec![self.ids[slot as usize]];
+        while self.parent[slot as usize] != NIL {
+            slot = self.parent[slot as usize];
+            path.push(self.ids[slot as usize]);
         }
         path.reverse();
         Ok(path)
@@ -329,14 +636,8 @@ impl DataTree {
         if self.by_id.contains_key(&id) {
             return Err(TreeError::DuplicateId(id));
         }
-        let slot = self.nodes.len();
-        self.nodes.push(Some(NodeData {
-            id,
-            label: label.into(),
-            parent: Some(parent_slot),
-            children: Vec::new(),
-        }));
-        self.data_mut(parent_slot).children.push(slot);
+        let slot = self.alloc(id, label.into());
+        self.link_last(parent_slot, slot);
         self.by_id.insert(id, slot);
         self.live += 1;
         Ok(id)
@@ -345,7 +646,7 @@ impl DataTree {
     /// Changes the label of `id` (a "modification of label" update).
     pub fn relabel(&mut self, id: NodeId, label: impl Into<Label>) -> Result<(), TreeError> {
         let slot = self.slot(id)?;
-        self.data_mut(slot).label = label.into();
+        self.labels[slot as usize] = label.into();
         Ok(())
     }
 
@@ -359,42 +660,51 @@ impl DataTree {
         }
         self.by_id.remove(&id);
         self.by_id.insert(new_id, slot);
-        self.data_mut(slot).id = new_id;
+        self.ids[slot as usize] = new_id;
         Ok(())
     }
 
     /// Deletes the subtree rooted at `id` (the root cannot be deleted).
+    /// Freed slots go on the free list for reuse by later insertions.
     pub fn delete_subtree(&mut self, id: NodeId) -> Result<(), TreeError> {
         let slot = self.slot(id)?;
-        let parent = self.data(slot).parent.ok_or(TreeError::RootImmovable)?;
-        self.data_mut(parent).children.retain(|&c| c != slot);
-        self.reap(slot);
-        Ok(())
-    }
-
-    fn reap(&mut self, slot: usize) {
-        let children = std::mem::take(&mut self.data_mut(slot).children);
-        for c in children {
-            self.reap(c);
+        if slot == self.root {
+            return Err(TreeError::RootImmovable);
         }
-        let d = self.nodes[slot].take().expect("live slot");
-        self.by_id.remove(&d.id);
-        self.live -= 1;
+        self.unlink(slot);
+        // Collect before freeing: free-list threading reuses the
+        // `next_sibling` cells the walk still needs.
+        let mut doomed = Vec::new();
+        self.walk_slots(slot, &mut |s| doomed.push(s));
+        for &s in &doomed {
+            self.by_id.remove(&self.ids[s as usize]);
+            self.free_slot(s);
+        }
+        self.live -= doomed.len();
+        Ok(())
     }
 
     /// Deletes the node `id` only, promoting its children to its parent
     /// ("splice out").
     pub fn delete_node(&mut self, id: NodeId) -> Result<(), TreeError> {
         let slot = self.slot(id)?;
-        let parent = self.data(slot).parent.ok_or(TreeError::RootImmovable)?;
-        let children = std::mem::take(&mut self.data_mut(slot).children);
-        for &c in &children {
-            self.data_mut(c).parent = Some(parent);
+        if slot == self.root {
+            return Err(TreeError::RootImmovable);
         }
-        self.data_mut(parent).children.retain(|&c| c != slot);
-        self.data_mut(parent).children.extend(children);
-        let d = self.nodes[slot].take().expect("live slot");
-        self.by_id.remove(&d.id);
+        let parent_slot = self.parent[slot as usize];
+        self.unlink(slot);
+        // Promote children, preserving order, appended at the end of the
+        // parent's chain (matching the historical `retain` + `extend`).
+        let mut c = self.first_child[slot as usize];
+        self.first_child[slot as usize] = NIL;
+        self.last_child[slot as usize] = NIL;
+        while c != NIL {
+            let next = self.next_sibling[c as usize];
+            self.link_last(parent_slot, c);
+            c = next;
+        }
+        self.by_id.remove(&id);
+        self.free_slot(slot);
         self.live -= 1;
         Ok(())
     }
@@ -403,19 +713,23 @@ impl DataTree {
     pub fn move_node(&mut self, id: NodeId, new_parent: NodeId) -> Result<(), TreeError> {
         let slot = self.slot(id)?;
         let target = self.slot(new_parent)?;
-        let old_parent = self.data(slot).parent.ok_or(TreeError::RootImmovable)?;
+        if slot == self.root {
+            return Err(TreeError::RootImmovable);
+        }
         // Walk up from the target; hitting `slot` means `new_parent` lies in
         // the subtree being moved.
-        let mut cursor = Some(target);
-        while let Some(s) = cursor {
-            if s == slot {
+        let mut cursor = target;
+        loop {
+            if cursor == slot {
                 return Err(TreeError::WouldCreateCycle { node: id, target: new_parent });
             }
-            cursor = self.data(s).parent;
+            if self.parent[cursor as usize] == NIL {
+                break;
+            }
+            cursor = self.parent[cursor as usize];
         }
-        self.data_mut(old_parent).children.retain(|&c| c != slot);
-        self.data_mut(target).children.push(slot);
-        self.data_mut(slot).parent = Some(target);
+        self.unlink(slot);
+        self.link_last(target, slot);
         Ok(())
     }
 
@@ -427,6 +741,8 @@ impl DataTree {
     ///
     /// This is the undoable half of subtree deletion used by clone-free
     /// candidate search: apply → evaluate → reattach, no tree copies.
+    /// Parked slots are not on the free list, so they cannot be recycled
+    /// out from under the token.
     ///
     /// Tokens are only valid on the tree that issued them and must be
     /// consumed LIFO with respect to other undoable edits; while a subtree
@@ -434,37 +750,64 @@ impl DataTree {
     /// (checked on reattach in debug builds).
     pub fn detach_subtree(&mut self, id: NodeId) -> Result<DetachToken, TreeError> {
         let slot = self.slot(id)?;
-        let parent_slot = self.data(slot).parent.ok_or(TreeError::RootImmovable)?;
-        let mut slots = Vec::new();
-        self.walk_slots(slot, &mut |s| slots.push(s));
-        for &s in &slots {
-            let sid = self.data(s).id;
-            self.by_id.remove(&sid);
+        if slot == self.root {
+            return Err(TreeError::RootImmovable);
         }
-        self.live -= slots.len();
-        let parent = self.data_mut(parent_slot);
-        let child_index =
-            parent.children.iter().position(|&c| c == slot).expect("child of its parent");
-        parent.children.remove(child_index);
-        Ok(DetachToken { slot, parent_slot, child_index, slots })
+        let parent_slot = self.parent[slot as usize];
+        let child_index = self.position_in_parent(slot);
+        let mut count = 0usize;
+        {
+            let Self {
+                ref first_child, ref next_sibling, ref parent, ref ids, ref mut by_id, ..
+            } = *self;
+            chain_walk(first_child, next_sibling, parent, slot, &mut |s| {
+                by_id.remove(&ids[s as usize]);
+                count += 1;
+            });
+        }
+        self.live -= count;
+        self.unlink(slot);
+        Ok(DetachToken {
+            slot,
+            generation: self.generation[slot as usize],
+            parent_slot,
+            parent_generation: self.generation[parent_slot as usize],
+            child_index,
+        })
     }
 
     /// Restores a subtree detached by [`detach_subtree`](Self::detach_subtree),
     /// at its original position in the parent's child list — undo is an
     /// exact inverse, not merely an isomorphic one.
-    pub fn reattach_subtree(&mut self, token: DetachToken) {
-        let DetachToken { slot, parent_slot, child_index, slots } = token;
-        for &s in &slots {
-            let sid = self.data(s).id;
-            debug_assert!(
-                !self.by_id.contains_key(&sid),
-                "id {sid} was re-inserted while its subtree was detached"
-            );
-            self.by_id.insert(sid, s);
+    ///
+    /// Fails with [`TreeError::StaleToken`] (leaving the tree untouched)
+    /// if the former parent's slot — or the subtree's own — was freed and
+    /// recycled after the token was issued.
+    pub fn reattach_subtree(&mut self, token: DetachToken) -> Result<(), TreeError> {
+        let DetachToken { slot, generation, parent_slot, parent_generation, child_index } = token;
+        if self.generation[slot as usize] != generation
+            || self.generation[parent_slot as usize] != parent_generation
+        {
+            return Err(TreeError::StaleToken);
         }
-        self.live += slots.len();
-        let parent = self.data_mut(parent_slot);
-        parent.children.insert(child_index.min(parent.children.len()), slot);
+        let mut count = 0usize;
+        {
+            let Self {
+                ref first_child, ref next_sibling, ref parent, ref ids, ref mut by_id, ..
+            } = *self;
+            chain_walk(first_child, next_sibling, parent, slot, &mut |s| {
+                let sid = ids[s as usize];
+                let prev = by_id.insert(sid, s);
+                debug_assert!(
+                    prev.is_none(),
+                    "id {sid} was re-inserted while its subtree was detached"
+                );
+                count += 1;
+            });
+        }
+        self.live += count;
+        self.link_at(parent_slot, slot, child_index);
+        Ok(())
     }
 
     /// Splices out node `id` without destroying it: its children are
@@ -474,31 +817,68 @@ impl DataTree {
     /// LIFO discipline as [`detach_subtree`](Self::detach_subtree) applies.
     pub fn splice_node(&mut self, id: NodeId) -> Result<SpliceToken, TreeError> {
         let slot = self.slot(id)?;
-        let parent_slot = self.data(slot).parent.ok_or(TreeError::RootImmovable)?;
-        let child_slots = self.data(slot).children.clone();
-        for &c in &child_slots {
-            self.data_mut(c).parent = Some(parent_slot);
+        if slot == self.root {
+            return Err(TreeError::RootImmovable);
         }
-        let parent = self.data_mut(parent_slot);
-        let child_index =
-            parent.children.iter().position(|&c| c == slot).expect("child of its parent");
-        parent.children.remove(child_index);
-        parent.children.extend(&child_slots);
+        let parent_slot = self.parent[slot as usize];
+        let child_index = self.position_in_parent(slot);
+        let child_slots: Vec<(u32, u32)> =
+            self.child_slot_iter(slot).map(|c| (c, self.generation[c as usize])).collect();
+        self.unlink(slot);
+        let mut c = self.first_child[slot as usize];
+        self.first_child[slot as usize] = NIL;
+        self.last_child[slot as usize] = NIL;
+        while c != NIL {
+            let next = self.next_sibling[c as usize];
+            self.link_last(parent_slot, c);
+            c = next;
+        }
         self.by_id.remove(&id);
         self.live -= 1;
-        Ok(SpliceToken { slot, parent_slot, child_index, child_slots, id })
+        Ok(SpliceToken {
+            slot,
+            generation: self.generation[slot as usize],
+            parent_slot,
+            parent_generation: self.generation[parent_slot as usize],
+            child_index,
+            child_slots,
+            id,
+        })
     }
 
     /// Restores a node spliced out by [`splice_node`](Self::splice_node),
     /// at its original position in the parent's child list (see
     /// [`reattach_subtree`](Self::reattach_subtree)).
-    pub fn unsplice_node(&mut self, token: SpliceToken) {
-        let SpliceToken { slot, parent_slot, child_index, child_slots, id } = token;
-        let parent = self.data_mut(parent_slot);
-        parent.children.retain(|&c| !child_slots.contains(&c));
-        parent.children.insert(child_index.min(parent.children.len()), slot);
-        for &c in &child_slots {
-            self.data_mut(c).parent = Some(slot);
+    ///
+    /// Fails with [`TreeError::StaleToken`] (leaving the tree untouched)
+    /// if the node's former slot, its former parent's, or any promoted
+    /// child's was freed and recycled after the token was issued.
+    pub fn unsplice_node(&mut self, token: SpliceToken) -> Result<(), TreeError> {
+        let SpliceToken {
+            slot,
+            generation,
+            parent_slot,
+            parent_generation,
+            child_index,
+            child_slots,
+            id,
+        } = token;
+        if self.generation[slot as usize] != generation
+            || self.generation[parent_slot as usize] != parent_generation
+            || child_slots.iter().any(|&(c, g)| self.generation[c as usize] != g)
+        {
+            return Err(TreeError::StaleToken);
+        }
+        for &(c, _) in &child_slots {
+            debug_assert_eq!(
+                self.parent[c as usize], parent_slot,
+                "promoted child moved while its parent was spliced out (LIFO violation)"
+            );
+            self.unlink(c);
+        }
+        self.link_at(parent_slot, slot, child_index);
+        for &(c, _) in &child_slots {
+            self.link_last(slot, c);
         }
         debug_assert!(
             !self.by_id.contains_key(&id),
@@ -506,6 +886,7 @@ impl DataTree {
         );
         self.by_id.insert(id, slot);
         self.live += 1;
+        Ok(())
     }
 
     /// The position of `id` in its parent's child list (`None` for the
@@ -513,9 +894,10 @@ impl DataTree {
     /// child order.
     pub(crate) fn child_position(&self, id: NodeId) -> Result<Option<usize>, TreeError> {
         let slot = self.slot(id)?;
-        Ok(self.data(slot).parent.map(|p| {
-            self.data(p).children.iter().position(|&c| c == slot).expect("child of its parent")
-        }))
+        if self.parent[slot as usize] == NIL {
+            return Ok(None);
+        }
+        Ok(Some(self.position_in_parent(slot)))
     }
 
     /// Moves `id` (already a child of its current parent) to position
@@ -523,18 +905,12 @@ impl DataTree {
     /// [`child_position`](Self::child_position).
     pub(crate) fn restore_child_position(&mut self, id: NodeId, index: usize) {
         let slot = self.slot(id).expect("live node");
-        let Some(parent) = self.data(slot).parent else { return };
-        let children = &mut self.data_mut(parent).children;
-        let cur = children.iter().position(|&c| c == slot).expect("child of its parent");
-        children.remove(cur);
-        children.insert(index.min(children.len()), slot);
-    }
-
-    fn walk_slots(&self, slot: usize, f: &mut impl FnMut(usize)) {
-        f(slot);
-        for &c in &self.data(slot).children {
-            self.walk_slots(c, f);
+        let parent = self.parent[slot as usize];
+        if parent == NIL {
+            return;
         }
+        self.unlink(slot);
+        self.link_at(parent, slot, index);
     }
 
     /// Grafts a copy of the subtree of `other` rooted at `src` under
@@ -572,31 +948,35 @@ impl DataTree {
         // graft leaves `self` untouched.
         if !fresh {
             let mut clash = None;
-            other.walk(src_slot, &mut |d| {
-                if clash.is_none() && self.by_id.contains_key(&d.id) {
-                    clash = Some(d.id);
+            other.walk_slots(src_slot, &mut |s| {
+                let sid = other.ids[s as usize];
+                if clash.is_none() && self.by_id.contains_key(&sid) {
+                    clash = Some(sid);
                 }
             });
             if let Some(id) = clash {
                 return Err(TreeError::DuplicateId(id));
             }
         }
-        fn rec(
-            dst: &mut DataTree,
-            parent: NodeId,
-            other: &DataTree,
-            slot: usize,
-            fresh: bool,
-        ) -> Result<NodeId, TreeError> {
-            let d = other.data(slot);
-            let id = if fresh { NodeId::fresh() } else { d.id };
-            let new_id = dst.add_with_id(parent, id, d.label)?;
-            for &c in &d.children {
-                rec(dst, new_id, other, c, fresh)?;
+        // Iterative pre-order copy: the stack holds (source slot, dest
+        // parent id), children pushed in reverse so they pop — and are
+        // appended — in original order.
+        let mut stack = vec![(src_slot, parent)];
+        let mut scratch: Vec<u32> = Vec::new();
+        let mut new_root = None;
+        while let Some((slot, dst_parent)) = stack.pop() {
+            let id = if fresh { NodeId::fresh() } else { other.ids[slot as usize] };
+            let new_id = self.add_with_id(dst_parent, id, other.labels[slot as usize])?;
+            if new_root.is_none() {
+                new_root = Some(new_id);
             }
-            Ok(new_id)
+            scratch.clear();
+            scratch.extend(other.child_slot_iter(slot));
+            for &c in scratch.iter().rev() {
+                stack.push((c, new_id));
+            }
         }
-        rec(self, parent, other, src_slot, fresh)
+        Ok(new_root.expect("non-empty graft"))
     }
 
     /// The refs of the subtree rooted at `id` (inclusive), in pre-order.
@@ -607,12 +987,7 @@ impl DataTree {
     pub fn subtree_nodes(&self, id: NodeId) -> Result<Vec<NodeRef>, TreeError> {
         let slot = self.slot(id)?;
         let mut out = Vec::new();
-        let mut stack = vec![slot];
-        while let Some(s) = stack.pop() {
-            let d = self.data(s);
-            out.push(NodeRef { id: d.id, label: d.label });
-            stack.extend(d.children.iter().rev());
-        }
+        self.walk_slots(slot, &mut |s| out.push(self.ref_at(s)));
         Ok(out)
     }
 
@@ -620,11 +995,11 @@ impl DataTree {
     /// (ids preserved).
     pub fn subtree(&self, id: NodeId) -> Result<DataTree, TreeError> {
         let slot = self.slot(id)?;
-        let d = self.data(slot);
-        let mut out = DataTree::with_root_id(d.id, d.label);
-        for &c in &d.children {
-            let child_id = self.data(c).id;
-            out.graft_subtree(d.id, self, child_id)?;
+        let mut out = DataTree::with_root_id(self.ids[slot as usize], self.labels[slot as usize]);
+        let root = out.root_id();
+        let kids: Vec<u32> = self.child_slot_iter(slot).collect();
+        for c in kids {
+            out.graft_subtree(root, self, self.ids[c as usize])?;
         }
         Ok(out)
     }
@@ -632,7 +1007,7 @@ impl DataTree {
     /// A deep copy with fresh ids everywhere (including the root).
     pub fn deep_copy_fresh(&self) -> DataTree {
         let mut out = DataTree::new(self.root_label());
-        for c in self.children(self.root_id()).expect("root") {
+        for c in self.children_iter(self.root_id()).expect("root") {
             out.graft_copy(out.root_id(), self, c).expect("graft");
         }
         out
@@ -679,12 +1054,11 @@ impl DataTree {
         Ok(self.canonical_form_slot(self.slot(id)?))
     }
 
-    fn canonical_form_slot(&self, slot: usize) -> String {
-        let d = self.data(slot);
-        let mut out = String::from(d.label.as_str());
-        if !d.children.is_empty() {
+    fn canonical_form_slot(&self, slot: u32) -> String {
+        let mut out = String::from(self.labels[slot as usize].as_str());
+        if self.first_child[slot as usize] != NIL {
             let mut kids: Vec<String> =
-                d.children.iter().map(|&c| self.canonical_form_slot(c)).collect();
+                self.child_slot_iter(slot).map(|c| self.canonical_form_slot(c)).collect();
             kids.sort();
             out.push('(');
             for (i, k) in kids.iter().enumerate() {
@@ -700,26 +1074,21 @@ impl DataTree {
 
     /// Pretty indented rendering (ids and labels), for debugging and demos.
     pub fn render(&self) -> String {
-        fn rec(t: &DataTree, slot: usize, depth: usize, out: &mut String) {
-            let d = t.data(slot);
-            for _ in 0..depth {
-                out.push_str("  ");
-            }
-            out.push_str(&format!("{} [{}]\n", d.label, d.id));
-            for &c in &d.children {
-                rec(t, c, depth + 1, out);
-            }
-        }
         let mut s = String::new();
-        rec(self, self.root, 0, &mut s);
+        self.walk_depth(&mut |slot, depth| {
+            for _ in 0..depth {
+                s.push_str("  ");
+            }
+            s.push_str(&format!("{} [{}]\n", self.labels[slot as usize], self.ids[slot as usize]));
+        });
         s
     }
 
     /// All distinct labels occurring in the tree.
     pub fn labels(&self) -> Vec<Label> {
         let mut set = std::collections::BTreeSet::new();
-        self.walk(self.root, &mut |d| {
-            set.insert(d.label);
+        self.walk_slots(self.root, &mut |s| {
+            set.insert(self.labels[s as usize]);
         });
         set.into_iter().collect()
     }
@@ -894,7 +1263,7 @@ mod tests {
         assert_eq!(detached.len(), deleted.len());
         assert!(!detached.contains(a));
         // Reattach restores the original exactly.
-        detached.reattach_subtree(token);
+        detached.reattach_subtree(token).unwrap();
         assert!(detached.identified_eq(&t));
         assert!(detached.contains(a));
     }
@@ -909,7 +1278,7 @@ mod tests {
         let token = spliced.splice_node(a).unwrap();
         assert!(spliced.identified_eq(&deleted));
         assert!(!spliced.contains(a));
-        spliced.unsplice_node(token);
+        spliced.unsplice_node(token).unwrap();
         assert!(spliced.identified_eq(&t));
     }
 
@@ -933,7 +1302,7 @@ mod tests {
         // ...and unwinding in LIFO order restores the original.
         work.relabel(e, "e").unwrap();
         work.delete_subtree(extra).unwrap();
-        work.reattach_subtree(token);
+        work.reattach_subtree(token).unwrap();
         assert!(work.identified_eq(&t));
     }
 
@@ -960,5 +1329,163 @@ mod tests {
         for id in c.node_ids() {
             assert!(!t.contains(id));
         }
+    }
+
+    // ——— arena-specific behavior ———
+
+    #[test]
+    fn children_iter_matches_children_and_does_not_allocate_results() {
+        let t = sample();
+        for id in t.node_ids() {
+            let via_vec = t.children(id).unwrap();
+            let via_iter: Vec<NodeId> = t.children_iter(id).unwrap().collect();
+            assert_eq!(via_vec, via_iter);
+            let mut via_each = Vec::new();
+            t.for_each_child(id, |n| via_each.push(n.id)).unwrap();
+            assert_eq!(via_vec, via_each);
+        }
+        assert!(t.children_iter(NodeId::from_raw(999_999)).is_err());
+    }
+
+    #[test]
+    fn delete_then_insert_reuses_slot() {
+        let mut t = sample();
+        let cap = t.slot_capacity();
+        let e = t.children(t.root_id()).unwrap()[1];
+        t.delete_subtree(e).unwrap();
+        assert_eq!(t.free_slots(), 1);
+        t.add(t.root_id(), "e2").unwrap();
+        assert_eq!(t.free_slots(), 0);
+        assert_eq!(t.slot_capacity(), cap, "insertion after delete must reuse the freed slot");
+    }
+
+    #[test]
+    fn churn_capacity_bounded_by_peak_live() {
+        // The headline leak regression: 10k insert+delete cycles of a
+        // 3-node subtree. The historical `Vec<Option<NodeData>>` arena
+        // left a permanent hole per deleted node (capacity ~30k here);
+        // the free-listed arena must stay at the peak live count.
+        let mut t = DataTree::new("root");
+        let hub = t.add(t.root_id(), "hub").unwrap();
+        let mut peak = t.len();
+        for _ in 0..10_000 {
+            let s = t.add(hub, "s").unwrap();
+            t.add(s, "x").unwrap();
+            t.add(s, "y").unwrap();
+            peak = peak.max(t.len());
+            t.delete_subtree(s).unwrap();
+        }
+        assert_eq!(t.len(), 2);
+        assert!(
+            t.slot_capacity() <= peak,
+            "arena capacity {} leaked past peak live {}",
+            t.slot_capacity(),
+            peak
+        );
+    }
+
+    #[test]
+    fn churn_with_delete_node_is_bounded_too() {
+        let mut t = DataTree::new("root");
+        let hub = t.add(t.root_id(), "hub").unwrap();
+        let keep = t.add(hub, "keep").unwrap();
+        let mut peak = t.len();
+        for i in 0..10_000 {
+            let mid = t.add(hub, "mid").unwrap();
+            t.move_node(keep, mid).unwrap();
+            peak = peak.max(t.len());
+            // Splice `mid` out: `keep` is promoted back under `hub`.
+            t.delete_node(mid).unwrap();
+            assert_eq!(t.parent(keep).unwrap(), Some(hub), "iteration {i}");
+        }
+        assert!(
+            t.slot_capacity() <= peak,
+            "arena capacity {} leaked past peak live {}",
+            t.slot_capacity(),
+            peak
+        );
+    }
+
+    #[test]
+    fn stale_detach_token_rejected_after_slot_reuse() {
+        // delete → reuse → undo: the classic ABA interleaving. The token's
+        // recorded parent slot is freed and recycled for an unrelated
+        // node; the generation tag must reject the reattach.
+        let mut t = DataTree::new("r");
+        let a = t.add(t.root_id(), "a").unwrap();
+        let b = t.add(a, "b").unwrap();
+        let token = t.detach_subtree(b).unwrap();
+        t.delete_subtree(a).unwrap(); // frees a's slot (b is parked, not freed)
+        let c = t.add(t.root_id(), "c").unwrap(); // recycles a's slot
+        let before = t.render();
+        assert!(matches!(t.reattach_subtree(token), Err(TreeError::StaleToken)));
+        assert_eq!(t.render(), before, "failed reattach must leave the tree untouched");
+        assert!(t.contains(c));
+        assert!(!t.contains(b));
+    }
+
+    #[test]
+    fn stale_splice_token_rejected_after_slot_reuse() {
+        let mut t = DataTree::new("r");
+        let a = t.add(t.root_id(), "a").unwrap();
+        let b = t.add(a, "b").unwrap();
+        t.add(b, "c").unwrap();
+        let token = t.splice_node(b).unwrap();
+        // Deleting `a` frees both a's and (promoted) c's slots.
+        t.delete_subtree(a).unwrap();
+        t.add(t.root_id(), "x").unwrap(); // recycles a freed slot
+        let before = t.render();
+        assert!(matches!(t.unsplice_node(token), Err(TreeError::StaleToken)));
+        assert_eq!(t.render(), before, "failed unsplice must leave the tree untouched");
+    }
+
+    #[test]
+    fn stale_splice_token_rejected_when_promoted_child_recycled() {
+        // Parent stays alive; only a promoted child is deleted and its
+        // slot recycled. The per-child generation check must catch it.
+        let mut t = DataTree::new("r");
+        let a = t.add(t.root_id(), "a").unwrap();
+        let b = t.add(a, "b").unwrap();
+        let c = t.add(b, "c").unwrap();
+        let token = t.splice_node(b).unwrap(); // c promoted under a
+        t.delete_subtree(c).unwrap(); // frees c's slot
+        t.add(a, "d").unwrap(); // recycles it
+        assert!(matches!(t.unsplice_node(token), Err(TreeError::StaleToken)));
+    }
+
+    #[test]
+    fn deep_tree_traversals_are_iterative() {
+        // A 60k-deep chain overflows the 2MiB test-thread stack under the
+        // historical recursive walkers; the sibling-chain walkers must
+        // handle it. (Build, snapshot, height, then bulk delete.)
+        let mut t = DataTree::new("root");
+        let top = t.add(t.root_id(), "n").unwrap();
+        let mut cur = top;
+        for _ in 0..60_000 {
+            cur = t.add(cur, "n").unwrap();
+        }
+        assert_eq!(t.height(), 60_001);
+        let flat = t.preorder_snapshot();
+        assert_eq!(flat.len(), t.len());
+        let nodes = t.subtree_nodes(top).unwrap();
+        assert_eq!(nodes.len(), 60_001);
+        t.delete_subtree(top).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.free_slots(), 60_001);
+    }
+
+    #[test]
+    fn detach_reattach_preserves_capacity_and_generations() {
+        let t = sample();
+        let a = t.children(t.root_id()).unwrap()[0];
+        let mut work = t.clone();
+        let cap = work.slot_capacity();
+        for _ in 0..1_000 {
+            let token = work.detach_subtree(a).unwrap();
+            work.reattach_subtree(token).unwrap();
+        }
+        assert_eq!(work.slot_capacity(), cap);
+        assert!(work.identified_eq(&t));
+        assert_eq!(work.render(), t.render());
     }
 }

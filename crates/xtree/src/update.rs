@@ -249,12 +249,12 @@ pub fn undo(tree: &mut DataTree, token: Undo) -> Result<EditScope, UpdateError> 
         }
         Undo::Reattach(t) => {
             let root = Some(t.parent_id(tree));
-            tree.reattach_subtree(t);
+            tree.reattach_subtree(t)?;
             EditScope::Structural { root }
         }
         Undo::Unsplice(t) => {
             let root = Some(t.parent_id(tree));
-            tree.unsplice_node(t);
+            tree.unsplice_node(t)?;
             EditScope::Structural { root }
         }
         Undo::MoveBack { node, old_parent, old_index } => {
